@@ -1,0 +1,62 @@
+// A3 — Evasion ablation: what happens to each defense when the dominant
+// query-echo worms repack themselves per copy (unique size and hash per
+// response)? The paper's size-based filter relies on malware shipping a
+// handful of fixed-size variants; this bench quantifies how the defense
+// landscape shifts when that assumption is attacked.
+//
+//   base        — calibrated 2006 behaviour (fixed variant sizes)
+//   polymorphic — echo strains pad every served copy (up to 4 KiB jitter)
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "core/study.h"
+#include "filter/evaluation.h"
+#include "filter/hash_blocklist.h"
+#include "filter/size_filter.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+p2p::core::LimewireStudyConfig ablation_config(std::uint32_t jitter) {
+  auto cfg = p2p::core::limewire_quick();
+  cfg.population.leaves = 240;
+  cfg.population.ultrapeers = 12;
+  cfg.crawl.duration = p2p::sim::SimDuration::hours(24);
+  cfg.crawl.query_interval = p2p::sim::SimDuration::seconds(120);
+  cfg.population.polymorphic_jitter = jitter;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2p;
+  std::cout << "=== A3: polymorphic-repacking evasion (24h crawls) ===\n\n";
+
+  util::Table t({"population", "distinct mal. contents", "size-filter det.",
+                 "hash-blocklist det.", "FP rate (size)"});
+  for (std::uint32_t jitter : {0u, 4096u}) {
+    auto result = core::run_limewire_study(ablation_config(jitter));
+    auto split = filter::split_at_fraction(result.records, 0.4);
+    auto size_f = filter::SizeFilter::learn(split.training);
+    auto hash_f = filter::HashBlocklistFilter::learn(split.training, 3);
+    auto size_e = filter::evaluate(size_f, split.evaluation);
+    auto hash_e = filter::evaluate(hash_f, split.evaluation);
+
+    auto ranking = analysis::strain_ranking(result.records);
+    std::uint64_t contents = 0;
+    for (const auto& s : ranking) contents += s.distinct_contents;
+
+    t.add_row({jitter == 0 ? "base (fixed variants)" : "polymorphic (4KiB jitter)",
+               util::format_count(contents), util::format_pct(size_e.detection_rate()),
+               util::format_pct(hash_e.detection_rate()),
+               util::format_pct(size_e.false_positive_rate(), 3)});
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Expected shape: both size and hash defenses collapse against "
+               "per-copy repacking; only content (signature) scanning holds. "
+               "The paper's filter works because 2006-era P2P malware did not "
+               "repack per response.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// A4 — Dynamic querying vs flooding: LimeWire's 2006 bandwidth saver from
+// the measurement client's seat. Dynamic querying probes ultrapeers one at
+// a time with growing TTLs and stops once it has enough results; flooding
+// asks everyone at once. Compares overlay cost against crawl yield, and
+// checks that the headline malware statistic is insensitive to the query
+// strategy (the paper's numbers do not depend on how hard the client asks).
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "core/study.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+p2p::core::LimewireStudyConfig base_config() {
+  auto cfg = p2p::core::limewire_quick();
+  cfg.population.ultrapeers = 12;
+  cfg.population.leaves = 240;
+  cfg.crawl.duration = p2p::sim::SimDuration::hours(12);
+  cfg.crawl.query_interval = p2p::sim::SimDuration::seconds(180);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2p;
+  std::cout << "=== A4: dynamic querying vs flooding (12h crawls) ===\n\n";
+
+  util::Table t({"strategy", "messages", "msgs/query", "responses/query",
+                 "labeled", "mal. fraction"});
+  for (bool dynamic : {false, true}) {
+    auto cfg = base_config();
+    cfg.crawl.dynamic_querying = dynamic;
+    auto result = core::run_limewire_study(cfg);
+    auto s = analysis::prevalence(result.records);
+    double queries = static_cast<double>(result.crawl_stats.queries_sent);
+    t.add_row({dynamic ? "dynamic (target 60)" : "flood all ultrapeers",
+               util::format_count(result.messages_delivered),
+               std::to_string(static_cast<int>(
+                   static_cast<double>(result.messages_delivered) / queries)),
+               std::to_string(static_cast<int>(
+                   static_cast<double>(result.crawl_stats.responses) / queries)),
+               util::format_count(s.labeled), util::format_pct(s.malicious_fraction())});
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Expected shape: dynamic querying cuts per-query overlay cost "
+               "while the malicious fraction of what it sees stays unchanged "
+               "— the prevalence result is a property of the network, not of "
+               "the crawler's aggressiveness.\n";
+  return 0;
+}

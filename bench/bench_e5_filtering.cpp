@@ -1,0 +1,65 @@
+// E5 — Filtering comparison: LimeWire's built-in mechanisms vs the paper's
+// size-based filtering.
+//
+// Paper (abstract): current LimeWire mechanisms detect only about 6% of
+// malware-containing responses; size-based filtering detects over 99% with
+// a very low false-positive rate.
+//
+// Protocol: train both filters on the first quarter of the crawl, evaluate
+// on the remaining three quarters.
+#include <iostream>
+
+#include "bench/study_cache.h"
+#include "core/report.h"
+#include "filter/evaluation.h"
+#include "filter/limewire_builtin.h"
+#include "filter/size_filter.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace p2p;
+  std::cout << "=== E5: filtering comparison ===\n\n";
+
+  auto lw = bench::limewire_study_cached();
+  auto split = filter::split_at_fraction(lw.records, 0.25);
+
+  auto size_filter = filter::SizeFilter::learn(split.training);
+  // The vendor list fully knows the reported long-tail trojans and holds
+  // stale variants of the zip-wrapped head strain.
+  std::vector<std::string> vendor_known = {"Troj.Dropper.D", "W32.Paplin.E",
+                                           "Troj.Loader.F", "W32.Bindle.G",
+                                           "Troj.Spyball.H", "W32.Crater.I"};
+  std::vector<std::string> vendor_partial = {"Troj.Keymaker.C"};
+  auto builtin = filter::make_builtin_filter(split.training, vendor_known,
+                                             vendor_partial);
+
+  std::vector<filter::FilterEvaluation> evals = {
+      filter::evaluate(builtin, split.evaluation),
+      filter::evaluate(size_filter, split.evaluation),
+  };
+  core::print_filter_comparison(std::cout, "limewire", evals);
+
+  std::cout << "size filter blocks " << size_filter.blocked_sizes().size()
+            << " exact sizes:";
+  for (auto s : size_filter.blocked_sizes()) std::cout << " " << s;
+  std::cout << "\n\n";
+
+  // The same defense applied to the OpenFT crawl.
+  auto ft = bench::openft_study_cached();
+  auto ft_split = filter::split_at_fraction(ft.records, 0.25);
+  auto ft_filter = filter::SizeFilter::learn(ft_split.training);
+  std::vector<filter::FilterEvaluation> ft_evals = {
+      filter::evaluate(ft_filter, ft_split.evaluation)};
+  core::print_filter_comparison(std::cout, "openft", ft_evals);
+
+  util::Table cmp({"metric", "paper", "measured"});
+  cmp.add_row({"limewire builtin detection", "~6%",
+               util::format_pct(evals[0].detection_rate())});
+  cmp.add_row({"limewire size-based detection", ">99%",
+               util::format_pct(evals[1].detection_rate())});
+  cmp.add_row({"size-based false positives", "very low",
+               util::format_pct(evals[1].false_positive_rate(), 3)});
+  std::cout << "-- paper vs measured --\n" << cmp.render() << "\n";
+  return 0;
+}

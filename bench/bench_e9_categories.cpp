@@ -1,0 +1,24 @@
+// E9 — Exposure by query category: which kinds of queries draw malicious
+// responses. Query-echoing worms answer everything, so on LimeWire every
+// category is saturated; lure-style queries additionally surface the
+// long-tail trojans. On OpenFT only software-flavored and lure queries are
+// meaningfully exposed.
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "bench/study_cache.h"
+#include "core/report.h"
+
+int main() {
+  using namespace p2p;
+  std::cout << "=== E9: exposure by query category ===\n\n";
+
+  auto lw = bench::limewire_study_cached();
+  core::print_category_breakdown(std::cout, "limewire",
+                                 analysis::category_breakdown(lw.records));
+
+  auto ft = bench::openft_study_cached();
+  core::print_category_breakdown(std::cout, "openft",
+                                 analysis::category_breakdown(ft.records));
+  return 0;
+}

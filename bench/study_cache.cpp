@@ -1,0 +1,170 @@
+#include "bench/study_cache.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/bytes.h"
+
+namespace p2p::bench {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50324243;  // "P2BC"
+constexpr std::uint32_t kVersion = 3;
+
+void write_string(util::ByteWriter& w, const std::string& s) {
+  w.u32le(static_cast<std::uint32_t>(s.size()));
+  w.str(s);
+}
+
+std::string read_string(util::ByteReader& r) {
+  std::uint32_t n = r.u32le();
+  return r.str(n);
+}
+
+void write_record(util::ByteWriter& w, const crawler::ResponseRecord& rec) {
+  w.u64le(rec.id);
+  write_string(w, rec.network);
+  w.u64le(static_cast<std::uint64_t>(rec.at.millis()));
+  write_string(w, rec.query);
+  write_string(w, rec.query_category);
+  write_string(w, rec.filename);
+  w.u64le(rec.size);
+  w.u32le(rec.source_ip.value());
+  w.u16le(rec.source_port);
+  write_string(w, rec.source_key);
+  w.u8(rec.source_firewalled ? 1 : 0);
+  write_string(w, rec.content_key);
+  w.u8(rec.download_attempted ? 1 : 0);
+  w.u8(rec.downloaded ? 1 : 0);
+  w.u8(rec.infected ? 1 : 0);
+  w.u32le(rec.strain);
+  write_string(w, rec.strain_name);
+  w.u8(static_cast<std::uint8_t>(rec.type_by_magic));
+}
+
+crawler::ResponseRecord read_record(util::ByteReader& r) {
+  crawler::ResponseRecord rec;
+  rec.id = r.u64le();
+  rec.network = read_string(r);
+  rec.at = util::SimTime::at_millis(static_cast<std::int64_t>(r.u64le()));
+  rec.query = read_string(r);
+  rec.query_category = read_string(r);
+  rec.filename = read_string(r);
+  rec.type_by_name = files::classify_extension(rec.filename);
+  rec.size = r.u64le();
+  rec.source_ip = util::Ipv4{r.u32le()};
+  rec.source_port = r.u16le();
+  rec.source_key = read_string(r);
+  rec.source_firewalled = r.u8() != 0;
+  rec.content_key = read_string(r);
+  rec.download_attempted = r.u8() != 0;
+  rec.downloaded = r.u8() != 0;
+  rec.infected = r.u8() != 0;
+  rec.strain = r.u32le();
+  rec.strain_name = read_string(r);
+  rec.type_by_magic = static_cast<files::FileType>(r.u8());
+  return rec;
+}
+
+}  // namespace
+
+std::string cache_path(const std::string& name, std::uint64_t seed) {
+  return "bench_cache_" + name + "_" + std::to_string(seed) + ".bin";
+}
+
+bool save_study(const std::string& path, const core::StudyResult& result) {
+  util::ByteWriter w;
+  w.u32le(kMagic);
+  w.u32le(kVersion);
+  w.u64le(result.events_executed);
+  w.u64le(result.messages_delivered);
+  w.u64le(result.bytes_delivered);
+  w.u64le(result.churn_joins);
+  w.u64le(result.churn_leaves);
+  w.u64le(result.crawl_stats.queries_sent);
+  w.u64le(result.crawl_stats.responses);
+  w.u64le(result.crawl_stats.study_responses);
+  w.u64le(result.crawl_stats.downloads_ok);
+  w.u64le(result.crawl_stats.downloads_failed);
+  w.u64le(static_cast<std::uint64_t>(result.records.size()));
+  for (const auto& rec : result.records) write_record(w, rec);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+  return static_cast<bool>(out);
+}
+
+bool load_study(const std::string& path, core::StudyResult& result) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  util::Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  try {
+    util::ByteReader r(data);
+    if (r.u32le() != kMagic || r.u32le() != kVersion) return false;
+    result.events_executed = r.u64le();
+    result.messages_delivered = r.u64le();
+    result.bytes_delivered = r.u64le();
+    result.churn_joins = r.u64le();
+    result.churn_leaves = r.u64le();
+    result.crawl_stats.queries_sent = r.u64le();
+    result.crawl_stats.responses = r.u64le();
+    result.crawl_stats.study_responses = r.u64le();
+    result.crawl_stats.downloads_ok = r.u64le();
+    result.crawl_stats.downloads_failed = r.u64le();
+    std::uint64_t n = r.u64le();
+    result.records.clear();
+    result.records.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) result.records.push_back(read_record(r));
+    return r.empty();
+  } catch (const util::BufferUnderflow&) {
+    return false;
+  }
+}
+
+core::StudyResult limewire_study_cached() {
+  auto cfg = core::limewire_standard();
+  std::string path = cache_path("limewire", cfg.seed);
+  core::StudyResult result;
+  if (load_study(path, result)) {
+    std::fprintf(stderr, "[study-cache] loaded %zu LimeWire records from %s\n",
+                 result.records.size(), path.c_str());
+    result.strain_catalog = malware::limewire_catalog();
+    return result;
+  }
+  std::fprintf(stderr,
+               "[study-cache] running standard LimeWire study (30 simulated "
+               "days; ~1 minute)...\n");
+  result = core::run_limewire_study(cfg);
+  result.strain_catalog = malware::limewire_catalog();
+  if (save_study(path, result)) {
+    std::fprintf(stderr, "[study-cache] saved to %s\n", path.c_str());
+  }
+  return result;
+}
+
+core::StudyResult openft_study_cached() {
+  auto cfg = core::openft_standard();
+  std::string path = cache_path("openft", cfg.seed);
+  core::StudyResult result;
+  if (load_study(path, result)) {
+    std::fprintf(stderr, "[study-cache] loaded %zu OpenFT records from %s\n",
+                 result.records.size(), path.c_str());
+    result.strain_catalog = malware::openft_catalog();
+    return result;
+  }
+  std::fprintf(stderr,
+               "[study-cache] running standard OpenFT study (30 simulated "
+               "days; ~15 seconds)...\n");
+  result = core::run_openft_study(cfg);
+  result.strain_catalog = malware::openft_catalog();
+  if (save_study(path, result)) {
+    std::fprintf(stderr, "[study-cache] saved to %s\n", path.c_str());
+  }
+  return result;
+}
+
+}  // namespace p2p::bench

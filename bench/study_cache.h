@@ -1,0 +1,27 @@
+// Shared infrastructure for the experiment benches: run a standard study
+// once and cache its response log on disk, so each of the E1..E8 binaries
+// regenerating a different paper table doesn't redo the same month-long
+// crawl. The cache key includes the config seed and duration; delete
+// bench_cache_*.bin to force a fresh crawl.
+#pragma once
+
+#include <string>
+
+#include "core/study.h"
+
+namespace p2p::bench {
+
+/// Run (or load) the standard LimeWire study.
+core::StudyResult limewire_study_cached();
+
+/// Run (or load) the standard OpenFT study.
+core::StudyResult openft_study_cached();
+
+/// Cache file path for a study name + seed (in the current directory).
+std::string cache_path(const std::string& name, std::uint64_t seed);
+
+/// Serialize / deserialize a StudyResult's records + counters.
+bool save_study(const std::string& path, const core::StudyResult& result);
+bool load_study(const std::string& path, core::StudyResult& result);
+
+}  // namespace p2p::bench

@@ -1,0 +1,53 @@
+// Offline analysis: reload a response log exported with
+// `limewire_study --csv` / `openft_study --csv` and regenerate every
+// analysis table without re-crawling — the workflow of an analyst working
+// from the study's raw data.
+//
+//   ./analyze_log <log.csv>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/csv.h"
+#include "analysis/stats.h"
+#include "core/report.h"
+#include "filter/evaluation.h"
+#include "filter/size_filter.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <log.csv>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  auto records = analysis::read_csv(in);
+  if (!records) {
+    std::cerr << argv[1] << ": not a response log written by this framework\n";
+    return 1;
+  }
+  std::string network = records->empty() ? "unknown" : records->front().network;
+  std::cout << "loaded " << util::format_count(records->size()) << " " << network
+            << " responses from " << argv[1] << "\n\n";
+
+  core::print_prevalence(std::cout, network, analysis::prevalence(*records));
+  core::print_strain_ranking(std::cout, network, analysis::strain_ranking(*records));
+  core::print_sources(std::cout, network, analysis::sources(*records),
+                      analysis::strain_source_concentration(*records));
+  core::print_category_breakdown(std::cout, network,
+                                 analysis::category_breakdown(*records));
+  core::print_size_analysis(std::cout, network, analysis::size_distribution(*records),
+                            analysis::sizes_per_strain(*records));
+  core::print_daily_series(std::cout, network, analysis::daily_series(*records));
+
+  auto split = filter::split_at_fraction(*records, 0.25);
+  auto size_filter = filter::SizeFilter::learn(split.training);
+  std::vector<filter::FilterEvaluation> evals = {
+      filter::evaluate(size_filter, split.evaluation)};
+  core::print_filter_comparison(std::cout, network, evals);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: run a scaled-down version of the paper's study on both
+// networks and print the headline results (malware prevalence, strain
+// concentration, sources, and the filtering comparison).
+//
+//   ./quickstart [--standard]
+//
+// The default "quick" preset simulates ~8 hours of crawling in a couple of
+// seconds; --standard runs the full 30-day configuration the benches use.
+#include <cstring>
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "core/report.h"
+#include "core/study.h"
+#include "filter/limewire_builtin.h"
+#include "filter/size_filter.h"
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+  bool standard = argc > 1 && std::strcmp(argv[1], "--standard") == 0;
+
+  auto lw_cfg = standard ? core::limewire_standard() : core::limewire_quick();
+  auto ft_cfg = standard ? core::openft_standard() : core::openft_quick();
+
+  std::cout << "Running LimeWire study ("
+            << lw_cfg.crawl.duration.count_ms() / 3'600'000 << "h simulated)...\n";
+  core::StudyResult lw = core::run_limewire_study(lw_cfg);
+  std::cout << "  events: " << lw.events_executed
+            << ", messages: " << lw.messages_delivered
+            << ", responses: " << lw.records.size() << "\n\n";
+
+  std::cout << "Running OpenFT study...\n";
+  core::StudyResult ft = core::run_openft_study(ft_cfg);
+  std::cout << "  events: " << ft.events_executed
+            << ", messages: " << ft.messages_delivered
+            << ", responses: " << ft.records.size() << "\n\n";
+
+  for (const auto* result : {&lw, &ft}) {
+    const std::string network = result == &lw ? "limewire" : "openft";
+    auto summary = analysis::prevalence(result->records);
+    core::print_prevalence(std::cout, network, summary);
+    auto ranking = analysis::strain_ranking(result->records);
+    core::print_strain_ranking(std::cout, network, ranking);
+    auto sources = analysis::sources(result->records);
+    auto concentration = analysis::strain_source_concentration(result->records);
+    core::print_sources(std::cout, network, sources, concentration);
+  }
+
+  // Filtering comparison on the LimeWire crawl: train on the first quarter
+  // of the crawl, evaluate on the rest.
+  auto split = filter::split_at_fraction(lw.records, 0.25);
+  auto size_filter = filter::SizeFilter::learn(split.training);
+  std::vector<std::string> vendor_known = {"Troj.Dropper.D", "W32.Paplin.E",
+                                           "Troj.Loader.F"};
+  auto builtin = filter::make_builtin_filter(split.training, vendor_known);
+  std::vector<filter::FilterEvaluation> evals = {
+      filter::evaluate(builtin, split.evaluation),
+      filter::evaluate(size_filter, split.evaluation),
+  };
+  core::print_filter_comparison(std::cout, "limewire", evals);
+  return 0;
+}

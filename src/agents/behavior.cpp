@@ -1,0 +1,117 @@
+#include "agents/behavior.h"
+
+#include "util/strings.h"
+
+namespace p2p::agents {
+
+std::string echo_filename(const std::string& criteria, const std::string& artifact_name) {
+  std::string ext = util::extension(artifact_name);
+  if (ext.empty()) ext = "exe";
+  auto tokens = util::keywords(criteria);
+  std::string base = tokens.empty() ? "download" : util::join(tokens, " ");
+  return base + "." + ext;
+}
+
+InfectedAnswerer::InfectedAnswerer(
+    std::shared_ptr<const malware::ArtifactStore> artifacts,
+    std::vector<malware::StrainId> echo_strains, gnutella::SharedFileIndex honest_shares,
+    std::uint64_t seed)
+    : artifacts_(std::move(artifacts)),
+      echo_strains_(std::move(echo_strains)),
+      honest_(std::move(honest_shares)),
+      rng_(seed) {}
+
+std::vector<gnutella::QueryHitResult> InfectedAnswerer::answer(
+    const std::string& criteria) {
+  std::vector<gnutella::QueryHitResult> out;
+  // Honest shares answer normally.
+  for (const auto& m : honest_.match(criteria)) {
+    gnutella::QueryHitResult r;
+    r.index = m.index;
+    r.size = static_cast<std::uint32_t>(m.file->size());
+    r.filename = m.file->name();
+    r.sha1 = m.file->sha1();
+    out.push_back(std::move(r));
+  }
+  // The worm answers everything.
+  for (malware::StrainId strain : echo_strains_) {
+    auto artifact = artifacts_->pick(strain, rng_);
+    std::uint32_t jitter = artifacts_->strain(strain).size_jitter;
+    if (jitter > 0) {
+      // Polymorphic repacking: unique padding per served copy, so size and
+      // hash never repeat (A3 evasion model).
+      util::Bytes padded = artifact->bytes();
+      std::size_t pad = static_cast<std::size_t>(rng_.bounded(jitter)) + 1;
+      std::size_t old_size = padded.size();
+      padded.resize(old_size + pad);
+      rng_.fill(std::span<std::uint8_t>(padded.data() + old_size, pad));
+      artifact = std::make_shared<const files::FileContent>(artifact->name(),
+                                                            std::move(padded));
+    }
+    std::uint32_t index = next_dynamic_++;
+    dynamic_[index] = artifact;
+    // Bound the registry: queries older than the window cannot be
+    // downloaded any more (mirrors the worm regenerating its share list).
+    if (dynamic_.size() > 50'000) {
+      dynamic_.clear();
+      dynamic_[index] = artifact;
+    }
+    gnutella::QueryHitResult r;
+    r.index = index;
+    r.size = static_cast<std::uint32_t>(artifact->size());
+    r.filename = echo_filename(criteria, artifact->name());
+    r.sha1 = artifact->sha1();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::shared_ptr<const files::FileContent> InfectedAnswerer::resolve(
+    std::uint32_t index) {
+  if (index >= kDynamicBase) {
+    auto it = dynamic_.find(index);
+    return it == dynamic_.end() ? nullptr : it->second;
+  }
+  return honest_.get(index);
+}
+
+void InfectedAnswerer::populate_qrt(gnutella::QueryRouteTable& qrt) const {
+  // The worm wants every query: degenerate all-ones table.
+  qrt.fill_all();
+}
+
+std::uint32_t InfectedAnswerer::shared_file_count() const {
+  return static_cast<std::uint32_t>(honest_.count()) + 1;
+}
+
+std::uint32_t InfectedAnswerer::shared_kb() const {
+  return static_cast<std::uint32_t>(honest_.total_bytes() / 1024) + 64;
+}
+
+QueryingServent::QueryingServent(gnutella::ServentConfig config,
+                                 std::shared_ptr<gnutella::QueryAnswerer> answerer,
+                                 std::shared_ptr<gnutella::HostCache> host_cache,
+                                 std::shared_ptr<const files::ContentCatalog> catalog,
+                                 sim::SimDuration mean_query_interval,
+                                 std::uint64_t rng_seed)
+    : gnutella::Servent(config, std::move(answerer), std::move(host_cache), rng_seed),
+      catalog_(std::move(catalog)),
+      mean_interval_(mean_query_interval),
+      behavior_rng_(rng_seed ^ 0x0b5e7) {}
+
+void QueryingServent::start() {
+  gnutella::Servent::start();
+  auto first = sim::SimDuration::millis(static_cast<std::int64_t>(
+      1000.0 * behavior_rng_.exponential(mean_interval_.as_seconds())));
+  network().schedule_node(id(), first, [this] { query_loop(); });
+}
+
+void QueryingServent::query_loop() {
+  std::size_t rank = catalog_->sample(behavior_rng_);
+  send_query(catalog_->entry(rank).query);
+  auto next = sim::SimDuration::millis(static_cast<std::int64_t>(
+      1000.0 * behavior_rng_.exponential(mean_interval_.as_seconds())));
+  network().schedule_node(id(), next, [this] { query_loop(); });
+}
+
+}  // namespace p2p::agents

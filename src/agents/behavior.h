@@ -1,0 +1,80 @@
+// Peer behaviour policies.
+//
+// Honest Gnutella peers answer queries from their shared-file index
+// (gnutella::IndexAnswerer). Infected peers additionally run the classic
+// Gnutella-worm response logic: answer *every* query with a
+// query-echoing filename whose bytes are the worm payload, and advertise
+// an all-ones QRP table so no query is filtered away from them. This is
+// the behaviour (documented for Mandragore/Gnuman-family malware) that
+// makes malware dominate exe/zip responses in the paper's LimeWire data.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "files/corpus.h"
+#include "gnutella/servent.h"
+#include "malware/builder.h"
+#include "util/rng.h"
+
+namespace p2p::agents {
+
+/// A gnutella answerer combining honest shares with query-echoing worm
+/// responses for the given strains.
+class InfectedAnswerer final : public gnutella::QueryAnswerer {
+ public:
+  /// `echo_strains` must all have NamingHabit::kQueryEcho; fixed-lure
+  /// strains are modeled as ordinary files in the honest index instead.
+  InfectedAnswerer(std::shared_ptr<const malware::ArtifactStore> artifacts,
+                   std::vector<malware::StrainId> echo_strains,
+                   gnutella::SharedFileIndex honest_shares, std::uint64_t seed);
+
+  std::vector<gnutella::QueryHitResult> answer(const std::string& criteria) override;
+  std::shared_ptr<const files::FileContent> resolve(std::uint32_t index) override;
+  void populate_qrt(gnutella::QueryRouteTable& qrt) const override;
+  std::uint32_t shared_file_count() const override;
+  std::uint32_t shared_kb() const override;
+
+ private:
+  /// Dynamic (per-query) artifact registrations live above this index;
+  /// honest shares below it.
+  static constexpr std::uint32_t kDynamicBase = 1'000'000;
+
+  std::shared_ptr<const malware::ArtifactStore> artifacts_;
+  std::vector<malware::StrainId> echo_strains_;
+  gnutella::SharedFileIndex honest_;
+  util::Rng rng_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<const files::FileContent>> dynamic_;
+  std::uint32_t next_dynamic_ = kDynamicBase;
+};
+
+/// Build a worm response filename: echo the query keywords and attach the
+/// artifact's container extension ("britney spears.exe").
+[[nodiscard]] std::string echo_filename(const std::string& criteria,
+                                        const std::string& artifact_name);
+
+/// A servent that also behaves like a human user: it issues catalog-drawn
+/// queries at exponential intervals while online. Off by default in the
+/// study presets (the crawler's response stream doesn't depend on organic
+/// search traffic); used by the query-observatory example to generate the
+/// background traffic an instrumented ultrapeer observes.
+class QueryingServent final : public gnutella::Servent {
+ public:
+  QueryingServent(gnutella::ServentConfig config,
+                  std::shared_ptr<gnutella::QueryAnswerer> answerer,
+                  std::shared_ptr<gnutella::HostCache> host_cache,
+                  std::shared_ptr<const files::ContentCatalog> catalog,
+                  sim::SimDuration mean_query_interval, std::uint64_t rng_seed);
+
+  void start() override;
+
+ private:
+  void query_loop();
+
+  std::shared_ptr<const files::ContentCatalog> catalog_;
+  sim::SimDuration mean_interval_;
+  util::Rng behavior_rng_;
+};
+
+}  // namespace p2p::agents

@@ -1,0 +1,73 @@
+#include "agents/churn.h"
+
+#include <algorithm>
+
+#include "gnutella/servent.h"
+
+namespace p2p::agents {
+
+ChurnDriver::ChurnDriver(sim::Network& net, std::vector<PeerSpec> specs,
+                         ChurnConfig config)
+    : net_(net),
+      specs_(std::move(specs)),
+      current_(specs_.size(), sim::kInvalidNode),
+      config_(config),
+      rng_(config.seed) {}
+
+void ChurnDriver::start() {
+  double session_s = config_.mean_session.as_seconds();
+  double offline_s = config_.mean_offline.as_seconds();
+  double stationary = session_s / (session_s + offline_s);
+  double p_online = config_.initial_online_override >= 0.0
+                        ? config_.initial_online_override
+                        : stationary;
+
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (rng_.chance(p_online)) {
+      // Small jitter so the initial wave of joins doesn't synchronize.
+      auto delay = sim::SimDuration::millis(
+          static_cast<std::int64_t>(rng_.uniform(0.0, 30'000.0)));
+      net_.events().schedule_in(delay, [this, i] { join(i); });
+    } else {
+      auto delay = sim::SimDuration::millis(
+          static_cast<std::int64_t>(1000.0 * rng_.exponential(offline_s)));
+      net_.events().schedule_in(delay, [this, i] { join(i); });
+    }
+  }
+}
+
+void ChurnDriver::join(std::size_t idx) {
+  if (current_[idx] != sim::kInvalidNode) return;
+  current_[idx] = net_.add_node(specs_[idx].make(), specs_[idx].profile);
+  ++joins_;
+  auto session = sim::SimDuration::millis(static_cast<std::int64_t>(
+      1000.0 * rng_.exponential(config_.mean_session.as_seconds())));
+  net_.events().schedule_in(session, [this, idx] { leave(idx); });
+}
+
+void ChurnDriver::leave(std::size_t idx) {
+  if (current_[idx] == sim::kInvalidNode) return;
+  // Most real departures are graceful client exits: Gnutella servents send
+  // BYE so peers refill their slots immediately.
+  if (auto* servent = dynamic_cast<gnutella::Servent*>(net_.node(current_[idx]))) {
+    servent->shutdown(200, "client exiting");
+  }
+  net_.remove_node(current_[idx]);
+  current_[idx] = sim::kInvalidNode;
+  ++leaves_;
+  auto offline = sim::SimDuration::millis(static_cast<std::int64_t>(
+      1000.0 * rng_.exponential(config_.mean_offline.as_seconds())));
+  net_.events().schedule_in(offline, [this, idx] { join(idx); });
+}
+
+std::size_t ChurnDriver::online_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(current_.begin(), current_.end(),
+                    [](sim::NodeId id) { return id != sim::kInvalidNode; }));
+}
+
+sim::NodeId ChurnDriver::node_of(std::size_t spec_index) const {
+  return current_[spec_index];
+}
+
+}  // namespace p2p::agents

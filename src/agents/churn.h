@@ -1,0 +1,51 @@
+// Peer churn: exponential on/off sessions per peer, the dominant dynamic of
+// real filesharing populations. A peer keeps its identity (address, shares,
+// infection) across sessions; each online session is a fresh node instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agents/population.h"
+#include "sim/network.h"
+
+namespace p2p::agents {
+
+struct ChurnConfig {
+  sim::SimDuration mean_session = sim::SimDuration::hours(4);
+  sim::SimDuration mean_offline = sim::SimDuration::hours(6);
+  /// Peers initially online with probability session/(session+offline)
+  /// (the stationary distribution) unless overridden.
+  double initial_online_override = -1.0;  // <0 means use stationary
+  std::uint64_t seed = 7;
+};
+
+class ChurnDriver {
+ public:
+  ChurnDriver(sim::Network& net, std::vector<PeerSpec> specs, ChurnConfig config);
+
+  /// Schedule initial joins and the ongoing on/off process.
+  void start();
+
+  [[nodiscard]] std::uint64_t joins() const { return joins_; }
+  [[nodiscard]] std::uint64_t leaves() const { return leaves_; }
+  [[nodiscard]] std::size_t online_count() const;
+
+  /// Current node id of a spec (kInvalidNode while offline).
+  [[nodiscard]] sim::NodeId node_of(std::size_t spec_index) const;
+  [[nodiscard]] const std::vector<PeerSpec>& specs() const { return specs_; }
+
+ private:
+  void join(std::size_t idx);
+  void leave(std::size_t idx);
+
+  sim::Network& net_;
+  std::vector<PeerSpec> specs_;
+  std::vector<sim::NodeId> current_;
+  ChurnConfig config_;
+  util::Rng rng_;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+};
+
+}  // namespace p2p::agents

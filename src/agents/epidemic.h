@@ -1,0 +1,145 @@
+// Passive-worm epidemic simulation (extension).
+//
+// The paper measures a snapshot of infection; the literature citing it
+// models the *process*: a passive worm spreads when users download a
+// query-echo response, execute it, and start serving the worm themselves.
+// This module closes that loop — peers search, download, and (with some
+// probability) execute what they fetched — and lets the paper's size-based
+// filter be deployed network-wide as a countermeasure, answering the
+// natural follow-up question: would the proposed defense have contained
+// the epidemic?
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "agents/behavior.h"
+#include "files/corpus.h"
+#include "gnutella/servent.h"
+#include "malware/builder.h"
+#include "malware/scanner.h"
+#include "sim/network.h"
+
+namespace p2p::agents {
+
+/// An answerer whose host can transition clean -> infected at runtime:
+/// honest shares always answer; once infected, the worm's query-echo
+/// behaviour switches on (and the QRP table degenerates to all-ones).
+class SwitchableAnswerer final : public gnutella::QueryAnswerer {
+ public:
+  SwitchableAnswerer(std::shared_ptr<const malware::ArtifactStore> artifacts,
+                     malware::StrainId strain, gnutella::SharedFileIndex honest,
+                     std::uint64_t seed);
+
+  void infect() { infected_ = true; }
+  [[nodiscard]] bool infected() const { return infected_; }
+
+  std::vector<gnutella::QueryHitResult> answer(const std::string& criteria) override;
+  std::shared_ptr<const files::FileContent> resolve(std::uint32_t index) override;
+  void populate_qrt(gnutella::QueryRouteTable& qrt) const override;
+
+ private:
+  static constexpr std::uint32_t kDynamicBase = 1'000'000;
+
+  std::shared_ptr<const malware::ArtifactStore> artifacts_;
+  malware::StrainId strain_;
+  gnutella::SharedFileIndex honest_;
+  util::Rng rng_;
+  bool infected_ = false;
+  std::unordered_map<std::uint32_t, std::shared_ptr<const files::FileContent>> dynamic_;
+  std::uint32_t next_dynamic_ = kDynamicBase;
+};
+
+/// A user peer in the epidemic: searches for popular content, sometimes
+/// downloads an exe/zip result, and executes what it downloaded with some
+/// probability — becoming a worm host if the payload was infected. A
+/// deployed size filter blocks the download before it happens.
+class EpidemicPeer final : public gnutella::Servent {
+ public:
+  struct Behavior {
+    sim::SimDuration mean_query_interval = sim::SimDuration::minutes(40);
+    /// Probability of downloading a study-type (exe/zip) result at all.
+    double download_prob = 0.7;
+    /// Probability of executing a downloaded payload.
+    double execute_prob = 0.6;
+    /// Network-wide deployment of the paper's defense: exact sizes blocked
+    /// before download. Empty = no filter.
+    std::vector<std::uint64_t> blocked_sizes;
+  };
+
+  EpidemicPeer(gnutella::ServentConfig config,
+               std::shared_ptr<SwitchableAnswerer> answerer,
+               std::shared_ptr<gnutella::HostCache> host_cache,
+               std::shared_ptr<const files::ContentCatalog> catalog,
+               std::shared_ptr<const malware::Scanner> scanner, Behavior behavior,
+               std::uint64_t seed);
+
+  void start() override;
+  [[nodiscard]] bool infected() const { return answerer_->infected(); }
+  [[nodiscard]] std::uint64_t downloads_blocked() const { return downloads_blocked_; }
+  [[nodiscard]] std::uint64_t infections_executed() const {
+    return infections_executed_;
+  }
+
+ private:
+  void behavior_loop();
+  void on_hit(const gnutella::HitEvent& event);
+  void on_download(const gnutella::DownloadOutcome& outcome);
+  void become_infected();
+
+  std::shared_ptr<SwitchableAnswerer> answerer_;
+  std::shared_ptr<const files::ContentCatalog> catalog_;
+  std::shared_ptr<const malware::Scanner> scanner_;
+  Behavior behavior_;
+  util::Rng behavior_rng_;
+  /// Queries still awaiting their first download decision.
+  std::unordered_set<gnutella::Guid, gnutella::GuidHash> undecided_queries_;
+  std::uint64_t downloads_blocked_ = 0;
+  std::uint64_t infections_executed_ = 0;
+};
+
+/// Builds the world, seeds a handful of initial worm hosts, runs the
+/// process, and samples the infection curve.
+class EpidemicSimulation {
+ public:
+  struct Config {
+    std::uint64_t seed = 424242;
+    std::size_t ultrapeers = 8;
+    std::size_t users = 150;
+    std::size_t initial_infected = 3;
+    sim::SimDuration duration = sim::SimDuration::days(14);
+    sim::SimDuration sample_interval = sim::SimDuration::hours(12);
+    files::CorpusConfig corpus{};
+    EpidemicPeer::Behavior behavior{};
+    /// The worm that spreads (one of limewire_catalog()'s echo strains).
+    malware::StrainId strain = 0;
+    /// Deploy the size filter network-wide, pre-loaded with the worm's
+    /// known variant sizes (the operator's view after the paper's study).
+    bool deploy_size_filter = false;
+  };
+
+  explicit EpidemicSimulation(Config config);
+
+  /// Run to completion (blocking).
+  void run();
+
+  struct Sample {
+    sim::SimTime at;
+    std::size_t infected = 0;
+  };
+  [[nodiscard]] const std::vector<Sample>& infection_curve() const { return curve_; }
+  [[nodiscard]] std::size_t infected_count() const;
+  [[nodiscard]] std::size_t user_count() const { return peers_.size(); }
+  [[nodiscard]] std::uint64_t total_downloads_blocked() const;
+
+ private:
+  void sample();
+
+  Config config_;
+  sim::Network net_;
+  std::shared_ptr<gnutella::HostCache> cache_;
+  std::vector<EpidemicPeer*> peers_;  // owned by the network
+  std::vector<Sample> curve_;
+};
+
+}  // namespace p2p::agents

@@ -1,0 +1,158 @@
+// Population builders: translate a study configuration into concrete peers
+// (profiles + node factories) for each network, calibrated so the response
+// streams reproduce the abstract's distributions. See DESIGN.md
+// "Substitutions" for the mapping from real-world populations to this model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "files/corpus.h"
+#include "gnutella/host_cache.h"
+#include "gnutella/servent.h"
+#include "malware/builder.h"
+#include "malware/catalogs.h"
+#include "openft/node.h"
+#include "sim/network.h"
+
+namespace p2p::agents {
+
+/// A rebuildable peer: profile persists across churn sessions (same IP,
+/// same shares); `make` constructs a fresh node instance per session.
+struct PeerSpec {
+  sim::HostProfile profile;
+  std::function<std::unique_ptr<sim::Node>()> make;
+  bool infected = false;
+  malware::StrainId strain = malware::kCleanStrain;
+};
+
+// ---------------------------------------------------------------------------
+// Gnutella (LimeWire)
+// ---------------------------------------------------------------------------
+
+struct GnutellaPopulationConfig {
+  std::uint64_t seed = 42;
+  std::size_t ultrapeers = 36;
+  std::size_t leaves = 700;
+  /// Fraction of leaves that are infected hosts.
+  double infected_fraction = 0.12;
+  /// NAT rates; infected hosts skew toward misconfigured home setups.
+  double nat_fraction_clean = 0.30;
+  double nat_fraction_infected = 0.35;
+  /// Probability a NATed host advertises its RFC1918 address in hits
+  /// (the source of the paper's 28% private-range observation).
+  double private_advertise_given_nat = 0.80;
+  /// Honest shares per leaf, uniform in [min, max].
+  std::size_t shares_min = 5;
+  std::size_t shares_max = 60;
+  /// Fixed-lure infected hosts share a "warez folder": the strain artifact
+  /// under its lure names plus this many trojanized popular-work aliases
+  /// ("<popular query> keygen.exe"), which is what lets rare strains appear
+  /// in responses at all against the flood of query-echo worms.
+  std::size_t trojan_aliases_min = 30;
+  std::size_t trojan_aliases_max = 60;
+  /// A3 evasion ablation: when > 0, the query-echo strains serve
+  /// per-response padded copies (unique size and hash each time), modeling
+  /// polymorphic repacking that defeats size- and hash-based filters.
+  std::uint32_t polymorphic_jitter = 0;
+  /// When > 0, honest leaves also behave like users: they issue
+  /// catalog-drawn queries at this mean interval while online (organic
+  /// background traffic for passive instrumentation; off in study presets).
+  sim::SimDuration organic_query_interval = sim::SimDuration::millis(0);
+  files::CorpusConfig corpus{};
+  gnutella::ServentConfig leaf_config{};
+  gnutella::ServentConfig ultrapeer_config{};
+};
+
+struct GnutellaPopulation {
+  std::shared_ptr<gnutella::HostCache> host_cache;
+  std::shared_ptr<files::ContentCatalog> catalog;
+  std::shared_ptr<malware::ArtifactStore> artifacts;
+  malware::CalibratedCatalog strain_catalog;
+  /// Stable infrastructure, added to the network at build time.
+  std::vector<sim::NodeId> ultrapeer_ids;
+  /// Churnable leaf population (handed to ChurnDriver).
+  std::vector<PeerSpec> leaf_specs;
+  /// Query strings that surface the fixed-lure strains (for workloads).
+  std::vector<std::string> lure_queries;
+};
+
+[[nodiscard]] GnutellaPopulation build_gnutella_population(
+    sim::Network& net, const GnutellaPopulationConfig& config);
+
+// ---------------------------------------------------------------------------
+// OpenFT
+// ---------------------------------------------------------------------------
+
+struct OpenFtPopulationConfig {
+  std::uint64_t seed = 43;
+  std::size_t search_nodes = 12;
+  /// INDEX nodes aggregating statistics from the search tier.
+  std::size_t index_nodes = 1;
+  std::size_t users = 280;
+  /// Fraction of users that are infected (excluding the super-spreader).
+  double infected_fraction = 0.05;
+  double nat_fraction = 0.30;
+  std::size_t shares_min = 4;
+  std::size_t shares_max = 40;
+  /// Lure paths an ordinary infected user registers for its strain.
+  std::size_t infected_paths_min = 2;
+  std::size_t infected_paths_max = 5;
+  /// The single host behind the abstract's "top virus ... served by a
+  /// single host" observation: registers one strain-0 artifact under many
+  /// popular-keyword paths.
+  bool enable_superspreader = true;
+  std::size_t superspreader_paths = 60;
+  /// The super-spreader's lure paths cover catalog ranks offset, offset +
+  /// stride, offset + 2*stride, ... — offset skips the most-queried works
+  /// and stride controls how much of the query mass it intercepts.
+  std::size_t superspreader_rank_stride = 9;
+  std::size_t superspreader_rank_offset = 10;
+  files::CorpusConfig corpus{};
+  openft::FtConfig user_config{};
+  openft::FtConfig search_config{};
+};
+
+struct OpenFtPopulation {
+  std::shared_ptr<openft::FtHostCache> host_cache;
+  std::shared_ptr<openft::FtHostCache> index_cache;
+  std::shared_ptr<files::ContentCatalog> catalog;
+  std::shared_ptr<malware::ArtifactStore> artifacts;
+  malware::CalibratedCatalog strain_catalog;
+  std::vector<sim::NodeId> search_node_ids;
+  std::vector<sim::NodeId> index_node_ids;
+  std::vector<PeerSpec> user_specs;
+  std::vector<std::string> lure_queries;
+  /// Index into user_specs of the super-spreader (or npos).
+  std::size_t superspreader_index = static_cast<std::size_t>(-1);
+};
+
+[[nodiscard]] OpenFtPopulation build_openft_population(
+    sim::Network& net, const OpenFtPopulationConfig& config);
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Allocates distinct public IPv4 addresses and plausible RFC1918 ones.
+class IpAllocator {
+ public:
+  explicit IpAllocator(std::uint64_t seed) : rng_(seed) {}
+
+  /// A fresh publicly-routable address (never repeats).
+  util::Ipv4 next_public();
+  /// A home-NAT-style private address (may repeat — as in reality).
+  util::Ipv4 random_private();
+
+ private:
+  util::Rng rng_;
+  std::vector<std::uint32_t> used_;
+};
+
+/// Queries that would surface the catalogs' fixed-lure names.
+[[nodiscard]] std::vector<std::string> lure_queries_for(
+    const malware::CalibratedCatalog& catalog);
+
+}  // namespace p2p::agents

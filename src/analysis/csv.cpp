@@ -1,0 +1,143 @@
+#include "analysis/csv.h"
+
+#include <charconv>
+#include <functional>
+#include <string>
+
+#include "util/strings.h"
+
+namespace p2p::analysis {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "id,network,time_ms,day,query,category,filename,size,type,magic,"
+    "source_ip,source_port,source_class,source_key,firewalled,content_key,"
+    "attempted,downloaded,infected,strain";
+
+std::string escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Split one CSV line into fields, honoring RFC 4180 quoting. Returns
+/// nullopt on unbalanced quotes.
+std::optional<std::vector<std::string>> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return std::nullopt;
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+template <typename T>
+bool parse_int(const std::string& s, T& out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+files::FileType type_from_name(const std::string& s) {
+  for (files::FileType t :
+       {files::FileType::kExecutable, files::FileType::kArchive,
+        files::FileType::kAudio, files::FileType::kVideo, files::FileType::kImage,
+        files::FileType::kDocument, files::FileType::kOther}) {
+    if (files::to_string(t) == s) return t;
+  }
+  return files::FileType::kOther;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, std::span<const crawler::ResponseRecord> records) {
+  out << kHeader << '\n';
+  for (const auto& r : records) {
+    out << r.id << ',' << r.network << ',' << r.at.millis() << ','
+        << r.at.whole_days() << ',' << escape(r.query) << ',' << r.query_category
+        << ',' << escape(r.filename) << ',' << r.size << ','
+        << files::to_string(r.type_by_name) << ','
+        << files::to_string(r.type_by_magic) << ',' << r.source_ip.str() << ','
+        << r.source_port << ',' << util::to_string(r.source_ip.classify()) << ','
+        << escape(r.source_key) << ',' << (r.source_firewalled ? 1 : 0) << ','
+        << r.content_key << ',' << (r.download_attempted ? 1 : 0) << ','
+        << (r.downloaded ? 1 : 0) << ',' << (r.infected ? 1 : 0) << ','
+        << escape(r.strain_name) << '\n';
+  }
+}
+
+std::optional<std::vector<crawler::ResponseRecord>> read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  std::vector<crawler::ResponseRecord> out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line);
+    if (!fields || fields->size() != 20) return std::nullopt;
+    const auto& f = *fields;
+
+    crawler::ResponseRecord r;
+    std::int64_t time_ms = 0;
+    int flags[4] = {0, 0, 0, 0};
+    auto ip = util::Ipv4::parse(f[10]);
+    if (!parse_int(f[0], r.id) || !parse_int(f[2], time_ms) ||
+        !parse_int(f[7], r.size) || !ip || !parse_int(f[11], r.source_port) ||
+        !parse_int(f[14], flags[0]) || !parse_int(f[16], flags[1]) ||
+        !parse_int(f[17], flags[2]) || !parse_int(f[18], flags[3])) {
+      return std::nullopt;
+    }
+    r.network = f[1];
+    r.at = util::SimTime::at_millis(time_ms);
+    r.query = f[4];
+    r.query_category = f[5];
+    r.filename = f[6];
+    r.type_by_name = type_from_name(f[8]);
+    r.type_by_magic = type_from_name(f[9]);
+    r.source_ip = *ip;
+    r.source_key = f[13];
+    r.source_firewalled = flags[0] != 0;
+    r.content_key = f[15];
+    r.download_attempted = flags[1] != 0;
+    r.downloaded = flags[2] != 0;
+    r.infected = flags[3] != 0;
+    r.strain_name = f[19];
+    // Strain ids are session-local; rebuild a stable surrogate from the
+    // name so strain_ranking groups correctly after a reload.
+    r.strain = r.infected ? static_cast<malware::StrainId>(
+                                std::hash<std::string>{}(r.strain_name) & 0x7fffffff)
+                          : malware::kCleanStrain;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace p2p::analysis

@@ -1,0 +1,27 @@
+// CSV export/import of the response log, for offline analysis of a crawl
+// (the paper's raw data equivalent). A log written by write_csv reloads
+// losslessly with read_csv, so every analysis can be re-run without
+// re-crawling.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "crawler/records.h"
+
+namespace p2p::analysis {
+
+/// Write a header plus one row per record. Fields containing commas or
+/// quotes are quoted per RFC 4180.
+void write_csv(std::ostream& out, std::span<const crawler::ResponseRecord> records);
+
+/// Parse a log written by write_csv. Returns nullopt on a malformed header
+/// or any unparseable row (strict: offline analyses should fail loudly on
+/// corrupt data rather than silently skip).
+[[nodiscard]] std::optional<std::vector<crawler::ResponseRecord>> read_csv(
+    std::istream& in);
+
+}  // namespace p2p::analysis

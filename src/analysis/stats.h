@@ -1,0 +1,188 @@
+// Analyses over the crawler's response log — one function per family of
+// results the paper reports: prevalence (E1/E3), strain concentration (E2),
+// source analysis (E4), size distributions (E7), and time series (E6/E8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crawler/records.h"
+#include "util/ip.h"
+
+namespace p2p::analysis {
+
+using crawler::ResponseRecord;
+
+// ---------------------------------------------------------------------------
+// E1/E3: prevalence
+// ---------------------------------------------------------------------------
+
+struct PrevalenceSummary {
+  std::uint64_t total_responses = 0;
+  /// Responses advertising archives/executables (the study set).
+  std::uint64_t study_responses = 0;
+  /// Study responses whose content was fetched and scanned.
+  std::uint64_t labeled = 0;
+  std::uint64_t infected = 0;
+
+  std::uint64_t exe_labeled = 0;
+  std::uint64_t exe_infected = 0;
+  std::uint64_t archive_labeled = 0;
+  std::uint64_t archive_infected = 0;
+
+  /// The paper's headline: fraction of labeled study responses that are
+  /// malicious (LimeWire 68%, OpenFT 3%).
+  [[nodiscard]] double malicious_fraction() const {
+    return labeled == 0 ? 0.0 : static_cast<double>(infected) / static_cast<double>(labeled);
+  }
+  [[nodiscard]] double exe_fraction() const {
+    return exe_labeled == 0 ? 0.0
+                            : static_cast<double>(exe_infected) /
+                                  static_cast<double>(exe_labeled);
+  }
+  [[nodiscard]] double archive_fraction() const {
+    return archive_labeled == 0 ? 0.0
+                                : static_cast<double>(archive_infected) /
+                                      static_cast<double>(archive_labeled);
+  }
+};
+
+[[nodiscard]] PrevalenceSummary prevalence(std::span<const ResponseRecord> records);
+
+// ---------------------------------------------------------------------------
+// E2: strain concentration
+// ---------------------------------------------------------------------------
+
+struct StrainCount {
+  malware::StrainId strain = malware::kCleanStrain;
+  std::string name;
+  std::uint64_t responses = 0;
+  /// Share of all malicious responses.
+  double share = 0.0;
+  std::uint64_t distinct_contents = 0;
+  std::uint64_t distinct_sources = 0;
+};
+
+/// Strains ranked by number of malicious responses, descending.
+[[nodiscard]] std::vector<StrainCount> strain_ranking(
+    std::span<const ResponseRecord> records);
+
+/// Combined share of the top-k strains (1.0 when fewer than k strains).
+[[nodiscard]] double topk_share(const std::vector<StrainCount>& ranking, std::size_t k);
+
+// ---------------------------------------------------------------------------
+// E4: sources of malicious responses
+// ---------------------------------------------------------------------------
+
+struct SourceSummary {
+  std::uint64_t malicious_responses = 0;
+  std::map<util::IpClass, std::uint64_t> by_class;
+  /// Fraction of malicious responses advertised from RFC1918 addresses
+  /// (the abstract's 28% LimeWire observation).
+  double private_fraction = 0.0;
+  std::uint64_t distinct_sources = 0;
+  /// (source_key, malicious responses), descending.
+  std::vector<std::pair<std::string, std::uint64_t>> top_sources;
+};
+
+[[nodiscard]] SourceSummary sources(std::span<const ResponseRecord> records,
+                                    std::size_t top_n = 10);
+
+struct StrainSourceConcentration {
+  std::string name;
+  std::uint64_t responses = 0;
+  std::uint64_t distinct_sources = 0;
+  /// Fraction of this strain's responses served by its single busiest host
+  /// (the abstract: OpenFT's top strain = 67% of malicious responses, all
+  /// from one host).
+  double top_source_share = 0.0;
+};
+
+[[nodiscard]] std::vector<StrainSourceConcentration> strain_source_concentration(
+    std::span<const ResponseRecord> records);
+
+// ---------------------------------------------------------------------------
+// E7: sizes
+// ---------------------------------------------------------------------------
+
+struct SizeBucket {
+  std::uint64_t size = 0;  // exact advertised size in bytes
+  std::uint64_t malicious = 0;
+  std::uint64_t clean = 0;
+};
+
+/// Exact-size histogram over labeled study responses, by response count
+/// descending.
+[[nodiscard]] std::vector<SizeBucket> size_distribution(
+    std::span<const ResponseRecord> records);
+
+/// Distinct advertised sizes seen per strain (the size-filter insight:
+/// these sets are tiny).
+[[nodiscard]] std::map<std::string, std::set<std::uint64_t>> sizes_per_strain(
+    std::span<const ResponseRecord> records);
+
+// ---------------------------------------------------------------------------
+// E9: query categories
+// ---------------------------------------------------------------------------
+
+struct CategoryBin {
+  std::string category;
+  std::uint64_t responses = 0;
+  std::uint64_t study_responses = 0;
+  std::uint64_t labeled = 0;
+  std::uint64_t infected = 0;
+
+  [[nodiscard]] double malicious_fraction() const {
+    return labeled == 0 ? 0.0 : static_cast<double>(infected) / static_cast<double>(labeled);
+  }
+};
+
+/// Per-query-category exposure: which kinds of queries draw malware.
+/// Ordered by malicious response count, descending.
+[[nodiscard]] std::vector<CategoryBin> category_breakdown(
+    std::span<const ResponseRecord> records);
+
+// ---------------------------------------------------------------------------
+// E6/E8: time series
+// ---------------------------------------------------------------------------
+
+struct DayBin {
+  int day = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t study_responses = 0;
+  std::uint64_t labeled = 0;
+  std::uint64_t infected = 0;
+  /// Distinct strains seen up to and including this day.
+  std::uint64_t cumulative_strains = 0;
+
+  [[nodiscard]] double malicious_fraction() const {
+    return labeled == 0 ? 0.0 : static_cast<double>(infected) / static_cast<double>(labeled);
+  }
+};
+
+[[nodiscard]] std::vector<DayBin> daily_series(std::span<const ResponseRecord> records);
+
+// ---------------------------------------------------------------------------
+// Uncertainty: block bootstrap over days
+// ---------------------------------------------------------------------------
+
+struct BootstrapCi {
+  double point = 0.0;
+  double lo = 0.0;   // 2.5th percentile
+  double hi = 0.0;   // 97.5th percentile
+  std::size_t resamples = 0;
+};
+
+/// 95% confidence interval for the malicious fraction of labeled study
+/// responses, by block bootstrap over crawl days (days are the natural
+/// dependence unit: the same hosts answer all day). Deterministic for a
+/// given seed.
+[[nodiscard]] BootstrapCi bootstrap_malicious_fraction(
+    std::span<const ResponseRecord> records, std::size_t resamples = 1000,
+    std::uint64_t seed = 17);
+
+}  // namespace p2p::analysis

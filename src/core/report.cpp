@@ -1,0 +1,128 @@
+#include "core/report.h"
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace p2p::core {
+
+using util::format_count;
+using util::format_pct;
+
+void print_prevalence(std::ostream& out, const std::string& network,
+                      const analysis::PrevalenceSummary& s) {
+  out << "== Malware prevalence (" << network << ") ==\n";
+  util::Table t({"metric", "value"});
+  t.add_row({"total responses", format_count(s.total_responses)});
+  t.add_row({"exe/archive responses", format_count(s.study_responses)});
+  t.add_row({"labeled (downloaded+scanned)", format_count(s.labeled)});
+  t.add_row({"malicious", format_count(s.infected)});
+  t.add_row({"malicious fraction", format_pct(s.malicious_fraction())});
+  t.add_row({"  executables", format_pct(s.exe_fraction()) + " of " +
+                                  format_count(s.exe_labeled)});
+  t.add_row({"  archives", format_pct(s.archive_fraction()) + " of " +
+                               format_count(s.archive_labeled)});
+  out << t.render() << "\n";
+}
+
+void print_strain_ranking(std::ostream& out, const std::string& network,
+                          const std::vector<analysis::StrainCount>& ranking) {
+  out << "== Malware concentration (" << network << ") ==\n";
+  util::Table t({"rank", "strain", "responses", "share", "contents", "hosts"});
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    const auto& r = ranking[i];
+    t.add_row({std::to_string(i + 1), r.name, format_count(r.responses),
+               format_pct(r.share), format_count(r.distinct_contents),
+               format_count(r.distinct_sources)});
+  }
+  out << t.render();
+  out << "top-1 share: " << format_pct(analysis::topk_share(ranking, 1)) << "\n";
+  out << "top-3 share: " << format_pct(analysis::topk_share(ranking, 3)) << "\n\n";
+}
+
+void print_sources(std::ostream& out, const std::string& network,
+                   const analysis::SourceSummary& summary,
+                   const std::vector<analysis::StrainSourceConcentration>& strains) {
+  out << "== Sources of malicious responses (" << network << ") ==\n";
+  util::Table t({"address class", "malicious responses", "share"});
+  for (const auto& [klass, count] : summary.by_class) {
+    double share = summary.malicious_responses == 0
+                       ? 0.0
+                       : static_cast<double>(count) /
+                             static_cast<double>(summary.malicious_responses);
+    t.add_row({std::string(util::to_string(klass)), format_count(count),
+               format_pct(share)});
+  }
+  out << t.render();
+  out << "private-range share: " << format_pct(summary.private_fraction) << " of "
+      << format_count(summary.malicious_responses) << " malicious responses; "
+      << format_count(summary.distinct_sources) << " distinct sources\n\n";
+
+  util::Table t2({"strain", "responses", "hosts", "top-host share"});
+  for (const auto& s : strains) {
+    t2.add_row({s.name, format_count(s.responses), format_count(s.distinct_sources),
+                format_pct(s.top_source_share)});
+  }
+  out << t2.render() << "\n";
+}
+
+void print_filter_comparison(std::ostream& out, const std::string& network,
+                             std::span<const filter::FilterEvaluation> evals) {
+  out << "== Filtering comparison (" << network << ") ==\n";
+  util::Table t({"filter", "malicious", "detected", "detection", "clean",
+                 "false positives", "FP rate"});
+  for (const auto& e : evals) {
+    t.add_row({e.filter_name, format_count(e.malicious),
+               format_count(e.true_positives), format_pct(e.detection_rate()),
+               format_count(e.clean), format_count(e.false_positives),
+               format_pct(e.false_positive_rate(), 3)});
+  }
+  out << t.render() << "\n";
+}
+
+void print_category_breakdown(std::ostream& out, const std::string& network,
+                              const std::vector<analysis::CategoryBin>& bins) {
+  out << "== Exposure by query category (" << network << ") ==\n";
+  util::Table t({"category", "responses", "exe/zip", "labeled", "malicious",
+                 "mal. fraction"});
+  for (const auto& b : bins) {
+    t.add_row({b.category, format_count(b.responses), format_count(b.study_responses),
+               format_count(b.labeled), format_count(b.infected),
+               format_pct(b.malicious_fraction())});
+  }
+  out << t.render() << "\n";
+}
+
+void print_daily_series(std::ostream& out, const std::string& network,
+                        const std::vector<analysis::DayBin>& series) {
+  out << "== Daily series (" << network << ") ==\n";
+  util::Table t({"day", "responses", "exe/zip", "labeled", "malicious",
+                 "mal. fraction", "cum. strains"});
+  for (const auto& d : series) {
+    t.add_row({std::to_string(d.day), format_count(d.responses),
+               format_count(d.study_responses), format_count(d.labeled),
+               format_count(d.infected), format_pct(d.malicious_fraction()),
+               std::to_string(d.cumulative_strains)});
+  }
+  out << t.render() << "\n";
+}
+
+void print_size_analysis(std::ostream& out, const std::string& network,
+                         const std::vector<analysis::SizeBucket>& buckets,
+                         const std::map<std::string, std::set<std::uint64_t>>& per_strain,
+                         std::size_t top_n) {
+  out << "== Size distribution of exe/zip responses (" << network << ") ==\n";
+  util::Table t({"size (bytes)", "malicious", "clean"});
+  for (std::size_t i = 0; i < buckets.size() && i < top_n; ++i) {
+    t.add_row({format_count(buckets[i].size), format_count(buckets[i].malicious),
+               format_count(buckets[i].clean)});
+  }
+  out << t.render();
+  out << "distinct exe/zip sizes observed: " << format_count(buckets.size()) << "\n";
+  util::Table t2({"strain", "distinct sizes"});
+  for (const auto& [name, sizes] : per_strain) {
+    t2.add_row({name, std::to_string(sizes.size())});
+  }
+  out << t2.render() << "\n";
+}
+
+}  // namespace p2p::core

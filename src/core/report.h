@@ -1,0 +1,46 @@
+// Paper-table emitters: render each reproduced experiment in the same
+// rows/series the paper reports. Used by the bench binaries and examples.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "analysis/stats.h"
+#include "filter/evaluation.h"
+
+namespace p2p::core {
+
+/// E1/E3: prevalence of malware among downloadable (exe/archive) responses.
+void print_prevalence(std::ostream& out, const std::string& network,
+                      const analysis::PrevalenceSummary& summary);
+
+/// E2: strain ranking with top-k concentration lines.
+void print_strain_ranking(std::ostream& out, const std::string& network,
+                          const std::vector<analysis::StrainCount>& ranking);
+
+/// E4: source analysis — address classes and per-strain host concentration.
+void print_sources(std::ostream& out, const std::string& network,
+                   const analysis::SourceSummary& summary,
+                   const std::vector<analysis::StrainSourceConcentration>& strains);
+
+/// E5: filter comparison.
+void print_filter_comparison(std::ostream& out, const std::string& network,
+                             std::span<const filter::FilterEvaluation> evals);
+
+/// E9: per-query-category exposure.
+void print_category_breakdown(std::ostream& out, const std::string& network,
+                              const std::vector<analysis::CategoryBin>& bins);
+
+/// E6/E8: daily series (malicious fraction and strain discovery).
+void print_daily_series(std::ostream& out, const std::string& network,
+                        const std::vector<analysis::DayBin>& series);
+
+/// E7: the most common exact sizes, split malicious/clean, plus the
+/// distinct-size count per strain.
+void print_size_analysis(std::ostream& out, const std::string& network,
+                         const std::vector<analysis::SizeBucket>& buckets,
+                         const std::map<std::string, std::set<std::uint64_t>>& per_strain,
+                         std::size_t top_n = 12);
+
+}  // namespace p2p::core

@@ -1,0 +1,182 @@
+#include "core/study.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "crawler/workload.h"
+#include "malware/scanner.h"
+#include "sim/network.h"
+
+namespace p2p::core {
+
+LimewireStudyConfig limewire_standard() {
+  LimewireStudyConfig cfg;
+  cfg.seed = 2006;
+  cfg.population.ultrapeers = 36;
+  cfg.population.leaves = 700;
+  cfg.population.infected_fraction = 0.12;
+  cfg.population.nat_fraction_infected = 0.36;
+  cfg.churn.mean_session = sim::SimDuration::hours(4);
+  cfg.churn.mean_offline = sim::SimDuration::hours(6);
+  cfg.crawl.duration = sim::SimDuration::days(30);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(600);
+  return cfg;
+}
+
+LimewireStudyConfig limewire_quick() {
+  LimewireStudyConfig cfg = limewire_standard();
+  cfg.population.ultrapeers = 10;
+  cfg.population.leaves = 160;
+  cfg.population.corpus.num_titles = 600;
+  cfg.crawl.duration = sim::SimDuration::hours(8);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(180);
+  cfg.workload_top_n = 80;
+  return cfg;
+}
+
+OpenFtStudyConfig openft_standard() {
+  OpenFtStudyConfig cfg;
+  cfg.seed = 2007;
+  cfg.population.search_nodes = 12;
+  cfg.population.users = 280;
+  cfg.population.infected_fraction = 0.055;
+  cfg.population.infected_paths_min = 1;
+  cfg.population.infected_paths_max = 1;
+  cfg.population.superspreader_paths = 28;
+  cfg.population.superspreader_rank_stride = 11;
+  cfg.population.superspreader_rank_offset = 14;
+  cfg.churn.mean_session = sim::SimDuration::hours(4);
+  cfg.churn.mean_offline = sim::SimDuration::hours(6);
+  cfg.crawl.duration = sim::SimDuration::days(30);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(600);
+  return cfg;
+}
+
+OpenFtStudyConfig openft_quick() {
+  OpenFtStudyConfig cfg = openft_standard();
+  cfg.population.search_nodes = 6;
+  cfg.population.users = 100;
+  cfg.population.corpus.num_titles = 600;
+  cfg.crawl.duration = sim::SimDuration::hours(8);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(180);
+  cfg.workload_top_n = 80;
+  return cfg;
+}
+
+namespace {
+sim::SimTime study_end(const crawler::CrawlConfig& crawl) {
+  // Small grace period so in-flight hits/downloads at crawl end settle.
+  return sim::SimTime::zero() + crawl.warmup + crawl.duration +
+         sim::SimDuration::minutes(10);
+}
+}  // namespace
+
+StudyResult run_limewire_study(const LimewireStudyConfig& config) {
+  sim::Network net(config.seed);
+  auto pop = agents::build_gnutella_population(net, config.population);
+  auto scanner = std::make_shared<malware::Scanner>(pop.strain_catalog.strains);
+  auto workload = crawler::QueryWorkload::popular_from_catalog(
+      *pop.catalog, config.workload_top_n, pop.lure_queries);
+
+  // One or more instrumented clients on distinct vantage addresses.
+  std::size_t vantage_count = std::max<std::size_t>(1, config.crawler_count);
+  std::vector<std::unique_ptr<crawler::LimewireCrawler>> crawlers;
+  for (std::size_t v = 0; v < vantage_count; ++v) {
+    crawler::CrawlConfig crawl_cfg = config.crawl;
+    crawl_cfg.seed = config.seed ^ (0xc4a31u + v * 0x9e37u);
+    crawl_cfg.vantage_ip = util::Ipv4(156, 56, 1, static_cast<std::uint8_t>(10 + v));
+    crawlers.push_back(std::make_unique<crawler::LimewireCrawler>(
+        net, pop.host_cache, workload, scanner, crawl_cfg));
+  }
+
+  agents::ChurnConfig churn_cfg = config.churn;
+  churn_cfg.seed = config.seed ^ 0xc4u;
+  agents::ChurnDriver churn(net, std::move(pop.leaf_specs), churn_cfg);
+  churn.start();
+  for (auto& c : crawlers) c->start();
+
+  net.events().run_until(study_end(config.crawl));
+
+  StudyResult result;
+  for (auto& c : crawlers) {
+    c->finalize();
+    auto records = c->take_records();
+    result.records.insert(result.records.end(),
+                          std::make_move_iterator(records.begin()),
+                          std::make_move_iterator(records.end()));
+    const auto& s = c->stats();
+    result.crawl_stats.queries_sent += s.queries_sent;
+    result.crawl_stats.hits += s.hits;
+    result.crawl_stats.responses += s.responses;
+    result.crawl_stats.study_responses += s.study_responses;
+    result.crawl_stats.downloads_started += s.downloads_started;
+    result.crawl_stats.downloads_ok += s.downloads_ok;
+    result.crawl_stats.downloads_failed += s.downloads_failed;
+    result.crawl_stats.bytes_downloaded += s.bytes_downloaded;
+    result.crawl_stats.distinct_contents += s.distinct_contents;
+  }
+  if (vantage_count > 1) {
+    // Merge the vantage logs into one time-ordered stream with fresh ids.
+    std::stable_sort(result.records.begin(), result.records.end(),
+                     [](const crawler::ResponseRecord& a,
+                        const crawler::ResponseRecord& b) { return a.at < b.at; });
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+      result.records[i].id = i + 1;
+    }
+  }
+  result.strain_catalog = pop.strain_catalog;
+  result.events_executed = net.events().executed();
+  result.messages_delivered = net.messages_delivered();
+  result.bytes_delivered = net.bytes_delivered();
+  result.churn_joins = churn.joins();
+  result.churn_leaves = churn.leaves();
+  return result;
+}
+
+StudyResult run_openft_study(const OpenFtStudyConfig& config) {
+  sim::Network net(config.seed);
+  auto pop = agents::build_openft_population(net, config.population);
+  auto scanner = std::make_shared<malware::Scanner>(pop.strain_catalog.strains);
+  auto workload = crawler::QueryWorkload::popular_from_catalog(
+      *pop.catalog, config.workload_top_n, pop.lure_queries);
+
+  crawler::CrawlConfig crawl_cfg = config.crawl;
+  crawl_cfg.seed = config.seed ^ 0x0f7c4u;
+  crawler::OpenFtCrawler crawl(net, pop.host_cache, std::move(workload), scanner,
+                               crawl_cfg);
+
+  // The super-spreader is a dedicated malicious server: permanently online,
+  // outside the churn process (this is what makes the paper's "67% of
+  // malicious responses from a single host" stable over a month).
+  std::vector<agents::PeerSpec> churnable;
+  churnable.reserve(pop.user_specs.size());
+  for (std::size_t i = 0; i < pop.user_specs.size(); ++i) {
+    if (i == pop.superspreader_index) {
+      net.add_node(pop.user_specs[i].make(), pop.user_specs[i].profile);
+    } else {
+      churnable.push_back(pop.user_specs[i]);
+    }
+  }
+
+  agents::ChurnConfig churn_cfg = config.churn;
+  churn_cfg.seed = config.seed ^ 0x0f7u;
+  agents::ChurnDriver churn(net, std::move(churnable), churn_cfg);
+  churn.start();
+  crawl.start();
+
+  net.events().run_until(study_end(config.crawl));
+  crawl.finalize();
+
+  StudyResult result;
+  result.records = crawl.take_records();
+  result.crawl_stats = crawl.stats();
+  result.strain_catalog = pop.strain_catalog;
+  result.events_executed = net.events().executed();
+  result.messages_delivered = net.messages_delivered();
+  result.bytes_delivered = net.bytes_delivered();
+  result.churn_joins = churn.joins();
+  result.churn_leaves = churn.leaves();
+  return result;
+}
+
+}  // namespace p2p::core

@@ -1,0 +1,60 @@
+// The study driver: wires population, churn, crawler, scanner and analysis
+// into one reproducible run per network — the programmatic equivalent of
+// the paper's month of instrumented crawling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "agents/churn.h"
+#include "agents/population.h"
+#include "crawler/limewire_crawler.h"
+#include "crawler/openft_crawler.h"
+#include "crawler/records.h"
+#include "malware/catalogs.h"
+
+namespace p2p::core {
+
+struct LimewireStudyConfig {
+  std::uint64_t seed = 2006;
+  agents::GnutellaPopulationConfig population{};
+  agents::ChurnConfig churn{};
+  crawler::CrawlConfig crawl{};
+  /// Top catalog works turned into workload queries.
+  std::size_t workload_top_n = 150;
+  /// Number of instrumented clients crawling in parallel from distinct
+  /// vantage addresses; their logs are merged time-ordered.
+  std::size_t crawler_count = 1;
+};
+
+struct OpenFtStudyConfig {
+  std::uint64_t seed = 2007;
+  agents::OpenFtPopulationConfig population{};
+  agents::ChurnConfig churn{};
+  crawler::CrawlConfig crawl{};
+  std::size_t workload_top_n = 150;
+};
+
+struct StudyResult {
+  std::vector<crawler::ResponseRecord> records;
+  crawler::CrawlStats crawl_stats;
+  malware::CalibratedCatalog strain_catalog;
+  std::uint64_t events_executed = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t churn_joins = 0;
+  std::uint64_t churn_leaves = 0;
+};
+
+/// Presets. `standard` runs the paper-scale month; `quick` is a scaled-down
+/// configuration for tests and examples (minutes of simulated time per
+/// second of wall clock).
+[[nodiscard]] LimewireStudyConfig limewire_standard();
+[[nodiscard]] LimewireStudyConfig limewire_quick();
+[[nodiscard]] OpenFtStudyConfig openft_standard();
+[[nodiscard]] OpenFtStudyConfig openft_quick();
+
+[[nodiscard]] StudyResult run_limewire_study(const LimewireStudyConfig& config);
+[[nodiscard]] StudyResult run_openft_study(const OpenFtStudyConfig& config);
+
+}  // namespace p2p::core

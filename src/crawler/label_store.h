@@ -1,0 +1,63 @@
+// Download/scan label cache. The paper's apparatus downloaded each distinct
+// content once (keyed by hash), scanned it, and applied the verdict to every
+// response advertising that hash. Failed downloads are retried a bounded
+// number of times as further responses for the same content arrive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "files/file_types.h"
+#include "malware/strain.h"
+
+namespace p2p::crawler {
+
+struct ContentLabel {
+  bool infected = false;
+  malware::StrainId strain = malware::kCleanStrain;
+  std::string strain_name;
+  files::FileType type_by_magic = files::FileType::kOther;
+  std::uint64_t size = 0;
+};
+
+class LabelStore {
+ public:
+  explicit LabelStore(int max_attempts = 3) : max_attempts_(max_attempts) {}
+
+  [[nodiscard]] bool has(const std::string& key) const { return labels_.contains(key); }
+
+  [[nodiscard]] const ContentLabel* find(const std::string& key) const {
+    auto it = labels_.find(key);
+    return it == labels_.end() ? nullptr : &it->second;
+  }
+
+  void put(const std::string& key, ContentLabel label) {
+    labels_[key] = std::move(label);
+  }
+
+  /// Should we launch (another) download for this content?
+  [[nodiscard]] bool want_download(const std::string& key) const {
+    if (labels_.contains(key)) return false;
+    if (pending_.contains(key)) return false;
+    auto it = attempts_.find(key);
+    return it == attempts_.end() || it->second < max_attempts_;
+  }
+
+  void mark_pending(const std::string& key) { pending_[key] = true; }
+  void mark_failed(const std::string& key) {
+    pending_.erase(key);
+    ++attempts_[key];
+  }
+  void mark_succeeded(const std::string& key) { pending_.erase(key); }
+
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+
+ private:
+  int max_attempts_;
+  std::unordered_map<std::string, ContentLabel> labels_;
+  std::unordered_map<std::string, bool> pending_;
+  std::unordered_map<std::string, int> attempts_;
+};
+
+}  // namespace p2p::crawler

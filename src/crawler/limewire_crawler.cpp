@@ -1,0 +1,173 @@
+#include "crawler/limewire_crawler.h"
+
+#include <algorithm>
+
+#include "files/hash.h"
+
+namespace p2p::crawler {
+
+LimewireCrawler::LimewireCrawler(sim::Network& net,
+                                 std::shared_ptr<gnutella::HostCache> host_cache,
+                                 QueryWorkload workload,
+                                 std::shared_ptr<const malware::Scanner> scanner,
+                                 CrawlConfig config)
+    : net_(net),
+      workload_(std::move(workload)),
+      scanner_(std::move(scanner)),
+      config_(config),
+      rng_(config.seed) {
+  // The measurement host: public university address, generous bandwidth,
+  // shares nothing (pure observer, as the paper's instrumented client).
+  sim::HostProfile profile;
+  profile.ip = config.vantage_ip;
+  profile.port = 6346;
+  profile.behind_nat = false;
+  profile.uplink_bps = 1'000'000;
+  profile.downlink_bps = 4'000'000;
+
+  gnutella::ServentConfig servent_cfg;
+  servent_cfg.ultrapeer = false;
+  servent_cfg.leaf_up_count = 4;  // a few extra vantage points
+  servent_cfg.query_ttl = config.query_ttl;
+
+  auto answerer = std::make_shared<gnutella::IndexAnswerer>(gnutella::SharedFileIndex{});
+  auto servent = std::make_unique<gnutella::Servent>(servent_cfg, answerer,
+                                                     std::move(host_cache), rng_.next());
+  servent_ = servent.get();
+  node_id_ = net_.add_node(std::move(servent), profile);
+
+  servent_->set_hit_callback([this](const gnutella::HitEvent& e) { on_hit(e); });
+  servent_->set_download_callback(
+      [this](const gnutella::DownloadOutcome& o) { on_download(o); });
+}
+
+void LimewireCrawler::start() {
+  end_time_ = net_.now() + config_.warmup + config_.duration;
+  net_.schedule_node(node_id_, config_.warmup, [this] { issue_next_query(); });
+}
+
+void LimewireCrawler::issue_next_query() {
+  if (net_.now() >= end_time_) return;
+  const QueryItem& item = workload_.sample(rng_);
+  gnutella::Guid guid =
+      config_.dynamic_querying
+          ? servent_->send_query_dynamic(item.text, config_.dynamic_target_results,
+                                         config_.dynamic_probe_interval)
+          : servent_->send_query(item.text);
+  query_of_guid_[guid] = item;
+  ++stats_.queries_sent;
+  net_.schedule_node(node_id_, config_.query_interval, [this] { issue_next_query(); });
+}
+
+void LimewireCrawler::on_hit(const gnutella::HitEvent& event) {
+  auto query_it = query_of_guid_.find(event.query_guid);
+  if (query_it == query_of_guid_.end()) return;
+  ++stats_.hits;
+
+  for (const auto& result : event.hit.results) {
+    ResponseRecord rec;
+    rec.id = next_record_id_++;
+    rec.network = "limewire";
+    rec.at = event.at;
+    rec.query = query_it->second.text;
+    rec.query_category = query_it->second.category;
+    rec.filename = result.filename;
+    rec.size = result.size;
+    rec.type_by_name = files::classify_extension(result.filename);
+    rec.source_ip = event.hit.addr.ip;
+    rec.source_port = event.hit.addr.port;
+    rec.source_firewalled = event.hit.needs_push;
+    rec.source_key = event.hit.addr.str() + "/" +
+                     event.hit.servent_guid.hex().substr(0, 8);
+    rec.content_key = util::to_hex(result.sha1);
+    ++stats_.responses;
+
+    if (rec.is_study_type()) {
+      ++stats_.study_responses;
+      if (labels_.want_download(rec.content_key)) {
+        labels_.mark_pending(rec.content_key);
+        std::uint64_t request = servent_->download(event.hit, result);
+        download_key_[request] = rec.content_key;
+        ++stats_.downloads_started;
+      } else if (!labels_.has(rec.content_key)) {
+        // Remember this responder as an alternate source in case the
+        // in-flight fetch fails.
+        auto& alts = alternates_[rec.content_key];
+        bool same_source =
+            std::any_of(alts.begin(), alts.end(), [&](const AltSource& a) {
+              return a.hit.addr == event.hit.addr;
+            });
+        if (!same_source && alts.size() < 5) {
+          gnutella::QueryHit pruned;
+          pruned.addr = event.hit.addr;
+          pruned.needs_push = event.hit.needs_push;
+          pruned.servent_guid = event.hit.servent_guid;
+          alts.push_back(AltSource{std::move(pruned), result});
+        }
+      }
+    }
+    records_.push_back(std::move(rec));
+  }
+}
+
+void LimewireCrawler::on_download(const gnutella::DownloadOutcome& outcome) {
+  auto key_it = download_key_.find(outcome.request_id);
+  if (key_it == download_key_.end()) return;
+  std::string key = key_it->second;
+  download_key_.erase(key_it);
+
+  if (!outcome.success) {
+    ++stats_.downloads_failed;
+    labels_.mark_failed(key);
+    // Retry immediately from an alternate responder if we have one.
+    if (labels_.want_download(key)) {
+      auto alt_it = alternates_.find(key);
+      if (alt_it != alternates_.end() && !alt_it->second.empty()) {
+        AltSource alt = std::move(alt_it->second.back());
+        alt_it->second.pop_back();
+        labels_.mark_pending(key);
+        std::uint64_t request = servent_->download(alt.hit, alt.result);
+        download_key_[request] = key;
+        ++stats_.downloads_started;
+      }
+    }
+    return;
+  }
+  alternates_.erase(key);
+  ++stats_.downloads_ok;
+  stats_.bytes_downloaded += outcome.content.size();
+  labels_.mark_succeeded(key);
+
+  // Integrity check, then scan — exactly the paper's pipeline.
+  auto digest = files::sha1(outcome.content);
+  if (util::to_hex(digest) != key) {
+    // Content did not match its advertised hash: treat as a failed fetch.
+    labels_.mark_failed(key);
+    return;
+  }
+  auto scan = scanner_->scan(outcome.content);
+  ContentLabel label;
+  label.infected = scan.infected();
+  label.strain = scan.primary();
+  label.strain_name = label.infected ? scanner_->strain_name(label.strain) : "";
+  label.type_by_magic = files::classify_magic(outcome.content);
+  label.size = outcome.content.size();
+  labels_.put(key, std::move(label));
+  ++stats_.distinct_contents;
+}
+
+void LimewireCrawler::finalize() {
+  for (auto& rec : records_) {
+    if (!rec.is_study_type()) continue;
+    rec.download_attempted = true;
+    if (const ContentLabel* label = labels_.find(rec.content_key)) {
+      rec.downloaded = true;
+      rec.infected = label->infected;
+      rec.strain = label->strain;
+      rec.strain_name = label->strain_name;
+      rec.type_by_magic = label->type_by_magic;
+    }
+  }
+}
+
+}  // namespace p2p::crawler

@@ -1,0 +1,107 @@
+// The instrumented LimeWire client: a leaf servent that replays the query
+// workload, logs every response, downloads each distinct advertised content
+// once, scans it, and labels the response log.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "crawler/label_store.h"
+#include "crawler/records.h"
+#include "crawler/workload.h"
+#include "gnutella/servent.h"
+#include "malware/scanner.h"
+#include "sim/network.h"
+
+namespace p2p::crawler {
+
+struct CrawlConfig {
+  /// How long the crawl runs (the paper: "over a month of data").
+  sim::SimDuration duration = sim::SimDuration::days(30);
+  /// One workload query per interval.
+  sim::SimDuration query_interval = sim::SimDuration::seconds(600);
+  /// Let the overlay form before the first query.
+  sim::SimDuration warmup = sim::SimDuration::minutes(3);
+  int max_download_attempts = 3;
+  /// TTL stamped on the crawler's queries (Gnutella only; A2 sweeps this).
+  std::uint8_t query_ttl = 4;
+  /// Use leaf-side dynamic querying instead of flooding all ultrapeers at
+  /// once (Gnutella only; A4 compares the two).
+  bool dynamic_querying = false;
+  std::size_t dynamic_target_results = 60;
+  sim::SimDuration dynamic_probe_interval = sim::SimDuration::seconds(8);
+  /// Address of the measurement host (multi-vantage studies run several
+  /// crawlers on distinct addresses).
+  util::Ipv4 vantage_ip = util::Ipv4(156, 56, 1, 10);
+  std::uint64_t seed = 99;
+};
+
+struct CrawlStats {
+  std::uint64_t queries_sent = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t study_responses = 0;  // exe/archive by advertised name
+  std::uint64_t downloads_started = 0;
+  std::uint64_t downloads_ok = 0;
+  std::uint64_t downloads_failed = 0;
+  std::uint64_t bytes_downloaded = 0;
+  std::uint64_t distinct_contents = 0;
+};
+
+class LimewireCrawler {
+ public:
+  /// Adds the crawler's leaf servent to the network (public, well-connected
+  /// measurement host).
+  LimewireCrawler(sim::Network& net, std::shared_ptr<gnutella::HostCache> host_cache,
+                  QueryWorkload workload,
+                  std::shared_ptr<const malware::Scanner> scanner, CrawlConfig config);
+
+  /// Begin the query schedule. Run the network's event loop to make
+  /// progress; after `config.duration` the crawler stops issuing queries.
+  void start();
+
+  /// Apply content labels to all records. Call once the event loop has
+  /// drained past the crawl end.
+  void finalize();
+
+  [[nodiscard]] const std::vector<ResponseRecord>& records() const { return records_; }
+  [[nodiscard]] std::vector<ResponseRecord>&& take_records() {
+    return std::move(records_);
+  }
+  [[nodiscard]] const CrawlStats& stats() const { return stats_; }
+  [[nodiscard]] const LabelStore& labels() const { return labels_; }
+  [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] gnutella::Servent& servent() { return *servent_; }
+
+ private:
+  void issue_next_query();
+  void on_hit(const gnutella::HitEvent& event);
+  void on_download(const gnutella::DownloadOutcome& outcome);
+
+  sim::Network& net_;
+  QueryWorkload workload_;
+  std::shared_ptr<const malware::Scanner> scanner_;
+  CrawlConfig config_;
+  util::Rng rng_;
+
+  gnutella::Servent* servent_ = nullptr;  // owned by the network
+  sim::NodeId node_id_ = sim::kInvalidNode;
+  sim::SimTime end_time_;
+
+  std::unordered_map<gnutella::Guid, QueryItem, gnutella::GuidHash> query_of_guid_;
+  std::unordered_map<std::uint64_t, std::string> download_key_;  // request -> content key
+  /// Alternate sources per content key, for retry after a failed fetch
+  /// (the paper's apparatus downloaded from another responder on failure).
+  struct AltSource {
+    gnutella::QueryHit hit;  // pruned to the one relevant result
+    gnutella::QueryHitResult result;
+  };
+  std::unordered_map<std::string, std::vector<AltSource>> alternates_;
+  LabelStore labels_;
+  std::vector<ResponseRecord> records_;
+  CrawlStats stats_;
+  std::uint64_t next_record_id_ = 1;
+};
+
+}  // namespace p2p::crawler

@@ -1,0 +1,65 @@
+#include "crawler/observatory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2p::crawler {
+
+QueryObservatory::QueryObservatory(sim::Network& net,
+                                   std::shared_ptr<gnutella::HostCache> host_cache,
+                                   std::uint64_t seed) {
+  gnutella::ServentConfig cfg;
+  cfg.ultrapeer = true;
+  auto answerer = std::make_shared<gnutella::IndexAnswerer>(gnutella::SharedFileIndex{});
+  auto servent =
+      std::make_unique<gnutella::Servent>(cfg, answerer, std::move(host_cache), seed);
+  servent_ = servent.get();
+
+  sim::HostProfile profile;
+  profile.ip = util::Ipv4(156, 56, 1, 12);
+  profile.port = 6346;
+  profile.behind_nat = false;
+  profile.uplink_bps = 1'000'000;
+  profile.downlink_bps = 4'000'000;
+  node_id_ = net.add_node(std::move(servent), profile);
+
+  servent_->set_query_callback([this](const gnutella::Query& q, std::uint8_t hops) {
+    ++total_;
+    ++counts_[q.criteria];
+    ++hops_[hops];
+  });
+}
+
+std::vector<QueryObservatory::ObservedQuery> QueryObservatory::top_queries(
+    std::size_t n) const {
+  std::vector<ObservedQuery> out;
+  out.reserve(counts_.size());
+  for (const auto& [text, count] : counts_) out.push_back({text, count});
+  std::sort(out.begin(), out.end(), [](const ObservedQuery& a, const ObservedQuery& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.text < b.text;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+double QueryObservatory::zipf_slope() const {
+  // Least squares over (log rank, log frequency).
+  auto ranked = top_queries(counts_.size());
+  if (ranked.size() < 3) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double n = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    double x = std::log(static_cast<double>(i + 1));
+    double y = std::log(static_cast<double>(ranked[i].count));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    n += 1;
+  }
+  double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace p2p::crawler

@@ -1,0 +1,53 @@
+// Passive instrumentation: an ultrapeer that joins the overlay and records
+// every query routed through it — the "instrument the client and watch the
+// network" half of the paper's methodology (the active half is the
+// query-replaying crawler). Used to characterize the live query workload:
+// popularity distribution, hop depth, keyword volume.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gnutella/servent.h"
+#include "sim/network.h"
+
+namespace p2p::crawler {
+
+class QueryObservatory {
+ public:
+  /// Adds an instrumented ultrapeer to the network (public, generous
+  /// capacity, shares nothing).
+  QueryObservatory(sim::Network& net, std::shared_ptr<gnutella::HostCache> host_cache,
+                   std::uint64_t seed);
+
+  struct ObservedQuery {
+    std::string text;
+    std::uint64_t count = 0;
+  };
+
+  [[nodiscard]] std::uint64_t total_queries() const { return total_; }
+  [[nodiscard]] std::size_t distinct_queries() const { return counts_.size(); }
+  /// Most frequent query strings, descending.
+  [[nodiscard]] std::vector<ObservedQuery> top_queries(std::size_t n) const;
+  /// Queries seen per hop count (how deep into the overlay they traveled).
+  [[nodiscard]] const std::map<int, std::uint64_t>& hop_histogram() const {
+    return hops_;
+  }
+  /// Least-squares slope of log(frequency) vs log(rank) — a Zipf workload
+  /// yields a slope near -s (the popularity exponent).
+  [[nodiscard]] double zipf_slope() const;
+
+  [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] gnutella::Servent& servent() { return *servent_; }
+
+ private:
+  gnutella::Servent* servent_ = nullptr;  // owned by the network
+  sim::NodeId node_id_ = sim::kInvalidNode;
+  std::unordered_map<std::string, std::uint64_t> counts_;
+  std::map<int, std::uint64_t> hops_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace p2p::crawler

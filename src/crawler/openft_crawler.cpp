@@ -1,0 +1,163 @@
+#include "crawler/openft_crawler.h"
+
+#include <algorithm>
+
+#include "files/hash.h"
+#include "util/strings.h"
+
+namespace p2p::crawler {
+
+namespace {
+/// OpenFT shares carry a path ("/shared/foo.exe"); responses display the
+/// basename.
+std::string basename_of(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+}  // namespace
+
+OpenFtCrawler::OpenFtCrawler(sim::Network& net,
+                             std::shared_ptr<openft::FtHostCache> host_cache,
+                             QueryWorkload workload,
+                             std::shared_ptr<const malware::Scanner> scanner,
+                             CrawlConfig config)
+    : net_(net),
+      workload_(std::move(workload)),
+      scanner_(std::move(scanner)),
+      config_(config),
+      rng_(config.seed) {
+  sim::HostProfile profile;
+  profile.ip = util::Ipv4(156, 56, 1, 11);
+  profile.port = 1216;
+  profile.behind_nat = false;
+  profile.uplink_bps = 1'000'000;
+  profile.downlink_bps = 4'000'000;
+
+  openft::FtConfig cfg;
+  cfg.klass = openft::kUser;
+  cfg.alias = "p2pmal-crawler";
+  cfg.parent_count = 3;
+
+  auto node = std::make_unique<openft::FtNode>(cfg, std::vector<openft::FtShare>{},
+                                               std::move(host_cache), rng_.next());
+  node_ = node.get();
+  node_id_ = net_.add_node(std::move(node), profile);
+
+  node_->set_result_callback([this](const openft::FtSearchEvent& e) { on_result(e); });
+  node_->set_download_callback(
+      [this](const openft::FtDownloadOutcome& o) { on_download(o); });
+}
+
+void OpenFtCrawler::start() {
+  end_time_ = net_.now() + config_.warmup + config_.duration;
+  net_.schedule_node(node_id_, config_.warmup, [this] { issue_next_query(); });
+}
+
+void OpenFtCrawler::issue_next_query() {
+  if (net_.now() >= end_time_) return;
+  const QueryItem& item = workload_.sample(rng_);
+  std::uint64_t search_id = node_->search(item.text);
+  query_of_search_[search_id] = item;
+  ++stats_.queries_sent;
+  net_.schedule_node(node_id_, config_.query_interval, [this] { issue_next_query(); });
+}
+
+void OpenFtCrawler::on_result(const openft::FtSearchEvent& event) {
+  auto query_it = query_of_search_.find(event.search_id);
+  if (query_it == query_of_search_.end()) return;
+  ++stats_.hits;
+
+  const auto& entry = event.entry;
+  ResponseRecord rec;
+  rec.id = next_record_id_++;
+  rec.network = "openft";
+  rec.at = event.at;
+  rec.query = query_it->second.text;
+  rec.query_category = query_it->second.category;
+  rec.filename = basename_of(entry.path);
+  rec.size = entry.size;
+  rec.type_by_name = files::classify_extension(rec.filename);
+  rec.source_ip = entry.owner.ip;
+  rec.source_port = entry.owner.port;
+  rec.source_firewalled = entry.owner_firewalled;
+  rec.source_key = entry.owner.str();
+  rec.content_key = files::hex(entry.md5);
+  ++stats_.responses;
+
+  if (rec.is_study_type()) {
+    ++stats_.study_responses;
+    if (labels_.want_download(rec.content_key)) {
+      labels_.mark_pending(rec.content_key);
+      std::uint64_t request = node_->download(entry);
+      download_key_[request] = rec.content_key;
+      ++stats_.downloads_started;
+    } else if (!labels_.has(rec.content_key)) {
+      auto& alts = alternates_[rec.content_key];
+      bool same_source =
+          std::any_of(alts.begin(), alts.end(), [&](const openft::SearchResponse& a) {
+            return a.owner == entry.owner;
+          });
+      if (!same_source && alts.size() < 5) alts.push_back(entry);
+    }
+  }
+  records_.push_back(std::move(rec));
+}
+
+void OpenFtCrawler::on_download(const openft::FtDownloadOutcome& outcome) {
+  auto key_it = download_key_.find(outcome.request_id);
+  if (key_it == download_key_.end()) return;
+  std::string key = key_it->second;
+  download_key_.erase(key_it);
+
+  if (!outcome.success) {
+    ++stats_.downloads_failed;
+    labels_.mark_failed(key);
+    if (labels_.want_download(key)) {
+      auto alt_it = alternates_.find(key);
+      if (alt_it != alternates_.end() && !alt_it->second.empty()) {
+        openft::SearchResponse alt = std::move(alt_it->second.back());
+        alt_it->second.pop_back();
+        labels_.mark_pending(key);
+        std::uint64_t request = node_->download(alt);
+        download_key_[request] = key;
+        ++stats_.downloads_started;
+      }
+    }
+    return;
+  }
+  alternates_.erase(key);
+  ++stats_.downloads_ok;
+  stats_.bytes_downloaded += outcome.content.size();
+  labels_.mark_succeeded(key);
+
+  auto digest = files::md5(outcome.content);
+  if (files::hex(digest) != key) {
+    labels_.mark_failed(key);
+    return;
+  }
+  auto scan = scanner_->scan(outcome.content);
+  ContentLabel label;
+  label.infected = scan.infected();
+  label.strain = scan.primary();
+  label.strain_name = label.infected ? scanner_->strain_name(label.strain) : "";
+  label.type_by_magic = files::classify_magic(outcome.content);
+  label.size = outcome.content.size();
+  labels_.put(key, std::move(label));
+  ++stats_.distinct_contents;
+}
+
+void OpenFtCrawler::finalize() {
+  for (auto& rec : records_) {
+    if (!rec.is_study_type()) continue;
+    rec.download_attempted = true;
+    if (const ContentLabel* label = labels_.find(rec.content_key)) {
+      rec.downloaded = true;
+      rec.infected = label->infected;
+      rec.strain = label->strain;
+      rec.strain_name = label->strain_name;
+      rec.type_by_magic = label->type_by_magic;
+    }
+  }
+}
+
+}  // namespace p2p::crawler

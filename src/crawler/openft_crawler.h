@@ -1,0 +1,63 @@
+// The instrumented OpenFT client: a USER node that replays the query
+// workload through its SEARCH parents, logs responses, downloads each
+// distinct content (by MD5) once, scans, and labels.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "crawler/label_store.h"
+#include "crawler/limewire_crawler.h"  // CrawlConfig, CrawlStats
+#include "crawler/records.h"
+#include "crawler/workload.h"
+#include "malware/scanner.h"
+#include "openft/node.h"
+#include "sim/network.h"
+
+namespace p2p::crawler {
+
+class OpenFtCrawler {
+ public:
+  OpenFtCrawler(sim::Network& net, std::shared_ptr<openft::FtHostCache> host_cache,
+                QueryWorkload workload,
+                std::shared_ptr<const malware::Scanner> scanner, CrawlConfig config);
+
+  void start();
+  void finalize();
+
+  [[nodiscard]] const std::vector<ResponseRecord>& records() const { return records_; }
+  [[nodiscard]] std::vector<ResponseRecord>&& take_records() {
+    return std::move(records_);
+  }
+  [[nodiscard]] const CrawlStats& stats() const { return stats_; }
+  [[nodiscard]] const LabelStore& labels() const { return labels_; }
+  [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] openft::FtNode& node() { return *node_; }
+
+ private:
+  void issue_next_query();
+  void on_result(const openft::FtSearchEvent& event);
+  void on_download(const openft::FtDownloadOutcome& outcome);
+
+  sim::Network& net_;
+  QueryWorkload workload_;
+  std::shared_ptr<const malware::Scanner> scanner_;
+  CrawlConfig config_;
+  util::Rng rng_;
+
+  openft::FtNode* node_ = nullptr;  // owned by the network
+  sim::NodeId node_id_ = sim::kInvalidNode;
+  sim::SimTime end_time_;
+
+  std::unordered_map<std::uint64_t, QueryItem> query_of_search_;
+  std::unordered_map<std::uint64_t, std::string> download_key_;
+  /// Alternate sources per content key for retry after failed fetches.
+  std::unordered_map<std::string, std::vector<openft::SearchResponse>> alternates_;
+  LabelStore labels_;
+  std::vector<ResponseRecord> records_;
+  CrawlStats stats_;
+  std::uint64_t next_record_id_ = 1;
+};
+
+}  // namespace p2p::crawler

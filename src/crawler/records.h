@@ -1,0 +1,55 @@
+// The unit of analysis: one query response (one file offer from one host),
+// as the paper's instrumented clients logged them, later joined with the
+// download + scan outcome for its content.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "files/file_types.h"
+#include "malware/strain.h"
+#include "util/ip.h"
+#include "util/sim_time.h"
+
+namespace p2p::crawler {
+
+struct ResponseRecord {
+  std::uint64_t id = 0;
+  /// Which instrumented client logged it: "limewire" or "openft".
+  std::string network;
+  util::SimTime at;
+
+  std::string query;
+  std::string query_category;
+
+  std::string filename;
+  std::uint64_t size = 0;
+  files::FileType type_by_name = files::FileType::kOther;
+
+  /// Source host as advertised in the response (may be an RFC1918 address).
+  util::Ipv4 source_ip;
+  std::uint16_t source_port = 0;
+  /// Stable per-host key (includes servent GUID on Gnutella, where NATed
+  /// hosts can advertise colliding private addresses).
+  std::string source_key;
+  bool source_firewalled = false;
+
+  /// Content identity key (sha1 hex on Gnutella, md5 hex on OpenFT).
+  std::string content_key;
+
+  // -- Filled after the content was fetched and scanned ---------------------
+  bool download_attempted = false;
+  bool downloaded = false;
+  bool infected = false;
+  malware::StrainId strain = malware::kCleanStrain;
+  std::string strain_name;
+  files::FileType type_by_magic = files::FileType::kOther;
+
+  /// The paper's headline predicate: a response offering an archive or
+  /// executable (by advertised name).
+  [[nodiscard]] bool is_study_type() const {
+    return files::is_study_type(type_by_name);
+  }
+};
+
+}  // namespace p2p::crawler

@@ -1,0 +1,54 @@
+#include "crawler/workload.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace p2p::crawler {
+
+namespace {
+std::string category_of(files::FileType type) {
+  switch (type) {
+    case files::FileType::kAudio: return "music";
+    case files::FileType::kVideo: return "movies";
+    case files::FileType::kExecutable:
+    case files::FileType::kArchive: return "software";
+    case files::FileType::kImage: return "images";
+    case files::FileType::kDocument: return "docs";
+    default: return "other";
+  }
+}
+}  // namespace
+
+QueryWorkload::QueryWorkload(std::vector<QueryItem> items) : items_(std::move(items)) {
+  if (items_.empty()) throw std::invalid_argument("QueryWorkload: empty");
+  std::vector<double> weights;
+  weights.reserve(items_.size());
+  for (const auto& i : items_) weights.push_back(i.weight);
+  sampler_.emplace(weights);
+}
+
+QueryWorkload QueryWorkload::popular_from_catalog(
+    const files::ContentCatalog& catalog, std::size_t top_n,
+    const std::vector<std::string>& lure_queries, double lure_weight) {
+  std::vector<QueryItem> items;
+  std::size_t n = std::min(top_n, catalog.size());
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const auto& entry = catalog.entry(rank);
+    QueryItem item;
+    item.text = entry.query;
+    item.category = category_of(entry.type);
+    item.weight = catalog.popularity(rank);
+    items.push_back(std::move(item));
+  }
+  for (const auto& lure : lure_queries) {
+    items.push_back(QueryItem{lure, "lure", lure_weight});
+  }
+  return QueryWorkload(std::move(items));
+}
+
+const QueryItem& QueryWorkload::sample(util::Rng& rng) const {
+  return items_[sampler_->sample(rng)];
+}
+
+}  // namespace p2p::crawler

@@ -1,0 +1,46 @@
+// Query workload: the list of popular query strings the instrumented
+// clients replay, with categories for per-category breakdowns. The paper
+// used common query strings observed to be popular; we derive ours from the
+// synthetic catalog's most popular works plus a small weight of lure-style
+// queries (warez/crack searches) that surface fixed-lure trojans.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "files/corpus.h"
+#include "util/rng.h"
+
+namespace p2p::crawler {
+
+struct QueryItem {
+  std::string text;
+  std::string category;  // "music", "movies", "software", "images", "docs", "lure"
+  double weight = 1.0;
+};
+
+class QueryWorkload {
+ public:
+  QueryWorkload() = default;
+  explicit QueryWorkload(std::vector<QueryItem> items);
+
+  /// Top `top_n` catalog works by popularity become queries (weighted by
+  /// popularity); each lure query gets `lure_weight` relative mass.
+  static QueryWorkload popular_from_catalog(const files::ContentCatalog& catalog,
+                                            std::size_t top_n,
+                                            const std::vector<std::string>& lure_queries,
+                                            double lure_weight = 0.004);
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const QueryItem& item(std::size_t i) const { return items_.at(i); }
+
+  /// Weighted sample.
+  [[nodiscard]] const QueryItem& sample(util::Rng& rng) const;
+
+ private:
+  std::vector<QueryItem> items_;
+  std::optional<util::DiscreteSampler> sampler_;
+};
+
+}  // namespace p2p::crawler

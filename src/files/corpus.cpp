@@ -1,0 +1,198 @@
+#include "files/corpus.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "files/zip.h"
+
+namespace p2p::files {
+
+namespace {
+
+// Word pools for deterministic, plausible-looking names. Entirely synthetic.
+constexpr std::array<const char*, 28> kArtists{
+    "blue horizon", "silver pines",  "echo valley",   "night circuit",
+    "paper lanterns", "cold harbor",  "neon garden",   "static bloom",
+    "river glass",  "ember falls",   "hollow signal", "june parade",
+    "atlas motel",  "velvet radio",  "northern drift", "sugar avenue",
+    "iron orchard", "quiet engines", "mirror lake",   "golden static",
+    "wild compass", "last tramway",  "cinder sky",    "plastic moon",
+    "arcade winter", "dust chorus",  "royal antenna", "low tide club"};
+
+constexpr std::array<const char*, 30> kSongs{
+    "midnight rain",   "gravity",        "carousel",      "undertow",
+    "fireflies",       "wavelength",     "paper planes",  "northern lights",
+    "slow motion",     "kaleidoscope",   "afterglow",     "tidal",
+    "satellites",      "monochrome",     "heatwave",      "lighthouse",
+    "anywhere else",   "polaroid",       "drift",         "golden hour",
+    "static dreams",   "hurricane",      "fault lines",   "neon signs",
+    "vapor trails",    "backroads",      "silhouette",    "wildfire",
+    "homecoming",      "overgrown"};
+
+constexpr std::array<const char*, 22> kApps{
+    "photomax",    "diskwizard",  "tunegrab",    "netaccel",   "winoptim",
+    "codecpack",   "burnmaster",  "sysguard",    "fontstudio", "clipmagic",
+    "webspider",   "audioforge",  "zipcommander", "drivedoc",  "pixelpaint",
+    "mailvault",   "gamebooster", "screencap",   "regdoctor",  "filesync",
+    "cdripper",    "videosplit"};
+
+constexpr std::array<const char*, 20> kMovies{
+    "the long harbor",   "midnight district", "paper empire",   "second daylight",
+    "the glass divide",  "hollow crown",      "winter arcade",  "the last signal",
+    "iron meridian",     "quiet horizon",     "the ember road", "northern gate",
+    "velvet shadows",    "the drift",         "golden circuit", "silent parade",
+    "the cold orchard",  "mirror city",       "static dawn",    "the wild compass"};
+
+constexpr std::array<const char*, 6> kAudioTags{"", " (live)", " (remix)",
+                                                " (acoustic)", " (radio edit)", " (demo)"};
+
+}  // namespace
+
+ContentCatalog::ContentCatalog(const CorpusConfig& config)
+    : config_(config),
+      zipf_(config.num_titles == 0 ? 1 : config.num_titles, config.zipf_exponent) {
+  if (config.num_titles == 0) {
+    throw std::invalid_argument("ContentCatalog: num_titles must be > 0");
+  }
+  util::Rng rng(config.seed);
+  const std::array<double, 6> weights{config.frac_audio,      config.frac_video,
+                                      config.frac_executable, config.frac_archive,
+                                      config.frac_image,      config.frac_document};
+  util::DiscreteSampler type_sampler(weights);
+  static constexpr std::array<FileType, 6> kTypes{
+      FileType::kAudio, FileType::kVideo,    FileType::kExecutable,
+      FileType::kArchive, FileType::kImage, FileType::kDocument};
+
+  entries_.reserve(config.num_titles);
+  for (std::size_t i = 0; i < config.num_titles; ++i) {
+    CatalogEntry e;
+    e.type = kTypes[type_sampler.sample(rng)];
+    switch (e.type) {
+      case FileType::kAudio: {
+        std::string artist = kArtists[rng.index(kArtists.size())];
+        std::string song = kSongs[rng.index(kSongs.size())];
+        std::string tag = kAudioTags[rng.index(kAudioTags.size())];
+        e.name = artist + " - " + song + tag + ".mp3";
+        e.query = artist + " " + song;
+        e.size = static_cast<std::uint64_t>(rng.range(28'000, 70'000));
+        break;
+      }
+      case FileType::kVideo: {
+        std::string movie = kMovies[rng.index(kMovies.size())];
+        bool dvdrip = rng.chance(0.5);
+        e.name = movie + (dvdrip ? " dvdrip" : " cam") + ".avi";
+        e.query = movie;
+        e.size = static_cast<std::uint64_t>(rng.range(120'000, 800'000));
+        break;
+      }
+      case FileType::kExecutable: {
+        std::string app = kApps[rng.index(kApps.size())];
+        auto major = rng.range(1, 9);
+        auto minor = rng.range(0, 9);
+        e.name = app + " v" + std::to_string(major) + "." + std::to_string(minor) +
+                 " setup.exe";
+        e.query = app;
+        e.size = static_cast<std::uint64_t>(rng.range(6'000, 90'000));
+        break;
+      }
+      case FileType::kArchive: {
+        std::string app = kApps[rng.index(kApps.size())];
+        bool keygen = rng.chance(0.4);
+        e.name = app + (keygen ? " keygen" : " full") + ".zip";
+        e.query = app + (keygen ? " keygen" : "");
+        e.size = 0;  // determined by zip_pack below; patched after generation
+        break;
+      }
+      case FileType::kImage: {
+        std::string subject = kMovies[rng.index(kMovies.size())];
+        e.name = subject + " poster.jpg";
+        e.query = subject + " poster";
+        e.size = static_cast<std::uint64_t>(rng.range(4'000, 30'000));
+        break;
+      }
+      default: {
+        std::string app = kApps[rng.index(kApps.size())];
+        e.name = app + " manual.pdf";
+        e.query = app + " manual";
+        e.size = static_cast<std::uint64_t>(rng.range(2'000, 20'000));
+        break;
+      }
+    }
+    entries_.push_back(std::move(e));
+  }
+  cache_.resize(entries_.size());
+
+  // Archives get their exact size from the packer; generate them eagerly so
+  // the advertised size in entry() is always the true byte size.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].type == FileType::kArchive) {
+      auto c = content(i);
+      entries_[i].size = c->size();
+    }
+  }
+}
+
+const CatalogEntry& ContentCatalog::entry(std::size_t idx) const {
+  if (idx >= entries_.size()) throw std::out_of_range("ContentCatalog::entry");
+  return entries_[idx];
+}
+
+std::shared_ptr<const FileContent> ContentCatalog::content(std::size_t idx) const {
+  if (idx >= entries_.size()) throw std::out_of_range("ContentCatalog::content");
+  if (!cache_[idx]) {
+    cache_[idx] = std::make_shared<const FileContent>(
+        entries_[idx].name, generate_bytes(idx, entries_[idx]));
+  }
+  return cache_[idx];
+}
+
+util::Bytes ContentCatalog::generate_bytes(std::size_t idx, const CatalogEntry& e) const {
+  // Per-work deterministic stream, independent of generation order.
+  util::Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (idx + 1)));
+  auto fill_tail = [&](util::Bytes& b, std::size_t total) {
+    std::size_t head = b.size();
+    b.resize(total);
+    rng.fill(std::span<std::uint8_t>(b.data() + head, total - head));
+  };
+  util::Bytes b;
+  switch (e.type) {
+    case FileType::kAudio:
+      b = {'I', 'D', '3', 3, 0, 0, 0, 0, 0, 0};
+      fill_tail(b, e.size);
+      return b;
+    case FileType::kVideo:
+      b = {'R', 'I', 'F', 'F', 0, 0, 0, 0, 'A', 'V', 'I', ' '};
+      fill_tail(b, e.size);
+      return b;
+    case FileType::kExecutable:
+      // MZ header + PE stub shape.
+      b = {'M', 'Z', 0x90, 0x00, 0x03, 0x00, 0x00, 0x00, 'P', 'E', 0x00, 0x00};
+      fill_tail(b, e.size);
+      return b;
+    case FileType::kArchive: {
+      // Real ZIP with 1-3 stored members.
+      std::vector<ZipMember> members;
+      auto n = static_cast<std::size_t>(rng.range(1, 3));
+      for (std::size_t m = 0; m < n; ++m) {
+        util::Bytes data(static_cast<std::size_t>(rng.range(3'000, 40'000)));
+        rng.fill(data);
+        members.push_back(ZipMember{"file" + std::to_string(m) + ".dat", std::move(data)});
+      }
+      return zip_pack(members);
+    }
+    case FileType::kImage:
+      b = {0xff, 0xd8, 0xff, 0xe0};
+      fill_tail(b, e.size);
+      return b;
+    default:
+      b = {'%', 'P', 'D', 'F', '-', '1', '.', '4'};
+      fill_tail(b, e.size);
+      return b;
+  }
+}
+
+std::size_t ContentCatalog::sample(util::Rng& rng) const { return zipf_.sample(rng); }
+
+double ContentCatalog::popularity(std::size_t idx) const { return zipf_.pmf(idx); }
+
+}  // namespace p2p::files

@@ -1,0 +1,76 @@
+// Synthetic clean-content catalog.
+//
+// Substitute for the real files shared on Gnutella/OpenFT circa 2006 (music,
+// video, software, archives). Each catalog entry is a distinct "work" with a
+// deterministic name and deterministic content bytes carrying the right
+// magic numbers, so type classification, hashing, ZIP parsing and signature
+// scanning all run against genuine-looking data.
+//
+// Content sizes are scaled down ~100x from real-world medians to keep a
+// month-long simulated crawl in memory; what the study's filtering results
+// depend on — exact byte sizes with realistic diversity — is preserved.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "files/file.h"
+#include "util/rng.h"
+
+namespace p2p::files {
+
+struct CorpusConfig {
+  std::uint64_t seed = 1;
+  /// Number of distinct clean works in the universe.
+  std::size_t num_titles = 2000;
+  /// Popularity skew across works (classic P2P measurements: ~0.6-1.0).
+  double zipf_exponent = 0.8;
+  /// Mix of content types, as fractions summing to ~1. Defaults reflect
+  /// filesharing-era measurements: audio dominates, executables/archives
+  /// are a small minority of clean content.
+  double frac_audio = 0.55;
+  double frac_video = 0.14;
+  double frac_executable = 0.08;
+  double frac_archive = 0.07;
+  double frac_image = 0.06;
+  double frac_document = 0.10;
+};
+
+/// A distinct clean work.
+struct CatalogEntry {
+  std::string name;       // full filename, e.g. "blue horizon - midnight rain.mp3"
+  FileType type;          // by extension
+  std::string query;      // a natural query string users type for this work
+  std::uint64_t size;     // exact content size in bytes
+};
+
+class ContentCatalog {
+ public:
+  explicit ContentCatalog(const CorpusConfig& config);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const CatalogEntry& entry(std::size_t idx) const;
+
+  /// Content bytes for a work. Generated deterministically on first use and
+  /// cached; all replicas of a work across peers share identical bytes (and
+  /// hence SHA-1), matching real file replication.
+  [[nodiscard]] std::shared_ptr<const FileContent> content(std::size_t idx) const;
+
+  /// Sample a work index by popularity (rank 0 most popular).
+  [[nodiscard]] std::size_t sample(util::Rng& rng) const;
+
+  /// Popularity mass of a work.
+  [[nodiscard]] double popularity(std::size_t idx) const;
+
+ private:
+  util::Bytes generate_bytes(std::size_t idx, const CatalogEntry& e) const;
+
+  CorpusConfig config_;
+  std::vector<CatalogEntry> entries_;
+  util::ZipfSampler zipf_;
+  mutable std::vector<std::shared_ptr<const FileContent>> cache_;
+};
+
+}  // namespace p2p::files

@@ -1,0 +1,56 @@
+// Value types for shared files: metadata (what a query hit carries) and
+// content (what a download delivers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "files/file_types.h"
+#include "files/hash.h"
+#include "util/bytes.h"
+
+namespace p2p::files {
+
+/// Content id used across the framework: SHA-1 of bytes.
+using ContentId = Digest20;
+
+/// A concrete file with bytes. Immutable after construction; hashes are
+/// computed once.
+class FileContent {
+ public:
+  FileContent(std::string name, util::Bytes bytes)
+      : name_(std::move(name)),
+        bytes_(std::move(bytes)),
+        sha1_(files::sha1(bytes_)),
+        md5_(files::md5(bytes_)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const util::Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t size() const { return bytes_.size(); }
+  [[nodiscard]] const Digest20& sha1() const { return sha1_; }
+  [[nodiscard]] const Digest16& md5() const { return md5_; }
+  [[nodiscard]] FileType type_by_extension() const {
+    return classify_extension(name_);
+  }
+  [[nodiscard]] FileType type_by_magic() const {
+    return classify_magic(bytes_);
+  }
+
+ private:
+  std::string name_;
+  util::Bytes bytes_;
+  Digest20 sha1_;
+  Digest16 md5_;
+};
+
+/// Metadata-only view used in protocol result sets (no bytes).
+struct FileMeta {
+  std::string name;
+  std::uint64_t size = 0;
+  Digest20 sha1{};
+
+  [[nodiscard]] FileType type() const { return classify_extension(name); }
+};
+
+}  // namespace p2p::files

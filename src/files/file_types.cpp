@@ -1,0 +1,80 @@
+#include "files/file_types.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace p2p::files {
+
+std::string_view to_string(FileType t) {
+  switch (t) {
+    case FileType::kExecutable: return "executable";
+    case FileType::kArchive: return "archive";
+    case FileType::kAudio: return "audio";
+    case FileType::kVideo: return "video";
+    case FileType::kImage: return "image";
+    case FileType::kDocument: return "document";
+    case FileType::kOther: return "other";
+  }
+  return "unknown";
+}
+
+FileType classify_extension(std::string_view filename) {
+  std::string ext = util::extension(filename);
+  struct Entry {
+    std::string_view ext;
+    FileType type;
+  };
+  static constexpr std::array<Entry, 28> kMap{{
+      {"exe", FileType::kExecutable}, {"com", FileType::kExecutable},
+      {"scr", FileType::kExecutable}, {"bat", FileType::kExecutable},
+      {"pif", FileType::kExecutable}, {"msi", FileType::kExecutable},
+      {"zip", FileType::kArchive},    {"rar", FileType::kArchive},
+      {"cab", FileType::kArchive},    {"tar", FileType::kArchive},
+      {"gz", FileType::kArchive},     {"7z", FileType::kArchive},
+      {"mp3", FileType::kAudio},      {"wav", FileType::kAudio},
+      {"wma", FileType::kAudio},      {"ogg", FileType::kAudio},
+      {"avi", FileType::kVideo},      {"mpg", FileType::kVideo},
+      {"mpeg", FileType::kVideo},     {"wmv", FileType::kVideo},
+      {"mov", FileType::kVideo},      {"jpg", FileType::kImage},
+      {"jpeg", FileType::kImage},     {"gif", FileType::kImage},
+      {"png", FileType::kImage},      {"pdf", FileType::kDocument},
+      {"doc", FileType::kDocument},   {"txt", FileType::kDocument},
+  }};
+  for (const auto& e : kMap) {
+    if (e.ext == ext) return e.type;
+  }
+  return FileType::kOther;
+}
+
+FileType classify_magic(std::span<const std::uint8_t> content) {
+  auto starts = [&](std::initializer_list<int> magic) {
+    if (content.size() < magic.size()) return false;
+    std::size_t i = 0;
+    for (int b : magic) {
+      if (content[i++] != static_cast<std::uint8_t>(b)) return false;
+    }
+    return true;
+  };
+  if (starts({'M', 'Z'})) return FileType::kExecutable;
+  if (starts({'P', 'K', 0x03, 0x04}) || starts({'P', 'K', 0x05, 0x06})) {
+    return FileType::kArchive;
+  }
+  if (starts({'R', 'a', 'r', '!'})) return FileType::kArchive;
+  if (starts({0x1f, 0x8b})) return FileType::kArchive;  // gzip
+  if (starts({'I', 'D', '3'}) || starts({0xff, 0xfb}) || starts({0xff, 0xfa})) {
+    return FileType::kAudio;
+  }
+  if (starts({'R', 'I', 'F', 'F'})) return FileType::kVideo;  // avi/wav container
+  if (starts({0xff, 0xd8, 0xff})) return FileType::kImage;    // jpeg
+  if (starts({'G', 'I', 'F', '8'})) return FileType::kImage;
+  if (starts({0x89, 'P', 'N', 'G'})) return FileType::kImage;
+  if (starts({'%', 'P', 'D', 'F'})) return FileType::kDocument;
+  return FileType::kOther;
+}
+
+bool is_study_type(FileType t) {
+  return t == FileType::kExecutable || t == FileType::kArchive;
+}
+
+}  // namespace p2p::files

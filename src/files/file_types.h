@@ -1,0 +1,40 @@
+// File-type taxonomy.
+//
+// The study restricts its headline statistic to "downloadable responses
+// containing archives and executables" — so classification (by extension,
+// and by content magic when bytes are available) is load-bearing for E1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace p2p::files {
+
+enum class FileType {
+  kExecutable,  // exe, com, scr, bat, pif, msi
+  kArchive,     // zip, rar, cab, tar, gz
+  kAudio,       // mp3, wav, wma, ogg
+  kVideo,       // avi, mpg, mpeg, wmv, mov
+  kImage,       // jpg, gif, png, bmp
+  kDocument,    // pdf, doc, txt, htm
+  kOther,
+};
+
+[[nodiscard]] std::string_view to_string(FileType t);
+
+/// Classify by filename extension alone (what a query-hit listing gives you
+/// before downloading).
+[[nodiscard]] FileType classify_extension(std::string_view filename);
+
+/// Classify by leading content bytes (magic numbers), falling back to
+/// kOther when unrecognized. Downloaded payloads are classified this way,
+/// which catches executables renamed to innocuous extensions.
+[[nodiscard]] FileType classify_magic(std::span<const std::uint8_t> content);
+
+/// The paper's "downloadable response" predicate: is this one of the types
+/// the study downloads and scans?
+[[nodiscard]] bool is_study_type(FileType t);
+
+}  // namespace p2p::files

@@ -1,0 +1,37 @@
+// Minimal ZIP (PKZIP) container: store-only writer and parser.
+//
+// Malware in the study era commonly shipped inside .zip archives; the
+// scanner must open archives and scan members (an archive is malicious iff
+// a member matches a signature). We implement the real on-disk format —
+// local file headers, central directory, end-of-central-directory — with
+// method 0 (stored) members, so classify_magic() and third-party tools see
+// genuine ZIP bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace p2p::files {
+
+struct ZipMember {
+  std::string name;
+  util::Bytes data;
+};
+
+/// Build a store-only ZIP archive from members.
+[[nodiscard]] util::Bytes zip_pack(const std::vector<ZipMember>& members);
+
+/// Parse a ZIP produced by zip_pack (or any store-only ZIP). Returns
+/// nullopt on malformed input: bad signatures, truncated headers,
+/// compressed members, or CRC mismatch.
+[[nodiscard]] std::optional<std::vector<ZipMember>> zip_unpack(
+    const util::Bytes& archive);
+
+/// Cheap validity probe (signature + EOCD present) without full extraction.
+[[nodiscard]] bool zip_looks_valid(const util::Bytes& archive);
+
+}  // namespace p2p::files

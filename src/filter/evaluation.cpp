@@ -1,0 +1,42 @@
+#include "filter/evaluation.h"
+
+#include <algorithm>
+
+namespace p2p::filter {
+
+FilterEvaluation evaluate(const ResponseFilter& filter,
+                          std::span<const crawler::ResponseRecord> records) {
+  FilterEvaluation out;
+  out.filter_name = filter.name();
+  for (const auto& r : records) {
+    if (!r.is_study_type() || !r.downloaded) continue;
+    bool blocked = filter.blocks(r);
+    if (r.infected) {
+      ++out.malicious;
+      if (blocked) ++out.true_positives;
+    } else {
+      ++out.clean;
+      if (blocked) ++out.false_positives;
+    }
+  }
+  return out;
+}
+
+TrainEvalSplit split_at_fraction(std::span<const crawler::ResponseRecord> records,
+                                 double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(static_cast<double>(records.size()) * fraction);
+  return TrainEvalSplit{records.subspan(0, idx), records.subspan(idx)};
+}
+
+TrainEvalSplit split_at_day(std::span<const crawler::ResponseRecord> records, int day) {
+  // Records are appended in time order by the crawler.
+  auto it = std::find_if(records.begin(), records.end(),
+                         [day](const crawler::ResponseRecord& r) {
+                           return r.at.whole_days() >= day;
+                         });
+  auto idx = static_cast<std::size_t>(it - records.begin());
+  return TrainEvalSplit{records.subspan(0, idx), records.subspan(idx)};
+}
+
+}  // namespace p2p::filter

@@ -1,0 +1,52 @@
+// Filter evaluation against ground-truth labels: detection rate over
+// malicious responses, false-positive rate over clean ones (the trade-off
+// the paper reports for size-based filtering vs LimeWire's mechanisms).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "filter/filter.h"
+
+namespace p2p::filter {
+
+struct FilterEvaluation {
+  std::string filter_name;
+  /// Labeled study responses in the evaluation set.
+  std::uint64_t malicious = 0;
+  std::uint64_t clean = 0;
+  std::uint64_t true_positives = 0;   // malicious and blocked
+  std::uint64_t false_positives = 0;  // clean and blocked
+
+  [[nodiscard]] double detection_rate() const {
+    return malicious == 0
+               ? 0.0
+               : static_cast<double>(true_positives) / static_cast<double>(malicious);
+  }
+  [[nodiscard]] double false_positive_rate() const {
+    return clean == 0
+               ? 0.0
+               : static_cast<double>(false_positives) / static_cast<double>(clean);
+  }
+};
+
+/// Evaluate on labeled study responses only (the set the paper can verify).
+[[nodiscard]] FilterEvaluation evaluate(const ResponseFilter& filter,
+                                        std::span<const crawler::ResponseRecord> records);
+
+/// Split a record span at a day boundary: [begin, day) for training,
+/// [day, end) for evaluation.
+struct TrainEvalSplit {
+  std::span<const crawler::ResponseRecord> training;
+  std::span<const crawler::ResponseRecord> evaluation;
+};
+[[nodiscard]] TrainEvalSplit split_at_day(std::span<const crawler::ResponseRecord> records,
+                                          int day);
+
+/// Split at a fraction of the records (records are in time order), e.g.
+/// 0.25 = train on the first quarter of the crawl. Works for crawls
+/// shorter than a day.
+[[nodiscard]] TrainEvalSplit split_at_fraction(
+    std::span<const crawler::ResponseRecord> records, double fraction);
+
+}  // namespace p2p::filter

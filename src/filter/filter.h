@@ -1,0 +1,24 @@
+// Response-filtering framework (the paper's Section on defenses).
+//
+// A filter inspects a query response *before* download — it sees only what
+// the response advertises (name, size, hash, source), never the bytes.
+// Ground-truth labels from the crawl are used only for evaluation.
+#pragma once
+
+#include <string>
+
+#include "crawler/records.h"
+
+namespace p2p::filter {
+
+class ResponseFilter {
+ public:
+  virtual ~ResponseFilter() = default;
+
+  /// Would this filter block the response?
+  [[nodiscard]] virtual bool blocks(const crawler::ResponseRecord& record) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace p2p::filter

@@ -1,0 +1,27 @@
+#include "filter/hash_blocklist.h"
+
+#include <unordered_map>
+
+namespace p2p::filter {
+
+HashBlocklistFilter::HashBlocklistFilter(std::unordered_set<std::string> blocked)
+    : blocked_(std::move(blocked)) {}
+
+HashBlocklistFilter HashBlocklistFilter::learn(
+    std::span<const crawler::ResponseRecord> training, std::size_t report_threshold) {
+  std::unordered_map<std::string, std::size_t> reports;
+  for (const auto& r : training) {
+    if (r.infected && r.downloaded) ++reports[r.content_key];
+  }
+  std::unordered_set<std::string> blocked;
+  for (const auto& [key, count] : reports) {
+    if (count >= report_threshold) blocked.insert(key);
+  }
+  return HashBlocklistFilter(std::move(blocked));
+}
+
+bool HashBlocklistFilter::blocks(const crawler::ResponseRecord& record) const {
+  return blocked_.contains(record.content_key);
+}
+
+}  // namespace p2p::filter

@@ -1,0 +1,34 @@
+// Community hash-blocklist filter (a simplified Credence-style object
+// reputation scheme): a content hash is blocked once the community has
+// reported it at least `report_threshold` times. An idealized upper bound
+// for hash-based defenses — and exactly the thing polymorphic repacking
+// (per-copy unique hashes, see A3) defeats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+
+#include "filter/filter.h"
+
+namespace p2p::filter {
+
+class HashBlocklistFilter final : public ResponseFilter {
+ public:
+  explicit HashBlocklistFilter(std::unordered_set<std::string> blocked);
+
+  /// Learn from labeled training responses: block every content hash whose
+  /// malicious sightings reach the threshold.
+  static HashBlocklistFilter learn(std::span<const crawler::ResponseRecord> training,
+                                   std::size_t report_threshold = 3);
+
+  [[nodiscard]] bool blocks(const crawler::ResponseRecord& record) const override;
+  [[nodiscard]] std::string name() const override { return "hash-blocklist"; }
+
+  [[nodiscard]] std::size_t size() const { return blocked_.size(); }
+
+ private:
+  std::unordered_set<std::string> blocked_;
+};
+
+}  // namespace p2p::filter

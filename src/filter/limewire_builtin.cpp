@@ -1,0 +1,62 @@
+#include "filter/limewire_builtin.h"
+#include <map>
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace p2p::filter {
+
+LimewireBuiltinFilter::LimewireBuiltinFilter(std::set<std::string> hash_blacklist,
+                                             std::vector<std::string> keyword_blocklist)
+    : hashes_(std::move(hash_blacklist)) {
+  keywords_.reserve(keyword_blocklist.size());
+  for (auto& k : keyword_blocklist) keywords_.push_back(util::to_lower(k));
+}
+
+bool LimewireBuiltinFilter::blocks(const crawler::ResponseRecord& record) const {
+  if (hashes_.contains(record.content_key)) return true;
+  std::string lower = util::to_lower(record.filename);
+  return std::any_of(keywords_.begin(), keywords_.end(), [&](const std::string& k) {
+    return lower.find(k) != std::string::npos;
+  });
+}
+
+LimewireBuiltinFilter make_builtin_filter(
+    std::span<const crawler::ResponseRecord> training,
+    std::span<const std::string> known_strain_names,
+    std::span<const std::string> partially_known_strain_names) {
+  std::set<std::string> hashes;
+  std::vector<std::string> keywords;
+  std::map<std::string, std::map<std::string, std::uint64_t>> partial_counts;
+  for (const auto& r : training) {
+    if (!r.infected || !r.downloaded) continue;
+    if (std::find(known_strain_names.begin(), known_strain_names.end(),
+                  r.strain_name) != known_strain_names.end()) {
+      hashes.insert(r.content_key);
+    }
+    if (std::find(partially_known_strain_names.begin(),
+                  partially_known_strain_names.end(),
+                  r.strain_name) != partially_known_strain_names.end()) {
+      ++partial_counts[r.strain_name][r.content_key];
+    }
+  }
+  // For partially known strains the vendor list holds yesterday's variants
+  // but misses the freshest one — i.e. every content hash except the single
+  // most-seen (currently circulating) variant.
+  for (const auto& [strain, counts] : partial_counts) {
+    auto freshest = std::max_element(counts.begin(), counts.end(),
+                                     [](const auto& a, const auto& b) {
+                                       return a.second < b.second;
+                                     });
+    for (const auto& [key, count] : counts) {
+      if (key != freshest->first) hashes.insert(key);
+    }
+  }
+  // Keyword list: the classic spam-name fragments vendors shipped.
+  keywords = {"screensaver_pack", "free_smileys", "password_cracker",
+              "serials_2006",     "msn_hacks"};
+  return LimewireBuiltinFilter(std::move(hashes), std::move(keywords));
+}
+
+}  // namespace p2p::filter

@@ -1,0 +1,55 @@
+#include "filter/size_filter.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace p2p::filter {
+
+SizeFilter::SizeFilter(std::set<std::uint64_t> blocked_sizes)
+    : sizes_(std::move(blocked_sizes)) {}
+
+bool SizeFilter::blocks(const crawler::ResponseRecord& record) const {
+  // The filter applies to the download decision for the study's file types;
+  // size alone identifies the content regardless of its per-query filename.
+  if (!record.is_study_type()) return false;
+  return sizes_.contains(record.size);
+}
+
+SizeFilter SizeFilter::learn(std::span<const crawler::ResponseRecord> training,
+                             const SizeFilterConfig& config) {
+  // Rank strains by malicious response volume.
+  std::unordered_map<std::string, std::uint64_t> strain_counts;
+  for (const auto& r : training) {
+    if (r.infected && r.downloaded) ++strain_counts[r.strain_name];
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> ranked(strain_counts.begin(),
+                                                            strain_counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > config.top_strains) ranked.resize(config.top_strains);
+
+  // For each kept strain, take its most commonly seen advertised sizes.
+  std::set<std::uint64_t> sizes;
+  for (const auto& [name, count] : ranked) {
+    std::map<std::uint64_t, std::uint64_t> size_counts;
+    for (const auto& r : training) {
+      if (r.infected && r.downloaded && r.strain_name == name) ++size_counts[r.size];
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> by_count(size_counts.begin(),
+                                                                  size_counts.end());
+    std::sort(by_count.begin(), by_count.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    for (std::size_t i = 0; i < by_count.size() && i < config.sizes_per_strain; ++i) {
+      sizes.insert(by_count[i].first);
+    }
+  }
+  return SizeFilter(std::move(sizes));
+}
+
+}  // namespace p2p::filter

@@ -1,0 +1,46 @@
+// The paper's proposed defense: size-based filtering.
+//
+// Observation: each popular malware strain ships a handful of fixed-size
+// variants, and every replica advertises one of those exact byte sizes —
+// while clean content sizes are extremely diverse. Blocking exe/archive
+// responses whose exact size matches "the most commonly seen sizes of the
+// most popular malware" therefore catches >99% of malicious responses at a
+// very low false-positive rate (the abstract's result, vs ~6% for
+// LimeWire's own mechanisms).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "filter/filter.h"
+
+namespace p2p::filter {
+
+struct SizeFilterConfig {
+  /// Learn sizes from the top-N strains by observed malicious responses.
+  std::size_t top_strains = 3;
+  /// Most commonly seen sizes kept per strain.
+  std::size_t sizes_per_strain = 3;
+};
+
+class SizeFilter final : public ResponseFilter {
+ public:
+  explicit SizeFilter(std::set<std::uint64_t> blocked_sizes);
+
+  /// Learn the blocked-size set from labeled training responses (e.g. the
+  /// first week of a crawl), per the config.
+  static SizeFilter learn(std::span<const crawler::ResponseRecord> training,
+                          const SizeFilterConfig& config = {});
+
+  [[nodiscard]] bool blocks(const crawler::ResponseRecord& record) const override;
+  [[nodiscard]] std::string name() const override { return "size-based"; }
+
+  [[nodiscard]] const std::set<std::uint64_t>& blocked_sizes() const { return sizes_; }
+
+ private:
+  std::set<std::uint64_t> sizes_;
+};
+
+}  // namespace p2p::filter

@@ -1,0 +1,45 @@
+// Gnutella message GUIDs: 16 opaque bytes identifying a descriptor for
+// routing (duplicate suppression, route-back tables) and identifying
+// servents (QueryHit trailers, Push targets).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace p2p::gnutella {
+
+struct Guid {
+  std::array<std::uint8_t, 16> bytes{};
+
+  static Guid random(util::Rng& rng) {
+    Guid g;
+    rng.fill(g.bytes);
+    // Modern-servent convention: byte 8 = 0xff, byte 15 = 0x00.
+    g.bytes[8] = 0xff;
+    g.bytes[15] = 0x00;
+    return g;
+  }
+
+  [[nodiscard]] std::string hex() const { return util::to_hex(bytes); }
+
+  auto operator<=>(const Guid&) const = default;
+};
+
+struct GuidHash {
+  std::size_t operator()(const Guid& g) const {
+    // FNV-1a over the 16 bytes.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : g.bytes) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace p2p::gnutella

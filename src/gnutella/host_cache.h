@@ -1,0 +1,13 @@
+// Bootstrap host cache (the GWebCache stand-in): a shared registry of
+// known ultrapeer endpoints that joining servents draw from. In the live
+// network this is seeded by web caches and pong exchange; here it is a
+// plain shared object the population builder maintains.
+#pragma once
+
+#include "util/endpoint_cache.h"
+
+namespace p2p::gnutella {
+
+using HostCache = util::EndpointCache;
+
+}  // namespace p2p::gnutella

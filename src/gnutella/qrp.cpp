@@ -1,0 +1,74 @@
+#include "gnutella/qrp.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace p2p::gnutella {
+
+std::uint32_t qrp_hash(std::string_view keyword, unsigned bits) {
+  if (bits == 0 || bits > 31) throw std::invalid_argument("qrp_hash: bad bits");
+  std::uint32_t xor_acc = 0;
+  unsigned j = 0;
+  for (char c : keyword) {
+    auto lower = static_cast<std::uint32_t>(
+        std::tolower(static_cast<unsigned char>(c)) & 0xFF);
+    xor_acc ^= lower << (j * 8);
+    j = (j + 1) % 4;
+  }
+  std::uint64_t prod = static_cast<std::uint64_t>(xor_acc) * 0x4F1BBCDCull;
+  return static_cast<std::uint32_t>((prod & 0xFFFFFFFFull) >> (32 - bits));
+}
+
+QueryRouteTable::QueryRouteTable(unsigned table_bits) : bits_(table_bits) {
+  if (bits_ < 4 || bits_ > 24) {
+    throw std::invalid_argument("QueryRouteTable: table_bits out of range");
+  }
+  slots_.assign(std::size_t{1} << bits_, false);
+}
+
+void QueryRouteTable::clear() { slots_.assign(slots_.size(), false); }
+
+void QueryRouteTable::fill_all() { slots_.assign(slots_.size(), true); }
+
+void QueryRouteTable::add_keywords(std::string_view text) {
+  for (const auto& kw : util::keywords(text)) {
+    slots_[qrp_hash(kw, bits_)] = true;
+  }
+}
+
+bool QueryRouteTable::matches(std::string_view query) const {
+  auto kws = util::keywords(query);
+  if (kws.empty()) return false;
+  for (const auto& kw : kws) {
+    if (!slots_[qrp_hash(kw, bits_)]) return false;
+  }
+  return true;
+}
+
+double QueryRouteTable::fill_ratio() const {
+  std::size_t set = 0;
+  for (bool b : slots_) set += b ? 1 : 0;
+  return static_cast<double>(set) / static_cast<double>(slots_.size());
+}
+
+util::Bytes QueryRouteTable::to_patch_bytes() const {
+  util::Bytes out(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) out[i] = slots_[i] ? 1 : 0;
+  return out;
+}
+
+bool QueryRouteTable::from_patch_bytes(const util::Bytes& bytes) {
+  std::size_t n = bytes.size();
+  if (n < 16 || (n & (n - 1)) != 0) return false;
+  unsigned bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  if (bits < 4 || bits > 24) return false;
+  bits_ = bits;
+  slots_.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) slots_[i] = bytes[i] != 0;
+  return true;
+}
+
+}  // namespace p2p::gnutella

@@ -1,0 +1,56 @@
+// Query Routing Protocol (QRP) tables.
+//
+// Leaves summarize their shared keywords into a hash bitmap and ship it to
+// their ultrapeers; an ultrapeer forwards a query to a leaf only if every
+// query keyword hashes to a set slot. This is the mechanism that keeps
+// last-hop query traffic proportional to matching leaves — and the thing
+// a query-echoing worm defeats by advertising an all-ones table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace p2p::gnutella {
+
+/// The standard QRP keyword hash (GDF spec): pack the lowercased bytes into
+/// little-endian 32-bit words XORed together, multiply by 0x4F1BBCDC, and
+/// keep the top `bits` bits of the low 32-bit product.
+[[nodiscard]] std::uint32_t qrp_hash(std::string_view keyword, unsigned bits);
+
+class QueryRouteTable {
+ public:
+  /// table_bits in [4, 24]; table has 2^table_bits slots.
+  explicit QueryRouteTable(unsigned table_bits = 13);
+
+  [[nodiscard]] unsigned table_bits() const { return bits_; }
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+  void clear();
+  /// Mark all slots present (what a worm that wants every query would send).
+  void fill_all();
+
+  /// Insert every keyword of a filename/title.
+  void add_keywords(std::string_view text);
+
+  /// Would this table admit the query? (every query keyword present).
+  [[nodiscard]] bool matches(std::string_view query) const;
+
+  /// Fraction of slots set — used by ultrapeers to spot degenerate tables.
+  [[nodiscard]] double fill_ratio() const;
+
+  /// Serialize slots as one byte per slot (PATCH payload).
+  [[nodiscard]] util::Bytes to_patch_bytes() const;
+  /// Rebuild from PATCH bytes; returns false if the size is not a power of
+  /// two in the supported range.
+  bool from_patch_bytes(const util::Bytes& bytes);
+
+ private:
+  unsigned bits_;
+  std::vector<bool> slots_;
+};
+
+}  // namespace p2p::gnutella

@@ -1,0 +1,34 @@
+#include "gnutella/shared_index.h"
+
+#include "util/strings.h"
+
+namespace p2p::gnutella {
+
+std::uint32_t SharedFileIndex::add(std::shared_ptr<const files::FileContent> file) {
+  total_bytes_ += file->size();
+  files_.push_back(std::move(file));
+  return static_cast<std::uint32_t>(files_.size() - 1);
+}
+
+std::vector<SharedFileIndex::Match> SharedFileIndex::match(std::string_view query) const {
+  std::vector<Match> out;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (util::keyword_match(query, files_[i]->name())) {
+      out.push_back(Match{static_cast<std::uint32_t>(i), files_[i].get()});
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const files::FileContent> SharedFileIndex::get(std::uint32_t index) const {
+  if (index >= files_.size()) return nullptr;
+  return files_[index];
+}
+
+QueryRouteTable SharedFileIndex::build_qrt(unsigned table_bits) const {
+  QueryRouteTable qrt(table_bits);
+  for (const auto& f : files_) qrt.add_keywords(f->name());
+  return qrt;
+}
+
+}  // namespace p2p::gnutella

@@ -1,0 +1,41 @@
+// A servent's shared-file index: stable file indices (used in QueryHit and
+// download URLs), keyword matching, and QRP table construction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "files/file.h"
+#include "gnutella/qrp.h"
+
+namespace p2p::gnutella {
+
+class SharedFileIndex {
+ public:
+  /// Add a file; returns its stable index.
+  std::uint32_t add(std::shared_ptr<const files::FileContent> file);
+
+  [[nodiscard]] std::size_t count() const { return files_.size(); }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Files whose names contain every keyword of the query.
+  struct Match {
+    std::uint32_t index;
+    const files::FileContent* file;
+  };
+  [[nodiscard]] std::vector<Match> match(std::string_view query) const;
+
+  /// Lookup by index for upload serving; nullptr if out of range.
+  [[nodiscard]] std::shared_ptr<const files::FileContent> get(std::uint32_t index) const;
+
+  /// Build the QRP table summarizing all shared names.
+  [[nodiscard]] QueryRouteTable build_qrt(unsigned table_bits = 13) const;
+
+ private:
+  std::vector<std::shared_ptr<const files::FileContent>> files_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace p2p::gnutella

@@ -1,0 +1,231 @@
+// An OpenFT node: USER and/or SEARCH class behaviour.
+//
+// USER nodes establish FT sessions with SEARCH parents, register as
+// children, upload their share list (ADDSHARE), issue searches through the
+// parents, and serve HTTP-style transfers by MD5. SEARCH nodes index their
+// children's shares, answer and forward searches across the search-node
+// mesh, and relay push requests for firewalled children.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "files/file.h"
+#include "openft/packet.h"
+#include "sim/network.h"
+#include "util/endpoint_cache.h"
+#include "util/rng.h"
+
+namespace p2p::openft {
+
+using FtHostCache = util::EndpointCache;
+
+/// One shared file: content plus the path the owner registers it under.
+/// Infected peers register artifacts under lure paths (possibly many paths
+/// for one content — the super-spreader pattern).
+struct FtShare {
+  std::shared_ptr<const files::FileContent> content;
+  std::string path;
+};
+
+struct FtConfig {
+  std::uint16_t klass = kUser;
+  std::string alias = "ftnode";
+  /// SEARCH parents a USER registers with.
+  std::size_t parent_count = 2;
+  /// SEARCH<->SEARCH mesh degree.
+  std::size_t search_peers = 4;
+  std::size_t max_children = 100;
+  std::uint8_t search_ttl = 2;
+  /// INDEX sessions a SEARCH node maintains (when an index cache is set),
+  /// and how often it reports aggregate statistics to them.
+  std::size_t index_parents = 1;
+  sim::SimDuration stats_interval = sim::SimDuration::minutes(30);
+  /// How long a client keeps collecting results before declaring a search
+  /// complete (OpenFT has no reliable global end-marker across peers).
+  sim::SimDuration search_window = sim::SimDuration::seconds(20);
+  sim::SimDuration download_timeout = sim::SimDuration::seconds(90);
+  sim::SimDuration reconnect_delay = sim::SimDuration::seconds(20);
+};
+
+struct FtSearchEvent {
+  std::uint64_t search_id = 0;
+  SearchResponse entry;
+  sim::SimTime at;
+};
+
+struct FtDownloadOutcome {
+  std::uint64_t request_id = 0;
+  bool success = false;
+  std::string path;
+  util::Bytes content;
+  util::Endpoint source;
+  std::string error;
+};
+
+struct FtStats {
+  std::uint64_t searches_sent = 0;
+  std::uint64_t searches_handled = 0;
+  std::uint64_t searches_forwarded = 0;
+  std::uint64_t results_sent = 0;
+  std::uint64_t results_received = 0;
+  std::uint64_t shares_indexed = 0;
+  std::uint64_t uploads_served = 0;
+  std::uint64_t downloads_ok = 0;
+  std::uint64_t downloads_failed = 0;
+  std::uint64_t pushes_relayed = 0;
+  std::uint64_t dropped_malformed = 0;
+};
+
+class FtNode : public sim::Node {
+ public:
+  /// `index_node_cache` (optional) lets SEARCH nodes find INDEX nodes to
+  /// report statistics to; INDEX nodes themselves aggregate what they hear.
+  FtNode(FtConfig config, std::vector<FtShare> shares,
+         std::shared_ptr<FtHostCache> search_node_cache, std::uint64_t rng_seed,
+         std::shared_ptr<FtHostCache> index_node_cache = nullptr);
+
+  // -- sim::Node ------------------------------------------------------------
+  void start() override;
+  void on_connection_open(sim::ConnId conn, sim::NodeId peer, bool initiated) override;
+  void on_connection_failed(sim::ConnId conn, sim::NodeId target) override;
+  void on_message(sim::ConnId conn, const util::Bytes& payload) override;
+  void on_connection_closed(sim::ConnId conn) override;
+
+  // -- Client API -----------------------------------------------------------
+
+  /// Issue a search through connected parents. Completion is signalled via
+  /// the end callback after config.search_window.
+  std::uint64_t search(const std::string& query);
+
+  /// Fetch a search result (direct, or via push relay for firewalled
+  /// owners).
+  std::uint64_t download(const SearchResponse& entry);
+
+  /// Enumerate a host's full share list (host profiling). Results stream
+  /// via the browse callbacks; the end callback's `ok` is false when the
+  /// target was unreachable.
+  std::uint64_t browse(const util::Endpoint& target);
+
+  void set_result_callback(std::function<void(const FtSearchEvent&)> cb) {
+    result_callback_ = std::move(cb);
+  }
+  void set_search_end_callback(std::function<void(std::uint64_t)> cb) {
+    search_end_callback_ = std::move(cb);
+  }
+  void set_download_callback(std::function<void(const FtDownloadOutcome&)> cb) {
+    download_callback_ = std::move(cb);
+  }
+  void set_browse_result_callback(std::function<void(const BrowseResponse&)> cb) {
+    browse_result_callback_ = std::move(cb);
+  }
+  void set_browse_end_callback(
+      std::function<void(std::uint64_t id, std::uint32_t total, bool ok)> cb) {
+    browse_end_callback_ = std::move(cb);
+  }
+
+  [[nodiscard]] const FtStats& stats() const { return stats_; }
+  [[nodiscard]] const FtConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] std::size_t child_count() const;
+  [[nodiscard]] bool is_search_node() const { return (config_.klass & kSearch) != 0; }
+  [[nodiscard]] bool is_index_node() const { return (config_.klass & kIndex) != 0; }
+  /// INDEX-node view: aggregate of the latest Stats report from each
+  /// connected search node.
+  [[nodiscard]] Stats network_stats() const;
+
+ private:
+  enum class ConnKind {
+    kUnknown,
+    kSessionOut,
+    kSessionIn,
+    kTransferOut,
+    kTransferIn,
+    kPushServe,
+    kBrowseOut,
+  };
+  enum class SessionState { kNone, kVersionSent, kSessionSent, kEstablished };
+
+  struct ShareMeta {
+    files::Digest16 md5{};
+    std::uint32_t size = 0;
+    std::string path;
+    std::vector<std::string> keywords;
+  };
+  struct ChildInfo {
+    NodeInfo info;
+    bool is_child = false;
+    std::vector<ShareMeta> shares;
+  };
+  struct ConnState {
+    ConnKind kind = ConnKind::kUnknown;
+    SessionState session = SessionState::kNone;
+    sim::NodeId peer = sim::kInvalidNode;
+    NodeInfo peer_info;
+    bool have_peer_info = false;
+    bool child_accepted = false;  // for kSessionOut: we became their child
+    ChildInfo child;              // for kSessionIn on a search node
+    std::uint64_t download_id = 0;
+    std::uint64_t browse_id = 0;
+    files::Digest16 push_md5{};
+    /// INDEX node: latest statistics report from this search-node session.
+    Stats reported_stats;
+    bool has_reported_stats = false;
+    /// Outgoing session whose target was drawn from the index cache.
+    bool to_index = false;
+  };
+  struct PendingDownload {
+    std::uint64_t id = 0;
+    SearchResponse entry;
+    bool via_push = false;
+    bool transfer_started = false;
+  };
+
+  // Session plumbing.
+  void ensure_sessions();
+  void report_stats_loop();
+  void send_pkt(sim::ConnId conn, const FtPacket& pkt);
+  void handle_packet(sim::ConnId conn, ConnState& state, const FtPacket& pkt);
+  void session_established(sim::ConnId conn, ConnState& state);
+  [[nodiscard]] NodeInfo self_info() const;
+
+  // Search-node duties.
+  void handle_search_request(sim::ConnId conn, ConnState& state, const SearchRequest& req);
+  void handle_push_request(sim::ConnId conn, const PushRequest& req);
+
+  // Transfers.
+  void handle_transfer_message(sim::ConnId conn, ConnState& state,
+                               const util::Bytes& wire);
+  void fail_download(std::uint64_t id, const std::string& error);
+
+  FtConfig config_;
+  std::vector<FtShare> shares_;
+  std::vector<ShareMeta> own_share_meta_;
+  std::unordered_map<std::string, std::size_t> md5_to_share_;  // hex -> shares_ idx
+  std::shared_ptr<FtHostCache> search_cache_;
+  std::shared_ptr<FtHostCache> index_cache_;
+  util::Rng rng_;
+
+  std::unordered_map<sim::ConnId, ConnState> conns_;
+  std::size_t pending_session_connects_ = 0;
+
+  // Search routing: search_id -> conn to send responses back through.
+  std::unordered_map<std::uint64_t, sim::ConnId> search_routes_;
+  std::unordered_map<std::uint64_t, bool> our_searches_;
+
+  std::unordered_map<std::uint64_t, PendingDownload> pending_downloads_;
+  std::uint64_t next_download_id_ = 1;
+
+  std::function<void(const FtSearchEvent&)> result_callback_;
+  std::function<void(std::uint64_t)> search_end_callback_;
+  std::function<void(const FtDownloadOutcome&)> download_callback_;
+  std::function<void(const BrowseResponse&)> browse_result_callback_;
+  std::function<void(std::uint64_t, std::uint32_t, bool)> browse_end_callback_;
+  std::uint64_t next_browse_id_ = 1;
+  FtStats stats_;
+};
+
+}  // namespace p2p::openft

@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace p2p::sim {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(SimDuration delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() returns const&; the action must be moved out, so
+  // copy the entry header and steal the closure via const_cast — contained
+  // and safe because we pop immediately.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  SimTime at = top.at;
+  Action action = std::move(top.action);
+  heap_.pop();
+  now_ = at;
+  ++executed_;
+  action();
+  return true;
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) step();
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,199 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2p::sim {
+
+Network::Network(std::uint64_t seed) : rng_(seed) {}
+
+NodeId Network::add_node(std::unique_ptr<Node> node, HostProfile profile) {
+  if (!node) throw std::invalid_argument("Network::add_node: null node");
+  NodeId id = static_cast<NodeId>(slots_.size());
+  node->id_ = id;
+  node->network_ = this;
+  slots_.push_back(Slot{std::move(node), profile, 0});
+  ++alive_count_;
+  if (!profile.behind_nat) {
+    listeners_[util::Endpoint{profile.ip, profile.port}] = id;
+  }
+  // start() runs from the event loop so constructors can't observe a
+  // half-built network; resolved at fire time in case the node is removed
+  // before the event runs.
+  events_.schedule_in(SimDuration::millis(0), [this, id] {
+    if (Node* n = this->node(id)) n->start();
+  });
+  return id;
+}
+
+void Network::remove_node(NodeId id) {
+  if (id >= slots_.size() || !slots_[id].node) return;
+  // Close every connection touching this node.
+  std::vector<ConnId> to_close;
+  for (auto& [cid, c] : conns_) {
+    if (!c.closed && (c.a == id || c.b == id)) to_close.push_back(cid);
+  }
+  for (ConnId cid : to_close) close(cid, id);
+  const auto& prof = slots_[id].profile;
+  if (!prof.behind_nat) listeners_.erase(util::Endpoint{prof.ip, prof.port});
+  slots_[id].node.reset();
+  slots_[id].generation++;
+  --alive_count_;
+}
+
+bool Network::alive(NodeId id) const {
+  return id < slots_.size() && slots_[id].node != nullptr;
+}
+
+Node* Network::node(NodeId id) {
+  return id < slots_.size() ? slots_[id].node.get() : nullptr;
+}
+
+const HostProfile& Network::profile(NodeId id) const {
+  if (id >= slots_.size()) throw std::out_of_range("Network::profile");
+  return slots_[id].profile;
+}
+
+std::optional<NodeId> Network::lookup(const util::Endpoint& ep) const {
+  auto it = listeners_.find(ep);
+  if (it == listeners_.end()) return std::nullopt;
+  return it->second;
+}
+
+SimDuration Network::draw_latency() {
+  auto lo = latency_model.min.count_ms();
+  auto hi = latency_model.max.count_ms();
+  return SimDuration::millis(rng_.range(lo, std::max(lo, hi)));
+}
+
+ConnId Network::connect(NodeId from, NodeId to) {
+  ConnId cid = next_conn_++;
+  Connection c;
+  c.a = from;
+  c.b = to;
+  c.latency = draw_latency();
+  conns_[cid] = c;
+
+  events_.schedule_in(c.latency, [this, cid, from, to] {
+    auto* conn = find_conn(cid);
+    if (!conn || conn->closed) return;
+    Node* initiator = node(from);
+    Node* target = node(to);
+    bool refused = !target || profile(to).behind_nat || !target->accept_connection(from);
+    if (refused || !initiator) {
+      conn->closed = true;
+      if (initiator) initiator->on_connection_failed(cid, to);
+      conns_.erase(cid);
+      return;
+    }
+    conn->open = true;
+    SimTime now = events_.now();
+    conn->tx_free_a_to_b = now;
+    conn->tx_free_b_to_a = now;
+    target->on_connection_open(cid, from, /*initiated=*/false);
+    // The initiator learns of success one RTT after starting.
+    if (auto* c2 = find_conn(cid); c2 && c2->open) {
+      events_.schedule_in(c2->latency, [this, cid, from, to] {
+        auto* c3 = find_conn(cid);
+        if (!c3 || !c3->open || c3->closed) return;
+        if (Node* n = node(from)) n->on_connection_open(cid, to, /*initiated=*/true);
+      });
+    }
+  });
+  return cid;
+}
+
+void Network::send(ConnId conn, NodeId sender, util::Bytes payload) {
+  auto* c = find_conn(conn);
+  if (!c || !c->open || c->closed) return;
+  if (sender != c->a && sender != c->b) {
+    throw std::invalid_argument("Network::send: sender not on connection");
+  }
+  NodeId receiver = (sender == c->a) ? c->b : c->a;
+  if (!alive(sender) || !alive(receiver)) return;
+
+  // Transfer time: size over the tighter of the two access links, serialized
+  // behind earlier sends in the same direction.
+  double bps = std::min(profile(sender).uplink_bps, profile(receiver).downlink_bps);
+  auto transfer_ms = static_cast<std::int64_t>(
+      1000.0 * static_cast<double>(payload.size()) / std::max(1.0, bps));
+  SimTime& tx_free = (sender == c->a) ? c->tx_free_a_to_b : c->tx_free_b_to_a;
+  SimTime start = std::max(events_.now(), tx_free);
+  SimTime done = start + SimDuration::millis(transfer_ms);
+  tx_free = done;
+  SimTime arrival = done + c->latency;
+
+  events_.schedule_at(arrival, [this, conn, receiver, payload = std::move(payload)]() mutable {
+    deliver(conn, receiver, std::move(payload));
+  });
+}
+
+void Network::deliver(ConnId conn, NodeId to, util::Bytes payload) {
+  // Graceful-close semantics: bytes sent while the connection was open are
+  // delivered even if a close raced them (as TCP flushes before FIN); only
+  // receiver death drops them.
+  auto* c = find_conn(conn);
+  if (!c) return;
+  Node* n = node(to);
+  if (!n) return;
+  ++messages_delivered_;
+  bytes_delivered_ += payload.size();
+  n->on_message(conn, payload);
+}
+
+void Network::close(ConnId conn, NodeId closer) {
+  auto* c = find_conn(conn);
+  if (!c || c->closed) return;
+  c->closed = true;
+  bool was_open = c->open;
+  c->open = false;
+  NodeId peer = (closer == c->a) ? c->b : c->a;
+  if (was_open) {
+    events_.schedule_in(c->latency, [this, conn, peer] {
+      if (Node* n = node(peer)) n->on_connection_closed(conn);
+    });
+  }
+  // Reclaim the entry once the close notification and any short in-flight
+  // messages have had time to land; later arrivals are dropped (RST-like).
+  events_.schedule_in(c->latency * 2 + SimDuration::seconds(10),
+                      [this, conn] { conns_.erase(conn); });
+}
+
+bool Network::connection_open(ConnId conn) const {
+  const auto* c = find_conn(conn);
+  return c && c->open && !c->closed;
+}
+
+NodeId Network::peer_of(ConnId conn, NodeId self) const {
+  const auto* c = find_conn(conn);
+  if (!c) return kInvalidNode;
+  if (c->a == self) return c->b;
+  if (c->b == self) return c->a;
+  return kInvalidNode;
+}
+
+void Network::schedule_node(NodeId id, SimDuration delay, std::function<void()> fn) {
+  if (id >= slots_.size()) return;
+  std::uint64_t gen = slots_[id].generation;
+  events_.schedule_in(delay, [this, id, gen, fn = std::move(fn)] {
+    if (id < slots_.size() && slots_[id].node && slots_[id].generation == gen) fn();
+  });
+}
+
+std::size_t Network::open_connection_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(conns_.begin(), conns_.end(),
+                    [](const auto& kv) { return kv.second.open && !kv.second.closed; }));
+}
+
+Network::Connection* Network::find_conn(ConnId id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+const Network::Connection* Network::find_conn(ConnId id) const {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,186 @@
+// Simulated connection-oriented network.
+//
+// This replaces the live Internet underneath the P2P protocol stacks. It
+// models the three properties the study's results actually depend on:
+//
+//  * reachability — hosts behind NAT cannot accept incoming connections
+//    (which is why Gnutella needs PUSH and why NATed hosts advertise
+//    private addresses in QueryHits);
+//  * latency — per-connection propagation delay drawn once at connect time;
+//  * bandwidth — transfer time proportional to message size, bounded by the
+//    slower of the sender's uplink and receiver's downlink, with
+//    per-direction serialization so back-to-back sends queue.
+//
+// Single-threaded on top of EventQueue; all callbacks fire from the event
+// loop, never re-entrantly from inside send()/connect().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/bytes.h"
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace p2p::sim {
+
+using NodeId = std::uint32_t;
+using ConnId = std::uint64_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr ConnId kInvalidConn = static_cast<ConnId>(-1);
+
+/// Static description of a host as seen from the network.
+struct HostProfile {
+  /// Address the host believes it has and advertises in protocol messages.
+  /// For a host behind a misconfigured NAT this is an RFC 1918 address —
+  /// the root cause of the paper's "28% of malicious responses come from
+  /// private address ranges" observation.
+  util::Ipv4 ip;
+  std::uint16_t port = 6346;
+  /// Cannot accept incoming connections (incoming connect() fails).
+  bool behind_nat = false;
+  /// Bytes per second. Defaults approximate 2006-era broadband.
+  double uplink_bps = 48'000.0;
+  double downlink_bps = 150'000.0;
+};
+
+class Network;
+
+/// Behaviour attached to a simulated host. Protocol servents subclass this.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once after the node is added and assigned an id.
+  virtual void start() {}
+  /// Incoming connection admission control (e.g. max-connection limits).
+  virtual bool accept_connection(NodeId from) {
+    (void)from;
+    return true;
+  }
+  /// Connection became open (both for initiated and accepted connections).
+  virtual void on_connection_open(ConnId conn, NodeId peer, bool initiated) {
+    (void)conn;
+    (void)peer;
+    (void)initiated;
+  }
+  /// An initiated connection failed (unreachable, refused, or target gone).
+  virtual void on_connection_failed(ConnId conn, NodeId target) {
+    (void)conn;
+    (void)target;
+  }
+  virtual void on_message(ConnId conn, const util::Bytes& payload) = 0;
+  virtual void on_connection_closed(ConnId conn) { (void)conn; }
+
+  /// Set by Network::add_node.
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Network& network() const { return *network_; }
+
+ private:
+  friend class Network;
+  NodeId id_ = kInvalidNode;
+  Network* network_ = nullptr;
+};
+
+/// The simulated network: owns nodes, connections, and the event queue.
+class Network {
+ public:
+  /// Latency bounds for newly established connections.
+  struct LatencyModel {
+    SimDuration min = SimDuration::millis(20);
+    SimDuration max = SimDuration::millis(250);
+  };
+
+  explicit Network(std::uint64_t seed);
+
+  EventQueue& events() { return events_; }
+  [[nodiscard]] SimTime now() const { return events_.now(); }
+  util::Rng& rng() { return rng_; }
+
+  // -- Node lifecycle -------------------------------------------------------
+
+  NodeId add_node(std::unique_ptr<Node> node, HostProfile profile);
+  /// Remove a node (churn). All its connections close; queued deliveries
+  /// to/from it are dropped.
+  void remove_node(NodeId id);
+  [[nodiscard]] bool alive(NodeId id) const;
+  [[nodiscard]] Node* node(NodeId id);
+  [[nodiscard]] const HostProfile& profile(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return alive_count_; }
+
+  /// Find the (publicly reachable) node listening on `ep`, if any.
+  [[nodiscard]] std::optional<NodeId> lookup(const util::Endpoint& ep) const;
+
+  // -- Connections ----------------------------------------------------------
+
+  /// Begin connecting. Returns a ConnId immediately; the outcome arrives
+  /// later as on_connection_open or on_connection_failed on the initiator.
+  ConnId connect(NodeId from, NodeId to);
+
+  /// Send a payload over an open connection from `sender`'s side.
+  /// Silently drops if the connection is no longer open (mirrors TCP send
+  /// after FIN — the study treats those bytes as lost).
+  void send(ConnId conn, NodeId sender, util::Bytes payload);
+
+  /// Close from either side; the peer gets on_connection_closed after one
+  /// propagation delay.
+  void close(ConnId conn, NodeId closer);
+
+  [[nodiscard]] bool connection_open(ConnId conn) const;
+  /// The other endpoint of `conn` relative to `self`.
+  [[nodiscard]] NodeId peer_of(ConnId conn, NodeId self) const;
+
+  // -- Timers ---------------------------------------------------------------
+
+  /// Schedule a callback owned by a node; skipped if the node is removed
+  /// before it fires.
+  void schedule_node(NodeId id, SimDuration delay, std::function<void()> fn);
+
+  // -- Introspection for tests / stats --------------------------------------
+
+  [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
+  [[nodiscard]] std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  [[nodiscard]] std::size_t open_connection_count() const;
+
+  LatencyModel latency_model;
+
+ private:
+  struct Slot {
+    std::unique_ptr<Node> node;  // null after removal
+    HostProfile profile;
+    std::uint64_t generation = 0;
+  };
+  struct Connection {
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    SimDuration latency;
+    bool open = false;     // true once accepted
+    bool closed = false;   // terminal
+    // Earliest time each direction's uplink is free (serialization).
+    SimTime tx_free_a_to_b;
+    SimTime tx_free_b_to_a;
+  };
+
+  Connection* find_conn(ConnId id);
+  const Connection* find_conn(ConnId id) const;
+  void deliver(ConnId conn, NodeId to, util::Bytes payload);
+  SimDuration draw_latency();
+
+  EventQueue events_;
+  util::Rng rng_;
+  std::vector<Slot> slots_;
+  std::size_t alive_count_ = 0;
+  std::unordered_map<ConnId, Connection> conns_;
+  std::map<util::Endpoint, NodeId> listeners_;
+  ConnId next_conn_ = 1;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace p2p::sim

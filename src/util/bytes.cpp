@@ -1,0 +1,159 @@
+#include "util/bytes.h"
+
+#include <cstring>
+
+namespace p2p::util {
+
+void ByteWriter::u16le(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32le(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u64le(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u16be(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void ByteWriter::u32be(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::cstr(std::string_view s) {
+  str(s);
+  buf_.push_back(0);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) throw BufferUnderflow{};
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16le() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32le() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64le() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::uint16_t ByteReader::u16be() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32be() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+Bytes ByteReader::bytes(std::size_t n) {
+  require(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::cstr() {
+  std::size_t end = pos_;
+  while (end < data_.size() && data_[end] != 0) ++end;
+  if (end == data_.size()) throw BufferUnderflow{};
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), end - pos_);
+  pos_ = end + 1;
+  return out;
+}
+
+std::string ByteReader::str(std::size_t n) {
+  require(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_val(hex[i]);
+    int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,93 @@
+// Byte-buffer primitives used by every wire-format module.
+//
+// Gnutella 0.6 is a little-endian binary protocol; OpenFT uses big-endian
+// (network order) framing. ByteWriter/ByteReader therefore expose both
+// orders explicitly; callers never do manual shifting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2p::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Error thrown when a reader runs past the end of its buffer.
+/// Protocol handlers catch this to drop malformed messages.
+class BufferUnderflow : public std::runtime_error {
+ public:
+  BufferUnderflow() : std::runtime_error("buffer underflow") {}
+};
+
+/// Append-only serializer. Grows an owned Bytes vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16le(std::uint16_t v);
+  void u32le(std::uint32_t v);
+  void u64le(std::uint64_t v);
+  void u16be(std::uint16_t v);
+  void u32be(std::uint32_t v);
+
+  /// Raw bytes, no length prefix.
+  void bytes(std::span<const std::uint8_t> data);
+  /// String bytes, no terminator.
+  void str(std::string_view s);
+  /// String bytes followed by a single NUL (Gnutella query criteria).
+  void cstr(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Non-owning sequential deserializer over a byte span.
+/// All reads throw BufferUnderflow past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16le();
+  [[nodiscard]] std::uint32_t u32le();
+  [[nodiscard]] std::uint64_t u64le();
+  [[nodiscard]] std::uint16_t u16be();
+  [[nodiscard]] std::uint32_t u32be();
+
+  /// Read exactly n bytes.
+  [[nodiscard]] Bytes bytes(std::size_t n);
+  /// Read up to and excluding the next NUL; consumes the NUL.
+  [[nodiscard]] std::string cstr();
+  /// Read exactly n bytes as a string.
+  [[nodiscard]] std::string str(std::size_t n);
+
+  void skip(std::size_t n);
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex encoding of a byte span, lowercase, no separators.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Inverse of to_hex. Returns nullopt on odd length or non-hex chars.
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace p2p::util

@@ -1,0 +1,46 @@
+// A shared registry of bootstrap endpoints (the GWebCache / node-file
+// stand-in used by both protocol stacks). The population builder maintains
+// it; joining nodes sample from it.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/ip.h"
+#include "util/rng.h"
+
+namespace p2p::util {
+
+class EndpointCache {
+ public:
+  void add(const Endpoint& ep) {
+    if (std::find(hosts_.begin(), hosts_.end(), ep) == hosts_.end()) {
+      hosts_.push_back(ep);
+    }
+  }
+
+  void remove(const Endpoint& ep) {
+    hosts_.erase(std::remove(hosts_.begin(), hosts_.end(), ep), hosts_.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+  [[nodiscard]] const std::vector<Endpoint>& hosts() const { return hosts_; }
+
+  /// Up to n distinct endpoints, uniformly sampled without replacement.
+  [[nodiscard]] std::vector<Endpoint> sample(Rng& rng, std::size_t n) const {
+    std::vector<Endpoint> pool = hosts_;
+    std::vector<Endpoint> out;
+    while (out.size() < n && !pool.empty()) {
+      std::size_t i = rng.index(pool.size());
+      out.push_back(pool[i]);
+      pool[i] = pool.back();
+      pool.pop_back();
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Endpoint> hosts_;
+};
+
+}  // namespace p2p::util

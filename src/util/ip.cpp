@@ -1,0 +1,63 @@
+#include "util/ip.h"
+
+#include <charconv>
+
+namespace p2p::util {
+
+std::string_view to_string(IpClass c) {
+  switch (c) {
+    case IpClass::kPublic: return "public";
+    case IpClass::kPrivate: return "private";
+    case IpClass::kLoopback: return "loopback";
+    case IpClass::kLinkLocal: return "link-local";
+    case IpClass::kReserved: return "reserved";
+  }
+  return "unknown";
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view s) {
+  std::uint32_t addr = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || next == p || value > 255) return std::nullopt;
+    addr = (addr << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4{addr};
+}
+
+std::string Ipv4::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 3; i >= 0; --i) {
+    out += std::to_string((addr_ >> (8 * i)) & 0xff);
+    if (i > 0) out += '.';
+  }
+  return out;
+}
+
+IpClass Ipv4::classify() const {
+  const std::uint32_t a = addr_ >> 24;
+  if (a == 0) return IpClass::kReserved;
+  if (a == 10) return IpClass::kPrivate;
+  if (a == 127) return IpClass::kLoopback;
+  if (a == 172 && ((addr_ >> 16) & 0xff) >= 16 && ((addr_ >> 16) & 0xff) <= 31) {
+    return IpClass::kPrivate;
+  }
+  if (a == 192 && ((addr_ >> 16) & 0xff) == 168) return IpClass::kPrivate;
+  if (a == 169 && ((addr_ >> 16) & 0xff) == 254) return IpClass::kLinkLocal;
+  if (a >= 224) return IpClass::kReserved;  // multicast + future use + bcast
+  return IpClass::kPublic;
+}
+
+std::string Endpoint::str() const { return ip.str() + ":" + std::to_string(port); }
+
+}  // namespace p2p::util

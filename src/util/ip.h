@@ -1,0 +1,60 @@
+// IPv4 address model with the RFC 1918 / special-range classification the
+// paper's source analysis depends on ("28% of all malicious responses in
+// Limewire come from private address ranges").
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace p2p::util {
+
+/// Address-space class of an IPv4 address, per RFC 1918 / RFC 5735.
+enum class IpClass {
+  kPublic,
+  kPrivate,    // 10/8, 172.16/12, 192.168/16
+  kLoopback,   // 127/8
+  kLinkLocal,  // 169.254/16
+  kReserved,   // 0/8, 224/4 multicast, 240/4 future use, 255.255.255.255
+};
+
+[[nodiscard]] std::string_view to_string(IpClass c);
+
+/// A value-type IPv4 address (host byte order internally).
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr_(std::uint32_t{a} << 24 | std::uint32_t{b} << 16 |
+              std::uint32_t{c} << 8 | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad. Returns nullopt on malformed input.
+  static std::optional<Ipv4> parse(std::string_view s);
+
+  [[nodiscard]] std::uint32_t value() const { return addr_; }
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] IpClass classify() const;
+  [[nodiscard]] bool is_private() const { return classify() == IpClass::kPrivate; }
+  [[nodiscard]] bool is_publicly_routable() const {
+    return classify() == IpClass::kPublic;
+  }
+
+  auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+/// Transport endpoint: address + port.
+struct Endpoint {
+  Ipv4 ip;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string str() const;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+}  // namespace p2p::util

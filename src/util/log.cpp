@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace p2p::util {
+
+namespace {
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view msg) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(level).size()), level_name(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Measurement runs are long; the default level is
+// kWarn so studies stay quiet unless asked. Thread safety is not needed:
+// the discrete-event simulator is single-threaded by design.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace p2p::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+// Usage: P2P_LOG(kInfo, "gnutella") << "query hit from " << ep.str();
+#define P2P_LOG(level, component)                                          \
+  if (!::p2p::util::Logger::instance().enabled(::p2p::util::LogLevel::level)) \
+    ;                                                                      \
+  else                                                                     \
+    ::p2p::util::detail::LogLine(::p2p::util::LogLevel::level, (component))
+
+}  // namespace p2p::util

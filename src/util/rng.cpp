@@ -1,0 +1,139 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2p::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::bounded(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::bounded: bound must be > 0");
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(bounded(span));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(bounded(size));
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+void Rng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    std::uint64_t v = next();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  if (i < out.size()) {
+    std::uint64_t v = next();
+    while (i < out.size()) {
+      out[i++] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  }
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfSampler::pmf");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("DiscreteSampler: empty weights");
+  cdf_.reserve(weights.size());
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("DiscreteSampler: negative weight");
+    sum += w;
+    cdf_.push_back(sum);
+  }
+  if (sum <= 0.0) throw std::invalid_argument("DiscreteSampler: zero total weight");
+  for (auto& v : cdf_) v /= sum;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,89 @@
+// Deterministic randomness for the whole framework.
+//
+// Every run of a study is driven by a single seed; all population, content,
+// churn and workload randomness derives from it, so a run is reproducible
+// byte-for-byte. We implement xoshiro256** seeded via SplitMix64 rather than
+// using std::mt19937 so the stream is stable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace p2p::util {
+
+/// SplitMix64 — used to expand a 64-bit seed into xoshiro state, and handy
+/// as a cheap stateless mixer for hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded from a single u64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next();
+
+  /// Uniform on [0, bound). bound must be > 0. Unbiased (rejection method).
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform integer on [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real on [0, 1).
+  double uniform01();
+
+  /// Uniform real on [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponentially distributed with given mean (> 0).
+  double exponential(double mean);
+
+  /// Uniformly pick an index into a container of given size (> 0).
+  std::size_t index(std::size_t size);
+
+  /// Derive an independent child generator (e.g. one per peer).
+  Rng fork();
+
+  /// Fill a span with random bytes.
+  void fill(std::span<std::uint8_t> out);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s, n) sampler over ranks 1..n, via precomputed CDF + binary search.
+/// P2P content popularity is classically Zipf-like; this drives both shared
+/// file popularity and query popularity.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Returns a rank in [0, n). Rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  /// Probability mass of rank k.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Sample from explicit, not necessarily normalized, weights.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,42 @@
+// Small string helpers shared across modules (keyword tokenizing for the
+// Gnutella shared-file index, case folding for query matching, etc.).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2p::util {
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Split on any char in `delims`, dropping empty pieces.
+[[nodiscard]] std::vector<std::string> split(std::string_view s,
+                                             std::string_view delims);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Tokenize a filename or query into lowercase keywords: split on
+/// non-alphanumeric, drop tokens shorter than 2 chars (Gnutella QRP-style).
+[[nodiscard]] std::vector<std::string> keywords(std::string_view s);
+
+/// True if every keyword of `query` appears as a keyword of `text`
+/// (the match rule a Gnutella shared-file index applies).
+[[nodiscard]] bool keyword_match(std::string_view query, std::string_view text);
+
+/// Case-insensitive suffix test (file extension checks).
+[[nodiscard]] bool ends_with_icase(std::string_view s, std::string_view suffix);
+
+/// Lowercased extension without the dot ("Setup.EXE" -> "exe"); empty if none.
+[[nodiscard]] std::string extension(std::string_view filename);
+
+/// printf-style double formatting helper used by report tables.
+[[nodiscard]] std::string format_pct(double fraction, int decimals = 1);
+
+/// Thousands-separated integer ("1234567" -> "1,234,567").
+[[nodiscard]] std::string format_count(std::uint64_t n);
+
+}  // namespace p2p::util

@@ -1,0 +1,26 @@
+// ASCII table renderer for the paper-table emitters and bench reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace p2p::util {
+
+/// Column-aligned text table. Benches use it to print each reproduced
+/// paper table in the same rows/columns the paper reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule and 2-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,153 @@
+#include "malware/aho_corasick.h"
+
+#include <gtest/gtest.h>
+
+namespace p2p::malware {
+namespace {
+
+util::Bytes bytes_of(std::string_view s) { return util::Bytes(s.begin(), s.end()); }
+
+TEST(AhoCorasick, FindsSinglePattern) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("needle"));
+  ac.build();
+  auto text = bytes_of("hay needle stack");
+  auto matches = ac.find_all(text);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].pattern, 0u);
+  EXPECT_EQ(matches[0].end, 10u);  // "hay needle" = 10 chars
+}
+
+TEST(AhoCorasick, FindsMultiplePatterns) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("he"));
+  ac.add_pattern(bytes_of("she"));
+  ac.add_pattern(bytes_of("his"));
+  ac.add_pattern(bytes_of("hers"));
+  ac.build();
+  auto matches = ac.find_all(bytes_of("ushers"));
+  // "ushers" contains "she" (end 4), "he" (end 4), "hers" (end 6).
+  ASSERT_EQ(matches.size(), 3u);
+  std::set<std::size_t> found;
+  for (const auto& m : matches) found.insert(m.pattern);
+  EXPECT_TRUE(found.contains(0));  // he
+  EXPECT_TRUE(found.contains(1));  // she
+  EXPECT_TRUE(found.contains(3));  // hers
+  EXPECT_FALSE(found.contains(2));  // his
+}
+
+TEST(AhoCorasick, OverlappingOccurrences) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("aa"));
+  ac.build();
+  auto matches = ac.find_all(bytes_of("aaaa"));
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(AhoCorasick, DuplicatePatternReportsBoth) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("x"));
+  ac.add_pattern(bytes_of("x"));
+  ac.build();
+  auto matches = ac.find_all(bytes_of("x"));
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(AhoCorasick, ContainsAnyShortCircuits) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("virus"));
+  ac.build();
+  EXPECT_TRUE(ac.contains_any(bytes_of("this file has a virus inside")));
+  EXPECT_FALSE(ac.contains_any(bytes_of("perfectly clean content")));
+  EXPECT_FALSE(ac.contains_any({}));
+}
+
+TEST(AhoCorasick, FindDistinctDeduplicates) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("ab"));
+  ac.add_pattern(bytes_of("cd"));
+  ac.build();
+  auto distinct = ac.find_distinct(bytes_of("ab ab cd ab"));
+  ASSERT_EQ(distinct.size(), 2u);
+  EXPECT_EQ(distinct[0], 0u);  // discovery order
+  EXPECT_EQ(distinct[1], 1u);
+}
+
+TEST(AhoCorasick, BinaryPatterns) {
+  AhoCorasick ac;
+  util::Bytes sig = {0xEB, 0xFE, 0x00, 0xFF, 0x13};
+  ac.add_pattern(sig);
+  ac.build();
+  util::Bytes text(100, 0x41);
+  EXPECT_FALSE(ac.contains_any(text));
+  text.insert(text.begin() + 50, sig.begin(), sig.end());
+  EXPECT_TRUE(ac.contains_any(text));
+}
+
+TEST(AhoCorasick, PatternAtStartAndEnd) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("start"));
+  ac.add_pattern(bytes_of("end"));
+  ac.build();
+  auto matches = ac.find_all(bytes_of("start middle end"));
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(AhoCorasick, PatternLongerThanText) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("very long pattern"));
+  ac.build();
+  EXPECT_FALSE(ac.contains_any(bytes_of("short")));
+}
+
+TEST(AhoCorasick, PrefixPatterns) {
+  AhoCorasick ac;
+  ac.add_pattern(bytes_of("abc"));
+  ac.add_pattern(bytes_of("abcdef"));
+  ac.build();
+  auto distinct = ac.find_distinct(bytes_of("abcdef"));
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST(AhoCorasick, UsageErrors) {
+  AhoCorasick ac;
+  EXPECT_THROW(ac.add_pattern({}), std::invalid_argument);
+  EXPECT_THROW((void)ac.find_all(bytes_of("x")), std::logic_error);  // not built
+  ac.add_pattern(bytes_of("p"));
+  ac.build();
+  EXPECT_THROW(ac.build(), std::logic_error);                      // double build
+  EXPECT_THROW(ac.add_pattern(bytes_of("q")), std::logic_error);   // add after build
+}
+
+// Property: every pattern planted at a random offset is found.
+class PlantedPattern : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlantedPattern, Found) {
+  int n_patterns = GetParam();
+  AhoCorasick ac;
+  std::vector<util::Bytes> patterns;
+  for (int p = 0; p < n_patterns; ++p) {
+    util::Bytes pat(8);
+    for (int i = 0; i < 8; ++i) {
+      pat[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(0x80 + p * 13 + i * 7);
+    }
+    ac.add_pattern(pat);
+    patterns.push_back(std::move(pat));
+  }
+  ac.build();
+  util::Bytes text(2000, 0x20);
+  for (int p = 0; p < n_patterns; ++p) {
+    std::size_t offset = static_cast<std::size_t>(100 + p * 150);
+    std::copy(patterns[static_cast<std::size_t>(p)].begin(),
+              patterns[static_cast<std::size_t>(p)].end(),
+              text.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  auto distinct = ac.find_distinct(text);
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(n_patterns));
+}
+
+INSTANTIATE_TEST_SUITE_P(PatternCounts, PlantedPattern, ::testing::Values(1, 2, 5, 12));
+
+}  // namespace
+}  // namespace p2p::malware

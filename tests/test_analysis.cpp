@@ -1,0 +1,217 @@
+// Analysis-statistics tests over hand-built record sets with known answers.
+#include "analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/csv.h"
+
+namespace p2p::analysis {
+namespace {
+
+using crawler::ResponseRecord;
+
+ResponseRecord record(std::string filename, bool downloaded, bool infected,
+                      std::string strain, std::uint64_t size = 1000,
+                      std::string source = "1.2.3.4:10/x", int day = 0) {
+  ResponseRecord r;
+  r.network = "test";
+  r.at = util::SimTime::zero() + util::SimDuration::days(day) +
+         util::SimDuration::hours(1);
+  r.filename = std::move(filename);
+  r.type_by_name = files::classify_extension(r.filename);
+  r.size = size;
+  r.downloaded = downloaded;
+  r.download_attempted = true;
+  r.infected = infected;
+  // Distinct strain names need distinct ids (strain_ranking keys on id).
+  r.strain = infected ? static_cast<malware::StrainId>(
+                            std::hash<std::string>{}(strain) & 0x7fffffff)
+                      : malware::kCleanStrain;
+  r.strain_name = std::move(strain);
+  r.content_key = r.filename + std::to_string(size);
+  r.source_key = source;
+  auto colon = source.find(':');
+  r.source_ip = util::Ipv4::parse(source.substr(0, colon)).value_or(util::Ipv4{});
+  return r;
+}
+
+TEST(Prevalence, CountsStudyTypesOnly) {
+  std::vector<ResponseRecord> records = {
+      record("a.mp3", false, false, ""),          // not a study type
+      record("b.exe", true, true, "W32.X"),
+      record("c.exe", true, false, ""),
+      record("d.zip", true, true, "W32.X"),
+      record("e.zip", false, false, ""),          // study type, not labeled
+  };
+  auto s = prevalence(records);
+  EXPECT_EQ(s.total_responses, 5u);
+  EXPECT_EQ(s.study_responses, 4u);
+  EXPECT_EQ(s.labeled, 3u);
+  EXPECT_EQ(s.infected, 2u);
+  EXPECT_NEAR(s.malicious_fraction(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(s.exe_labeled, 2u);
+  EXPECT_EQ(s.exe_infected, 1u);
+  EXPECT_EQ(s.archive_labeled, 1u);
+  EXPECT_EQ(s.archive_infected, 1u);
+  EXPECT_DOUBLE_EQ(s.exe_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(s.archive_fraction(), 1.0);
+}
+
+TEST(Prevalence, EmptyIsZero) {
+  std::vector<ResponseRecord> none;
+  auto s = prevalence(none);
+  EXPECT_EQ(s.total_responses, 0u);
+  EXPECT_DOUBLE_EQ(s.malicious_fraction(), 0.0);
+}
+
+TEST(StrainRanking, OrdersByResponses) {
+  std::vector<ResponseRecord> records;
+  for (int i = 0; i < 6; ++i) records.push_back(record("a.exe", true, true, "Big"));
+  for (int i = 0; i < 3; ++i) records.push_back(record("b.exe", true, true, "Mid"));
+  records.push_back(record("c.exe", true, true, "Small"));
+  records.push_back(record("clean.exe", true, false, ""));
+
+  auto ranking = strain_ranking(records);
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].name, "Big");
+  EXPECT_EQ(ranking[0].responses, 6u);
+  EXPECT_NEAR(ranking[0].share, 0.6, 1e-9);
+  EXPECT_EQ(ranking[1].name, "Mid");
+  EXPECT_EQ(ranking[2].name, "Small");
+
+  EXPECT_NEAR(topk_share(ranking, 1), 0.6, 1e-9);
+  EXPECT_NEAR(topk_share(ranking, 2), 0.9, 1e-9);
+  EXPECT_NEAR(topk_share(ranking, 3), 1.0, 1e-9);
+  EXPECT_NEAR(topk_share(ranking, 10), 1.0, 1e-9);
+}
+
+TEST(StrainRanking, CountsDistinctContentsAndSources) {
+  std::vector<ResponseRecord> records = {
+      record("a.exe", true, true, "X", 100, "1.1.1.1:5/a"),
+      record("a.exe", true, true, "X", 100, "2.2.2.2:5/b"),
+      record("b.exe", true, true, "X", 200, "1.1.1.1:5/a"),
+  };
+  auto ranking = strain_ranking(records);
+  ASSERT_EQ(ranking.size(), 1u);
+  EXPECT_EQ(ranking[0].distinct_contents, 2u);
+  EXPECT_EQ(ranking[0].distinct_sources, 2u);
+}
+
+TEST(Sources, ClassifiesAndComputesPrivateShare) {
+  std::vector<ResponseRecord> records = {
+      record("a.exe", true, true, "X", 100, "8.8.8.8:1/a"),
+      record("a.exe", true, true, "X", 100, "192.168.1.2:1/b"),
+      record("a.exe", true, true, "X", 100, "10.0.0.3:1/c"),
+      record("a.exe", true, true, "X", 100, "7.7.7.7:1/d"),
+      record("clean.exe", true, false, "", 100, "192.168.9.9:1/e"),  // clean ignored
+  };
+  auto s = sources(records);
+  EXPECT_EQ(s.malicious_responses, 4u);
+  EXPECT_EQ(s.by_class[util::IpClass::kPrivate], 2u);
+  EXPECT_EQ(s.by_class[util::IpClass::kPublic], 2u);
+  EXPECT_NEAR(s.private_fraction, 0.5, 1e-9);
+  EXPECT_EQ(s.distinct_sources, 4u);
+}
+
+TEST(Sources, TopSourcesOrdered) {
+  std::vector<ResponseRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(record("a.exe", true, true, "X", 100, "1.1.1.1:5/hot"));
+  }
+  records.push_back(record("a.exe", true, true, "X", 100, "2.2.2.2:5/cold"));
+  auto s = sources(records, 1);
+  ASSERT_EQ(s.top_sources.size(), 1u);
+  EXPECT_EQ(s.top_sources[0].first, "1.1.1.1:5/hot");
+  EXPECT_EQ(s.top_sources[0].second, 5u);
+}
+
+TEST(StrainSourceConcentration, SingleHostStrain) {
+  std::vector<ResponseRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(record("g.exe", true, true, "Gobbler", 100, "9.9.9.9:1/ss"));
+  }
+  records.push_back(record("o.exe", true, true, "Other", 100, "1.1.1.1:1/a"));
+  records.push_back(record("o.exe", true, true, "Other", 100, "2.2.2.2:1/b"));
+
+  auto conc = strain_source_concentration(records);
+  ASSERT_EQ(conc.size(), 2u);
+  EXPECT_EQ(conc[0].name, "Gobbler");
+  EXPECT_EQ(conc[0].distinct_sources, 1u);
+  EXPECT_DOUBLE_EQ(conc[0].top_source_share, 1.0);
+  EXPECT_EQ(conc[1].name, "Other");
+  EXPECT_DOUBLE_EQ(conc[1].top_source_share, 0.5);
+}
+
+TEST(SizeDistribution, GroupsByExactSize) {
+  std::vector<ResponseRecord> records = {
+      record("a.exe", true, true, "X", 500),
+      record("b.exe", true, true, "X", 500),
+      record("c.exe", true, false, "", 500),
+      record("d.exe", true, false, "", 777),
+  };
+  auto buckets = size_distribution(records);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].size, 500u);
+  EXPECT_EQ(buckets[0].malicious, 2u);
+  EXPECT_EQ(buckets[0].clean, 1u);
+  EXPECT_EQ(buckets[1].size, 777u);
+}
+
+TEST(SizesPerStrain, CollectsDistinctSizes) {
+  std::vector<ResponseRecord> records = {
+      record("a.exe", true, true, "X", 500),
+      record("b.exe", true, true, "X", 500),
+      record("c.exe", true, true, "X", 600),
+      record("d.exe", true, true, "Y", 700),
+  };
+  auto sizes = sizes_per_strain(records);
+  EXPECT_EQ(sizes["X"], (std::set<std::uint64_t>{500, 600}));
+  EXPECT_EQ(sizes["Y"], (std::set<std::uint64_t>{700}));
+}
+
+TEST(DailySeries, BinsByDayAndAccumulatesStrains) {
+  std::vector<ResponseRecord> records = {
+      record("a.exe", true, true, "X", 100, "1.1.1.1:1/a", 0),
+      record("b.exe", true, false, "", 100, "1.1.1.1:1/a", 0),
+      record("c.exe", true, true, "Y", 100, "1.1.1.1:1/a", 1),
+      record("d.exe", true, true, "X", 100, "1.1.1.1:1/a", 2),
+  };
+  auto series = daily_series(records);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].day, 0);
+  EXPECT_EQ(series[0].labeled, 2u);
+  EXPECT_EQ(series[0].infected, 1u);
+  EXPECT_DOUBLE_EQ(series[0].malicious_fraction(), 0.5);
+  EXPECT_EQ(series[0].cumulative_strains, 1u);
+  EXPECT_EQ(series[1].cumulative_strains, 2u);
+  EXPECT_EQ(series[2].cumulative_strains, 2u);  // X already known
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::vector<ResponseRecord> records = {
+      record("plain.exe", true, true, "W32.X", 500, "8.8.8.8:9/a"),
+      record("has,comma.exe", true, false, "", 600),
+  };
+  std::ostringstream out;
+  write_csv(out, records);
+  std::string text = out.str();
+  EXPECT_NE(text.find("id,network,"), std::string::npos);
+  EXPECT_NE(text.find("source_key"), std::string::npos);
+  EXPECT_NE(text.find("plain.exe"), std::string::npos);
+  EXPECT_NE(text.find("\"has,comma.exe\""), std::string::npos);
+  EXPECT_NE(text.find("W32.X"), std::string::npos);
+  // header + 2 rows
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Csv, EscapesQuotes) {
+  auto r = record("say \"hi\".exe", true, false, "");
+  std::ostringstream out;
+  write_csv(out, std::vector<ResponseRecord>{r});
+  EXPECT_NE(out.str().find("\"say \"\"hi\"\".exe\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2p::analysis

@@ -1,0 +1,151 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace p2p::util {
+namespace {
+
+TEST(ByteWriter, WritesLittleEndian) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16le(0x1234);
+  w.u32le(0xDEADBEEF);
+  const Bytes& b = w.data();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0xEF);
+  EXPECT_EQ(b[4], 0xBE);
+  EXPECT_EQ(b[5], 0xAD);
+  EXPECT_EQ(b[6], 0xDE);
+}
+
+TEST(ByteWriter, WritesBigEndian) {
+  ByteWriter w;
+  w.u16be(0x1234);
+  w.u32be(0xCAFEBABE);
+  const Bytes& b = w.data();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x12);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0xCA);
+  EXPECT_EQ(b[3], 0xFE);
+  EXPECT_EQ(b[4], 0xBA);
+  EXPECT_EQ(b[5], 0xBE);
+}
+
+TEST(ByteWriter, CstrAppendsNul) {
+  ByteWriter w;
+  w.cstr("hi");
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.data()[2], 0u);
+}
+
+TEST(ByteReader, RoundTripsAllWidths) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16le(65535);
+  w.u32le(123456789);
+  w.u64le(0x0123456789ABCDEFull);
+  w.u16be(4096);
+  w.u32be(0xFEEDFACE);
+  Bytes wire = std::move(w).take();
+
+  ByteReader r(wire);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16le(), 65535);
+  EXPECT_EQ(r.u32le(), 123456789u);
+  EXPECT_EQ(r.u64le(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.u16be(), 4096);
+  EXPECT_EQ(r.u32be(), 0xFEEDFACEu);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, CstrStopsAtNul) {
+  ByteWriter w;
+  w.cstr("alpha");
+  w.cstr("beta");
+  Bytes wire = std::move(w).take();
+  ByteReader r(wire);
+  EXPECT_EQ(r.cstr(), "alpha");
+  EXPECT_EQ(r.cstr(), "beta");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, CstrWithoutNulThrows) {
+  Bytes wire = {'a', 'b', 'c'};
+  ByteReader r(wire);
+  EXPECT_THROW((void)r.cstr(), BufferUnderflow);
+}
+
+TEST(ByteReader, UnderflowThrows) {
+  Bytes wire = {1, 2};
+  ByteReader r(wire);
+  EXPECT_THROW((void)r.u32le(), BufferUnderflow);
+  // Failed read must not consume anything.
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.u16le(), 0x0201);
+}
+
+TEST(ByteReader, SkipAndPosition) {
+  Bytes wire = {1, 2, 3, 4, 5};
+  ByteReader r(wire);
+  r.skip(2);
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.skip(3), BufferUnderflow);
+}
+
+TEST(ByteReader, BytesExtractsExactRange) {
+  Bytes wire = {9, 8, 7, 6};
+  ByteReader r(wire);
+  r.skip(1);
+  Bytes mid = r.bytes(2);
+  EXPECT_EQ(mid, (Bytes{8, 7}));
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xAB, 0xFF};
+  std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "0001abff");
+  auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, RejectsNonHex) { EXPECT_FALSE(from_hex("zz").has_value()); }
+
+TEST(Hex, AcceptsUppercase) {
+  auto v = from_hex("AB");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 0xAB);
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  auto v = from_hex("");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->empty());
+}
+
+// Property: any byte vector survives a hex round trip.
+class HexRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HexRoundTrip, Survives) {
+  Bytes data(GetParam());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  auto back = from_hex(to_hex(data));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HexRoundTrip,
+                         ::testing::Values(0, 1, 2, 15, 64, 255, 1000));
+
+}  // namespace
+}  // namespace p2p::util

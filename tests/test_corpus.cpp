@@ -1,0 +1,146 @@
+#include "files/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "files/file_types.h"
+#include "util/strings.h"
+
+namespace p2p::files {
+namespace {
+
+CorpusConfig small_config() {
+  CorpusConfig cfg;
+  cfg.seed = 77;
+  cfg.num_titles = 300;
+  return cfg;
+}
+
+TEST(Corpus, DeterministicAcrossInstances) {
+  ContentCatalog a(small_config());
+  ContentCatalog b(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 17) {
+    EXPECT_EQ(a.entry(i).name, b.entry(i).name);
+    EXPECT_EQ(a.entry(i).size, b.entry(i).size);
+    EXPECT_EQ(a.content(i)->sha1(), b.content(i)->sha1());
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  CorpusConfig cfg2 = small_config();
+  cfg2.seed = 78;
+  ContentCatalog a(small_config());
+  ContentCatalog b(cfg2);
+  int same = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (a.entry(i).name == b.entry(i).name) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Corpus, AdvertisedSizeMatchesContent) {
+  ContentCatalog catalog(small_config());
+  for (std::size_t i = 0; i < catalog.size(); i += 13) {
+    EXPECT_EQ(catalog.entry(i).size, catalog.content(i)->size()) << i;
+  }
+}
+
+TEST(Corpus, ContentMagicMatchesType) {
+  ContentCatalog catalog(small_config());
+  for (std::size_t i = 0; i < catalog.size(); i += 11) {
+    const auto& entry = catalog.entry(i);
+    auto content = catalog.content(i);
+    FileType magic = content->type_by_magic();
+    switch (entry.type) {
+      case FileType::kAudio: EXPECT_EQ(magic, FileType::kAudio); break;
+      case FileType::kVideo: EXPECT_EQ(magic, FileType::kVideo); break;
+      case FileType::kExecutable: EXPECT_EQ(magic, FileType::kExecutable); break;
+      case FileType::kArchive: EXPECT_EQ(magic, FileType::kArchive); break;
+      case FileType::kImage: EXPECT_EQ(magic, FileType::kImage); break;
+      case FileType::kDocument: EXPECT_EQ(magic, FileType::kDocument); break;
+      default: break;
+    }
+  }
+}
+
+TEST(Corpus, ExtensionMatchesType) {
+  ContentCatalog catalog(small_config());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(classify_extension(catalog.entry(i).name), catalog.entry(i).type) << i;
+  }
+}
+
+TEST(Corpus, QueryMatchesName) {
+  // A work's natural query must keyword-match its filename, or honest
+  // sharers could never be found.
+  ContentCatalog catalog(small_config());
+  for (std::size_t i = 0; i < catalog.size(); i += 7) {
+    const auto& e = catalog.entry(i);
+    EXPECT_TRUE(util::keyword_match(e.query, e.name))
+        << "query '" << e.query << "' vs name '" << e.name << "'";
+  }
+}
+
+TEST(Corpus, TypeMixRoughlyMatchesConfig) {
+  CorpusConfig cfg;
+  cfg.seed = 5;
+  cfg.num_titles = 3000;
+  ContentCatalog catalog(cfg);
+  std::map<FileType, int> counts;
+  for (std::size_t i = 0; i < catalog.size(); ++i) ++counts[catalog.entry(i).type];
+  auto frac = [&](FileType t) {
+    return static_cast<double>(counts[t]) / static_cast<double>(catalog.size());
+  };
+  EXPECT_NEAR(frac(FileType::kAudio), cfg.frac_audio, 0.05);
+  EXPECT_NEAR(frac(FileType::kVideo), cfg.frac_video, 0.04);
+  EXPECT_NEAR(frac(FileType::kExecutable), cfg.frac_executable, 0.03);
+  EXPECT_NEAR(frac(FileType::kArchive), cfg.frac_archive, 0.03);
+}
+
+TEST(Corpus, ZipfSamplingFavorsLowRanks) {
+  ContentCatalog catalog(small_config());
+  util::Rng rng(3);
+  std::size_t low = 0, high = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    std::size_t r = catalog.sample(rng);
+    if (r < 30) ++low;
+    if (r >= 270) ++high;
+  }
+  EXPECT_GT(low, high * 2);
+}
+
+TEST(Corpus, PopularityDecreasesWithRank) {
+  ContentCatalog catalog(small_config());
+  EXPECT_GT(catalog.popularity(0), catalog.popularity(10));
+  EXPECT_GT(catalog.popularity(10), catalog.popularity(200));
+}
+
+TEST(Corpus, ContentIsCached) {
+  ContentCatalog catalog(small_config());
+  auto a = catalog.content(5);
+  auto b = catalog.content(5);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(Corpus, ArchivesAreValidZips) {
+  ContentCatalog catalog(small_config());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog.entry(i).type != FileType::kArchive) continue;
+    EXPECT_EQ(catalog.content(i)->type_by_magic(), FileType::kArchive) << i;
+  }
+}
+
+TEST(Corpus, RejectsEmptyCatalog) {
+  CorpusConfig cfg;
+  cfg.num_titles = 0;
+  EXPECT_THROW(ContentCatalog{cfg}, std::invalid_argument);
+}
+
+TEST(Corpus, OutOfRangeThrows) {
+  ContentCatalog catalog(small_config());
+  EXPECT_THROW((void)catalog.entry(catalog.size()), std::out_of_range);
+  EXPECT_THROW((void)catalog.content(catalog.size()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace p2p::files

@@ -1,0 +1,126 @@
+// CSV export/import round trip: the offline-analysis path must reproduce
+// every field an analysis depends on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/csv.h"
+#include "analysis/stats.h"
+
+namespace p2p::analysis {
+namespace {
+
+crawler::ResponseRecord make_record(std::uint64_t id) {
+  crawler::ResponseRecord r;
+  r.id = id;
+  r.network = "limewire";
+  r.at = util::SimTime::at_millis(static_cast<std::int64_t>(id * 86'400'000 / 3));
+  r.query = id % 2 ? "plain query" : "query, with \"punctuation\"";
+  r.query_category = "software";
+  r.filename = id % 2 ? "file.exe" : "name, with \"quotes\".zip";
+  r.type_by_name = files::classify_extension(r.filename);
+  r.type_by_magic =
+      id % 2 ? files::FileType::kExecutable : files::FileType::kArchive;
+  r.size = 1000 + id * 7;
+  r.source_ip = id % 3 ? util::Ipv4(8, 8, 8, static_cast<std::uint8_t>(id))
+                       : util::Ipv4(192, 168, 1, static_cast<std::uint8_t>(id));
+  r.source_port = static_cast<std::uint16_t>(6000 + id);
+  r.source_key = r.source_ip.str() + ":" + std::to_string(r.source_port) + "/ab";
+  r.source_firewalled = id % 2 == 0;
+  r.content_key = "hash" + std::to_string(id % 5);
+  r.download_attempted = true;
+  r.downloaded = id % 7 != 0;
+  r.infected = id % 3 == 0;
+  r.strain_name = r.infected ? "W32.Strain." + std::to_string(id % 2) : "";
+  r.strain = r.infected ? static_cast<malware::StrainId>(id % 2) : malware::kCleanStrain;
+  return r;
+}
+
+TEST(CsvRoundTrip, PreservesAnalysisFields) {
+  std::vector<crawler::ResponseRecord> records;
+  for (std::uint64_t i = 1; i <= 40; ++i) records.push_back(make_record(i));
+
+  std::stringstream io;
+  write_csv(io, records);
+  auto loaded = read_csv(io);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), records.size());
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& a = records[i];
+    const auto& b = (*loaded)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.network, b.network);
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.query, b.query);
+    EXPECT_EQ(a.query_category, b.query_category);
+    EXPECT_EQ(a.filename, b.filename);
+    EXPECT_EQ(a.type_by_name, b.type_by_name);
+    EXPECT_EQ(a.type_by_magic, b.type_by_magic);
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_EQ(a.source_ip, b.source_ip);
+    EXPECT_EQ(a.source_port, b.source_port);
+    EXPECT_EQ(a.source_key, b.source_key);
+    EXPECT_EQ(a.source_firewalled, b.source_firewalled);
+    EXPECT_EQ(a.content_key, b.content_key);
+    EXPECT_EQ(a.download_attempted, b.download_attempted);
+    EXPECT_EQ(a.downloaded, b.downloaded);
+    EXPECT_EQ(a.infected, b.infected);
+    EXPECT_EQ(a.strain_name, b.strain_name);
+  }
+}
+
+TEST(CsvRoundTrip, AnalysesAgreeAfterReload) {
+  std::vector<crawler::ResponseRecord> records;
+  for (std::uint64_t i = 1; i <= 200; ++i) records.push_back(make_record(i));
+
+  std::stringstream io;
+  write_csv(io, records);
+  auto loaded = read_csv(io);
+  ASSERT_TRUE(loaded.has_value());
+
+  auto before = prevalence(records);
+  auto after = prevalence(*loaded);
+  EXPECT_EQ(before.study_responses, after.study_responses);
+  EXPECT_EQ(before.labeled, after.labeled);
+  EXPECT_EQ(before.infected, after.infected);
+
+  auto rank_before = strain_ranking(records);
+  auto rank_after = strain_ranking(*loaded);
+  ASSERT_EQ(rank_before.size(), rank_after.size());
+  for (std::size_t i = 0; i < rank_before.size(); ++i) {
+    EXPECT_EQ(rank_before[i].name, rank_after[i].name);
+    EXPECT_EQ(rank_before[i].responses, rank_after[i].responses);
+  }
+
+  auto src_before = sources(records);
+  auto src_after = sources(*loaded);
+  EXPECT_EQ(src_before.malicious_responses, src_after.malicious_responses);
+  EXPECT_DOUBLE_EQ(src_before.private_fraction, src_after.private_fraction);
+}
+
+TEST(CsvRoundTrip, RejectsForeignHeader) {
+  std::stringstream io("a,b,c\n1,2,3\n");
+  EXPECT_FALSE(read_csv(io).has_value());
+}
+
+TEST(CsvRoundTrip, RejectsMalformedRow) {
+  std::vector<crawler::ResponseRecord> records = {make_record(1)};
+  std::stringstream io;
+  write_csv(io, records);
+  std::string text = io.str();
+  text += "not,a,valid,row\n";
+  std::stringstream io2(text);
+  EXPECT_FALSE(read_csv(io2).has_value());
+}
+
+TEST(CsvRoundTrip, EmptyLogRoundTrips) {
+  std::stringstream io;
+  write_csv(io, {});
+  auto loaded = read_csv(io);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace p2p::analysis

@@ -1,0 +1,104 @@
+// Passive-worm epidemic dynamics and the network-wide size-filter
+// countermeasure.
+#include "agents/epidemic.h"
+
+#include <gtest/gtest.h>
+
+#include "malware/catalogs.h"
+
+namespace p2p::agents {
+namespace {
+
+EpidemicSimulation::Config tiny_config() {
+  EpidemicSimulation::Config cfg;
+  cfg.seed = 77;
+  cfg.ultrapeers = 4;
+  cfg.users = 40;
+  cfg.initial_infected = 2;
+  cfg.duration = sim::SimDuration::days(3);
+  cfg.sample_interval = sim::SimDuration::hours(12);
+  cfg.corpus.num_titles = 200;
+  cfg.behavior.mean_query_interval = sim::SimDuration::minutes(20);
+  return cfg;
+}
+
+TEST(SwitchableAnswerer, CleanUntilInfected) {
+  auto cat = malware::limewire_catalog();
+  auto store = std::make_shared<malware::ArtifactStore>(cat.strains, 5);
+  gnutella::SharedFileIndex index;
+  index.add(std::make_shared<const files::FileContent>("legit song.mp3",
+                                                       util::Bytes(100, 1)));
+  SwitchableAnswerer answerer(store, 0, std::move(index), 9);
+
+  EXPECT_FALSE(answerer.infected());
+  EXPECT_EQ(answerer.answer("anything").size(), 0u);
+  EXPECT_EQ(answerer.answer("legit song").size(), 1u);
+
+  gnutella::QueryRouteTable clean_qrt(13);
+  answerer.populate_qrt(clean_qrt);
+  EXPECT_LT(clean_qrt.fill_ratio(), 0.01);
+
+  answerer.infect();
+  EXPECT_TRUE(answerer.infected());
+  auto results = answerer.answer("anything");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].filename, "anything.exe");
+  EXPECT_NE(answerer.resolve(results[0].index), nullptr);
+
+  gnutella::QueryRouteTable worm_qrt(13);
+  answerer.populate_qrt(worm_qrt);
+  EXPECT_DOUBLE_EQ(worm_qrt.fill_ratio(), 1.0);
+}
+
+TEST(Epidemic, WormSpreadsWithoutDefense) {
+  EpidemicSimulation sim(tiny_config());
+  sim.run();
+  const auto& curve = sim.infection_curve();
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_EQ(curve.front().infected, 2u);
+  EXPECT_GT(sim.infected_count(), 10u);  // clear growth within three days
+  // Monotone non-decreasing (no recovery in this model).
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].infected, curve[i - 1].infected);
+  }
+}
+
+TEST(Epidemic, SizeFilterContainsTheWorm) {
+  auto cfg = tiny_config();
+  cfg.deploy_size_filter = true;
+  EpidemicSimulation sim(cfg);
+  sim.run();
+  EXPECT_EQ(sim.infected_count(), cfg.initial_infected);
+  EXPECT_GT(sim.total_downloads_blocked(), 0u);
+}
+
+TEST(Epidemic, NoExecutionNoSpread) {
+  auto cfg = tiny_config();
+  cfg.behavior.execute_prob = 0.0;
+  EpidemicSimulation sim(cfg);
+  sim.run();
+  EXPECT_EQ(sim.infected_count(), cfg.initial_infected);
+}
+
+TEST(Epidemic, NoSeedsNoOutbreak) {
+  auto cfg = tiny_config();
+  cfg.initial_infected = 0;
+  EpidemicSimulation sim(cfg);
+  sim.run();
+  EXPECT_EQ(sim.infected_count(), 0u);
+}
+
+TEST(Epidemic, DeterministicForSameSeed) {
+  auto cfg = tiny_config();
+  EpidemicSimulation a(cfg);
+  a.run();
+  EpidemicSimulation b(cfg);
+  b.run();
+  ASSERT_EQ(a.infection_curve().size(), b.infection_curve().size());
+  for (std::size_t i = 0; i < a.infection_curve().size(); ++i) {
+    EXPECT_EQ(a.infection_curve()[i].infected, b.infection_curve()[i].infected);
+  }
+}
+
+}  // namespace
+}  // namespace p2p::agents

@@ -1,0 +1,93 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace p2p::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::at_millis(30), [&] { order.push_back(3); });
+  q.schedule_at(SimTime::at_millis(10), [&] { order.push_back(1); });
+  q.schedule_at(SimTime::at_millis(20), [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), SimTime::at_millis(30));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(SimTime::at_millis(10), [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesDuringExecution) {
+  EventQueue q;
+  SimTime seen;
+  q.schedule_at(SimTime::at_millis(42), [&] { seen = q.now(); });
+  q.run_all();
+  EXPECT_EQ(seen, SimTime::at_millis(42));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) q.schedule_in(SimDuration::millis(10), tick);
+  };
+  q.schedule_in(SimDuration::millis(10), tick);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), SimTime::at_millis(50));
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(SimTime::at_millis(100), [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(SimTime::at_millis(50), [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsQueued) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(SimTime::at_millis(10), [&] { ++ran; });
+  q.schedule_at(SimTime::at_millis(100), [&] { ++ran; });
+  q.run_until(SimTime::at_millis(50));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), SimTime::at_millis(50));
+  q.run_until(SimTime::at_millis(200));
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, RunUntilInclusiveOfBoundary) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule_at(SimTime::at_millis(50), [&] { ran = true; });
+  q.run_until(SimTime::at_millis(50));
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_in(SimDuration::millis(1), [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, CountsExecuted) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_in(SimDuration::millis(i), [] {});
+  q.run_all();
+  EXPECT_EQ(q.executed(), 7u);
+}
+
+}  // namespace
+}  // namespace p2p::sim

@@ -1,0 +1,189 @@
+// Filtering framework tests: the size-based filter (the paper's proposal),
+// the LimeWire-builtin baseline, and the evaluation harness.
+#include <gtest/gtest.h>
+
+#include "filter/evaluation.h"
+#include "filter/limewire_builtin.h"
+#include "filter/size_filter.h"
+
+namespace p2p::filter {
+namespace {
+
+using crawler::ResponseRecord;
+
+ResponseRecord record(std::string filename, std::uint64_t size, bool infected,
+                      std::string strain, std::string content_key = "",
+                      int day = 0) {
+  ResponseRecord r;
+  r.filename = std::move(filename);
+  r.type_by_name = files::classify_extension(r.filename);
+  r.size = size;
+  r.downloaded = true;
+  r.download_attempted = true;
+  r.infected = infected;
+  r.strain_name = std::move(strain);
+  r.content_key = content_key.empty() ? r.filename + std::to_string(size)
+                                      : std::move(content_key);
+  r.at = util::SimTime::zero() + util::SimDuration::days(day);
+  return r;
+}
+
+std::vector<ResponseRecord> worm_training() {
+  std::vector<ResponseRecord> records;
+  // Dominant strain with two sizes (one more common).
+  for (int i = 0; i < 30; ++i) records.push_back(record("q1.exe", 58'368, true, "Worm.A", "a1"));
+  for (int i = 0; i < 10; ++i) records.push_back(record("q2.exe", 58'880, true, "Worm.A", "a2"));
+  // Second strain, one size.
+  for (int i = 0; i < 8; ++i) records.push_back(record("q3.zip", 46'080, true, "Troj.B", "b1"));
+  // Rare strain.
+  records.push_back(record("q4.exe", 102'400, true, "Rare.C", "c1"));
+  // Clean traffic.
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(record("app" + std::to_string(i) + ".exe",
+                             10'000 + static_cast<std::uint64_t>(i) * 131, false, ""));
+  }
+  return records;
+}
+
+TEST(SizeFilter, LearnsTopStrainSizes) {
+  auto training = worm_training();
+  SizeFilterConfig cfg;
+  cfg.top_strains = 2;
+  cfg.sizes_per_strain = 3;
+  auto filter = SizeFilter::learn(training, cfg);
+  EXPECT_EQ(filter.blocked_sizes(),
+            (std::set<std::uint64_t>{58'368, 58'880, 46'080}));
+}
+
+TEST(SizeFilter, TopStrainsLimitRespected) {
+  auto training = worm_training();
+  SizeFilterConfig cfg;
+  cfg.top_strains = 1;
+  auto filter = SizeFilter::learn(training, cfg);
+  EXPECT_EQ(filter.blocked_sizes(), (std::set<std::uint64_t>{58'368, 58'880}));
+}
+
+TEST(SizeFilter, SizesPerStrainLimitRespected) {
+  auto training = worm_training();
+  SizeFilterConfig cfg;
+  cfg.top_strains = 1;
+  cfg.sizes_per_strain = 1;
+  auto filter = SizeFilter::learn(training, cfg);
+  // Keeps the most commonly seen size only.
+  EXPECT_EQ(filter.blocked_sizes(), (std::set<std::uint64_t>{58'368}));
+}
+
+TEST(SizeFilter, BlocksBySizeRegardlessOfName) {
+  SizeFilter filter({58'368});
+  EXPECT_TRUE(filter.blocks(record("anything at all.exe", 58'368, false, "")));
+  EXPECT_TRUE(filter.blocks(record("renamed.zip", 58'368, false, "")));
+  EXPECT_FALSE(filter.blocks(record("same name.exe", 58'369, false, "")));
+}
+
+TEST(SizeFilter, IgnoresNonStudyTypes) {
+  SizeFilter filter({58'368});
+  EXPECT_FALSE(filter.blocks(record("song.mp3", 58'368, false, "")));
+}
+
+TEST(SizeFilter, HighDetectionLowFalsePositivesOnHeldOut) {
+  auto training = worm_training();
+  auto filter = SizeFilter::learn(training);
+
+  std::vector<ResponseRecord> eval;
+  for (int i = 0; i < 50; ++i) {
+    eval.push_back(record("new query echo.exe", i % 3 == 0 ? 58'880 : 58'368, true,
+                          "Worm.A", i % 3 == 0 ? "a2" : "a1"));
+  }
+  for (int i = 0; i < 40; ++i) {
+    eval.push_back(record("clean" + std::to_string(i) + ".exe",
+                          20'000 + static_cast<std::uint64_t>(i) * 977, false, ""));
+  }
+  auto result = evaluate(filter, eval);
+  EXPECT_EQ(result.malicious, 50u);
+  EXPECT_EQ(result.true_positives, 50u);
+  EXPECT_DOUBLE_EQ(result.detection_rate(), 1.0);
+  EXPECT_EQ(result.false_positives, 0u);
+}
+
+TEST(SizeFilter, FalsePositiveOnExactCollision) {
+  SizeFilter filter({40'000});
+  auto clean = record("legit tool.exe", 40'000, false, "");
+  auto result = evaluate(filter, std::vector<ResponseRecord>{clean});
+  EXPECT_EQ(result.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(result.false_positive_rate(), 1.0);
+}
+
+TEST(BuiltinFilter, BlocksByHashAndKeyword) {
+  LimewireBuiltinFilter filter({"deadbeef"}, {"screensaver_pack"});
+  auto by_hash = record("x.exe", 100, true, "T", "deadbeef");
+  EXPECT_TRUE(filter.blocks(by_hash));
+  auto by_keyword = record("FREE screensaver_pack.exe", 100, true, "T", "other");
+  EXPECT_TRUE(filter.blocks(by_keyword));
+  auto unblocked = record("fresh worm.exe", 100, true, "T", "fresh");
+  EXPECT_FALSE(filter.blocks(unblocked));
+}
+
+TEST(BuiltinFilter, MakeBuiltinKnowsTailFully) {
+  auto training = worm_training();
+  std::vector<std::string> known = {"Rare.C"};
+  auto filter = make_builtin_filter(training, known);
+  auto rare = record("q4.exe", 102'400, true, "Rare.C", "c1");
+  EXPECT_TRUE(filter.blocks(rare));
+  auto fresh_worm = record("new.exe", 58'368, true, "Worm.A", "a1");
+  EXPECT_FALSE(filter.blocks(fresh_worm));
+}
+
+TEST(BuiltinFilter, PartialKnowledgeMissesFreshestVariant) {
+  auto training = worm_training();
+  std::vector<std::string> known;
+  std::vector<std::string> partial = {"Worm.A"};
+  auto filter = make_builtin_filter(training, known, partial);
+  // a1 (30 sightings) is the freshest/most-circulating — missed.
+  EXPECT_FALSE(filter.blocks(record("w.exe", 58'368, true, "Worm.A", "a1")));
+  // a2 (10 sightings) is yesterday's variant — known.
+  EXPECT_TRUE(filter.blocks(record("w.exe", 58'880, true, "Worm.A", "a2")));
+}
+
+TEST(Evaluation, SkipsUnlabeledAndNonStudy) {
+  SizeFilter filter({500});
+  std::vector<ResponseRecord> records;
+  auto unlabeled = record("a.exe", 500, true, "X");
+  unlabeled.downloaded = false;
+  records.push_back(unlabeled);
+  records.push_back(record("song.mp3", 500, false, ""));
+  auto result = evaluate(filter, records);
+  EXPECT_EQ(result.malicious + result.clean, 0u);
+}
+
+TEST(Evaluation, RatesWithEmptyDenominators) {
+  FilterEvaluation e;
+  EXPECT_DOUBLE_EQ(e.detection_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(e.false_positive_rate(), 0.0);
+}
+
+TEST(Split, ByDayBoundary) {
+  std::vector<ResponseRecord> records = {
+      record("a.exe", 1, false, "", "", 0),
+      record("b.exe", 1, false, "", "", 0),
+      record("c.exe", 1, false, "", "", 3),
+      record("d.exe", 1, false, "", "", 5),
+  };
+  auto split = split_at_day(records, 3);
+  EXPECT_EQ(split.training.size(), 2u);
+  EXPECT_EQ(split.evaluation.size(), 2u);
+}
+
+TEST(Split, ByFraction) {
+  std::vector<ResponseRecord> records;
+  for (int i = 0; i < 10; ++i) records.push_back(record("a.exe", 1, false, ""));
+  auto split = split_at_fraction(records, 0.3);
+  EXPECT_EQ(split.training.size(), 3u);
+  EXPECT_EQ(split.evaluation.size(), 7u);
+  auto all = split_at_fraction(records, 1.5);
+  EXPECT_EQ(all.training.size(), 10u);
+  auto none = split_at_fraction(records, -1.0);
+  EXPECT_EQ(none.training.size(), 0u);
+}
+
+}  // namespace
+}  // namespace p2p::filter

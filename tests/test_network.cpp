@@ -1,0 +1,231 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace p2p::sim {
+namespace {
+
+/// Records everything that happens to it; optionally refuses connections.
+class ProbeNode : public Node {
+ public:
+  struct Event {
+    std::string kind;
+    ConnId conn = kInvalidConn;
+    NodeId peer = kInvalidNode;
+    util::Bytes payload;
+  };
+
+  bool accept = true;
+  std::vector<Event> events;
+
+  bool accept_connection(NodeId from) override {
+    events.push_back({"accept?", kInvalidConn, from, {}});
+    return accept;
+  }
+  void on_connection_open(ConnId conn, NodeId peer, bool initiated) override {
+    events.push_back({initiated ? "open-out" : "open-in", conn, peer, {}});
+  }
+  void on_connection_failed(ConnId conn, NodeId target) override {
+    events.push_back({"failed", conn, target, {}});
+  }
+  void on_message(ConnId conn, const util::Bytes& payload) override {
+    events.push_back({"msg", conn, kInvalidNode, payload});
+  }
+  void on_connection_closed(ConnId conn) override {
+    events.push_back({"closed", conn, kInvalidNode, {}});
+  }
+
+  [[nodiscard]] int count(const std::string& kind) const {
+    int n = 0;
+    for (const auto& e : events) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+};
+
+struct Fixture {
+  Network net{1234};
+  ProbeNode* a = nullptr;
+  ProbeNode* b = nullptr;
+  NodeId a_id = kInvalidNode;
+  NodeId b_id = kInvalidNode;
+
+  explicit Fixture(bool b_nat = false) {
+    auto na = std::make_unique<ProbeNode>();
+    auto nb = std::make_unique<ProbeNode>();
+    a = na.get();
+    b = nb.get();
+    HostProfile pa;
+    pa.ip = util::Ipv4(1, 1, 1, 1);
+    pa.port = 1000;
+    HostProfile pb;
+    pb.ip = util::Ipv4(2, 2, 2, 2);
+    pb.port = 2000;
+    pb.behind_nat = b_nat;
+    a_id = net.add_node(std::move(na), pa);
+    b_id = net.add_node(std::move(nb), pb);
+  }
+};
+
+TEST(Network, ConnectDeliversOpenOnBothSides) {
+  Fixture f;
+  ConnId c = f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  EXPECT_EQ(f.b->count("open-in"), 1);
+  EXPECT_EQ(f.a->count("open-out"), 1);
+  EXPECT_TRUE(f.net.connection_open(c));
+  EXPECT_EQ(f.net.peer_of(c, f.a_id), f.b_id);
+  EXPECT_EQ(f.net.peer_of(c, f.b_id), f.a_id);
+}
+
+TEST(Network, ConnectToNatTargetFails) {
+  Fixture f(/*b_nat=*/true);
+  f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  EXPECT_EQ(f.a->count("failed"), 1);
+  EXPECT_EQ(f.b->count("open-in"), 0);
+}
+
+TEST(Network, NatNodeCanInitiate) {
+  Fixture f(/*b_nat=*/true);
+  f.net.connect(f.b_id, f.a_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  EXPECT_EQ(f.b->count("open-out"), 1);
+  EXPECT_EQ(f.a->count("open-in"), 1);
+}
+
+TEST(Network, RefusedConnectionFails) {
+  Fixture f;
+  f.b->accept = false;
+  f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  EXPECT_EQ(f.a->count("failed"), 1);
+  EXPECT_EQ(f.b->count("open-in"), 0);
+}
+
+TEST(Network, MessagesArriveInOrder) {
+  Fixture f;
+  ConnId c = f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  f.net.send(c, f.a_id, {1});
+  f.net.send(c, f.a_id, {2});
+  f.net.send(c, f.a_id, {3});
+  f.net.events().run_until(SimTime::at_millis(60'000));
+  ASSERT_EQ(f.b->count("msg"), 3);
+  std::vector<std::uint8_t> seen;
+  for (const auto& e : f.b->events) {
+    if (e.kind == "msg") seen.push_back(e.payload[0]);
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Network, LargerMessagesTakeLonger) {
+  Fixture f;
+  ConnId c = f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  SimTime start = f.net.now();
+
+  util::Bytes big(48'000);  // one second at the default 48 kB/s uplink
+  f.net.send(c, f.a_id, std::move(big));
+  f.net.events().run_until(start + SimDuration::millis(500));
+  EXPECT_EQ(f.b->count("msg"), 0);  // still in transfer
+  f.net.events().run_until(start + SimDuration::seconds(5));
+  EXPECT_EQ(f.b->count("msg"), 1);
+}
+
+TEST(Network, SendsSerializePerDirection) {
+  Fixture f;
+  ConnId c = f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  SimTime start = f.net.now();
+  // Two 1-second transfers back to back: second arrives ~2s after start.
+  f.net.send(c, f.a_id, util::Bytes(48'000));
+  f.net.send(c, f.a_id, util::Bytes(48'000));
+  f.net.events().run_until(start + SimDuration::millis(1'600));
+  EXPECT_EQ(f.b->count("msg"), 1);
+  f.net.events().run_until(start + SimDuration::seconds(6));
+  EXPECT_EQ(f.b->count("msg"), 2);
+}
+
+TEST(Network, CloseNotifiesPeerAndStopsNewSends) {
+  Fixture f;
+  ConnId c = f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  f.net.close(c, f.a_id);
+  EXPECT_FALSE(f.net.connection_open(c));
+  f.net.send(c, f.a_id, {1});  // dropped silently
+  f.net.events().run_until(SimTime::at_millis(60'000));
+  EXPECT_EQ(f.b->count("closed"), 1);
+  EXPECT_EQ(f.b->count("msg"), 0);
+}
+
+TEST(Network, InFlightMessageSurvivesClose) {
+  Fixture f;
+  ConnId c = f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  f.net.send(c, f.a_id, {42});
+  f.net.close(c, f.a_id);  // close races the in-flight byte
+  f.net.events().run_until(SimTime::at_millis(60'000));
+  EXPECT_EQ(f.b->count("msg"), 1);
+}
+
+TEST(Network, RemoveNodeClosesConnectionsAndDropsDeliveries) {
+  Fixture f;
+  ConnId c = f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  f.net.send(c, f.b_id, {7});
+  f.net.remove_node(f.a_id);
+  EXPECT_FALSE(f.net.alive(f.a_id));
+  EXPECT_EQ(f.net.node_count(), 1u);
+  f.net.events().run_until(SimTime::at_millis(60'000));
+  // a is gone (its node object was destroyed); b is notified of the close.
+  EXPECT_EQ(f.b->count("closed"), 1);
+}
+
+TEST(Network, LookupFindsPublicListeners) {
+  Fixture f(/*b_nat=*/true);
+  auto found = f.net.lookup(util::Endpoint{util::Ipv4(1, 1, 1, 1), 1000});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, f.a_id);
+  // NATed nodes are not reachable by endpoint.
+  EXPECT_FALSE(f.net.lookup(util::Endpoint{util::Ipv4(2, 2, 2, 2), 2000}).has_value());
+  // Unknown endpoint.
+  EXPECT_FALSE(f.net.lookup(util::Endpoint{util::Ipv4(9, 9, 9, 9), 1}).has_value());
+}
+
+TEST(Network, LookupForgetsRemovedNodes) {
+  Fixture f;
+  f.net.remove_node(f.a_id);
+  EXPECT_FALSE(f.net.lookup(util::Endpoint{util::Ipv4(1, 1, 1, 1), 1000}).has_value());
+}
+
+TEST(Network, ScheduleNodeSkipsRemoved) {
+  Fixture f;
+  int fired = 0;
+  f.net.schedule_node(f.a_id, SimDuration::seconds(1), [&] { ++fired; });
+  f.net.remove_node(f.a_id);
+  f.net.events().run_until(SimTime::at_millis(60'000));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Network, ScheduleNodeFiresForLiveNode) {
+  Fixture f;
+  int fired = 0;
+  f.net.schedule_node(f.a_id, SimDuration::seconds(1), [&] { ++fired; });
+  f.net.events().run_until(SimTime::at_millis(60'000));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Network, StatsCountDeliveries) {
+  Fixture f;
+  ConnId c = f.net.connect(f.a_id, f.b_id);
+  f.net.events().run_until(SimTime::at_millis(10'000));
+  f.net.send(c, f.a_id, {1, 2, 3});
+  f.net.events().run_until(SimTime::at_millis(60'000));
+  EXPECT_EQ(f.net.messages_delivered(), 1u);
+  EXPECT_EQ(f.net.bytes_delivered(), 3u);
+}
+
+}  // namespace
+}  // namespace p2p::sim

@@ -1,0 +1,149 @@
+// Report emitters and the bench study-result cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/study_cache.h"
+#include "core/report.h"
+
+namespace p2p {
+namespace {
+
+crawler::ResponseRecord sample_record(std::uint64_t id, bool infected) {
+  crawler::ResponseRecord r;
+  r.id = id;
+  r.network = "limewire";
+  r.at = util::SimTime::at_millis(static_cast<std::int64_t>(id) * 1000);
+  r.query = "test query";
+  r.query_category = "software";
+  r.filename = "file " + std::to_string(id) + ".exe";
+  r.type_by_name = files::FileType::kExecutable;
+  r.size = 1000 + id;
+  r.source_ip = util::Ipv4(10, 1, 2, 3);
+  r.source_port = 6346;
+  r.source_key = "10.1.2.3:6346/abcd";
+  r.source_firewalled = true;
+  r.content_key = "key" + std::to_string(id);
+  r.download_attempted = true;
+  r.downloaded = true;
+  r.infected = infected;
+  r.strain = infected ? 2 : malware::kCleanStrain;
+  r.strain_name = infected ? "W32.Test.A" : "";
+  r.type_by_magic = files::FileType::kExecutable;
+  return r;
+}
+
+TEST(Report, PrevalenceTableMentionsKeyNumbers) {
+  std::vector<crawler::ResponseRecord> records = {sample_record(1, true),
+                                                  sample_record(2, false)};
+  std::ostringstream out;
+  core::print_prevalence(out, "limewire", analysis::prevalence(records));
+  std::string text = out.str();
+  EXPECT_NE(text.find("limewire"), std::string::npos);
+  EXPECT_NE(text.find("50.0%"), std::string::npos);
+  EXPECT_NE(text.find("malicious"), std::string::npos);
+}
+
+TEST(Report, StrainRankingShowsTopkLines) {
+  std::vector<crawler::ResponseRecord> records = {sample_record(1, true),
+                                                  sample_record(2, true)};
+  std::ostringstream out;
+  core::print_strain_ranking(out, "limewire", analysis::strain_ranking(records));
+  std::string text = out.str();
+  EXPECT_NE(text.find("W32.Test.A"), std::string::npos);
+  EXPECT_NE(text.find("top-1 share: 100.0%"), std::string::npos);
+  EXPECT_NE(text.find("top-3 share: 100.0%"), std::string::npos);
+}
+
+TEST(Report, SourcesShowPrivateShare) {
+  std::vector<crawler::ResponseRecord> records = {sample_record(1, true)};
+  std::ostringstream out;
+  core::print_sources(out, "limewire", analysis::sources(records),
+                      analysis::strain_source_concentration(records));
+  std::string text = out.str();
+  EXPECT_NE(text.find("private"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+TEST(Report, CategoryBreakdownRenders) {
+  std::vector<crawler::ResponseRecord> records = {sample_record(1, true)};
+  std::ostringstream out;
+  core::print_category_breakdown(out, "limewire",
+                                 analysis::category_breakdown(records));
+  EXPECT_NE(out.str().find("software"), std::string::npos);
+}
+
+TEST(StudyCache, RoundTripsRecordsExactly) {
+  core::StudyResult original;
+  original.events_executed = 12345;
+  original.messages_delivered = 678;
+  original.bytes_delivered = 91011;
+  original.churn_joins = 12;
+  original.churn_leaves = 13;
+  original.crawl_stats.queries_sent = 14;
+  original.crawl_stats.responses = 15;
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    original.records.push_back(sample_record(i, i % 3 == 0));
+  }
+
+  std::string path = "test_cache_roundtrip.bin";
+  ASSERT_TRUE(bench::save_study(path, original));
+  core::StudyResult loaded;
+  ASSERT_TRUE(bench::load_study(path, loaded));
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.events_executed, original.events_executed);
+  EXPECT_EQ(loaded.messages_delivered, original.messages_delivered);
+  EXPECT_EQ(loaded.churn_joins, original.churn_joins);
+  EXPECT_EQ(loaded.crawl_stats.queries_sent, original.crawl_stats.queries_sent);
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+    const auto& a = original.records[i];
+    const auto& b = loaded.records[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.network, b.network);
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.query, b.query);
+    EXPECT_EQ(a.filename, b.filename);
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_EQ(a.source_ip, b.source_ip);
+    EXPECT_EQ(a.source_key, b.source_key);
+    EXPECT_EQ(a.source_firewalled, b.source_firewalled);
+    EXPECT_EQ(a.content_key, b.content_key);
+    EXPECT_EQ(a.downloaded, b.downloaded);
+    EXPECT_EQ(a.infected, b.infected);
+    EXPECT_EQ(a.strain, b.strain);
+    EXPECT_EQ(a.strain_name, b.strain_name);
+    EXPECT_EQ(a.type_by_name, b.type_by_name);
+    EXPECT_EQ(a.type_by_magic, b.type_by_magic);
+  }
+}
+
+TEST(StudyCache, RejectsMissingAndCorrupt) {
+  core::StudyResult result;
+  EXPECT_FALSE(bench::load_study("nonexistent_file.bin", result));
+
+  // Corrupt: truncated file.
+  core::StudyResult original;
+  original.records.push_back(sample_record(1, true));
+  std::string path = "test_cache_corrupt.bin";
+  ASSERT_TRUE(bench::save_study(path, original));
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+  EXPECT_FALSE(bench::load_study(path, result));
+  std::remove(path.c_str());
+}
+
+TEST(StudyCache, PathEncodesNameAndSeed) {
+  EXPECT_EQ(bench::cache_path("limewire", 2006), "bench_cache_limewire_2006.bin");
+}
+
+}  // namespace
+}  // namespace p2p

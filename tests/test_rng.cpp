@@ -1,0 +1,197 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace p2p::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Rng, BoundedZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.bounded(0), std::invalid_argument);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, RangeBadArgsThrow) {
+  Rng rng(9);
+  EXPECT_THROW(rng.range(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(19);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // Parent and child streams should not be identical.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, FillCoversWholeSpan) {
+  Rng rng(29);
+  std::vector<std::uint8_t> buf(37, 0);
+  rng.fill(buf);
+  // Chance all 37 bytes are zero is negligible.
+  int zeros = 0;
+  for (auto b : buf) {
+    if (b == 0) ++zeros;
+  }
+  EXPECT_LT(zeros, 10);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(50));
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(500, 0.8);
+  double sum = 0;
+  for (std::size_t i = 0; i < 500; ++i) sum += zipf.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, SamplesMatchPmf) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(31);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    double expected = zipf.pmf(k);
+    double observed = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(observed, expected, 0.01) << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, RejectsEmpty) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  std::vector<double> weights = {1.0, 3.0};
+  DiscreteSampler sampler(weights);
+  Rng rng(37);
+  int ones = 0;
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.sample(rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(DiscreteSampler, RejectsBadWeights) {
+  std::vector<double> empty;
+  EXPECT_THROW(DiscreteSampler{empty}, std::invalid_argument);
+  std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(DiscreteSampler{negative}, std::invalid_argument);
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{zeros}, std::invalid_argument);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled) {
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  DiscreteSampler sampler(weights);
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+// Property sweep: bounded() stays unbiased-ish for varied bounds.
+class RngBoundedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundedSweep, RoughlyUniform) {
+  std::uint64_t bound = GetParam();
+  Rng rng(bound * 977 + 1);
+  std::vector<int> counts(bound, 0);
+  const int n = static_cast<int>(bound) * 2000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(bound)];
+  double expected = static_cast<double>(n) / static_cast<double>(bound);
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], expected, expected * 0.2) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundedSweep, ::testing::Values(2, 3, 7, 10, 16));
+
+}  // namespace
+}  // namespace p2p::util

@@ -1,0 +1,70 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace p2p::util {
+namespace {
+
+TEST(SimDuration, UnitConstructors) {
+  EXPECT_EQ(SimDuration::seconds(2).count_ms(), 2000);
+  EXPECT_EQ(SimDuration::minutes(3).count_ms(), 180'000);
+  EXPECT_EQ(SimDuration::hours(1).count_ms(), 3'600'000);
+  EXPECT_EQ(SimDuration::days(2).count_ms(), 172'800'000);
+}
+
+TEST(SimDuration, Arithmetic) {
+  auto d = SimDuration::seconds(10) + SimDuration::millis(500);
+  EXPECT_EQ(d.count_ms(), 10'500);
+  EXPECT_EQ((d - SimDuration::seconds(10)).count_ms(), 500);
+  EXPECT_EQ((SimDuration::seconds(1) * 5).count_ms(), 5000);
+  EXPECT_EQ((SimDuration::seconds(5) / 5).count_ms(), 1000);
+  EXPECT_DOUBLE_EQ(SimDuration::millis(1500).as_seconds(), 1.5);
+}
+
+TEST(SimTime, AdvancesByDuration) {
+  SimTime t = SimTime::zero() + SimDuration::days(2) + SimDuration::hours(3);
+  EXPECT_EQ(t.whole_days(), 2);
+  EXPECT_EQ(t - SimTime::zero(), SimDuration::hours(51));
+}
+
+TEST(SimTime, Ordering) {
+  SimTime a = SimTime::at_millis(100);
+  SimTime b = SimTime::at_millis(200);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a + SimDuration::millis(100), b);
+}
+
+TEST(SimTime, FormatsDayAndTimeOfDay) {
+  SimTime t = SimTime::zero() + SimDuration::days(3) + SimDuration::hours(7) +
+              SimDuration::minutes(15) + SimDuration::seconds(2) +
+              SimDuration::millis(250);
+  EXPECT_EQ(t.str(), "d3 07:15:02.250");
+}
+
+TEST(SimTime, ZeroFormats) { EXPECT_EQ(SimTime::zero().str(), "d0 00:00:00.000"); }
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "count"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("name    count"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2p::util

@@ -1,0 +1,89 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace p2p::util {
+namespace {
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("AbC xY-Z"), "abc xy-z");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Split, DropsEmptyPieces) {
+  auto parts = split("a,,b,c,", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, MultipleDelimiters) {
+  auto parts = split("a b\tc", " \t");
+  ASSERT_EQ(parts.size(), 3u);
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Keywords, TokenizesLowercaseAlnum) {
+  auto kw = keywords("Blue Horizon - Midnight_Rain (Live).mp3");
+  std::vector<std::string> expected = {"blue", "horizon", "midnight",
+                                       "rain", "live", "mp3"};
+  EXPECT_EQ(kw, expected);
+}
+
+TEST(Keywords, DropsShortTokens) {
+  auto kw = keywords("a b cd");
+  ASSERT_EQ(kw.size(), 1u);
+  EXPECT_EQ(kw[0], "cd");
+}
+
+TEST(KeywordMatch, AllQueryTokensRequired) {
+  EXPECT_TRUE(keyword_match("blue rain", "blue horizon - midnight rain.mp3"));
+  EXPECT_FALSE(keyword_match("blue sun", "blue horizon - midnight rain.mp3"));
+  EXPECT_TRUE(keyword_match("RAIN", "Midnight Rain"));
+}
+
+TEST(KeywordMatch, EmptyQueryNeverMatches) {
+  EXPECT_FALSE(keyword_match("", "anything"));
+  EXPECT_FALSE(keyword_match("!!", "anything"));
+}
+
+TEST(EndsWithIcase, Works) {
+  EXPECT_TRUE(ends_with_icase("setup.EXE", ".exe"));
+  EXPECT_TRUE(ends_with_icase("a.zip", ".ZIP"));
+  EXPECT_FALSE(ends_with_icase("a.zipx", ".zip"));
+  EXPECT_FALSE(ends_with_icase("zip", ".zip"));
+}
+
+TEST(Extension, Basic) {
+  EXPECT_EQ(extension("Setup.EXE"), "exe");
+  EXPECT_EQ(extension("archive.tar.gz"), "gz");
+  EXPECT_EQ(extension("noext"), "");
+  EXPECT_EQ(extension("trailingdot."), "");
+  EXPECT_EQ(extension("dir.v2/file"), "");
+  EXPECT_EQ(extension("/shared/song.mp3"), "mp3");
+}
+
+TEST(FormatPct, Rounding) {
+  EXPECT_EQ(format_pct(0.684), "68.4%");
+  EXPECT_EQ(format_pct(0.9999, 2), "99.99%");
+  EXPECT_EQ(format_pct(0.0), "0.0%");
+  EXPECT_EQ(format_pct(1.0, 0), "100%");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(12), "12");
+  EXPECT_EQ(format_count(123456), "123,456");
+}
+
+}  // namespace
+}  // namespace p2p::util

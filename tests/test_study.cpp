@@ -1,0 +1,118 @@
+// End-to-end study invariants on heavily scaled-down configurations —
+// the full-size shape checks live in the bench binaries.
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+
+namespace p2p::core {
+namespace {
+
+LimewireStudyConfig tiny_limewire() {
+  LimewireStudyConfig cfg = limewire_quick();
+  cfg.population.ultrapeers = 6;
+  cfg.population.leaves = 80;
+  cfg.population.corpus.num_titles = 300;
+  cfg.crawl.duration = sim::SimDuration::hours(2);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(120);
+  cfg.workload_top_n = 50;
+  return cfg;
+}
+
+OpenFtStudyConfig tiny_openft() {
+  OpenFtStudyConfig cfg = openft_quick();
+  cfg.population.search_nodes = 4;
+  cfg.population.users = 60;
+  cfg.population.corpus.num_titles = 300;
+  cfg.crawl.duration = sim::SimDuration::hours(2);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(120);
+  cfg.workload_top_n = 50;
+  return cfg;
+}
+
+TEST(LimewireStudy, ProducesLabeledMaliciousMajority) {
+  auto result = run_limewire_study(tiny_limewire());
+  EXPECT_GT(result.records.size(), 100u);
+  auto s = analysis::prevalence(result.records);
+  EXPECT_GT(s.study_responses, 50u);
+  // Nearly all study responses should get labeled in this small network.
+  EXPECT_GT(static_cast<double>(s.labeled) / static_cast<double>(s.study_responses),
+            0.9);
+  // Malware dominates exe/zip responses on LimeWire (paper: 68%; tiny
+  // populations are noisy, so assert the band).
+  EXPECT_GT(s.malicious_fraction(), 0.4);
+  EXPECT_LT(s.malicious_fraction(), 0.95);
+}
+
+TEST(LimewireStudy, TopStrainsAreTheQueryEchoWorms) {
+  auto result = run_limewire_study(tiny_limewire());
+  auto ranking = analysis::strain_ranking(result.records);
+  ASSERT_GE(ranking.size(), 2u);
+  std::set<std::string> head = {ranking[0].name, ranking[1].name};
+  std::set<std::string> expected = {"W32.Mallet.A", "W32.Sprocket.B",
+                                    "Troj.Keymaker.C"};
+  for (const auto& name : head) {
+    EXPECT_TRUE(expected.contains(name)) << name;
+  }
+  EXPECT_GT(analysis::topk_share(ranking, 3), 0.9);
+}
+
+TEST(LimewireStudy, DeterministicForSameSeed) {
+  auto cfg = tiny_limewire();
+  auto a = run_limewire_study(cfg);
+  auto b = run_limewire_study(cfg);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  auto sa = analysis::prevalence(a.records);
+  auto sb = analysis::prevalence(b.records);
+  EXPECT_EQ(sa.infected, sb.infected);
+  EXPECT_EQ(sa.labeled, sb.labeled);
+}
+
+TEST(LimewireStudy, DifferentSeedsDiffer) {
+  auto cfg = tiny_limewire();
+  auto a = run_limewire_study(cfg);
+  cfg.seed += 1;
+  auto b = run_limewire_study(cfg);
+  EXPECT_NE(a.events_executed, b.events_executed);
+}
+
+TEST(OpenFtStudy, MalwareIsRareAndHeadIsSingleHost) {
+  auto result = run_openft_study(tiny_openft());
+  auto s = analysis::prevalence(result.records);
+  EXPECT_GT(s.labeled, 50u);
+  // OpenFT malware prevalence is an order of magnitude below LimeWire's.
+  EXPECT_LT(s.malicious_fraction(), 0.25);
+
+  auto conc = analysis::strain_source_concentration(result.records);
+  ASSERT_FALSE(conc.empty());
+  // The dominant strain comes from exactly one host (the super-spreader).
+  EXPECT_EQ(conc[0].name, "FT.Gobbler.A");
+  EXPECT_EQ(conc[0].distinct_sources, 1u);
+  EXPECT_DOUBLE_EQ(conc[0].top_source_share, 1.0);
+}
+
+TEST(OpenFtStudy, ChurnHappens) {
+  auto result = run_openft_study(tiny_openft());
+  EXPECT_GT(result.churn_joins, 10u);
+  EXPECT_GT(result.churn_leaves, 0u);
+}
+
+TEST(StudyPresets, StandardIsMonthScale) {
+  auto lw = limewire_standard();
+  EXPECT_EQ(lw.crawl.duration.count_ms(), sim::SimDuration::days(30).count_ms());
+  auto ft = openft_standard();
+  EXPECT_EQ(ft.crawl.duration.count_ms(), sim::SimDuration::days(30).count_ms());
+}
+
+TEST(StudyResult, CarriesRunStatistics) {
+  auto result = run_limewire_study(tiny_limewire());
+  EXPECT_GT(result.events_executed, 1000u);
+  EXPECT_GT(result.messages_delivered, 1000u);
+  EXPECT_GT(result.bytes_delivered, 10'000u);
+  EXPECT_FALSE(result.strain_catalog.strains.empty());
+}
+
+}  // namespace
+}  // namespace p2p::core

@@ -1,0 +1,118 @@
+#include "files/zip.h"
+
+#include <gtest/gtest.h>
+
+#include "files/file_types.h"
+
+namespace p2p::files {
+namespace {
+
+util::Bytes bytes_of(std::string_view s) { return util::Bytes(s.begin(), s.end()); }
+
+TEST(Zip, EmptyArchiveRoundTrips) {
+  util::Bytes archive = zip_pack({});
+  EXPECT_EQ(archive.size(), 22u);  // bare EOCD
+  auto members = zip_unpack(archive);
+  ASSERT_TRUE(members.has_value());
+  EXPECT_TRUE(members->empty());
+}
+
+TEST(Zip, SingleMemberRoundTrips) {
+  util::Bytes archive = zip_pack({{"hello.txt", bytes_of("hello world")}});
+  auto members = zip_unpack(archive);
+  ASSERT_TRUE(members.has_value());
+  ASSERT_EQ(members->size(), 1u);
+  EXPECT_EQ((*members)[0].name, "hello.txt");
+  EXPECT_EQ((*members)[0].data, bytes_of("hello world"));
+}
+
+TEST(Zip, HasRealMagic) {
+  util::Bytes archive = zip_pack({{"a", bytes_of("x")}});
+  EXPECT_EQ(classify_magic(archive), FileType::kArchive);
+}
+
+class ZipMemberCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZipMemberCount, RoundTrips) {
+  std::vector<ZipMember> in;
+  for (int i = 0; i < GetParam(); ++i) {
+    util::Bytes data(static_cast<std::size_t>(i * 97 + 1));
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      data[j] = static_cast<std::uint8_t>(i + j);
+    }
+    in.push_back({"member" + std::to_string(i) + ".dat", std::move(data)});
+  }
+  auto out = zip_unpack(zip_pack(in));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ((*out)[i].name, in[i].name);
+    EXPECT_EQ((*out)[i].data, in[i].data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ZipMemberCount, ::testing::Values(1, 2, 3, 7, 20));
+
+TEST(Zip, DetectsCorruptedData) {
+  util::Bytes archive = zip_pack({{"f", bytes_of("important payload")}});
+  // Flip a byte inside the member data: CRC must catch it.
+  archive[40] ^= 0xFF;
+  EXPECT_FALSE(zip_unpack(archive).has_value());
+}
+
+TEST(Zip, RejectsGarbage) {
+  EXPECT_FALSE(zip_unpack(bytes_of("this is not a zip file at all")).has_value());
+}
+
+TEST(Zip, RejectsTruncatedMidMember) {
+  util::Bytes archive = zip_pack({{"f", bytes_of("data here")}});
+  // Cut inside the first member's data (local header is 30 bytes + 1-byte
+  // name): the claimed 9 data bytes cannot be read.
+  archive.resize(35);
+  EXPECT_FALSE(zip_unpack(archive).has_value());
+}
+
+TEST(Zip, TruncatedAfterMemberRecoversCompleteMembers) {
+  util::Bytes payload = bytes_of("data here");
+  util::Bytes archive = zip_pack({{"f", payload}});
+  // Drop the central directory + EOCD: the complete member is still
+  // recoverable (streaming parse semantics).
+  archive.resize(30 + 1 + payload.size());
+  auto out = zip_unpack(archive);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].data, payload);
+}
+
+TEST(Zip, LooksValidProbe) {
+  util::Bytes good = zip_pack({{"f", bytes_of("x")}});
+  EXPECT_TRUE(zip_looks_valid(good));
+  EXPECT_FALSE(zip_looks_valid(bytes_of("short")));
+  EXPECT_FALSE(zip_looks_valid(bytes_of("long enough but not a zip archive at all....")));
+}
+
+TEST(Zip, EmptyMemberData) {
+  auto out = zip_unpack(zip_pack({{"empty", {}}}));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_TRUE((*out)[0].data.empty());
+}
+
+TEST(Zip, BinaryMemberData) {
+  util::Bytes data(512);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i & 0xFF);
+  }
+  auto out = zip_unpack(zip_pack({{"bin", data}}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ((*out)[0].data, data);
+}
+
+TEST(Zip, DeterministicOutput) {
+  auto a = zip_pack({{"f", bytes_of("same content")}});
+  auto b = zip_pack({{"f", bytes_of("same content")}});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace p2p::files
