@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a3_evasion.cpp" "bench/CMakeFiles/bench_a3_evasion.dir/bench_a3_evasion.cpp.o" "gcc" "bench/CMakeFiles/bench_a3_evasion.dir/bench_a3_evasion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p2p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/p2p_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/p2p_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/p2p_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/p2p_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnutella/CMakeFiles/p2p_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/openft/CMakeFiles/p2p_openft.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/p2p_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/files/CMakeFiles/p2p_files.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

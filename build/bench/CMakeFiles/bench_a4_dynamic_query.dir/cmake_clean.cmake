@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_dynamic_query.dir/bench_a4_dynamic_query.cpp.o"
+  "CMakeFiles/bench_a4_dynamic_query.dir/bench_a4_dynamic_query.cpp.o.d"
+  "bench_a4_dynamic_query"
+  "bench_a4_dynamic_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_dynamic_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

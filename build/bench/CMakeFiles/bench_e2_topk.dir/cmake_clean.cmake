@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_topk.dir/bench_e2_topk.cpp.o"
+  "CMakeFiles/bench_e2_topk.dir/bench_e2_topk.cpp.o.d"
+  "bench_e2_topk"
+  "bench_e2_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

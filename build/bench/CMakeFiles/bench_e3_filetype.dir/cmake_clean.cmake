@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_filetype.dir/bench_e3_filetype.cpp.o"
+  "CMakeFiles/bench_e3_filetype.dir/bench_e3_filetype.cpp.o.d"
+  "bench_e3_filetype"
+  "bench_e3_filetype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_filetype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_sources.dir/bench_e4_sources.cpp.o"
+  "CMakeFiles/bench_e4_sources.dir/bench_e4_sources.cpp.o.d"
+  "bench_e4_sources"
+  "bench_e4_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_filtering.dir/bench_e5_filtering.cpp.o"
+  "CMakeFiles/bench_e5_filtering.dir/bench_e5_filtering.cpp.o.d"
+  "bench_e5_filtering"
+  "bench_e5_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_timeseries.dir/bench_e6_timeseries.cpp.o"
+  "CMakeFiles/bench_e6_timeseries.dir/bench_e6_timeseries.cpp.o.d"
+  "bench_e6_timeseries"
+  "bench_e6_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

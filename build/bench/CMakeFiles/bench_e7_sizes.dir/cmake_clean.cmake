@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_sizes.dir/bench_e7_sizes.cpp.o"
+  "CMakeFiles/bench_e7_sizes.dir/bench_e7_sizes.cpp.o.d"
+  "bench_e7_sizes"
+  "bench_e7_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

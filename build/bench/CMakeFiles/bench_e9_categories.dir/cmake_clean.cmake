@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_categories.dir/bench_e9_categories.cpp.o"
+  "CMakeFiles/bench_e9_categories.dir/bench_e9_categories.cpp.o.d"
+  "bench_e9_categories"
+  "bench_e9_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

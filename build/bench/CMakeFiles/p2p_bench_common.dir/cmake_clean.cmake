@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_bench_common.dir/study_cache.cpp.o"
+  "CMakeFiles/p2p_bench_common.dir/study_cache.cpp.o.d"
+  "libp2p_bench_common.a"
+  "libp2p_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_log.dir/analyze_log.cpp.o"
+  "CMakeFiles/analyze_log.dir/analyze_log.cpp.o.d"
+  "analyze_log"
+  "analyze_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_defense.dir/filter_defense.cpp.o"
+  "CMakeFiles/filter_defense.dir/filter_defense.cpp.o.d"
+  "filter_defense"
+  "filter_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limewire_study.dir/limewire_study.cpp.o"
+  "CMakeFiles/limewire_study.dir/limewire_study.cpp.o.d"
+  "limewire_study"
+  "limewire_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limewire_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openft_study.dir/openft_study.cpp.o"
+  "CMakeFiles/openft_study.dir/openft_study.cpp.o.d"
+  "openft_study"
+  "openft_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openft_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_observatory.dir/query_observatory.cpp.o"
+  "CMakeFiles/query_observatory.dir/query_observatory.cpp.o.d"
+  "query_observatory"
+  "query_observatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_observatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

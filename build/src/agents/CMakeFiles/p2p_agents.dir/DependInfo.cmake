@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/behavior.cpp" "src/agents/CMakeFiles/p2p_agents.dir/behavior.cpp.o" "gcc" "src/agents/CMakeFiles/p2p_agents.dir/behavior.cpp.o.d"
+  "/root/repo/src/agents/churn.cpp" "src/agents/CMakeFiles/p2p_agents.dir/churn.cpp.o" "gcc" "src/agents/CMakeFiles/p2p_agents.dir/churn.cpp.o.d"
+  "/root/repo/src/agents/epidemic.cpp" "src/agents/CMakeFiles/p2p_agents.dir/epidemic.cpp.o" "gcc" "src/agents/CMakeFiles/p2p_agents.dir/epidemic.cpp.o.d"
+  "/root/repo/src/agents/population.cpp" "src/agents/CMakeFiles/p2p_agents.dir/population.cpp.o" "gcc" "src/agents/CMakeFiles/p2p_agents.dir/population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnutella/CMakeFiles/p2p_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/openft/CMakeFiles/p2p_openft.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/p2p_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/files/CMakeFiles/p2p_files.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_agents.dir/behavior.cpp.o"
+  "CMakeFiles/p2p_agents.dir/behavior.cpp.o.d"
+  "CMakeFiles/p2p_agents.dir/churn.cpp.o"
+  "CMakeFiles/p2p_agents.dir/churn.cpp.o.d"
+  "CMakeFiles/p2p_agents.dir/epidemic.cpp.o"
+  "CMakeFiles/p2p_agents.dir/epidemic.cpp.o.d"
+  "CMakeFiles/p2p_agents.dir/population.cpp.o"
+  "CMakeFiles/p2p_agents.dir/population.cpp.o.d"
+  "libp2p_agents.a"
+  "libp2p_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_analysis.dir/csv.cpp.o"
+  "CMakeFiles/p2p_analysis.dir/csv.cpp.o.d"
+  "CMakeFiles/p2p_analysis.dir/stats.cpp.o"
+  "CMakeFiles/p2p_analysis.dir/stats.cpp.o.d"
+  "libp2p_analysis.a"
+  "libp2p_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_core.dir/report.cpp.o"
+  "CMakeFiles/p2p_core.dir/report.cpp.o.d"
+  "CMakeFiles/p2p_core.dir/study.cpp.o"
+  "CMakeFiles/p2p_core.dir/study.cpp.o.d"
+  "libp2p_core.a"
+  "libp2p_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

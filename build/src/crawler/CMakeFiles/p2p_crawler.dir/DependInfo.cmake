@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crawler/limewire_crawler.cpp" "src/crawler/CMakeFiles/p2p_crawler.dir/limewire_crawler.cpp.o" "gcc" "src/crawler/CMakeFiles/p2p_crawler.dir/limewire_crawler.cpp.o.d"
+  "/root/repo/src/crawler/observatory.cpp" "src/crawler/CMakeFiles/p2p_crawler.dir/observatory.cpp.o" "gcc" "src/crawler/CMakeFiles/p2p_crawler.dir/observatory.cpp.o.d"
+  "/root/repo/src/crawler/openft_crawler.cpp" "src/crawler/CMakeFiles/p2p_crawler.dir/openft_crawler.cpp.o" "gcc" "src/crawler/CMakeFiles/p2p_crawler.dir/openft_crawler.cpp.o.d"
+  "/root/repo/src/crawler/workload.cpp" "src/crawler/CMakeFiles/p2p_crawler.dir/workload.cpp.o" "gcc" "src/crawler/CMakeFiles/p2p_crawler.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnutella/CMakeFiles/p2p_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/openft/CMakeFiles/p2p_openft.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/p2p_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/files/CMakeFiles/p2p_files.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_crawler.dir/limewire_crawler.cpp.o"
+  "CMakeFiles/p2p_crawler.dir/limewire_crawler.cpp.o.d"
+  "CMakeFiles/p2p_crawler.dir/observatory.cpp.o"
+  "CMakeFiles/p2p_crawler.dir/observatory.cpp.o.d"
+  "CMakeFiles/p2p_crawler.dir/openft_crawler.cpp.o"
+  "CMakeFiles/p2p_crawler.dir/openft_crawler.cpp.o.d"
+  "CMakeFiles/p2p_crawler.dir/workload.cpp.o"
+  "CMakeFiles/p2p_crawler.dir/workload.cpp.o.d"
+  "libp2p_crawler.a"
+  "libp2p_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/files/corpus.cpp" "src/files/CMakeFiles/p2p_files.dir/corpus.cpp.o" "gcc" "src/files/CMakeFiles/p2p_files.dir/corpus.cpp.o.d"
+  "/root/repo/src/files/file_types.cpp" "src/files/CMakeFiles/p2p_files.dir/file_types.cpp.o" "gcc" "src/files/CMakeFiles/p2p_files.dir/file_types.cpp.o.d"
+  "/root/repo/src/files/hash.cpp" "src/files/CMakeFiles/p2p_files.dir/hash.cpp.o" "gcc" "src/files/CMakeFiles/p2p_files.dir/hash.cpp.o.d"
+  "/root/repo/src/files/zip.cpp" "src/files/CMakeFiles/p2p_files.dir/zip.cpp.o" "gcc" "src/files/CMakeFiles/p2p_files.dir/zip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_files.dir/corpus.cpp.o"
+  "CMakeFiles/p2p_files.dir/corpus.cpp.o.d"
+  "CMakeFiles/p2p_files.dir/file_types.cpp.o"
+  "CMakeFiles/p2p_files.dir/file_types.cpp.o.d"
+  "CMakeFiles/p2p_files.dir/hash.cpp.o"
+  "CMakeFiles/p2p_files.dir/hash.cpp.o.d"
+  "CMakeFiles/p2p_files.dir/zip.cpp.o"
+  "CMakeFiles/p2p_files.dir/zip.cpp.o.d"
+  "libp2p_files.a"
+  "libp2p_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/evaluation.cpp" "src/filter/CMakeFiles/p2p_filter.dir/evaluation.cpp.o" "gcc" "src/filter/CMakeFiles/p2p_filter.dir/evaluation.cpp.o.d"
+  "/root/repo/src/filter/hash_blocklist.cpp" "src/filter/CMakeFiles/p2p_filter.dir/hash_blocklist.cpp.o" "gcc" "src/filter/CMakeFiles/p2p_filter.dir/hash_blocklist.cpp.o.d"
+  "/root/repo/src/filter/limewire_builtin.cpp" "src/filter/CMakeFiles/p2p_filter.dir/limewire_builtin.cpp.o" "gcc" "src/filter/CMakeFiles/p2p_filter.dir/limewire_builtin.cpp.o.d"
+  "/root/repo/src/filter/size_filter.cpp" "src/filter/CMakeFiles/p2p_filter.dir/size_filter.cpp.o" "gcc" "src/filter/CMakeFiles/p2p_filter.dir/size_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crawler/CMakeFiles/p2p_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnutella/CMakeFiles/p2p_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/openft/CMakeFiles/p2p_openft.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/p2p_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/files/CMakeFiles/p2p_files.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

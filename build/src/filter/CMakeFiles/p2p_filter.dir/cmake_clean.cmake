@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_filter.dir/evaluation.cpp.o"
+  "CMakeFiles/p2p_filter.dir/evaluation.cpp.o.d"
+  "CMakeFiles/p2p_filter.dir/hash_blocklist.cpp.o"
+  "CMakeFiles/p2p_filter.dir/hash_blocklist.cpp.o.d"
+  "CMakeFiles/p2p_filter.dir/limewire_builtin.cpp.o"
+  "CMakeFiles/p2p_filter.dir/limewire_builtin.cpp.o.d"
+  "CMakeFiles/p2p_filter.dir/size_filter.cpp.o"
+  "CMakeFiles/p2p_filter.dir/size_filter.cpp.o.d"
+  "libp2p_filter.a"
+  "libp2p_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnutella/http.cpp" "src/gnutella/CMakeFiles/p2p_gnutella.dir/http.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2p_gnutella.dir/http.cpp.o.d"
+  "/root/repo/src/gnutella/message.cpp" "src/gnutella/CMakeFiles/p2p_gnutella.dir/message.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2p_gnutella.dir/message.cpp.o.d"
+  "/root/repo/src/gnutella/qrp.cpp" "src/gnutella/CMakeFiles/p2p_gnutella.dir/qrp.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2p_gnutella.dir/qrp.cpp.o.d"
+  "/root/repo/src/gnutella/servent.cpp" "src/gnutella/CMakeFiles/p2p_gnutella.dir/servent.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2p_gnutella.dir/servent.cpp.o.d"
+  "/root/repo/src/gnutella/shared_index.cpp" "src/gnutella/CMakeFiles/p2p_gnutella.dir/shared_index.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2p_gnutella.dir/shared_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/files/CMakeFiles/p2p_files.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_gnutella.dir/http.cpp.o"
+  "CMakeFiles/p2p_gnutella.dir/http.cpp.o.d"
+  "CMakeFiles/p2p_gnutella.dir/message.cpp.o"
+  "CMakeFiles/p2p_gnutella.dir/message.cpp.o.d"
+  "CMakeFiles/p2p_gnutella.dir/qrp.cpp.o"
+  "CMakeFiles/p2p_gnutella.dir/qrp.cpp.o.d"
+  "CMakeFiles/p2p_gnutella.dir/servent.cpp.o"
+  "CMakeFiles/p2p_gnutella.dir/servent.cpp.o.d"
+  "CMakeFiles/p2p_gnutella.dir/shared_index.cpp.o"
+  "CMakeFiles/p2p_gnutella.dir/shared_index.cpp.o.d"
+  "libp2p_gnutella.a"
+  "libp2p_gnutella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_gnutella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

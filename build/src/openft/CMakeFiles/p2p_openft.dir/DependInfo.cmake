@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openft/node.cpp" "src/openft/CMakeFiles/p2p_openft.dir/node.cpp.o" "gcc" "src/openft/CMakeFiles/p2p_openft.dir/node.cpp.o.d"
+  "/root/repo/src/openft/packet.cpp" "src/openft/CMakeFiles/p2p_openft.dir/packet.cpp.o" "gcc" "src/openft/CMakeFiles/p2p_openft.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/files/CMakeFiles/p2p_files.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

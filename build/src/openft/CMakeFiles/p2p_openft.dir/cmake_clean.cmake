@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_openft.dir/node.cpp.o"
+  "CMakeFiles/p2p_openft.dir/node.cpp.o.d"
+  "CMakeFiles/p2p_openft.dir/packet.cpp.o"
+  "CMakeFiles/p2p_openft.dir/packet.cpp.o.d"
+  "libp2p_openft.a"
+  "libp2p_openft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_openft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

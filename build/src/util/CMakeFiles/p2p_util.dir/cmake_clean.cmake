@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_util.dir/bytes.cpp.o"
+  "CMakeFiles/p2p_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/ip.cpp.o"
+  "CMakeFiles/p2p_util.dir/ip.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/log.cpp.o"
+  "CMakeFiles/p2p_util.dir/log.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/rng.cpp.o"
+  "CMakeFiles/p2p_util.dir/rng.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/strings.cpp.o"
+  "CMakeFiles/p2p_util.dir/strings.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/table.cpp.o"
+  "CMakeFiles/p2p_util.dir/table.cpp.o.d"
+  "libp2p_util.a"
+  "libp2p_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

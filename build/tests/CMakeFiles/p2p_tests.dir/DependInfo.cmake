@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agents.cpp" "tests/CMakeFiles/p2p_tests.dir/test_agents.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_agents.cpp.o.d"
+  "/root/repo/tests/test_aho_corasick.cpp" "tests/CMakeFiles/p2p_tests.dir/test_aho_corasick.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_aho_corasick.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/p2p_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_browse_bootstrap.cpp" "tests/CMakeFiles/p2p_tests.dir/test_browse_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_browse_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_bye_multivantage.cpp" "tests/CMakeFiles/p2p_tests.dir/test_bye_multivantage.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_bye_multivantage.cpp.o.d"
+  "/root/repo/tests/test_bytes.cpp" "tests/CMakeFiles/p2p_tests.dir/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_bytes.cpp.o.d"
+  "/root/repo/tests/test_corpus.cpp" "tests/CMakeFiles/p2p_tests.dir/test_corpus.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_corpus.cpp.o.d"
+  "/root/repo/tests/test_crawler.cpp" "tests/CMakeFiles/p2p_tests.dir/test_crawler.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_crawler.cpp.o.d"
+  "/root/repo/tests/test_csv_roundtrip.cpp" "tests/CMakeFiles/p2p_tests.dir/test_csv_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_csv_roundtrip.cpp.o.d"
+  "/root/repo/tests/test_dynamic_query.cpp" "tests/CMakeFiles/p2p_tests.dir/test_dynamic_query.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_dynamic_query.cpp.o.d"
+  "/root/repo/tests/test_epidemic.cpp" "tests/CMakeFiles/p2p_tests.dir/test_epidemic.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_epidemic.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/p2p_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/p2p_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/p2p_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_file_types.cpp" "tests/CMakeFiles/p2p_tests.dir/test_file_types.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_file_types.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/p2p_tests.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_gnutella_message.cpp" "tests/CMakeFiles/p2p_tests.dir/test_gnutella_message.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_gnutella_message.cpp.o.d"
+  "/root/repo/tests/test_hash.cpp" "tests/CMakeFiles/p2p_tests.dir/test_hash.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_hash.cpp.o.d"
+  "/root/repo/tests/test_http.cpp" "tests/CMakeFiles/p2p_tests.dir/test_http.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_http.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/p2p_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_ip.cpp" "tests/CMakeFiles/p2p_tests.dir/test_ip.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_ip.cpp.o.d"
+  "/root/repo/tests/test_malware.cpp" "tests/CMakeFiles/p2p_tests.dir/test_malware.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_malware.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/p2p_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/p2p_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_observatory.cpp" "tests/CMakeFiles/p2p_tests.dir/test_observatory.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_observatory.cpp.o.d"
+  "/root/repo/tests/test_openft_node.cpp" "tests/CMakeFiles/p2p_tests.dir/test_openft_node.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_openft_node.cpp.o.d"
+  "/root/repo/tests/test_openft_packet.cpp" "tests/CMakeFiles/p2p_tests.dir/test_openft_packet.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_openft_packet.cpp.o.d"
+  "/root/repo/tests/test_qrp.cpp" "tests/CMakeFiles/p2p_tests.dir/test_qrp.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_qrp.cpp.o.d"
+  "/root/repo/tests/test_report_cache.cpp" "tests/CMakeFiles/p2p_tests.dir/test_report_cache.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_report_cache.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/p2p_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_servent.cpp" "tests/CMakeFiles/p2p_tests.dir/test_servent.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_servent.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/p2p_tests.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/p2p_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_study.cpp" "tests/CMakeFiles/p2p_tests.dir/test_study.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_study.cpp.o.d"
+  "/root/repo/tests/test_wire_fuzz.cpp" "tests/CMakeFiles/p2p_tests.dir/test_wire_fuzz.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_wire_fuzz.cpp.o.d"
+  "/root/repo/tests/test_zip.cpp" "tests/CMakeFiles/p2p_tests.dir/test_zip.cpp.o" "gcc" "tests/CMakeFiles/p2p_tests.dir/test_zip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p2p_core.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/p2p_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/p2p_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/p2p_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/p2p_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/p2p_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnutella/CMakeFiles/p2p_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/openft/CMakeFiles/p2p_openft.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/p2p_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/files/CMakeFiles/p2p_files.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
