@@ -35,5 +35,6 @@ int main() {
   std::cout << t.render() << "\n";
   std::cout << "(paper operating point: top-3 strains — >99% detection, very "
                "low FP)\n";
+  bench::dump_metrics_json("a1_sizefilter_ablation", lw);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "analysis/stats.h"
+#include "bench/study_cache.h"
 #include "core/study.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -62,6 +63,7 @@ int main() {
                util::format_pct(s.malicious_fraction())});
   }
   std::cout << t.render() << "\n";
+  bench::dump_metrics_json("a2_gnutella_ablation", rows.back().result);
   std::cout << "Expected shape: disabling QRP floods every leaf with every "
                "query (more messages, same yield); raising TTL adds overlay "
                "cost with diminishing reach in a 12-UP mesh.\n";

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "analysis/stats.h"
+#include "bench/study_cache.h"
 #include "core/study.h"
 #include "filter/evaluation.h"
 #include "filter/hash_blocklist.h"
@@ -38,6 +39,8 @@ int main() {
                  "hash-blocklist det.", "FP rate (size)"});
   for (std::uint32_t jitter : {0u, 4096u}) {
     auto result = core::run_limewire_study(ablation_config(jitter));
+    bench::dump_metrics_json(jitter == 0 ? "a3_evasion_base" : "a3_evasion_poly",
+                             result);
     auto split = filter::split_at_fraction(result.records, 0.4);
     auto size_f = filter::SizeFilter::learn(split.training);
     auto hash_f = filter::HashBlocklistFilter::learn(split.training, 3);

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "analysis/stats.h"
+#include "bench/study_cache.h"
 #include "core/study.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -34,6 +35,7 @@ int main() {
     auto cfg = base_config();
     cfg.crawl.dynamic_querying = dynamic;
     auto result = core::run_limewire_study(cfg);
+    bench::dump_metrics_json(dynamic ? "a4_dynamic" : "a4_flood", result);
     auto s = analysis::prevalence(result.records);
     double queries = static_cast<double>(result.crawl_stats.queries_sent);
     t.add_row({dynamic ? "dynamic (target 60)" : "flood all ultrapeers",

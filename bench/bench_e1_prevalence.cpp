@@ -33,5 +33,7 @@ int main() {
                "[" + util::format_pct(ft_ci.lo) + ", " + util::format_pct(ft_ci.hi) +
                    "]"});
   std::cout << "-- paper vs measured --\n" << cmp.render() << "\n";
+  bench::dump_metrics_json("e1_limewire", lw);
+  bench::dump_metrics_json("e1_openft", ft);
   return 0;
 }

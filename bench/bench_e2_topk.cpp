@@ -30,5 +30,7 @@ int main() {
   cmp.add_row({"openft top-3 share", "75%",
                util::format_pct(analysis::topk_share(ft_rank, 3))});
   std::cout << "-- paper vs measured --\n" << cmp.render() << "\n";
+  bench::dump_metrics_json("e2_limewire", lw);
+  bench::dump_metrics_json("e2_openft", ft);
   return 0;
 }

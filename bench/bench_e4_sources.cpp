@@ -36,5 +36,7 @@ int main() {
                                     util::format_pct(ft_conc[0].top_source_share);
   cmp.add_row({"openft top strain served by", "a single host", top_hosts});
   std::cout << "-- paper vs measured --\n" << cmp.render() << "\n";
+  bench::dump_metrics_json("e4_limewire", lw);
+  bench::dump_metrics_json("e4_openft", ft);
   return 0;
 }

@@ -61,5 +61,7 @@ int main() {
   cmp.add_row({"size-based false positives", "very low",
                util::format_pct(evals[1].false_positive_rate(), 3)});
   std::cout << "-- paper vs measured --\n" << cmp.render() << "\n";
+  bench::dump_metrics_json("e5_limewire", lw);
+  bench::dump_metrics_json("e5_openft", ft);
   return 0;
 }

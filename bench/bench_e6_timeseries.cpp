@@ -46,5 +46,7 @@ int main() {
   }
   std::cout << "limewire daily malicious fraction range: "
             << util::format_pct(min_f) << " .. " << util::format_pct(max_f) << "\n";
+  bench::dump_metrics_json("e6_limewire", lw);
+  bench::dump_metrics_json("e6_openft", ft);
   return 0;
 }

@@ -51,7 +51,11 @@ void report(const std::string& network, const p2p::core::StudyResult& study) {
 
 int main() {
   std::cout << "=== E7: size distribution of exe/zip responses ===\n\n";
-  report("limewire", p2p::bench::limewire_study_cached());
-  report("openft", p2p::bench::openft_study_cached());
+  auto lw = p2p::bench::limewire_study_cached();
+  auto ft = p2p::bench::openft_study_cached();
+  report("limewire", lw);
+  report("openft", ft);
+  p2p::bench::dump_metrics_json("e7_limewire", lw);
+  p2p::bench::dump_metrics_json("e7_openft", ft);
   return 0;
 }

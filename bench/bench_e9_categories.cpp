@@ -20,5 +20,7 @@ int main() {
   auto ft = bench::openft_study_cached();
   core::print_category_breakdown(std::cout, "openft",
                                  analysis::category_breakdown(ft.records));
+  bench::dump_metrics_json("e9_limewire", lw);
+  bench::dump_metrics_json("e9_openft", ft);
   return 0;
 }

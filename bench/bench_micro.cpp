@@ -4,6 +4,8 @@
 // of the measurement pipeline itself.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "files/hash.h"
 #include "files/zip.h"
 #include "gnutella/message.h"
@@ -11,6 +13,9 @@
 #include "malware/builder.h"
 #include "malware/catalogs.h"
 #include "malware/scanner.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -145,6 +150,52 @@ void BM_KeywordMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_KeywordMatch);
 
+// -- Observability overhead: the cost of one record on the hot path --------
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter& c = obs::MetricsRegistry::global().counter("micro.counter");
+  for (auto _ : state) {
+    c.add(1);
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "micro.histogram", obs::HistogramSpec::exponential(obs::Unit::kBytes));
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    h.record(v++);
+    benchmark::DoNotOptimize(&h);
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsTraceDisabled(benchmark::State& state) {
+  // The common case: macro hits the component-enable check and bails before
+  // materializing any field.
+  obs::TraceBuffer::global().disable_all();
+  for (auto _ : state) {
+    P2P_TRACE(obs::Component::kCore, "noop", util::SimTime::zero(),
+              obs::tf("k", 1));
+    benchmark::DoNotOptimize(&obs::TraceBuffer::global());
+  }
+}
+BENCHMARK(BM_ObsTraceDisabled);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run also leaves a metrics artifact (the
+// BM_Scan* fixtures feed scanner.* counters through the normal call sites).
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::ofstream out("bench_metrics_micro.json");
+  if (out) {
+    p2p::obs::write_json(out, p2p::obs::MetricsRegistry::global().snapshot());
+  }
+  return 0;
+}

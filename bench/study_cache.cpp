@@ -1,8 +1,10 @@
 #include "bench/study_cache.h"
 
+#include <bit>
 #include <cstdio>
 #include <fstream>
 
+#include "obs/export.h"
 #include "util/bytes.h"
 
 namespace p2p::bench {
@@ -10,7 +12,7 @@ namespace p2p::bench {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x50324243;  // "P2BC"
-constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kVersion = 4;  // v4: + metrics snapshot
 
 void write_string(util::ByteWriter& w, const std::string& s) {
   w.u32le(static_cast<std::uint32_t>(s.size()));
@@ -67,6 +69,97 @@ crawler::ResponseRecord read_record(util::ByteReader& r) {
   return rec;
 }
 
+void write_i64(util::ByteWriter& w, std::int64_t v) {
+  w.u64le(static_cast<std::uint64_t>(v));
+}
+
+std::int64_t read_i64(util::ByteReader& r) {
+  return static_cast<std::int64_t>(r.u64le());
+}
+
+void write_double(util::ByteWriter& w, double v) {
+  w.u64le(std::bit_cast<std::uint64_t>(v));
+}
+
+double read_double(util::ByteReader& r) { return std::bit_cast<double>(r.u64le()); }
+
+void write_snapshot(util::ByteWriter& w, const obs::MetricsSnapshot& snap) {
+  w.u64le(snap.counters.size());
+  for (const auto& c : snap.counters) {
+    write_string(w, c.name);
+    w.u64le(c.value);
+  }
+  w.u64le(snap.gauges.size());
+  for (const auto& g : snap.gauges) {
+    write_string(w, g.name);
+    write_i64(w, g.value);
+    write_i64(w, g.max);
+  }
+  w.u64le(snap.histograms.size());
+  for (const auto& h : snap.histograms) {
+    write_string(w, h.name);
+    w.u8(static_cast<std::uint8_t>(h.unit));
+    w.u8(h.wall_clock ? 1 : 0);
+    w.u64le(h.count);
+    write_i64(w, h.sum);
+    write_i64(w, h.min);
+    write_i64(w, h.max);
+    write_double(w, h.p50);
+    write_double(w, h.p90);
+    write_double(w, h.p99);
+    w.u64le(h.buckets.size());
+    for (const auto& [lower, count] : h.buckets) {
+      write_i64(w, lower);
+      w.u64le(count);
+    }
+  }
+}
+
+obs::MetricsSnapshot read_snapshot(util::ByteReader& r) {
+  obs::MetricsSnapshot snap;
+  std::uint64_t nc = r.u64le();
+  snap.counters.reserve(nc);
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    obs::MetricsSnapshot::CounterSample c;
+    c.name = read_string(r);
+    c.value = r.u64le();
+    snap.counters.push_back(std::move(c));
+  }
+  std::uint64_t ng = r.u64le();
+  snap.gauges.reserve(ng);
+  for (std::uint64_t i = 0; i < ng; ++i) {
+    obs::MetricsSnapshot::GaugeSample g;
+    g.name = read_string(r);
+    g.value = read_i64(r);
+    g.max = read_i64(r);
+    snap.gauges.push_back(std::move(g));
+  }
+  std::uint64_t nh = r.u64le();
+  snap.histograms.reserve(nh);
+  for (std::uint64_t i = 0; i < nh; ++i) {
+    obs::MetricsSnapshot::HistogramSample h;
+    h.name = read_string(r);
+    h.unit = static_cast<obs::Unit>(r.u8());
+    h.wall_clock = r.u8() != 0;
+    h.count = r.u64le();
+    h.sum = read_i64(r);
+    h.min = read_i64(r);
+    h.max = read_i64(r);
+    h.p50 = read_double(r);
+    h.p90 = read_double(r);
+    h.p99 = read_double(r);
+    std::uint64_t nb = r.u64le();
+    h.buckets.reserve(nb);
+    for (std::uint64_t j = 0; j < nb; ++j) {
+      std::int64_t lower = read_i64(r);
+      std::uint64_t count = r.u64le();
+      h.buckets.emplace_back(lower, count);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
 }  // namespace
 
 std::string cache_path(const std::string& name, std::uint64_t seed) {
@@ -87,6 +180,7 @@ bool save_study(const std::string& path, const core::StudyResult& result) {
   w.u64le(result.crawl_stats.study_responses);
   w.u64le(result.crawl_stats.downloads_ok);
   w.u64le(result.crawl_stats.downloads_failed);
+  write_snapshot(w, result.metrics);
   w.u64le(static_cast<std::uint64_t>(result.records.size()));
   for (const auto& rec : result.records) write_record(w, rec);
 
@@ -115,6 +209,7 @@ bool load_study(const std::string& path, core::StudyResult& result) {
     result.crawl_stats.study_responses = r.u64le();
     result.crawl_stats.downloads_ok = r.u64le();
     result.crawl_stats.downloads_failed = r.u64le();
+    result.metrics = read_snapshot(r);
     std::uint64_t n = r.u64le();
     result.records.clear();
     result.records.reserve(n);
@@ -123,6 +218,16 @@ bool load_study(const std::string& path, core::StudyResult& result) {
   } catch (const util::BufferUnderflow&) {
     return false;
   }
+}
+
+std::string dump_metrics_json(const std::string& bench,
+                              const core::StudyResult& result) {
+  std::string path = "bench_metrics_" + bench + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  obs::write_json(out, result.metrics);
+  if (out) std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
+  return out ? path : "";
 }
 
 core::StudyResult limewire_study_cached() {

@@ -20,8 +20,17 @@ core::StudyResult openft_study_cached();
 /// Cache file path for a study name + seed (in the current directory).
 std::string cache_path(const std::string& name, std::uint64_t seed);
 
-/// Serialize / deserialize a StudyResult's records + counters.
+/// Serialize / deserialize a StudyResult's records + counters + metrics
+/// snapshot.
 bool save_study(const std::string& path, const core::StudyResult& result);
 bool load_study(const std::string& path, core::StudyResult& result);
+
+/// Write the study's metrics snapshot to `bench_metrics_<bench>.json` in the
+/// current directory (deterministic: wall-clock histograms excluded). Every
+/// bench binary calls this so each run leaves a machine-readable metrics
+/// artifact beside its table output. Returns the path written, or "" on
+/// failure.
+std::string dump_metrics_json(const std::string& bench,
+                              const core::StudyResult& result);
 
 }  // namespace p2p::bench

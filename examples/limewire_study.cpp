@@ -11,6 +11,7 @@
 #include "analysis/stats.h"
 #include "core/report.h"
 #include "core/study.h"
+#include "obs/trace.h"
 #include "filter/evaluation.h"
 #include "filter/limewire_builtin.h"
 #include "filter/size_filter.h"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace p2p;
   auto cfg = core::limewire_standard();
   std::string csv_path;
+  std::string metrics_path, trace_path, trace_spec = "all";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       cfg = core::limewire_quick();
@@ -27,8 +29,16 @@ int main(int argc, char** argv) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-components") == 0 && i + 1 < argc) {
+      trace_spec = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--quick] [--csv <path>] [--seed <n>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--csv <path>] [--seed <n>] [--metrics <path>]"
+                   " [--trace <path>] [--trace-components <list|all>]\n";
       return 2;
     }
   }
@@ -37,6 +47,11 @@ int main(int argc, char** argv) {
             << cfg.population.ultrapeers << " ultrapeers, "
             << cfg.crawl.duration.count_ms() / 86'400'000 << " days, seed "
             << cfg.seed << "\n";
+  if (!trace_path.empty() &&
+      !obs::TraceBuffer::global().enable_from_spec(trace_spec)) {
+    std::cerr << "unknown trace component in: " << trace_spec << "\n";
+    return 2;
+  }
   auto result = core::run_limewire_study(cfg);
   std::cout << "  " << util::format_count(result.events_executed) << " events, "
             << util::format_count(result.messages_delivered) << " messages, "
@@ -76,6 +91,28 @@ int main(int argc, char** argv) {
     analysis::write_csv(out, result.records);
     std::cout << "wrote " << util::format_count(result.records.size())
               << " records to " << csv_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(out, result.metrics);
+    core::print_metrics(std::cout, "limewire", result.metrics);
+    std::cout << "wrote metrics snapshot to " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << trace_path << "\n";
+      return 1;
+    }
+    const auto& buf = obs::TraceBuffer::global();
+    buf.write_jsonl(out);
+    std::cout << "wrote " << util::format_count(buf.size()) << " trace events ("
+              << util::format_count(buf.dropped()) << " dropped) to "
+              << trace_path << "\n";
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "analysis/csv.h"
 
 #include <charconv>
+#include <cstdio>
 #include <functional>
 #include <string>
 
@@ -138,6 +139,26 @@ std::optional<std::vector<crawler::ResponseRecord>> read_csv(std::istream& in) {
     out.push_back(std::move(r));
   }
   return out;
+}
+
+void write_metrics_csv(std::ostream& out, const obs::MetricsSnapshot& snapshot,
+                       bool include_wall_clock) {
+  out << "kind,name,unit,value,max,count,sum,min,p50,p90,p99\n";
+  for (const auto& c : snapshot.counters) {
+    out << "counter," << escape(c.name) << ",," << c.value << ",,,,,,,\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << "gauge," << escape(g.name) << ",," << g.value << ',' << g.max
+        << ",,,,,,\n";
+  }
+  char buf[128];
+  for (const auto& h : snapshot.histograms) {
+    if (h.wall_clock && !include_wall_clock) continue;
+    std::snprintf(buf, sizeof(buf), "%.6g,%.6g,%.6g", h.p50, h.p90, h.p99);
+    out << "histogram," << escape(h.name) << ',' << obs::unit_name(h.unit)
+        << ",,," << h.count << ',' << h.sum << ',' << h.min << ',' << buf
+        << '\n';
+  }
 }
 
 }  // namespace p2p::analysis

@@ -11,12 +11,19 @@
 #include <vector>
 
 #include "crawler/records.h"
+#include "obs/metrics.h"
 
 namespace p2p::analysis {
 
 /// Write a header plus one row per record. Fields containing commas or
 /// quotes are quoted per RFC 4180.
 void write_csv(std::ostream& out, std::span<const crawler::ResponseRecord> records);
+
+/// Flat CSV of a metrics snapshot, one row per metric
+/// (kind,name,unit,value,max,count,sum,min,p50,p90,p99). Deterministic by
+/// default: wall-clock histograms are skipped unless `include_wall_clock`.
+void write_metrics_csv(std::ostream& out, const obs::MetricsSnapshot& snapshot,
+                       bool include_wall_clock = false);
 
 /// Parse a log written by write_csv. Returns nullopt on a malformed header
 /// or any unparseable row (strict: offline analyses should fail loudly on

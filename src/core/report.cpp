@@ -8,6 +8,13 @@ namespace p2p::core {
 using util::format_count;
 using util::format_pct;
 
+void print_metrics(std::ostream& out, const std::string& network,
+                   const obs::MetricsSnapshot& snapshot,
+                   const obs::ExportOptions& options) {
+  out << "== Run metrics (" << network << ") ==\n";
+  out << obs::render_table(snapshot, options) << "\n";
+}
+
 void print_prevalence(std::ostream& out, const std::string& network,
                       const analysis::PrevalenceSummary& s) {
   out << "== Malware prevalence (" << network << ") ==\n";

@@ -8,8 +8,16 @@
 
 #include "analysis/stats.h"
 #include "filter/evaluation.h"
+#include "obs/export.h"
 
 namespace p2p::core {
+
+/// Observability appendix: the run's metrics snapshot as aligned tables
+/// (counters, gauges, histogram summaries). Deterministic for a fixed seed
+/// unless `options.include_wall_clock` is set.
+void print_metrics(std::ostream& out, const std::string& network,
+                   const obs::MetricsSnapshot& snapshot,
+                   const obs::ExportOptions& options = {});
 
 /// E1/E3: prevalence of malware among downloadable (exe/archive) responses.
 void print_prevalence(std::ostream& out, const std::string& network,

@@ -72,6 +72,8 @@ sim::SimTime study_end(const crawler::CrawlConfig& crawl) {
 }  // namespace
 
 StudyResult run_limewire_study(const LimewireStudyConfig& config) {
+  // Each run owns the registry window: reset here, snapshot at the end.
+  obs::MetricsRegistry::global().reset();
   sim::Network net(config.seed);
   auto pop = agents::build_gnutella_population(net, config.population);
   auto scanner = std::make_shared<malware::Scanner>(pop.strain_catalog.strains);
@@ -130,10 +132,12 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config) {
   result.bytes_delivered = net.bytes_delivered();
   result.churn_joins = churn.joins();
   result.churn_leaves = churn.leaves();
+  result.metrics = obs::MetricsRegistry::global().snapshot();
   return result;
 }
 
 StudyResult run_openft_study(const OpenFtStudyConfig& config) {
+  obs::MetricsRegistry::global().reset();
   sim::Network net(config.seed);
   auto pop = agents::build_openft_population(net, config.population);
   auto scanner = std::make_shared<malware::Scanner>(pop.strain_catalog.strains);
@@ -176,6 +180,7 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config) {
   result.bytes_delivered = net.bytes_delivered();
   result.churn_joins = churn.joins();
   result.churn_leaves = churn.leaves();
+  result.metrics = obs::MetricsRegistry::global().snapshot();
   return result;
 }
 

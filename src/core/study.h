@@ -12,6 +12,7 @@
 #include "crawler/openft_crawler.h"
 #include "crawler/records.h"
 #include "malware/catalogs.h"
+#include "obs/metrics.h"
 
 namespace p2p::core {
 
@@ -44,6 +45,10 @@ struct StudyResult {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t churn_joins = 0;
   std::uint64_t churn_leaves = 0;
+  /// Snapshot of the global metrics registry covering exactly this run
+  /// (the registry is reset at study start). Deterministic for a fixed
+  /// seed, modulo wall-clock histograms (excluded from exports by default).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Presets. `standard` runs the paper-scale month; `quick` is a scaled-down

@@ -1,0 +1,33 @@
+// Study-wide crawler metrics, shared by the LimeWire and OpenFT crawlers
+// (both networks feed the same `crawler.*` family; per-instance numbers stay
+// in CrawlStats). See DESIGN.md "Observability" for the naming convention.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace p2p::crawler {
+
+struct CrawlerMetrics {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  obs::Counter& queries_sent = r.counter("crawler.queries_sent");
+  obs::Counter& hits = r.counter("crawler.hits");
+  obs::Counter& responses_logged = r.counter("crawler.responses_logged");
+  obs::Counter& study_responses = r.counter("crawler.study_responses");
+  obs::Counter& downloads_started = r.counter("crawler.downloads_started");
+  obs::Counter& downloads_ok = r.counter("crawler.downloads_ok");
+  obs::Counter& downloads_failed = r.counter("crawler.downloads_failed");
+  obs::Counter& download_retries = r.counter("crawler.download_retries");
+  obs::Counter& bytes_downloaded = r.counter("crawler.bytes_downloaded");
+  obs::Counter& distinct_contents = r.counter("crawler.distinct_contents");
+  /// Sim-time gap between a query leaving the vantage point and each hit
+  /// arriving — deterministic under a fixed seed (no wall clock involved).
+  obs::Histogram& hit_latency_ms = r.histogram(
+      "crawler.hit_latency_ms", obs::HistogramSpec::exponential(obs::Unit::kMillisSim));
+
+  static CrawlerMetrics& get() {
+    static CrawlerMetrics m;
+    return m;
+  }
+};
+
+}  // namespace p2p::crawler

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "crawler/crawler_metrics.h"
 #include "files/hash.h"
+#include "obs/trace.h"
 
 namespace p2p::crawler {
 
@@ -55,7 +57,11 @@ void LimewireCrawler::issue_next_query() {
                                          config_.dynamic_probe_interval)
           : servent_->send_query(item.text);
   query_of_guid_[guid] = item;
+  query_issued_at_[guid] = net_.now();
   ++stats_.queries_sent;
+  CrawlerMetrics::get().queries_sent.add(1);
+  P2P_TRACE(obs::Component::kCrawler, "query_issued", net_.now(),
+            obs::tf("network", "limewire"), obs::tf("query", item.text));
   net_.schedule_node(node_id_, config_.query_interval, [this] { issue_next_query(); });
 }
 
@@ -63,6 +69,11 @@ void LimewireCrawler::on_hit(const gnutella::HitEvent& event) {
   auto query_it = query_of_guid_.find(event.query_guid);
   if (query_it == query_of_guid_.end()) return;
   ++stats_.hits;
+  auto& m = CrawlerMetrics::get();
+  m.hits.add(1);
+  if (auto t = query_issued_at_.find(event.query_guid); t != query_issued_at_.end()) {
+    m.hit_latency_ms.record(event.at - t->second);
+  }
 
   for (const auto& result : event.hit.results) {
     ResponseRecord rec;
@@ -81,14 +92,17 @@ void LimewireCrawler::on_hit(const gnutella::HitEvent& event) {
                      event.hit.servent_guid.hex().substr(0, 8);
     rec.content_key = util::to_hex(result.sha1);
     ++stats_.responses;
+    m.responses_logged.add(1);
 
     if (rec.is_study_type()) {
       ++stats_.study_responses;
+      m.study_responses.add(1);
       if (labels_.want_download(rec.content_key)) {
         labels_.mark_pending(rec.content_key);
         std::uint64_t request = servent_->download(event.hit, result);
         download_key_[request] = rec.content_key;
         ++stats_.downloads_started;
+        m.downloads_started.add(1);
       } else if (!labels_.has(rec.content_key)) {
         // Remember this responder as an alternate source in case the
         // in-flight fetch fails.
@@ -116,8 +130,12 @@ void LimewireCrawler::on_download(const gnutella::DownloadOutcome& outcome) {
   std::string key = key_it->second;
   download_key_.erase(key_it);
 
+  auto& m = CrawlerMetrics::get();
   if (!outcome.success) {
     ++stats_.downloads_failed;
+    m.downloads_failed.add(1);
+    P2P_TRACE(obs::Component::kCrawler, "download_failed", net_.now(),
+              obs::tf("network", "limewire"), obs::tf("key", key));
     labels_.mark_failed(key);
     // Retry immediately from an alternate responder if we have one.
     if (labels_.want_download(key)) {
@@ -129,6 +147,10 @@ void LimewireCrawler::on_download(const gnutella::DownloadOutcome& outcome) {
         std::uint64_t request = servent_->download(alt.hit, alt.result);
         download_key_[request] = key;
         ++stats_.downloads_started;
+        m.downloads_started.add(1);
+        m.download_retries.add(1);
+        P2P_TRACE(obs::Component::kCrawler, "download_retry", net_.now(),
+                  obs::tf("network", "limewire"), obs::tf("key", key));
       }
     }
     return;
@@ -136,6 +158,11 @@ void LimewireCrawler::on_download(const gnutella::DownloadOutcome& outcome) {
   alternates_.erase(key);
   ++stats_.downloads_ok;
   stats_.bytes_downloaded += outcome.content.size();
+  m.downloads_ok.add(1);
+  m.bytes_downloaded.add(outcome.content.size());
+  P2P_TRACE(obs::Component::kCrawler, "download_ok", net_.now(),
+            obs::tf("network", "limewire"), obs::tf("key", key),
+            obs::tf("bytes", static_cast<std::uint64_t>(outcome.content.size())));
   labels_.mark_succeeded(key);
 
   // Integrity check, then scan — exactly the paper's pipeline.
@@ -154,6 +181,7 @@ void LimewireCrawler::on_download(const gnutella::DownloadOutcome& outcome) {
   label.size = outcome.content.size();
   labels_.put(key, std::move(label));
   ++stats_.distinct_contents;
+  m.distinct_contents.add(1);
 }
 
 void LimewireCrawler::finalize() {

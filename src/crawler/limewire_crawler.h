@@ -90,6 +90,8 @@ class LimewireCrawler {
   sim::SimTime end_time_;
 
   std::unordered_map<gnutella::Guid, QueryItem, gnutella::GuidHash> query_of_guid_;
+  /// When each query left the vantage point, for the hit-latency histogram.
+  std::unordered_map<gnutella::Guid, sim::SimTime, gnutella::GuidHash> query_issued_at_;
   std::unordered_map<std::uint64_t, std::string> download_key_;  // request -> content key
   /// Alternate sources per content key, for retry after a failed fetch
   /// (the paper's apparatus downloaded from another responder on failure).

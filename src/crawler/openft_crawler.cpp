@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "crawler/crawler_metrics.h"
 #include "files/hash.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace p2p::crawler {
@@ -58,7 +60,11 @@ void OpenFtCrawler::issue_next_query() {
   const QueryItem& item = workload_.sample(rng_);
   std::uint64_t search_id = node_->search(item.text);
   query_of_search_[search_id] = item;
+  search_issued_at_[search_id] = net_.now();
   ++stats_.queries_sent;
+  CrawlerMetrics::get().queries_sent.add(1);
+  P2P_TRACE(obs::Component::kCrawler, "query_issued", net_.now(),
+            obs::tf("network", "openft"), obs::tf("query", item.text));
   net_.schedule_node(node_id_, config_.query_interval, [this] { issue_next_query(); });
 }
 
@@ -66,6 +72,11 @@ void OpenFtCrawler::on_result(const openft::FtSearchEvent& event) {
   auto query_it = query_of_search_.find(event.search_id);
   if (query_it == query_of_search_.end()) return;
   ++stats_.hits;
+  auto& m = CrawlerMetrics::get();
+  m.hits.add(1);
+  if (auto t = search_issued_at_.find(event.search_id); t != search_issued_at_.end()) {
+    m.hit_latency_ms.record(event.at - t->second);
+  }
 
   const auto& entry = event.entry;
   ResponseRecord rec;
@@ -83,14 +94,17 @@ void OpenFtCrawler::on_result(const openft::FtSearchEvent& event) {
   rec.source_key = entry.owner.str();
   rec.content_key = files::hex(entry.md5);
   ++stats_.responses;
+  m.responses_logged.add(1);
 
   if (rec.is_study_type()) {
     ++stats_.study_responses;
+    m.study_responses.add(1);
     if (labels_.want_download(rec.content_key)) {
       labels_.mark_pending(rec.content_key);
       std::uint64_t request = node_->download(entry);
       download_key_[request] = rec.content_key;
       ++stats_.downloads_started;
+      m.downloads_started.add(1);
     } else if (!labels_.has(rec.content_key)) {
       auto& alts = alternates_[rec.content_key];
       bool same_source =
@@ -109,8 +123,12 @@ void OpenFtCrawler::on_download(const openft::FtDownloadOutcome& outcome) {
   std::string key = key_it->second;
   download_key_.erase(key_it);
 
+  auto& m = CrawlerMetrics::get();
   if (!outcome.success) {
     ++stats_.downloads_failed;
+    m.downloads_failed.add(1);
+    P2P_TRACE(obs::Component::kCrawler, "download_failed", net_.now(),
+              obs::tf("network", "openft"), obs::tf("key", key));
     labels_.mark_failed(key);
     if (labels_.want_download(key)) {
       auto alt_it = alternates_.find(key);
@@ -121,6 +139,10 @@ void OpenFtCrawler::on_download(const openft::FtDownloadOutcome& outcome) {
         std::uint64_t request = node_->download(alt);
         download_key_[request] = key;
         ++stats_.downloads_started;
+        m.downloads_started.add(1);
+        m.download_retries.add(1);
+        P2P_TRACE(obs::Component::kCrawler, "download_retry", net_.now(),
+                  obs::tf("network", "openft"), obs::tf("key", key));
       }
     }
     return;
@@ -128,6 +150,11 @@ void OpenFtCrawler::on_download(const openft::FtDownloadOutcome& outcome) {
   alternates_.erase(key);
   ++stats_.downloads_ok;
   stats_.bytes_downloaded += outcome.content.size();
+  m.downloads_ok.add(1);
+  m.bytes_downloaded.add(outcome.content.size());
+  P2P_TRACE(obs::Component::kCrawler, "download_ok", net_.now(),
+            obs::tf("network", "openft"), obs::tf("key", key),
+            obs::tf("bytes", static_cast<std::uint64_t>(outcome.content.size())));
   labels_.mark_succeeded(key);
 
   auto digest = files::md5(outcome.content);
@@ -144,6 +171,7 @@ void OpenFtCrawler::on_download(const openft::FtDownloadOutcome& outcome) {
   label.size = outcome.content.size();
   labels_.put(key, std::move(label));
   ++stats_.distinct_contents;
+  m.distinct_contents.add(1);
 }
 
 void OpenFtCrawler::finalize() {

@@ -51,6 +51,8 @@ class OpenFtCrawler {
   sim::SimTime end_time_;
 
   std::unordered_map<std::uint64_t, QueryItem> query_of_search_;
+  /// When each search left the vantage point, for the hit-latency histogram.
+  std::unordered_map<std::uint64_t, sim::SimTime> search_issued_at_;
   std::unordered_map<std::uint64_t, std::string> download_key_;
   /// Alternate sources per content key for retry after failed fetches.
   std::unordered_map<std::string, std::vector<openft::SearchResponse>> alternates_;

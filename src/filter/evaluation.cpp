@@ -1,16 +1,41 @@
 #include "filter/evaluation.h"
 
 #include <algorithm>
+#include <cctype>
+
+#include "obs/metrics.h"
 
 namespace p2p::filter {
+
+namespace {
+
+// Filter names are display strings ("LimeWire built-in") — fold to one flat
+// token so the metric family is `filter.<kind>.blocked` / `.passed`.
+std::string metric_suffix(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c))
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+               : '_';
+  }
+  return out;
+}
+
+}  // namespace
 
 FilterEvaluation evaluate(const ResponseFilter& filter,
                           std::span<const crawler::ResponseRecord> records) {
   FilterEvaluation out;
   out.filter_name = filter.name();
+  auto& registry = obs::MetricsRegistry::global();
+  std::string suffix = metric_suffix(out.filter_name);
+  obs::Counter& blocked_count = registry.counter("filter." + suffix + ".blocked");
+  obs::Counter& passed_count = registry.counter("filter." + suffix + ".passed");
   for (const auto& r : records) {
     if (!r.is_study_type() || !r.downloaded) continue;
     bool blocked = filter.blocks(r);
+    (blocked ? blocked_count : passed_count).add(1);
     if (r.infected) {
       ++out.malicious;
       if (blocked) ++out.true_positives;

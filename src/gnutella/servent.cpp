@@ -2,12 +2,60 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace p2p::gnutella {
 
 namespace {
+
+// Network-wide counters shared by every servent (per-instance numbers stay
+// in ServentStats); see DESIGN.md "Observability" for the metric families.
+struct GnutellaMetrics {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  obs::Counter& queries_received = r.counter("gnutella.queries_received");
+  obs::Counter& queries_routed = r.counter("gnutella.queries_routed");
+  obs::Counter& qrp_suppressed = r.counter("gnutella.qrp_suppressed");
+  obs::Counter& hits_sent = r.counter("gnutella.hits_sent");
+  obs::Counter& hits_routed = r.counter("gnutella.hits_routed");
+  obs::Counter& hits_received = r.counter("gnutella.hits_received");
+  obs::Counter& pushes_routed = r.counter("gnutella.pushes_routed");
+  obs::Counter& uploads_served = r.counter("gnutella.uploads_served");
+  obs::Counter& dropped_duplicate = r.counter("gnutella.dropped_duplicate");
+  obs::Counter& dropped_ttl = r.counter("gnutella.dropped_ttl");
+  obs::Counter& dropped_malformed = r.counter("gnutella.dropped_malformed");
+  obs::Counter& links_established = r.counter("gnutella.links_established");
+  obs::Counter& links_closed = r.counter("gnutella.links_closed");
+  obs::Counter& recv_ping = r.counter("gnutella.recv_ping");
+  obs::Counter& recv_pong = r.counter("gnutella.recv_pong");
+  obs::Counter& recv_bye = r.counter("gnutella.recv_bye");
+  obs::Counter& recv_qrp = r.counter("gnutella.recv_qrp");
+  obs::Counter& recv_push = r.counter("gnutella.recv_push");
+  obs::Counter& recv_query = r.counter("gnutella.recv_query");
+  obs::Counter& recv_query_hit = r.counter("gnutella.recv_query_hit");
+  obs::Histogram& hit_hops = r.histogram(
+      "gnutella.hit_hops", obs::HistogramSpec::linear(0, 1, 16, obs::Unit::kHops));
+
+  obs::Counter& recv_counter(MsgType type) {
+    switch (type) {
+      case MsgType::kPing: return recv_ping;
+      case MsgType::kPong: return recv_pong;
+      case MsgType::kBye: return recv_bye;
+      case MsgType::kQrp: return recv_qrp;
+      case MsgType::kPush: return recv_push;
+      case MsgType::kQuery: return recv_query;
+      case MsgType::kQueryHit: return recv_query_hit;
+    }
+    return recv_ping;
+  }
+
+  static GnutellaMetrics& get() {
+    static GnutellaMetrics m;
+    return m;
+  }
+};
 
 std::string_view as_view(const util::Bytes& b) {
   return {reinterpret_cast<const char*>(b.data()), b.size()};
@@ -258,6 +306,7 @@ void Servent::on_connection_closed(sim::ConnId conn) {
   conns_.erase(it);
   if (st.kind == ConnKind::kOverlayOut ||
       (st.kind == ConnKind::kOverlayIn && st.hs == HsState::kEstablished)) {
+    if (st.hs == HsState::kEstablished) GnutellaMetrics::get().links_closed.add(1);
     network().schedule_node(id(), config_.reconnect_delay,
                             [this] { ensure_overlay_links(); });
   }
@@ -356,6 +405,10 @@ void Servent::handle_handshake(sim::ConnId conn, ConnState& state,
 
 void Servent::established(sim::ConnId conn, ConnState& state) {
   state.hs = HsState::kEstablished;
+  GnutellaMetrics::get().links_established.add(1);
+  P2P_TRACE(obs::Component::kGnutella, "link_established", network().now(),
+            obs::tf("node", id()), obs::tf("peer", state.peer),
+            obs::tf("peer_ultrapeer", state.peer_ultrapeer));
   // Leaves summarize their shares to ultrapeers via QRP.
   if (!config_.ultrapeer && state.peer_ultrapeer) send_qrt(conn);
   // Harvest the neighbour's pong cache for host discovery.
@@ -399,6 +452,7 @@ void Servent::on_message(sim::ConnId conn, const util::Bytes& payload) {
         handle_giv(conn, state, payload);
       } else {
         ++stats_.dropped_malformed;
+        GnutellaMetrics::get().dropped_malformed.add(1);
         network().close(conn, id());
         conns_.erase(conn);
       }
@@ -434,8 +488,10 @@ void Servent::handle_descriptor(sim::ConnId conn, ConnState& state,
   auto msg = parse(wire);
   if (!msg) {
     ++stats_.dropped_malformed;
+    GnutellaMetrics::get().dropped_malformed.add(1);
     return;
   }
+  GnutellaMetrics::get().recv_counter(msg->type()).add(1);
   switch (msg->type()) {
     case MsgType::kPing:
       handle_ping(conn, *msg);
@@ -491,6 +547,7 @@ bool Servent::already_seen(const Guid& guid) const { return seen_.contains(guid)
 void Servent::handle_ping(sim::ConnId conn, const Message& msg) {
   if (already_seen(msg.header.guid)) {
     ++stats_.dropped_duplicate;
+    GnutellaMetrics::get().dropped_duplicate.add(1);
     return;
   }
   note_seen(msg.header.guid);
@@ -534,12 +591,15 @@ void Servent::handle_pong(const Message& msg) {
 
 void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& msg) {
   (void)state;
+  auto& m = GnutellaMetrics::get();
   if (already_seen(msg.header.guid)) {
     ++stats_.dropped_duplicate;
+    m.dropped_duplicate.add(1);
     return;
   }
   note_seen(msg.header.guid);
   ++stats_.queries_received;
+  m.queries_received.add(1);
   query_routes_[msg.header.guid] = conn;
 
   const auto& query = std::get<Query>(msg.payload);
@@ -553,7 +613,10 @@ void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& ms
   fwd.header.ttl = static_cast<std::uint8_t>(msg.header.ttl > 0 ? msg.header.ttl - 1 : 0);
   fwd.header.hops = static_cast<std::uint8_t>(msg.header.hops + 1);
   bool ttl_ok = msg.header.ttl > 1 && fwd.header.hops < config_.max_ttl;
-  if (!ttl_ok) ++stats_.dropped_ttl;
+  if (!ttl_ok) {
+    ++stats_.dropped_ttl;
+    m.dropped_ttl.add(1);
+  }
 
   for (auto& [cid, st] : conns_) {
     if (cid == conn) continue;
@@ -565,18 +628,21 @@ void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& ms
       if (ttl_ok) {
         send_msg(cid, fwd);
         ++stats_.queries_forwarded_up;
+        m.queries_routed.add(1);
       }
     } else {
       // Last hop to a leaf: QRP gate (always forwarded when QRP disabled —
       // the A2 ablation measures exactly this difference).
       if (config_.use_qrp && st.has_qrt && !st.qrt.matches(query.criteria)) {
         ++stats_.qrp_suppressed;
+        m.qrp_suppressed.add(1);
         continue;
       }
       Message leaf_fwd = fwd;
       leaf_fwd.header.ttl = std::max<std::uint8_t>(leaf_fwd.header.ttl, 1);
       send_msg(cid, leaf_fwd);
       ++stats_.queries_forwarded_leaf;
+      m.queries_routed.add(1);
     }
   }
 }
@@ -597,6 +663,7 @@ void Servent::answer_query(sim::ConnId conn, const Message& msg) {
   auto ttl = static_cast<std::uint8_t>(msg.header.hops + 2);
   send_msg(conn, make_query_hit(msg.header.guid, ttl, std::move(hit)));
   ++stats_.hits_sent;
+  GnutellaMetrics::get().hits_sent.add(1);
 }
 
 void Servent::handle_query_hit(sim::ConnId conn, const Message& msg) {
@@ -605,8 +672,14 @@ void Servent::handle_query_hit(sim::ConnId conn, const Message& msg) {
   push_routes_[hit.servent_guid] = conn;
   if (push_routes_.size() > kSeenCacheMax) push_routes_.clear();
 
+  auto& m = GnutellaMetrics::get();
   if (our_queries_.contains(msg.header.guid)) {
     ++stats_.hits_received;
+    m.hits_received.add(1);
+    m.hit_hops.record(static_cast<std::int64_t>(msg.header.hops));
+    P2P_TRACE(obs::Component::kGnutella, "hit_received", network().now(),
+              obs::tf("node", id()), obs::tf("hops", int(msg.header.hops)),
+              obs::tf("results", hit.results.size()));
     if (auto dq = dynamic_queries_.find(msg.header.guid); dq != dynamic_queries_.end()) {
       dq->second.results_seen += hit.results.size();
     }
@@ -619,6 +692,7 @@ void Servent::handle_query_hit(sim::ConnId conn, const Message& msg) {
   if (route == query_routes_.end()) return;
   if (msg.header.ttl <= 1) {
     ++stats_.dropped_ttl;
+    m.dropped_ttl.add(1);
     return;
   }
   Message fwd = msg;
@@ -626,6 +700,7 @@ void Servent::handle_query_hit(sim::ConnId conn, const Message& msg) {
   fwd.header.hops = static_cast<std::uint8_t>(msg.header.hops + 1);
   send_msg(route->second, fwd);
   ++stats_.hits_routed;
+  m.hits_routed.add(1);
 }
 
 void Servent::handle_qrp(ConnState& state, const Message& msg) {
@@ -658,6 +733,9 @@ Guid Servent::send_query(const std::string& criteria) {
     }
   }
   ++stats_.queries_originated;
+  P2P_TRACE(obs::Component::kGnutella, "query_originated", network().now(),
+            obs::tf("node", id()), obs::tf("criteria", criteria),
+            obs::tf("ttl", int(config_.query_ttl)));
   return guid;
 }
 
@@ -792,6 +870,7 @@ void Servent::handle_push(sim::ConnId conn, const Message& msg) {
   fwd.header.hops = static_cast<std::uint8_t>(msg.header.hops + 1);
   send_msg(route->second, fwd);
   ++stats_.pushes_routed;
+  GnutellaMetrics::get().pushes_routed.add(1);
 }
 
 void Servent::handle_giv(sim::ConnId conn, ConnState& state, const util::Bytes& wire) {
@@ -852,6 +931,7 @@ void Servent::handle_http_request(sim::ConnId conn, const util::Bytes& wire) {
                     {"Content-Type", "application/binary"}};
     resp.body = file->bytes();
     ++stats_.uploads_served;
+    GnutellaMetrics::get().uploads_served.add(1);
   } else {
     resp.status = 404;
     resp.reason = "Not Found";

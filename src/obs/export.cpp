@@ -1,0 +1,84 @@
+#include "obs/export.h"
+
+#include "obs/json.h"
+#include "util/table.h"
+
+namespace p2p::obs {
+
+std::string render_table(const MetricsSnapshot& snapshot,
+                         const ExportOptions& options) {
+  std::string out;
+  if (!snapshot.counters.empty()) {
+    util::Table t({"counter", "value"});
+    for (const auto& c : snapshot.counters) {
+      t.add_row({c.name, std::to_string(c.value)});
+    }
+    out += t.render();
+  }
+  if (!snapshot.gauges.empty()) {
+    util::Table t({"gauge", "value", "max"});
+    for (const auto& g : snapshot.gauges) {
+      t.add_row({g.name, std::to_string(g.value), std::to_string(g.max)});
+    }
+    if (!out.empty()) out += "\n";
+    out += t.render();
+  }
+  util::Table t({"histogram", "unit", "count", "min", "p50", "p90", "p99", "max"});
+  bool any = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.wall_clock && !options.include_wall_clock) continue;
+    any = true;
+    t.add_row({h.name, std::string(unit_name(h.unit)), std::to_string(h.count),
+               std::to_string(h.min), json_double(h.p50), json_double(h.p90),
+               json_double(h.p99), std::to_string(h.max)});
+  }
+  if (any) {
+    if (!out.empty()) out += "\n";
+    out += t.render();
+  }
+  return out;
+}
+
+void write_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                const ExportOptions& options) {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out << (i ? ",\n    " : "\n    ") << '"' << json_escape(c.name)
+        << "\": " << c.value;
+  }
+  out << (snapshot.counters.empty() ? "},\n" : "\n  },\n");
+  out << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    out << (i ? ",\n    " : "\n    ") << '"' << json_escape(g.name)
+        << "\": {\"value\": " << g.value << ", \"max\": " << g.max << "}";
+  }
+  out << (snapshot.gauges.empty() ? "},\n" : "\n  },\n");
+  out << "  \"histograms\": {";
+  bool first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (h.wall_clock && !options.include_wall_clock) continue;
+    out << (first ? "\n    " : ",\n    ") << '"' << json_escape(h.name)
+        << "\": {\"unit\": \"" << unit_name(h.unit)
+        << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max
+        << ", \"p50\": " << json_double(h.p50)
+        << ", \"p90\": " << json_double(h.p90)
+        << ", \"p99\": " << json_double(h.p99);
+    if (options.include_buckets) {
+      out << ", \"buckets\": [";
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        out << (i ? "," : "") << '[' << h.buckets[i].first << ','
+            << h.buckets[i].second << ']';
+      }
+      out << ']';
+    }
+    out << '}';
+    first = false;
+  }
+  out << (first ? "}\n" : "\n  }\n");
+  out << "}\n";
+}
+
+}  // namespace p2p::obs

@@ -1,0 +1,31 @@
+// Snapshot exporters: human-readable table (util::Table), JSON, and a
+// per-metric CSV (see analysis/csv.h for the study-record CSV codec).
+//
+// Deterministic by default: wall-clock histograms are excluded unless
+// ExportOptions::include_wall_clock is set, so a snapshot exported from a
+// seeded run is byte-identical across runs.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace p2p::obs {
+
+struct ExportOptions {
+  /// Include wall-clock histograms (non-deterministic across runs).
+  bool include_wall_clock = false;
+  /// Include per-bucket histogram detail in JSON output.
+  bool include_buckets = true;
+};
+
+/// Three aligned tables (counters, gauges, histogram summaries).
+[[nodiscard]] std::string render_table(const MetricsSnapshot& snapshot,
+                                       const ExportOptions& options = {});
+
+/// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+void write_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                const ExportOptions& options = {});
+
+}  // namespace p2p::obs

@@ -1,0 +1,45 @@
+// Tiny JSON emission helpers shared by the trace buffer and the metrics
+// exporters. Emission only — parsing lives in the tests that validate it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace p2p::obs {
+
+/// Escape for inclusion inside a JSON string literal (no surrounding
+/// quotes added).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest-ish deterministic double rendering; always a valid JSON number.
+inline std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace p2p::obs

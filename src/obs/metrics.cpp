@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace p2p::obs {
+
+std::string_view unit_name(Unit unit) {
+  switch (unit) {
+    case Unit::kNone: return "";
+    case Unit::kMillisSim: return "ms_sim";
+    case Unit::kNanosWall: return "ns_wall";
+    case Unit::kBytes: return "bytes";
+    case Unit::kHops: return "hops";
+  }
+  return "";
+}
+
+namespace {
+// Exponential layout: values 0..3 get exact buckets; above that, each
+// power-of-two octave splits into 4 sub-buckets keyed by the two bits
+// after the leading one. 252 buckets cover the whole non-negative range.
+constexpr std::size_t kExpBuckets = 252;
+
+std::size_t exp_bucket_of(std::uint64_t u) {
+  if (u < 4) return static_cast<std::size_t>(u);
+  int msb = 63 - std::countl_zero(u);
+  std::uint64_t sub = (u >> (msb - 2)) & 3;
+  return 4 + static_cast<std::size_t>(msb - 2) * 4 + static_cast<std::size_t>(sub);
+}
+
+std::int64_t exp_bucket_lower(std::size_t i) {
+  if (i < 4) return static_cast<std::int64_t>(i);
+  std::size_t octave = (i - 4) / 4;
+  std::uint64_t sub = (i - 4) % 4;
+  return static_cast<std::int64_t>((4 + sub) << octave);
+}
+}  // namespace
+
+Histogram::Histogram(HistogramSpec spec) : spec_(spec) {
+  std::size_t n = spec_.scale == HistogramSpec::Scale::kLinear
+                      ? spec_.buckets + 2  // + underflow and overflow
+                      : kExpBuckets;
+  counts_.assign(n, 0);
+}
+
+std::size_t Histogram::bucket_of(std::int64_t v) const {
+  if (spec_.scale == HistogramSpec::Scale::kExponential) {
+    return exp_bucket_of(static_cast<std::uint64_t>(v));
+  }
+  if (v < spec_.lo) return 0;
+  auto i = static_cast<std::size_t>((v - spec_.lo) / spec_.width);
+  return i >= spec_.buckets ? spec_.buckets + 1 : i + 1;
+}
+
+std::int64_t Histogram::bucket_lower(std::size_t i) const {
+  if (spec_.scale == HistogramSpec::Scale::kExponential) return exp_bucket_lower(i);
+  if (i == 0) return std::numeric_limits<std::int64_t>::min();
+  return spec_.lo + static_cast<std::int64_t>(i - 1) * spec_.width;
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t i) const {
+  if (spec_.scale == HistogramSpec::Scale::kExponential) {
+    return i + 1 >= kExpBuckets ? std::numeric_limits<std::int64_t>::max()
+                                : exp_bucket_lower(i + 1);
+  }
+  if (i >= spec_.buckets + 1) return std::numeric_limits<std::int64_t>::max();
+  return spec_.lo + static_cast<std::int64_t>(i) * spec_.width;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cum + counts_[i] >= target) {
+      auto lower = static_cast<double>(std::max(bucket_lower(i), min_));
+      auto upper = static_cast<double>(std::max(std::min(bucket_upper(i), max_),
+                                                std::max(bucket_lower(i), min_)));
+      double within = static_cast<double>(target - cum) /
+                      static_cast<double>(counts_[i]);
+      return lower + (upper - lower) * within;
+    }
+    cum += counts_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const HistogramSpec& spec) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(spec))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value(), g->max()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.unit = h->spec().unit;
+    s.wall_clock = h->spec().wall_clock;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->quantile(0.50);
+    s.p90 = h->quantile(0.90);
+    s.p99 = h->quantile(0.99);
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      if (h->bucket_value(i) != 0) {
+        s.buckets.emplace_back(h->bucket_lower(i), h->bucket_value(i));
+      }
+    }
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+}  // namespace p2p::obs

@@ -1,0 +1,210 @@
+// Study-wide metrics: named counters, gauges, and histograms in a global
+// registry, snapshot at the end of every study run.
+//
+// The paper's methodology is itself a measurement pipeline; every headline
+// number is an aggregate over observed events. This registry is the uniform
+// substrate for those aggregates: recording is a branch plus an increment,
+// and compiles out entirely when P2P_OBS_DISABLED is defined (the classes
+// keep their shape so call sites never change, but the mutators become
+// empty inline functions).
+//
+// Naming convention: `subsystem.noun_verb` (e.g. `sim.events_executed`,
+// `gnutella.queries_received`). Per-key families append a dynamic leaf
+// (`scanner.match.<strain>`, `filter.<kind>.blocked`).
+//
+// Determinism: counters, gauges, and sim-time histograms are driven purely
+// by the seeded simulation and are byte-identical across runs with the same
+// seed. Wall-clock histograms (HistogramSpec::wall_clock) are not; exporters
+// exclude them by default so snapshots stay reproducible.
+//
+// Single-threaded by design, like the simulator it instruments.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace p2p::obs {
+
+/// What a metric's values denote; exported alongside the numbers.
+enum class Unit { kNone, kMillisSim, kNanosWall, kBytes, kHops };
+
+[[nodiscard]] std::string_view unit_name(Unit unit);
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+#ifndef P2P_OBS_DISABLED
+    value_ += n;
+#else
+    (void)n;
+#endif
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+#ifndef P2P_OBS_DISABLED
+    value_ = v;
+    if (v > max_) max_ = v;
+#else
+    (void)v;
+#endif
+  }
+  void add(std::int64_t d) { set(value_ + d); }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  /// High-water mark since the last reset.
+  [[nodiscard]] std::int64_t max() const { return max_; }
+  void reset() { value_ = 0; max_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+struct HistogramSpec {
+  enum class Scale { kLinear, kExponential };
+  Scale scale = Scale::kExponential;
+  /// Linear only: bucket i covers [lo + i*width, lo + (i+1)*width).
+  std::int64_t lo = 0;
+  std::int64_t width = 1;
+  std::size_t buckets = 32;
+  Unit unit = Unit::kNone;
+  /// Wall-clock measurements are excluded from deterministic exports.
+  bool wall_clock = false;
+
+  static HistogramSpec linear(std::int64_t lo, std::int64_t width,
+                              std::size_t buckets, Unit unit = Unit::kNone) {
+    return HistogramSpec{Scale::kLinear, lo, width, buckets, unit, false};
+  }
+  /// HDR-style log2 buckets (4 sub-buckets per octave): ~2.4% worst-case
+  /// relative error over the full non-negative int64 range in 252 buckets.
+  static HistogramSpec exponential(Unit unit = Unit::kNone,
+                                   bool wall_clock = false) {
+    return HistogramSpec{Scale::kExponential, 0, 1, 0, unit, wall_clock};
+  }
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec);
+
+  void record(std::int64_t v) {
+#ifndef P2P_OBS_DISABLED
+    if (v < 0) v = 0;
+    ++counts_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v < min_ || count_ == 1) min_ = v;
+    if (v > max_) max_ = v;
+#else
+    (void)v;
+#endif
+  }
+  void record(util::SimDuration d) { record(d.count_ms()); }
+
+  [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  /// Quantile estimate by linear interpolation within the covering bucket,
+  /// clamped to the observed [min, max]. q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const { return counts_[i]; }
+  /// Inclusive lower bound of bucket i.
+  [[nodiscard]] std::int64_t bucket_lower(std::size_t i) const;
+  /// Exclusive upper bound of bucket i.
+  [[nodiscard]] std::int64_t bucket_upper(std::size_t i) const;
+
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(std::int64_t v) const;
+
+  HistogramSpec spec_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name — the unit
+/// of export (tables, JSON, CSV) and of study-result persistence.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    Unit unit = Unit::kNone;
+    bool wall_clock = false;
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+    /// Non-empty buckets only: (inclusive lower bound, count).
+    std::vector<std::pair<std::int64_t, std::uint64_t>> buckets;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Name → metric. Metrics are created on first use and never deallocated,
+/// so references returned here stay valid for the process lifetime (cache
+/// them; lookup is a map find, recording through the reference is cheap).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// The spec applies on first creation; later calls with the same name
+  /// return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name, const HistogramSpec& spec);
+
+  /// Zero every value, keeping registrations (and outstanding references)
+  /// intact. Study runs reset the global registry at start so each
+  /// snapshot covers exactly one run.
+  void reset();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace p2p::obs

@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <array>
+#include <cstdio>
+
+namespace p2p::obs {
+
+namespace {
+constexpr std::array<std::string_view, static_cast<std::size_t>(Component::kCount)>
+    kComponentNames = {"sim",     "net",     "gnutella", "openft",
+                       "crawler", "scanner", "filter",   "core"};
+}  // namespace
+
+std::string_view component_name(Component c) {
+  auto i = static_cast<std::size_t>(c);
+  return i < kComponentNames.size() ? kComponentNames[i] : "?";
+}
+
+std::optional<Component> component_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kComponentNames.size(); ++i) {
+    if (kComponentNames[i] == name) return static_cast<Component>(i);
+  }
+  return std::nullopt;
+}
+
+TraceField tf(std::string key, std::string_view v) {
+  return TraceField{std::move(key), std::string(v), false};
+}
+TraceField tf(std::string key, const char* v) {
+  return tf(std::move(key), std::string_view(v));
+}
+TraceField tf(std::string key, const std::string& v) {
+  return tf(std::move(key), std::string_view(v));
+}
+TraceField tf(std::string key, std::int64_t v) {
+  return TraceField{std::move(key), std::to_string(v), true};
+}
+TraceField tf(std::string key, std::uint64_t v) {
+  return TraceField{std::move(key), std::to_string(v), true};
+}
+TraceField tf(std::string key, std::uint32_t v) {
+  return tf(std::move(key), static_cast<std::uint64_t>(v));
+}
+TraceField tf(std::string key, int v) {
+  return tf(std::move(key), static_cast<std::int64_t>(v));
+}
+TraceField tf(std::string key, double v) {
+  return TraceField{std::move(key), json_double(v), true};
+}
+TraceField tf(std::string key, bool v) {
+  return TraceField{std::move(key), v ? "true" : "false", true};
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, TraceEvent{});
+  start_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+void TraceBuffer::enable_all() {
+  mask_ = (1u << static_cast<unsigned>(Component::kCount)) - 1;
+}
+
+bool TraceBuffer::enable_from_spec(std::string_view spec) {
+  bool ok = true;
+  while (!spec.empty()) {
+    auto comma = spec.find(',');
+    std::string_view name = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (name.empty()) continue;
+    if (name == "all") {
+      enable_all();
+    } else if (auto c = component_from_name(name)) {
+      enable(*c);
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void TraceBuffer::record(Component c, std::string_view event, util::SimTime at,
+                         std::vector<TraceField> fields) {
+  if (!enabled(c)) return;
+  std::size_t slot;
+  if (size_ < capacity_) {
+    slot = (start_ + size_) % capacity_;
+    ++size_;
+  } else {
+    slot = start_;  // overwrite the oldest
+    start_ = (start_ + 1) % capacity_;
+  }
+  TraceEvent& e = ring_[slot];
+  e.at = at;
+  e.component = c;
+  e.event.assign(event);
+  e.fields = std::move(fields);
+  ++total_;
+}
+
+void TraceBuffer::clear() {
+  start_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+void TraceBuffer::write_jsonl(std::ostream& out,
+                              std::optional<Component> only) const {
+  for_each([&](const TraceEvent& e) {
+    if (only && e.component != *only) return;
+    out << "{\"t_sim\":" << e.at.millis() << ",\"sim\":\"" << e.at.str()
+        << "\",\"component\":\"" << component_name(e.component)
+        << "\",\"event\":\"" << json_escape(e.event) << '"';
+    for (const auto& f : e.fields) {
+      out << ",\"" << json_escape(f.key) << "\":";
+      if (f.raw) {
+        out << f.value;
+      } else {
+        out << '"' << json_escape(f.value) << '"';
+      }
+    }
+    out << "}\n";
+  });
+}
+
+}  // namespace p2p::obs

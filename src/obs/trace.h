@@ -1,0 +1,142 @@
+// Bounded structured event trace: a ring buffer of sim-time-stamped records
+// emitted as JSONL (`{"t_sim":..., "sim":"d0 ...", "component":"...",
+// "event":"...", <fields>}`), one line per record.
+//
+// This is the durable-event-log half of the observability layer (metrics
+// aggregate, traces narrate). The buffer is bounded — old records are
+// overwritten, `dropped()` says how many — and each component has an
+// enable flag so a study can trace, say, only the crawler without paying
+// for overlay chatter. Recording is off by default; the P2P_TRACE macro
+// checks the flag before any field is materialized, and compiles out
+// entirely under P2P_OBS_DISABLED.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/sim_time.h"
+
+namespace p2p::obs {
+
+enum class Component : unsigned {
+  kSim,
+  kNet,
+  kGnutella,
+  kOpenFt,
+  kCrawler,
+  kScanner,
+  kFilter,
+  kCore,
+  kCount,
+};
+
+[[nodiscard]] std::string_view component_name(Component c);
+[[nodiscard]] std::optional<Component> component_from_name(std::string_view name);
+
+/// One key/value pair of a trace record. `raw` values are emitted verbatim
+/// (numbers, booleans); others are JSON-escaped and quoted.
+struct TraceField {
+  std::string key;
+  std::string value;
+  bool raw = false;
+};
+
+[[nodiscard]] TraceField tf(std::string key, std::string_view v);
+[[nodiscard]] TraceField tf(std::string key, const char* v);
+[[nodiscard]] TraceField tf(std::string key, const std::string& v);
+[[nodiscard]] TraceField tf(std::string key, std::int64_t v);
+[[nodiscard]] TraceField tf(std::string key, std::uint64_t v);
+[[nodiscard]] TraceField tf(std::string key, std::uint32_t v);
+[[nodiscard]] TraceField tf(std::string key, int v);
+[[nodiscard]] TraceField tf(std::string key, double v);
+[[nodiscard]] TraceField tf(std::string key, bool v);
+
+struct TraceEvent {
+  util::SimTime at;
+  Component component = Component::kCore;
+  std::string event;
+  std::vector<TraceField> fields;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65'536;
+
+  static TraceBuffer& global();
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  /// Resize the ring; discards buffered records.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void enable(Component c) { mask_ |= bit(c); }
+  void disable(Component c) { mask_ &= ~bit(c); }
+  void enable_all();
+  void disable_all() { mask_ = 0; }
+  /// Enable components from a comma-separated list ("crawler,scanner") or
+  /// "all". Returns false if any name is unknown (valid names still apply).
+  bool enable_from_spec(std::string_view spec);
+
+  [[nodiscard]] bool enabled(Component c) const { return (mask_ & bit(c)) != 0; }
+  [[nodiscard]] bool any_enabled() const { return mask_ != 0; }
+
+  void record(Component c, std::string_view event, util::SimTime at,
+              std::vector<TraceField> fields);
+
+  /// Records currently buffered (≤ capacity).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Records overwritten since the last clear.
+  [[nodiscard]] std::uint64_t dropped() const { return total_ - size_; }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  void clear();
+
+  /// Oldest-to-newest JSONL dump; restrict to one component if given.
+  void write_jsonl(std::ostream& out,
+                   std::optional<Component> only = std::nullopt) const;
+
+  /// Visit buffered events oldest-to-newest (tests and custom exporters).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(ring_[(start_ + i) % capacity_]);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t bit(Component c) {
+    return 1u << static_cast<unsigned>(c);
+  }
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t start_ = 0;  // index of oldest record
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint32_t mask_ = 0;
+};
+
+}  // namespace p2p::obs
+
+// Record a trace event iff the component is enabled; fields are only
+// materialized after the flag check. Usage:
+//   P2P_TRACE(obs::Component::kCrawler, "download_ok", net.now(),
+//             obs::tf("bytes", n), obs::tf("key", key));
+#ifdef P2P_OBS_DISABLED
+#define P2P_TRACE(component, event, at, ...) \
+  do {                                       \
+  } while (0)
+#else
+#define P2P_TRACE(component, event, at, ...)                        \
+  do {                                                              \
+    auto& p2p_tb_ = ::p2p::obs::TraceBuffer::global();              \
+    if (p2p_tb_.enabled(component)) {                               \
+      p2p_tb_.record((component), (event), (at), {__VA_ARGS__});    \
+    }                                                               \
+  } while (0)
+#endif

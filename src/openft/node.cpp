@@ -3,11 +3,34 @@
 #include <algorithm>
 #include <charconv>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace p2p::openft {
 
 namespace {
+
+// Network-wide counters shared by every FT node (per-instance numbers stay
+// in FtStats); see DESIGN.md "Observability" for the metric families.
+struct OpenFtMetrics {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+  obs::Counter& searches_sent = r.counter("openft.searches_sent");
+  obs::Counter& searches_handled = r.counter("openft.searches_handled");
+  obs::Counter& searches_forwarded = r.counter("openft.searches_forwarded");
+  obs::Counter& results_sent = r.counter("openft.results_sent");
+  obs::Counter& results_received = r.counter("openft.results_received");
+  obs::Counter& shares_indexed = r.counter("openft.shares_indexed");
+  obs::Counter& uploads_served = r.counter("openft.uploads_served");
+  obs::Counter& pushes_relayed = r.counter("openft.pushes_relayed");
+  obs::Counter& dropped_malformed = r.counter("openft.dropped_malformed");
+  obs::Counter& sessions_established = r.counter("openft.sessions_established");
+
+  static OpenFtMetrics& get() {
+    static OpenFtMetrics m;
+    return m;
+  }
+};
 
 std::string_view as_view(const util::Bytes& b) {
   return {reinterpret_cast<const char*>(b.data()), b.size()};
@@ -286,6 +309,7 @@ void FtNode::on_connection_open(sim::ConnId conn, sim::NodeId peer, bool initiat
         const auto& content = shares_[share->second].content;
         network().send(conn, id(), make_push_delivery(st.push_md5, content->bytes()));
         ++stats_.uploads_served;
+        OpenFtMetrics::get().uploads_served.add(1);
       }
       // Requester closes once it has the body.
       break;
@@ -363,6 +387,7 @@ void FtNode::on_message(sim::ConnId conn, const util::Bytes& payload) {
         return;
       }
       ++stats_.dropped_malformed;
+      OpenFtMetrics::get().dropped_malformed.add(1);
       network().close(conn, id());
       conns_.erase(conn);
       return;
@@ -374,6 +399,7 @@ void FtNode::on_message(sim::ConnId conn, const util::Bytes& payload) {
         handle_packet(conn, state, *pkt);
       } else {
         ++stats_.dropped_malformed;
+      OpenFtMetrics::get().dropped_malformed.add(1);
       }
       return;
     }
@@ -387,6 +413,9 @@ void FtNode::on_message(sim::ConnId conn, const util::Bytes& payload) {
 
 void FtNode::session_established(sim::ConnId conn, ConnState& state) {
   state.session = SessionState::kEstablished;
+  OpenFtMetrics::get().sessions_established.add(1);
+  P2P_TRACE(obs::Component::kOpenFt, "session_established", network().now(),
+            obs::tf("node", id()), obs::tf("peer_klass", state.peer_info.klass));
   // A USER registers as a child of SEARCH parents it connected to.
   if (state.kind == ConnKind::kSessionOut && !is_search_node() &&
       (config_.klass & kUser) != 0 && (state.peer_info.klass & kSearch) != 0) {
@@ -445,6 +474,7 @@ void FtNode::handle_packet(sim::ConnId conn, ConnState& state, const FtPacket& p
             meta.keywords = util::keywords(p.path);
             state.child.shares.push_back(std::move(meta));
             ++stats_.shares_indexed;
+            OpenFtMetrics::get().shares_indexed.add(1);
           }
         } else if constexpr (std::is_same_v<T, RemShare>) {
           if (state.child.is_child) {
@@ -458,6 +488,7 @@ void FtNode::handle_packet(sim::ConnId conn, ConnState& state, const FtPacket& p
         } else if constexpr (std::is_same_v<T, SearchResponse>) {
           if (our_searches_.contains(p.search_id)) {
             ++stats_.results_received;
+            OpenFtMetrics::get().results_received.add(1);
             if (result_callback_) {
               result_callback_(FtSearchEvent{p.search_id, p, network().now()});
             }
@@ -534,6 +565,7 @@ void FtNode::handle_search_request(sim::ConnId conn, ConnState& state,
     search_routes_[req.search_id] = conn;
   }
   ++stats_.searches_handled;
+  OpenFtMetrics::get().searches_handled.add(1);
 
   auto tokens = util::keywords(req.query);
 
@@ -552,6 +584,7 @@ void FtNode::handle_search_request(sim::ConnId conn, ConnState& state,
       resp.owner_firewalled = st.child.info.http_port == 0;
       send_pkt(conn, make_packet(resp));
       ++stats_.results_sent;
+      OpenFtMetrics::get().results_sent.add(1);
     }
   }
   // Match our own shares (search nodes are usually users too).
@@ -568,6 +601,7 @@ void FtNode::handle_search_request(sim::ConnId conn, ConnState& state,
     resp.owner_firewalled = self.http_port == 0;
     send_pkt(conn, make_packet(resp));
     ++stats_.results_sent;
+      OpenFtMetrics::get().results_sent.add(1);
   }
   send_pkt(conn, make_packet(SearchEnd{req.search_id}));
 
@@ -582,6 +616,7 @@ void FtNode::handle_search_request(sim::ConnId conn, ConnState& state,
           (st.peer_info.klass & kSearch) != 0) {
         send_pkt(cid, make_packet(fwd));
         ++stats_.searches_forwarded;
+        OpenFtMetrics::get().searches_forwarded.add(1);
       }
     }
   }
@@ -601,6 +636,7 @@ std::uint64_t FtNode::search(const std::string& query) {
     }
   }
   ++stats_.searches_sent;
+  OpenFtMetrics::get().searches_sent.add(1);
   network().schedule_node(id(), config_.search_window, [this, search_id] {
     our_searches_.erase(search_id);
     if (search_end_callback_) search_end_callback_(search_id);
@@ -693,6 +729,7 @@ void FtNode::handle_push_request(sim::ConnId conn, const PushRequest& req) {
       if (share.md5 == req.md5) {
         send_pkt(cid, make_packet(req));
         ++stats_.pushes_relayed;
+        OpenFtMetrics::get().pushes_relayed.add(1);
         return;
       }
     }
@@ -711,6 +748,7 @@ void FtNode::handle_transfer_message(sim::ConnId conn, ConnState& state,
       if (share != md5_to_share_.end()) {
         response = make_response(200, &shares_[share->second].content->bytes());
         ++stats_.uploads_served;
+        OpenFtMetrics::get().uploads_served.add(1);
       }
     }
     if (response.empty()) response = make_response(404, nullptr);

@@ -1,13 +1,27 @@
 #include "sim/event_queue.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace p2p::sim {
 
+EventQueue::EventQueue()
+    : m_executed_(obs::MetricsRegistry::global().counter("sim.events_executed")),
+      m_depth_(obs::MetricsRegistry::global().gauge("sim.queue_depth")),
+      m_event_wall_ns_(obs::MetricsRegistry::global().histogram(
+          "sim.event_wall_ns",
+          obs::HistogramSpec::exponential(obs::Unit::kNanosWall,
+                                          /*wall_clock=*/true))) {}
+
 void EventQueue::schedule_at(SimTime at, Action action) {
+  // The monotonicity invariant (see header): an event may never be placed
+  // before the current clock.
   if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
   heap_.push(Entry{at, next_seq_++, std::move(action)});
+  m_depth_.set(static_cast<std::int64_t>(heap_.size()));
 }
 
 void EventQueue::schedule_in(SimDuration delay, Action action) {
@@ -25,11 +39,27 @@ bool EventQueue::step() {
   heap_.pop();
   now_ = at;
   ++executed_;
+  m_executed_.add(1);
+  m_depth_.set(static_cast<std::int64_t>(heap_.size()));
+#ifndef P2P_OBS_DISABLED
+  if (wall_timing_) {
+    auto start = std::chrono::steady_clock::now();
+    action();
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    m_event_wall_ns_.record(static_cast<std::int64_t>(ns));
+    return true;
+  }
+#endif
   action();
   return true;
 }
 
 void EventQueue::run_until(SimTime until) {
+  P2P_TRACE(obs::Component::kSim, "run_until", now_,
+            obs::tf("until_ms", until.millis()),
+            obs::tf("pending", heap_.size()));
   while (!heap_.empty() && heap_.top().at <= until) step();
   if (now_ < until) now_ = until;
 }

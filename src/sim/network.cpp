@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.h"
+#include "util/log.h"
+
 namespace p2p::sim {
 
-Network::Network(std::uint64_t seed) : rng_(seed) {}
+Network::Metrics::Metrics()
+    : connects_attempted(obs::MetricsRegistry::global().counter("net.connects_attempted")),
+      connects_failed(obs::MetricsRegistry::global().counter("net.connects_failed")),
+      connections_opened(obs::MetricsRegistry::global().counter("net.connections_opened")),
+      connections_closed(obs::MetricsRegistry::global().counter("net.connections_closed")),
+      messages_sent(obs::MetricsRegistry::global().counter("net.messages_sent")),
+      messages_delivered(obs::MetricsRegistry::global().counter("net.messages_delivered")),
+      messages_dropped(obs::MetricsRegistry::global().counter("net.messages_dropped")),
+      bytes_delivered(obs::MetricsRegistry::global().counter("net.bytes_delivered")),
+      nodes_alive(obs::MetricsRegistry::global().gauge("net.nodes_alive")),
+      connections_open(obs::MetricsRegistry::global().gauge("net.connections_open")),
+      message_bytes(obs::MetricsRegistry::global().histogram(
+          "net.message_bytes", obs::HistogramSpec::exponential(obs::Unit::kBytes))) {}
+
+Network::Network(std::uint64_t seed) : rng_(seed) {
+  // Stamp log lines with this network's simulated clock (see util/log.h).
+  util::Logger::instance().set_sim_clock([this] { return events_.now(); });
+}
+
+Network::~Network() { util::Logger::instance().clear_sim_clock(); }
 
 NodeId Network::add_node(std::unique_ptr<Node> node, HostProfile profile) {
   if (!node) throw std::invalid_argument("Network::add_node: null node");
@@ -23,6 +45,9 @@ NodeId Network::add_node(std::unique_ptr<Node> node, HostProfile profile) {
   events_.schedule_in(SimDuration::millis(0), [this, id] {
     if (Node* n = this->node(id)) n->start();
   });
+  metrics_.nodes_alive.set(static_cast<std::int64_t>(alive_count_));
+  P2P_TRACE(obs::Component::kNet, "node_join", events_.now(), obs::tf("node", id),
+            obs::tf("ip", profile.ip.str()), obs::tf("nat", profile.behind_nat));
   return id;
 }
 
@@ -39,6 +64,8 @@ void Network::remove_node(NodeId id) {
   slots_[id].node.reset();
   slots_[id].generation++;
   --alive_count_;
+  metrics_.nodes_alive.set(static_cast<std::int64_t>(alive_count_));
+  P2P_TRACE(obs::Component::kNet, "node_leave", events_.now(), obs::tf("node", id));
 }
 
 bool Network::alive(NodeId id) const {
@@ -67,6 +94,7 @@ SimDuration Network::draw_latency() {
 }
 
 ConnId Network::connect(NodeId from, NodeId to) {
+  metrics_.connects_attempted.add(1);
   ConnId cid = next_conn_++;
   Connection c;
   c.a = from;
@@ -82,11 +110,16 @@ ConnId Network::connect(NodeId from, NodeId to) {
     bool refused = !target || profile(to).behind_nat || !target->accept_connection(from);
     if (refused || !initiator) {
       conn->closed = true;
+      metrics_.connects_failed.add(1);
       if (initiator) initiator->on_connection_failed(cid, to);
       conns_.erase(cid);
       return;
     }
     conn->open = true;
+    metrics_.connections_opened.add(1);
+    metrics_.connections_open.add(1);
+    P2P_TRACE(obs::Component::kNet, "conn_open", events_.now(),
+              obs::tf("conn", cid), obs::tf("from", from), obs::tf("to", to));
     SimTime now = events_.now();
     conn->tx_free_a_to_b = now;
     conn->tx_free_b_to_a = now;
@@ -105,12 +138,20 @@ ConnId Network::connect(NodeId from, NodeId to) {
 
 void Network::send(ConnId conn, NodeId sender, util::Bytes payload) {
   auto* c = find_conn(conn);
-  if (!c || !c->open || c->closed) return;
+  if (!c || !c->open || c->closed) {
+    metrics_.messages_dropped.add(1);
+    return;
+  }
   if (sender != c->a && sender != c->b) {
     throw std::invalid_argument("Network::send: sender not on connection");
   }
   NodeId receiver = (sender == c->a) ? c->b : c->a;
-  if (!alive(sender) || !alive(receiver)) return;
+  if (!alive(sender) || !alive(receiver)) {
+    metrics_.messages_dropped.add(1);
+    return;
+  }
+  metrics_.messages_sent.add(1);
+  metrics_.message_bytes.record(static_cast<std::int64_t>(payload.size()));
 
   // Transfer time: size over the tighter of the two access links, serialized
   // behind earlier sends in the same direction.
@@ -133,11 +174,19 @@ void Network::deliver(ConnId conn, NodeId to, util::Bytes payload) {
   // delivered even if a close raced them (as TCP flushes before FIN); only
   // receiver death drops them.
   auto* c = find_conn(conn);
-  if (!c) return;
+  if (!c) {
+    metrics_.messages_dropped.add(1);
+    return;
+  }
   Node* n = node(to);
-  if (!n) return;
+  if (!n) {
+    metrics_.messages_dropped.add(1);
+    return;
+  }
   ++messages_delivered_;
   bytes_delivered_ += payload.size();
+  metrics_.messages_delivered.add(1);
+  metrics_.bytes_delivered.add(payload.size());
   n->on_message(conn, payload);
 }
 
@@ -149,6 +198,10 @@ void Network::close(ConnId conn, NodeId closer) {
   c->open = false;
   NodeId peer = (closer == c->a) ? c->b : c->a;
   if (was_open) {
+    metrics_.connections_closed.add(1);
+    metrics_.connections_open.add(-1);
+    P2P_TRACE(obs::Component::kNet, "conn_close", events_.now(),
+              obs::tf("conn", conn), obs::tf("closer", closer));
     events_.schedule_in(c->latency, [this, conn, peer] {
       if (Node* n = node(peer)) n->on_connection_closed(conn);
     });

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "util/bytes.h"
 #include "util/ip.h"
@@ -98,6 +99,10 @@ class Network {
   };
 
   explicit Network(std::uint64_t seed);
+  /// Unregisters this network's sim clock from the Logger.
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   EventQueue& events() { return events_; }
   [[nodiscard]] SimTime now() const { return events_.now(); }
@@ -181,6 +186,21 @@ class Network {
   ConnId next_conn_ = 1;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+
+  struct Metrics {
+    obs::Counter& connects_attempted;
+    obs::Counter& connects_failed;
+    obs::Counter& connections_opened;
+    obs::Counter& connections_closed;
+    obs::Counter& messages_sent;
+    obs::Counter& messages_delivered;
+    obs::Counter& messages_dropped;
+    obs::Counter& bytes_delivered;
+    obs::Gauge& nodes_alive;
+    obs::Gauge& connections_open;
+    obs::Histogram& message_bytes;
+    Metrics();
+  } metrics_;
 };
 
 }  // namespace p2p::sim

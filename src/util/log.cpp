@@ -23,12 +23,28 @@ Logger& Logger::instance() {
   return logger;
 }
 
+std::string Logger::time_prefix() const {
+  return sim_clock_ ? sim_clock_().str() : std::string{};
+}
+
 void Logger::write(LogLevel level, std::string_view component, std::string_view msg) {
   if (!enabled(level)) return;
-  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
-               static_cast<int>(level_name(level).size()), level_name(level).data(),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(msg.size()), msg.data());
+  if (sink_) {
+    sink_(level, component, msg);
+    return;
+  }
+  std::string prefix = time_prefix();
+  if (!prefix.empty()) {
+    std::fprintf(stderr, "[%s] [%.*s] %.*s: %.*s\n", prefix.c_str(),
+                 static_cast<int>(level_name(level).size()), level_name(level).data(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  } else {
+    std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+                 static_cast<int>(level_name(level).size()), level_name(level).data(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
 }
 
 }  // namespace p2p::util

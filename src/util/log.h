@@ -1,11 +1,19 @@
 // Minimal leveled logger. Measurement runs are long; the default level is
 // kWarn so studies stay quiet unless asked. Thread safety is not needed:
 // the discrete-event simulator is single-threaded by design.
+//
+// Output goes through a pluggable sink (default: stderr). When a sim clock
+// is registered (sim::Network does this for its lifetime), every line is
+// prefixed with the current simulated time so logs correlate with the
+// obs trace stream.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "util/sim_time.h"
 
 namespace p2p::util {
 
@@ -13,17 +21,38 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 class Logger {
  public:
+  /// Receives the formatted message body; the sink renders it (the default
+  /// sink writes "[sim-time] [LEVEL] component: msg" to stderr).
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view msg)>;
+  using SimClock = std::function<SimTime()>;
+
   static Logger& instance();
 
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
 
+  /// Replace the output sink; an empty function restores the stderr
+  /// default.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Register the simulated clock used to prefix log lines. The caller
+  /// owning the clock must clear it before the clocked object dies.
+  void set_sim_clock(SimClock clock) { sim_clock_ = std::move(clock); }
+  void clear_sim_clock() { sim_clock_ = nullptr; }
+  [[nodiscard]] bool has_sim_clock() const { return sim_clock_ != nullptr; }
+
+  /// Current sim-time prefix ("d0 00:01:02.500"), empty without a clock.
+  [[nodiscard]] std::string time_prefix() const;
+
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  SimClock sim_clock_;
 };
 
 namespace detail {

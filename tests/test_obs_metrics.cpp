@@ -1,0 +1,226 @@
+// Counter/gauge/histogram semantics, quantile math, snapshot determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/csv.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace p2p::obs {
+namespace {
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, TracksValueAndHighWater) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  Gauge g;
+  g.set(5);
+  g.add(3);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 8);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(ObsHistogram, LinearBucketing) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  Histogram h(HistogramSpec::linear(0, 10, 4, Unit::kHops));
+  // Buckets: underflow, [0,10), [10,20), [20,30), [30,40), overflow.
+  h.record(-5);  // clamped to 0
+  h.record(0);
+  h.record(9);
+  h.record(10);
+  h.record(39);
+  h.record(1000);  // overflow
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1000);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) total += h.bucket_value(i);
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(ObsHistogram, ExponentialBucketsCoverWideRange) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  Histogram h(HistogramSpec::exponential(Unit::kBytes));
+  for (std::int64_t v : {0LL, 1LL, 3LL, 4LL, 7LL, 100LL, 65'536LL,
+                         1'000'000'000LL, (1LL << 50)}) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 9u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    if (h.bucket_value(i) == 0) continue;
+    total += h.bucket_value(i);
+    // Every value must land in a bucket that covers it.
+    EXPECT_LT(h.bucket_lower(i), h.bucket_upper(i));
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(ObsHistogram, ExponentialRelativeError) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  // HDR-style: 4 sub-buckets per octave gives <= 1/8 relative bucket width,
+  // so a quantile estimate can't be off by more than ~12.5% of the value.
+  Histogram h(HistogramSpec::exponential());
+  for (std::int64_t v = 1; v <= 100'000; v += 7) h.record(v);
+  double p50 = h.quantile(0.5);
+  EXPECT_NEAR(p50, 50'000.0, 50'000.0 * 0.13);
+  double p99 = h.quantile(0.99);
+  EXPECT_NEAR(p99, 99'000.0, 99'000.0 * 0.13);
+}
+
+TEST(ObsHistogram, QuantileClampedToObservedRange) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  Histogram h(HistogramSpec::exponential());
+  h.record(100);
+  h.record(100);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_GE(h.quantile(0.5), 100.0 * 0.875);
+  EXPECT_LE(h.quantile(0.5), 100.0);
+  Histogram empty(HistogramSpec::exponential());
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, SimDurationRecordsMillis) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  Histogram h(HistogramSpec::exponential(Unit::kMillisSim));
+  h.record(util::SimDuration::seconds(2));
+  EXPECT_EQ(h.sum(), 2000);
+}
+
+TEST(ObsRegistry, SameNameSameMetric) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  MetricsRegistry r;
+  Counter& a = r.counter("x.a");
+  Counter& b = r.counter("x.a");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = r.histogram("x.h", HistogramSpec::linear(0, 1, 4));
+  Histogram& h2 = r.histogram("x.h", HistogramSpec::exponential());
+  EXPECT_EQ(&h1, &h2);  // first spec wins
+  EXPECT_EQ(h2.spec().scale, HistogramSpec::Scale::kLinear);
+}
+
+TEST(ObsRegistry, ResetKeepsRegistrationsAndReferences) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  MetricsRegistry r;
+  Counter& c = r.counter("x.c");
+  Gauge& g = r.gauge("x.g");
+  c.add(7);
+  g.set(9);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  c.add(1);  // reference still live after reset
+  EXPECT_EQ(r.counter("x.c").value(), 1u);
+}
+
+TEST(ObsRegistry, SnapshotSortedAndDeterministic) {
+  MetricsRegistry r;
+  r.counter("b.two").add(2);
+  r.counter("a.one").add(1);
+  r.gauge("z.depth").set(5);
+  r.histogram("m.lat", HistogramSpec::exponential(Unit::kMillisSim)).record(30);
+
+  MetricsSnapshot s1 = r.snapshot();
+  ASSERT_EQ(s1.counters.size(), 2u);
+  EXPECT_EQ(s1.counters[0].name, "a.one");
+  EXPECT_EQ(s1.counters[1].name, "b.two");
+
+  // Identical sequence of operations → byte-identical JSON export.
+  std::ostringstream j1, j2;
+  write_json(j1, s1);
+  write_json(j2, r.snapshot());
+  EXPECT_EQ(j1.str(), j2.str());
+  EXPECT_FALSE(j1.str().empty());
+}
+
+TEST(ObsExport, WallClockExcludedByDefault) {
+  MetricsRegistry r;
+  r.histogram("w.wall", HistogramSpec::exponential(Unit::kNanosWall, true))
+      .record(123);
+  r.histogram("s.sim", HistogramSpec::exponential(Unit::kMillisSim)).record(5);
+  std::ostringstream deterministic, with_wall;
+  write_json(deterministic, r.snapshot());
+  ExportOptions opts;
+  opts.include_wall_clock = true;
+  write_json(with_wall, r.snapshot(), opts);
+  EXPECT_EQ(deterministic.str().find("w.wall"), std::string::npos);
+  EXPECT_NE(deterministic.str().find("s.sim"), std::string::npos);
+  EXPECT_NE(with_wall.str().find("w.wall"), std::string::npos);
+}
+
+TEST(ObsExport, TableAndCsvRenderEveryMetric) {
+  MetricsRegistry r;
+  r.counter("net.messages_sent").add(10);
+  r.gauge("net.nodes_alive").set(4);
+  r.histogram("net.message_bytes", HistogramSpec::exponential(Unit::kBytes))
+      .record(512);
+  MetricsSnapshot snap = r.snapshot();
+
+  std::string table = render_table(snap);
+  EXPECT_NE(table.find("net.messages_sent"), std::string::npos);
+  EXPECT_NE(table.find("net.nodes_alive"), std::string::npos);
+  EXPECT_NE(table.find("net.message_bytes"), std::string::npos);
+
+  std::ostringstream csv;
+  analysis::write_metrics_csv(csv, snap);
+  std::string text = csv.str();
+  EXPECT_NE(text.find("counter,net.messages_sent"), std::string::npos);
+  EXPECT_NE(text.find("gauge,net.nodes_alive"), std::string::npos);
+  EXPECT_NE(text.find("histogram,net.message_bytes,bytes"), std::string::npos);
+}
+
+TEST(ObsTimer, ScopedWallTimerRecordsOneSample) {
+  Histogram h(HistogramSpec::exponential(Unit::kNanosWall, true));
+  { ScopedWallTimer t(h); }
+#ifndef P2P_OBS_DISABLED
+  EXPECT_EQ(h.count(), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace p2p::obs
