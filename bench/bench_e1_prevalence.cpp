@@ -10,8 +10,10 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2p;
+  bench::SweepCli cli;
+  if (!bench::parse_sweep_cli(argc, argv, cli)) return 2;
   std::cout << "=== E1: malware prevalence among downloadable responses ===\n\n";
 
   auto lw = bench::limewire_study_cached();
@@ -33,6 +35,21 @@ int main() {
                "[" + util::format_pct(ft_ci.lo) + ", " + util::format_pct(ft_ci.hi) +
                    "]"});
   std::cout << "-- paper vs measured --\n" << cmp.render() << "\n";
+
+  if (cli.replications > 0) {
+    auto lw_sweep = bench::run_cached_sweep(sweep::NetworkKind::kLimewire,
+                                            cli.replications, cli.jobs);
+    auto ft_sweep = bench::run_cached_sweep(sweep::NetworkKind::kOpenFt,
+                                            cli.replications, cli.jobs);
+    util::Table bands({"network", "paper", "malicious fraction over seeds"});
+    bands.add_row({"limewire", "68%",
+                   bench::format_band(lw_sweep, "prevalence.malicious_fraction")});
+    bands.add_row({"openft", "3%",
+                   bench::format_band(ft_sweep, "prevalence.malicious_fraction")});
+    std::cout << "-- seed sweep (" << cli.replications << " replications) --\n"
+              << bands.render() << "\n";
+  }
+
   bench::dump_metrics_json("e1_limewire", lw);
   bench::dump_metrics_json("e1_openft", ft);
   return 0;

@@ -10,8 +10,10 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2p;
+  bench::SweepCli cli;
+  if (!bench::parse_sweep_cli(argc, argv, cli)) return 2;
   std::cout << "=== E2: top-k malware concentration ===\n\n";
 
   auto lw = bench::limewire_study_cached();
@@ -30,6 +32,23 @@ int main() {
   cmp.add_row({"openft top-3 share", "75%",
                util::format_pct(analysis::topk_share(ft_rank, 3))});
   std::cout << "-- paper vs measured --\n" << cmp.render() << "\n";
+
+  if (cli.replications > 0) {
+    auto lw_sweep = bench::run_cached_sweep(sweep::NetworkKind::kLimewire,
+                                            cli.replications, cli.jobs);
+    auto ft_sweep = bench::run_cached_sweep(sweep::NetworkKind::kOpenFt,
+                                            cli.replications, cli.jobs);
+    util::Table bands({"metric", "paper", "over seeds"});
+    bands.add_row({"limewire top-3 share", "99%",
+                   bench::format_band(lw_sweep, "strains.top3_share")});
+    bands.add_row({"openft top-1 share", "67%",
+                   bench::format_band(ft_sweep, "strains.top1_share")});
+    bands.add_row({"openft top-3 share", "75%",
+                   bench::format_band(ft_sweep, "strains.top3_share")});
+    std::cout << "-- seed sweep (" << cli.replications << " replications) --\n"
+              << bands.render() << "\n";
+  }
+
   bench::dump_metrics_json("e2_limewire", lw);
   bench::dump_metrics_json("e2_openft", ft);
   return 0;

@@ -17,8 +17,10 @@
 #include "util/strings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2p;
+  bench::SweepCli cli;
+  if (!bench::parse_sweep_cli(argc, argv, cli)) return 2;
   std::cout << "=== E5: filtering comparison ===\n\n";
 
   auto lw = bench::limewire_study_cached();
@@ -61,6 +63,21 @@ int main() {
   cmp.add_row({"size-based false positives", "very low",
                util::format_pct(evals[1].false_positive_rate(), 3)});
   std::cout << "-- paper vs measured --\n" << cmp.render() << "\n";
+
+  if (cli.replications > 0) {
+    auto lw_sweep = bench::run_cached_sweep(sweep::NetworkKind::kLimewire,
+                                            cli.replications, cli.jobs);
+    util::Table bands({"metric", "paper", "over seeds"});
+    bands.add_row({"limewire builtin detection", "~6%",
+                   bench::format_band(lw_sweep, "filter.builtin_detection")});
+    bands.add_row({"limewire size-based detection", ">99%",
+                   bench::format_band(lw_sweep, "filter.size_detection")});
+    bands.add_row({"size-based false positives", "very low",
+                   bench::format_band(lw_sweep, "filter.size_false_positives")});
+    std::cout << "-- seed sweep (" << cli.replications << " replications) --\n"
+              << bands.render() << "\n";
+  }
+
   bench::dump_metrics_json("e5_limewire", lw);
   bench::dump_metrics_json("e5_openft", ft);
   return 0;

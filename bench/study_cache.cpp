@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "obs/export.h"
@@ -12,7 +13,7 @@ namespace p2p::bench {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x50324243;  // "P2BC"
-constexpr std::uint32_t kVersion = 4;  // v4: + metrics snapshot
+constexpr std::uint32_t kVersion = 5;  // v5: + config hash (staleness check)
 
 void write_string(util::ByteWriter& w, const std::string& s) {
   w.u32le(static_cast<std::uint32_t>(s.size()));
@@ -166,10 +167,19 @@ std::string cache_path(const std::string& name, std::uint64_t seed) {
   return "bench_cache_" + name + "_" + std::to_string(seed) + ".bin";
 }
 
-bool save_study(const std::string& path, const core::StudyResult& result) {
+std::string sweep_cache_path(std::uint64_t config_hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(config_hash));
+  return std::string("bench_cache_sweep_") + buf + ".bin";
+}
+
+bool save_study(const std::string& path, const core::StudyResult& result,
+                std::uint64_t config_hash) {
   util::ByteWriter w;
   w.u32le(kMagic);
   w.u32le(kVersion);
+  w.u64le(config_hash);
   w.u64le(result.events_executed);
   w.u64le(result.messages_delivered);
   w.u64le(result.bytes_delivered);
@@ -191,7 +201,8 @@ bool save_study(const std::string& path, const core::StudyResult& result) {
   return static_cast<bool>(out);
 }
 
-bool load_study(const std::string& path, core::StudyResult& result) {
+bool load_study(const std::string& path, core::StudyResult& result,
+                std::uint64_t expected_config_hash) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   util::Bytes data((std::istreambuf_iterator<char>(in)),
@@ -199,6 +210,10 @@ bool load_study(const std::string& path, core::StudyResult& result) {
   try {
     util::ByteReader r(data);
     if (r.u32le() != kMagic || r.u32le() != kVersion) return false;
+    std::uint64_t stored_hash = r.u64le();
+    if (expected_config_hash != 0 && stored_hash != expected_config_hash) {
+      return false;  // produced by a different config: stale
+    }
     result.events_executed = r.u64le();
     result.messages_delivered = r.u64le();
     result.bytes_delivered = r.u64le();
@@ -233,8 +248,9 @@ std::string dump_metrics_json(const std::string& bench,
 core::StudyResult limewire_study_cached() {
   auto cfg = core::limewire_standard();
   std::string path = cache_path("limewire", cfg.seed);
+  std::uint64_t hash = core::config_hash(cfg);
   core::StudyResult result;
-  if (load_study(path, result)) {
+  if (load_study(path, result, hash)) {
     std::fprintf(stderr, "[study-cache] loaded %zu LimeWire records from %s\n",
                  result.records.size(), path.c_str());
     result.strain_catalog = malware::limewire_catalog();
@@ -245,7 +261,7 @@ core::StudyResult limewire_study_cached() {
                "days; ~1 minute)...\n");
   result = core::run_limewire_study(cfg);
   result.strain_catalog = malware::limewire_catalog();
-  if (save_study(path, result)) {
+  if (save_study(path, result, hash)) {
     std::fprintf(stderr, "[study-cache] saved to %s\n", path.c_str());
   }
   return result;
@@ -254,8 +270,9 @@ core::StudyResult limewire_study_cached() {
 core::StudyResult openft_study_cached() {
   auto cfg = core::openft_standard();
   std::string path = cache_path("openft", cfg.seed);
+  std::uint64_t hash = core::config_hash(cfg);
   core::StudyResult result;
-  if (load_study(path, result)) {
+  if (load_study(path, result, hash)) {
     std::fprintf(stderr, "[study-cache] loaded %zu OpenFT records from %s\n",
                  result.records.size(), path.c_str());
     result.strain_catalog = malware::openft_catalog();
@@ -266,10 +283,82 @@ core::StudyResult openft_study_cached() {
                "days; ~15 seconds)...\n");
   result = core::run_openft_study(cfg);
   result.strain_catalog = malware::openft_catalog();
-  if (save_study(path, result)) {
+  if (save_study(path, result, hash)) {
     std::fprintf(stderr, "[study-cache] saved to %s\n", path.c_str());
   }
   return result;
+}
+
+core::StudyResult sweep_task_cached(const sweep::StudyTask& task) {
+  std::uint64_t hash = task.config_hash();
+  std::string path = sweep_cache_path(hash);
+  bool limewire = task.network == sweep::NetworkKind::kLimewire;
+  core::StudyResult result;
+  if (load_study(path, result, hash)) {
+    result.strain_catalog =
+        limewire ? malware::limewire_catalog() : malware::openft_catalog();
+    return result;
+  }
+  result = limewire ? core::run_limewire_study(task.limewire)
+                    : core::run_openft_study(task.openft);
+  result.strain_catalog =
+      limewire ? malware::limewire_catalog() : malware::openft_catalog();
+  if (save_study(path, result, hash)) {
+    std::fprintf(stderr, "[study-cache] saved sweep task %zu to %s\n",
+                 task.index, path.c_str());
+  }
+  return result;
+}
+
+bool parse_sweep_cli(int argc, char** argv, SweepCli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      cli.replications =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (cli.replications == 0) {
+        std::fprintf(stderr, "--sweep wants a positive replication count\n");
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      cli.jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (cli.jobs == 0) cli.jobs = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--sweep <n> [--jobs <j>]]\n", argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+sweep::SweepResult run_cached_sweep(sweep::NetworkKind network,
+                                    std::size_t replications, std::size_t jobs) {
+  sweep::PlanConfig plan;
+  plan.network = network;
+  plan.quick = false;
+  std::uint64_t base = network == sweep::NetworkKind::kLimewire
+                           ? core::limewire_standard().seed
+                           : core::openft_standard().seed;
+  for (std::size_t i = 0; i < replications; ++i) {
+    plan.seeds.push_back(base + i);
+  }
+  std::fprintf(stderr,
+               "[sweep] %zu x standard %s study, %zu job(s) (cached per seed)\n",
+               replications, std::string(sweep::network_name(network)).c_str(),
+               jobs);
+  sweep::SweepOptions options;
+  options.jobs = jobs;
+  options.runner = sweep_task_cached;
+  return sweep::run(sweep::plan(plan), options);
+}
+
+std::string format_band(const sweep::SweepResult& result, std::string_view metric) {
+  const sweep::MetricSummary* s = result.summary(metric);
+  if (s == nullptr) return "";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.4g ci95=[%.4g, %.4g] range=[%.4g, %.4g] n=%zu",
+                s->moments.mean, s->ci.lo, s->ci.hi, s->moments.min,
+                s->moments.max, s->moments.n);
+  return buf;
 }
 
 }  // namespace p2p::bench

@@ -1,13 +1,16 @@
 // Shared infrastructure for the experiment benches: run a standard study
 // once and cache its response log on disk, so each of the E1..E8 binaries
 // regenerating a different paper table doesn't redo the same month-long
-// crawl. The cache key includes the config seed and duration; delete
-// bench_cache_*.bin to force a fresh crawl.
+// crawl. Every cache file embeds the core::config_hash of the study that
+// produced it, and loads validate it — so an edited preset can never
+// silently serve a stale crawl. Delete bench_cache_*.bin to force a fresh
+// crawl.
 #pragma once
 
 #include <string>
 
 #include "core/study.h"
+#include "sweep/sweep.h"
 
 namespace p2p::bench {
 
@@ -17,13 +20,46 @@ core::StudyResult limewire_study_cached();
 /// Run (or load) the standard OpenFT study.
 core::StudyResult openft_study_cached();
 
+/// Run (or load) one sweep replication, cached by its config hash. Safe to
+/// call concurrently for distinct tasks (distinct files); plug into
+/// sweep::SweepOptions::runner to make bench sweeps resumable.
+core::StudyResult sweep_task_cached(const sweep::StudyTask& task);
+
 /// Cache file path for a study name + seed (in the current directory).
 std::string cache_path(const std::string& name, std::uint64_t seed);
 
+/// Cache file path for a sweep replication, keyed by config hash.
+std::string sweep_cache_path(std::uint64_t config_hash);
+
 /// Serialize / deserialize a StudyResult's records + counters + metrics
-/// snapshot.
-bool save_study(const std::string& path, const core::StudyResult& result);
-bool load_study(const std::string& path, core::StudyResult& result);
+/// snapshot. `config_hash` is embedded on save; a load with a non-zero
+/// `expected_config_hash` fails (cache miss) when the file was produced by
+/// a different configuration.
+bool save_study(const std::string& path, const core::StudyResult& result,
+                std::uint64_t config_hash = 0);
+bool load_study(const std::string& path, core::StudyResult& result,
+                std::uint64_t expected_config_hash = 0);
+
+/// `--sweep N [--jobs J]` arguments shared by the experiment benches: when
+/// `replications > 0` the bench runs an N-seed sweep of the standard preset
+/// (cached per seed) and reports CI bands instead of a single draw.
+struct SweepCli {
+  std::size_t replications = 0;
+  std::size_t jobs = 1;
+};
+
+/// Parses the bench sweep flags. Returns false (after printing usage to
+/// stderr) on an unknown flag or malformed value — callers exit 2.
+bool parse_sweep_cli(int argc, char** argv, SweepCli& cli);
+
+/// N-seed sweep of the standard preset (seeds base, base+1, ...), every
+/// replication cached by config hash via sweep_task_cached.
+sweep::SweepResult run_cached_sweep(sweep::NetworkKind network,
+                                    std::size_t replications, std::size_t jobs);
+
+/// One "metric: mean ± CI [min, max]" band row for the bench tables; empty
+/// string when the sweep has no such metric.
+std::string format_band(const sweep::SweepResult& result, std::string_view metric);
 
 /// Write the study's metrics snapshot to `bench_metrics_<bench>.json` in the
 /// current directory (deterministic: wall-clock histograms excluded). Every

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Test tiers for CI and pre-merge runs:
+#
+#   tier 1  Release build, full ctest suite (includes the obs, cli, fuzz,
+#           and paper labels at their default scale).
+#   tier 2  Sanitizer build (address,undefined), wire-format fuzz suite
+#           with the mutation loops scaled up via P2P_FUZZ_ROUNDS.
+#
+# Usage: ci/run_tiers.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: Release build + full suite =="
+cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci-release -j "${JOBS}"
+(
+  cd build-ci-release
+  ctest -L obs --output-on-failure
+  ctest -L paper --output-on-failure
+  ctest -j "${JOBS}" --output-on-failure
+)
+
+echo "== tier 2: sanitizer build + scaled fuzz suite =="
+cmake -B build-ci-sanitize -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DP2P_SANITIZE=address,undefined
+cmake --build build-ci-sanitize -j "${JOBS}"
+(
+  cd build-ci-sanitize
+  P2P_FUZZ_ROUNDS=2000 ctest -L fuzz -j "${JOBS}" --output-on-failure
+)
+
+echo "== all tiers passed =="

@@ -35,10 +35,13 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-components") == 0 && i + 1 < argc) {
       trace_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-presets") == 0) {
+      core::print_presets(std::cout);
+      return 0;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--quick] [--csv <path>] [--seed <n>] [--metrics <path>]"
-                   " [--trace <path>] [--trace-components <list|all>]\n";
+                   " [--trace <path>] [--trace-components <list|all>] [--list-presets]\n";
       return 2;
     }
   }

@@ -36,11 +36,14 @@ int main(int argc, char** argv) {
       trace_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--no-superspreader") == 0) {
       cfg.population.enable_superspreader = false;
+    } else if (std::strcmp(argv[i], "--list-presets") == 0) {
+      core::print_presets(std::cout);
+      return 0;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]"
                    " [--metrics <path>] [--trace <path>]"
-                   " [--trace-components <list|all>]\n";
+                   " [--trace-components <list|all>] [--list-presets]\n";
       return 2;
     }
   }

@@ -2,7 +2,7 @@
 // networks and print the headline results (malware prevalence, strain
 // concentration, sources, and the filtering comparison).
 //
-//   ./quickstart [--standard]
+//   ./quickstart [--standard] [--list-presets]
 //
 // The default "quick" preset simulates ~8 hours of crawling in a couple of
 // seconds; --standard runs the full 30-day configuration the benches use.
@@ -17,7 +17,18 @@
 
 int main(int argc, char** argv) {
   using namespace p2p;
-  bool standard = argc > 1 && std::strcmp(argv[1], "--standard") == 0;
+  bool standard = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--standard") == 0) {
+      standard = true;
+    } else if (std::strcmp(argv[i], "--list-presets") == 0) {
+      core::print_presets(std::cout);
+      return 0;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--standard] [--list-presets]\n";
+      return 2;
+    }
+  }
 
   auto lw_cfg = standard ? core::limewire_standard() : core::limewire_quick();
   auto ft_cfg = standard ? core::openft_standard() : core::openft_quick();

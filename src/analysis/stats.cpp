@@ -1,6 +1,7 @@
 #include "analysis/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -270,6 +271,63 @@ BootstrapCi bootstrap_malicious_fraction(std::span<const ResponseRecord> records
   };
   ci.lo = percentile(0.025);
   ci.hi = percentile(0.975);
+  return ci;
+}
+
+Moments moments(std::span<const double> xs) {
+  Moments m;
+  m.n = xs.size();
+  if (xs.empty()) return m;
+  double sum = 0.0;
+  m.min = xs.front();
+  m.max = xs.front();
+  for (double x : xs) {
+    sum += x;
+    if (x < m.min) m.min = x;
+    if (x > m.max) m.max = x;
+  }
+  m.mean = sum / static_cast<double>(m.n);
+  if (m.n >= 2) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - m.mean) * (x - m.mean);
+    m.stddev = std::sqrt(ss / static_cast<double>(m.n - 1));
+  }
+  return m;
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, std::size_t resamples,
+                              std::uint64_t seed) {
+  BootstrapCi ci;
+  ci.resamples = resamples;
+  if (xs.empty()) return ci;
+  ci.point = moments(xs).mean;
+  if (resamples == 0 || xs.size() < 2) {
+    ci.lo = ci.point;
+    ci.hi = ci.point;
+    return ci;
+  }
+  util::Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t i = 0; i < resamples; ++i) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < xs.size(); ++k) sum += xs[rng.index(xs.size())];
+    means.push_back(sum / static_cast<double>(xs.size()));
+  }
+  ci.lo = percentile(means, 0.025);
+  ci.hi = percentile(means, 0.975);
   return ci;
 }
 

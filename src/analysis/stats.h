@@ -185,4 +185,34 @@ struct BootstrapCi {
     std::span<const ResponseRecord> records, std::size_t resamples = 1000,
     std::uint64_t seed = 17);
 
+// ---------------------------------------------------------------------------
+// Scalar-sample aggregation (sweep summaries)
+// ---------------------------------------------------------------------------
+//
+// These operate on small vectors of per-replication observations — one
+// value per seed of a sweep — the way measurement studies report prevalence
+// numbers: as distributions over repeated observations, not single draws.
+
+struct Moments {
+  std::size_t n = 0;
+  double mean = 0.0;
+  /// Sample standard deviation (n-1 denominator); 0 when n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Moments moments(std::span<const double> xs);
+
+/// Quantile of the sample by linear interpolation between order statistics
+/// (the "R-7" definition). q in [0, 1]; 0 for an empty sample.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// 95% bootstrap CI for the mean of a scalar sample: resample the n
+/// observations with replacement, take the 2.5th/97.5th percentiles of the
+/// resampled means. Deterministic for a given seed.
+[[nodiscard]] BootstrapCi bootstrap_mean_ci(std::span<const double> xs,
+                                            std::size_t resamples = 1000,
+                                            std::uint64_t seed = 17);
+
 }  // namespace p2p::analysis

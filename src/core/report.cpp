@@ -1,5 +1,8 @@
 #include "core/report.h"
 
+#include <cstdio>
+
+#include "core/study.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -7,6 +10,30 @@ namespace p2p::core {
 
 using util::format_count;
 using util::format_pct;
+
+void print_presets(std::ostream& out) {
+  util::Table t({"preset", "network", "peers", "days", "seed"});
+  auto row = [&](const char* name, const char* network, std::size_t peers,
+                 const crawler::CrawlConfig& crawl, std::uint64_t seed) {
+    double days = static_cast<double>(crawl.duration.count_ms()) / 86'400'000.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2g", days);
+    t.add_row({name, network, format_count(peers), buf, std::to_string(seed)});
+  };
+  auto lq = limewire_quick();
+  auto ls = limewire_standard();
+  auto fq = openft_quick();
+  auto fs = openft_standard();
+  row("quick", "limewire", lq.population.leaves + lq.population.ultrapeers,
+      lq.crawl, lq.seed);
+  row("standard", "limewire", ls.population.leaves + ls.population.ultrapeers,
+      ls.crawl, ls.seed);
+  row("quick", "openft", fq.population.users + fq.population.search_nodes,
+      fq.crawl, fq.seed);
+  row("standard", "openft", fs.population.users + fs.population.search_nodes,
+      fs.crawl, fs.seed);
+  out << t.render();
+}
 
 void print_metrics(std::ostream& out, const std::string& network,
                    const obs::MetricsSnapshot& snapshot,

@@ -12,6 +12,10 @@
 
 namespace p2p::core {
 
+/// The four study presets (limewire/openft × quick/standard) with their key
+/// parameters — the `--list-presets` output shared by the example CLIs.
+void print_presets(std::ostream& out);
+
 /// Observability appendix: the run's metrics snapshot as aligned tables
 /// (counters, gauges, histogram summaries). Deterministic for a fixed seed
 /// unless `options.include_wall_clock` is set.

@@ -1,7 +1,10 @@
 #include "core/study.h"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
+
+#include "util/rng.h"
 
 #include "crawler/workload.h"
 #include "malware/scanner.h"
@@ -69,7 +72,147 @@ sim::SimTime study_end(const crawler::CrawlConfig& crawl) {
   return sim::SimTime::zero() + crawl.warmup + crawl.duration +
          sim::SimDuration::minutes(10);
 }
+
+// Order-dependent field mixer for config_hash: every field is folded
+// through splitmix64, so any single-field change flips the digest. The
+// digest is stable across platforms and standard libraries (no std::hash).
+class ConfigHasher {
+ public:
+  void u64(std::uint64_t v) {
+    state_ ^= v;
+    state_ = util::splitmix64(state_);
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void dur(sim::SimDuration d) { u64(static_cast<std::uint64_t>(d.count_ms())); }
+  void str(std::string_view s) {
+    u64(s.size());
+    for (unsigned char c : s) u64(c);
+  }
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x70327063'6f6e6667ull;  // "p2pc" "onfg"
+};
+
+void hash_corpus(ConfigHasher& h, const files::CorpusConfig& c) {
+  h.u64(c.seed);
+  h.u64(c.num_titles);
+  h.f64(c.zipf_exponent);
+  h.f64(c.frac_audio);
+  h.f64(c.frac_video);
+  h.f64(c.frac_executable);
+  h.f64(c.frac_archive);
+  h.f64(c.frac_image);
+  h.f64(c.frac_document);
+}
+
+void hash_servent(ConfigHasher& h, const gnutella::ServentConfig& c) {
+  h.u64(c.ultrapeer ? 1 : 0);
+  h.u64(c.query_ttl);
+  h.u64(c.max_ttl);
+  h.u64(c.up_degree);
+  h.u64(c.leaf_slots);
+  h.u64(c.leaf_up_count);
+  h.u64(c.qrt_bits);
+  h.u64(c.use_qrp ? 1 : 0);
+  h.dur(c.download_timeout);
+  h.dur(c.reconnect_delay);
+  h.u64(c.pong_fanout);
+  h.u64(c.learned_host_max);
+  h.u64(c.upload_slots);
+  h.dur(c.upload_window);
+}
+
+void hash_ft(ConfigHasher& h, const openft::FtConfig& c) {
+  h.u64(c.klass);
+  h.str(c.alias);
+  h.u64(c.parent_count);
+  h.u64(c.search_peers);
+  h.u64(c.max_children);
+  h.u64(c.search_ttl);
+  h.u64(c.index_parents);
+  h.dur(c.stats_interval);
+  h.dur(c.search_window);
+  h.dur(c.download_timeout);
+  h.dur(c.reconnect_delay);
+}
+
+void hash_churn(ConfigHasher& h, const agents::ChurnConfig& c) {
+  h.dur(c.mean_session);
+  h.dur(c.mean_offline);
+  h.f64(c.initial_online_override);
+  h.u64(c.seed);
+}
+
+void hash_crawl(ConfigHasher& h, const crawler::CrawlConfig& c) {
+  h.dur(c.duration);
+  h.dur(c.query_interval);
+  h.dur(c.warmup);
+  h.u64(static_cast<std::uint64_t>(c.max_download_attempts));
+  h.u64(c.query_ttl);
+  h.u64(c.dynamic_querying ? 1 : 0);
+  h.u64(c.dynamic_target_results);
+  h.dur(c.dynamic_probe_interval);
+  h.u64(c.vantage_ip.value());
+  h.u64(c.seed);
+}
 }  // namespace
+
+std::uint64_t config_hash(const LimewireStudyConfig& config) {
+  ConfigHasher h;
+  h.str("limewire");
+  h.u64(config.seed);
+  const auto& p = config.population;
+  h.u64(p.seed);
+  h.u64(p.ultrapeers);
+  h.u64(p.leaves);
+  h.f64(p.infected_fraction);
+  h.f64(p.nat_fraction_clean);
+  h.f64(p.nat_fraction_infected);
+  h.f64(p.private_advertise_given_nat);
+  h.u64(p.shares_min);
+  h.u64(p.shares_max);
+  h.u64(p.trojan_aliases_min);
+  h.u64(p.trojan_aliases_max);
+  h.u64(p.polymorphic_jitter);
+  h.dur(p.organic_query_interval);
+  hash_corpus(h, p.corpus);
+  hash_servent(h, p.leaf_config);
+  hash_servent(h, p.ultrapeer_config);
+  hash_churn(h, config.churn);
+  hash_crawl(h, config.crawl);
+  h.u64(config.workload_top_n);
+  h.u64(config.crawler_count);
+  return h.digest();
+}
+
+std::uint64_t config_hash(const OpenFtStudyConfig& config) {
+  ConfigHasher h;
+  h.str("openft");
+  h.u64(config.seed);
+  const auto& p = config.population;
+  h.u64(p.seed);
+  h.u64(p.search_nodes);
+  h.u64(p.index_nodes);
+  h.u64(p.users);
+  h.f64(p.infected_fraction);
+  h.f64(p.nat_fraction);
+  h.u64(p.shares_min);
+  h.u64(p.shares_max);
+  h.u64(p.infected_paths_min);
+  h.u64(p.infected_paths_max);
+  h.u64(p.enable_superspreader ? 1 : 0);
+  h.u64(p.superspreader_paths);
+  h.u64(p.superspreader_rank_stride);
+  h.u64(p.superspreader_rank_offset);
+  hash_corpus(h, p.corpus);
+  hash_ft(h, p.user_config);
+  hash_ft(h, p.search_config);
+  hash_churn(h, config.churn);
+  hash_crawl(h, config.crawl);
+  h.u64(config.workload_top_n);
+  return h.digest();
+}
 
 StudyResult run_limewire_study(const LimewireStudyConfig& config) {
   // Each run owns the registry window: reset here, snapshot at the end.

@@ -62,4 +62,12 @@ struct StudyResult {
 [[nodiscard]] StudyResult run_limewire_study(const LimewireStudyConfig& config);
 [[nodiscard]] StudyResult run_openft_study(const OpenFtStudyConfig& config);
 
+/// Stable 64-bit digest over every field of a study configuration
+/// (including nested population/churn/crawl/corpus settings and the seed).
+/// Cache layers key on it so a changed preset can never silently serve a
+/// stale crawl. Keep the hash functions in study.cpp in sync when adding
+/// config fields.
+[[nodiscard]] std::uint64_t config_hash(const LimewireStudyConfig& config);
+[[nodiscard]] std::uint64_t config_hash(const OpenFtStudyConfig& config);
+
 }  // namespace p2p::core

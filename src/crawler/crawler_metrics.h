@@ -24,10 +24,7 @@ struct CrawlerMetrics {
   obs::Histogram& hit_latency_ms = r.histogram(
       "crawler.hit_latency_ms", obs::HistogramSpec::exponential(obs::Unit::kMillisSim));
 
-  static CrawlerMetrics& get() {
-    static CrawlerMetrics m;
-    return m;
-  }
+  static CrawlerMetrics& get() { return obs::bound_metrics<CrawlerMetrics>(); }
 };
 
 }  // namespace p2p::crawler

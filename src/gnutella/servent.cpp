@@ -51,10 +51,7 @@ struct GnutellaMetrics {
     return recv_ping;
   }
 
-  static GnutellaMetrics& get() {
-    static GnutellaMetrics m;
-    return m;
-  }
+  static GnutellaMetrics& get() { return obs::bound_metrics<GnutellaMetrics>(); }
 };
 
 std::string_view as_view(const util::Bytes& b) {

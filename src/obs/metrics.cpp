@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 namespace p2p::obs {
@@ -96,7 +97,18 @@ void Histogram::reset() {
   max_ = 0;
 }
 
+MetricsRegistry::MetricsRegistry() {
+  static std::atomic<std::uint64_t> next_id{0};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+MetricsRegistry*& MetricsRegistry::current() {
+  thread_local MetricsRegistry* current = nullptr;
+  return current;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
+  if (MetricsRegistry* scoped = current()) return *scoped;
   static MetricsRegistry registry;
   return registry;
 }

@@ -17,7 +17,12 @@
 // seed. Wall-clock histograms (HistogramSpec::wall_clock) are not; exporters
 // exclude them by default so snapshots stay reproducible.
 //
-// Single-threaded by design, like the simulator it instruments.
+// Each registry is single-threaded by design, like the simulator it
+// instruments. Concurrency happens one level up: the sweep runner
+// (src/sweep) gives every worker thread its own registry via
+// ScopedMetricsRegistry, so N studies can record in parallel without any
+// locking — global() resolves to the calling thread's scoped registry when
+// one is installed, and to the process-wide registry otherwise.
 #pragma once
 
 #include <bit>
@@ -182,11 +187,19 @@ struct MetricsSnapshot {
 /// them; lookup is a map find, recording through the reference is cheap).
 class MetricsRegistry {
  public:
+  /// The calling thread's scoped registry (see ScopedMetricsRegistry), or
+  /// the process-wide registry when none is installed.
   static MetricsRegistry& global();
 
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-unique identity, assigned at construction. Lets caches of
+  /// metric references (bound_metrics) detect that "the registry at this
+  /// address" is a different registry than the one they bound to — sweep
+  /// tasks create registries at recycled addresses.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
@@ -202,9 +215,50 @@ class MetricsRegistry {
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
+  friend class ScopedMetricsRegistry;
+  static MetricsRegistry*& current();
+
+  std::uint64_t id_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// Installs `registry` as the calling thread's MetricsRegistry::global()
+/// for the guard's lifetime (restoring the previous one on destruction,
+/// so scopes nest). This is what isolates concurrent sweep tasks: each
+/// worker wraps its study in a scope, and every metric the study records —
+/// including references captured at construction time — lands in that
+/// task's private registry.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry& registry)
+      : previous_(MetricsRegistry::current()) {
+    MetricsRegistry::current() = &registry;
+  }
+  ~ScopedMetricsRegistry() { MetricsRegistry::current() = previous_; }
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Per-thread cache of a default-constructed metric-reference bundle (a
+/// struct whose members bind to MetricsRegistry::global() at construction).
+/// The bundle is rebuilt whenever the calling thread's registry changes, so
+/// call sites stay a pointer-compare away from the plain-static fast path
+/// while still honouring ScopedMetricsRegistry.
+template <typename Bundle>
+Bundle& bound_metrics() {
+  thread_local std::uint64_t bound_id = 0;  // no registry has id 0
+  thread_local std::unique_ptr<Bundle> bundle;
+  MetricsRegistry& cur = MetricsRegistry::global();
+  if (bound_id != cur.id()) {
+    bundle = std::make_unique<Bundle>();
+    bound_id = cur.id();
+  }
+  return *bundle;
+}
 
 }  // namespace p2p::obs

@@ -26,10 +26,7 @@ struct OpenFtMetrics {
   obs::Counter& dropped_malformed = r.counter("openft.dropped_malformed");
   obs::Counter& sessions_established = r.counter("openft.sessions_established");
 
-  static OpenFtMetrics& get() {
-    static OpenFtMetrics m;
-    return m;
-  }
+  static OpenFtMetrics& get() { return obs::bound_metrics<OpenFtMetrics>(); }
 };
 
 std::string_view as_view(const util::Bytes& b) {

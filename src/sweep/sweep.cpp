@@ -1,0 +1,274 @@
+#include "sweep/sweep.h"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <thread>
+
+#include "filter/evaluation.h"
+#include "filter/limewire_builtin.h"
+#include "filter/size_filter.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace p2p::sweep {
+
+namespace {
+
+// Shortest round-trip double rendering (std::to_chars), so the JSON report
+// is byte-stable and loses no precision.
+std::string json_number(double v) {
+  char buf[40];
+  auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+core::StudyResult run_task(const StudyTask& task) {
+  if (task.network == NetworkKind::kLimewire) {
+    return core::run_limewire_study(task.limewire);
+  }
+  return core::run_openft_study(task.openft);
+}
+
+}  // namespace
+
+std::string_view network_name(NetworkKind kind) {
+  return kind == NetworkKind::kLimewire ? "limewire" : "openft";
+}
+
+std::uint64_t StudyTask::config_hash() const {
+  return network == NetworkKind::kLimewire ? core::config_hash(limewire)
+                                           : core::config_hash(openft);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::size_t task_index) {
+  // The splitmix64 stream over `base_seed`, jumped ahead to `task_index`:
+  // pure in (base, index), so identical under any scheduling, and
+  // decorrelated even for adjacent bases or indices.
+  std::uint64_t state =
+      base_seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(task_index);
+  return util::splitmix64(state);
+}
+
+std::vector<StudyTask> plan(const PlanConfig& config) {
+  std::vector<std::uint64_t> seeds = config.seeds;
+  if (seeds.empty()) {
+    seeds.reserve(config.replications);
+    for (std::size_t i = 0; i < config.replications; ++i) {
+      seeds.push_back(derive_seed(config.base_seed, i));
+    }
+  }
+  std::vector<StudyTask> tasks;
+  tasks.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    StudyTask t;
+    t.index = i;
+    t.seed = seeds[i];
+    t.network = config.network;
+    if (config.network == NetworkKind::kLimewire) {
+      t.limewire = config.quick ? core::limewire_quick() : core::limewire_standard();
+      t.limewire.seed = seeds[i];
+      if (config.duration) t.limewire.crawl.duration = *config.duration;
+    } else {
+      t.openft = config.quick ? core::openft_quick() : core::openft_standard();
+      t.openft.seed = seeds[i];
+      if (config.duration) t.openft.crawl.duration = *config.duration;
+    }
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::map<std::string, double> extract_observables(const core::StudyResult& result,
+                                                  NetworkKind network) {
+  std::map<std::string, double> v;
+
+  auto prev = analysis::prevalence(result.records);
+  v["prevalence.total_responses"] = static_cast<double>(prev.total_responses);
+  v["prevalence.study_responses"] = static_cast<double>(prev.study_responses);
+  v["prevalence.labeled"] = static_cast<double>(prev.labeled);
+  v["prevalence.malicious_fraction"] = prev.malicious_fraction();
+  v["prevalence.exe_fraction"] = prev.exe_fraction();
+  v["prevalence.archive_fraction"] = prev.archive_fraction();
+
+  auto ranking = analysis::strain_ranking(result.records);
+  v["strains.distinct"] = static_cast<double>(ranking.size());
+  v["strains.top1_share"] = analysis::topk_share(ranking, 1);
+  v["strains.top3_share"] = analysis::topk_share(ranking, 3);
+
+  auto sources = analysis::sources(result.records);
+  v["sources.distinct"] = static_cast<double>(sources.distinct_sources);
+  v["sources.private_fraction"] = sources.private_fraction;
+  auto concentration = analysis::strain_source_concentration(result.records);
+  if (!concentration.empty()) {
+    v["sources.top_strain_top_source_share"] = concentration.front().top_source_share;
+  }
+
+  // E5 protocol: learn filters on the first quarter of the crawl, evaluate
+  // on the rest (same split and vendor lists as bench_e5 — keep in sync).
+  auto split = filter::split_at_fraction(result.records, 0.25);
+  auto size_filter = filter::SizeFilter::learn(split.training);
+  auto size_eval = filter::evaluate(size_filter, split.evaluation);
+  v["filter.size_detection"] = size_eval.detection_rate();
+  v["filter.size_false_positives"] = size_eval.false_positive_rate();
+  v["filter.size_blocked_sizes"] =
+      static_cast<double>(size_filter.blocked_sizes().size());
+  if (network == NetworkKind::kLimewire) {
+    std::vector<std::string> vendor_known = {"Troj.Dropper.D", "W32.Paplin.E",
+                                             "Troj.Loader.F", "W32.Bindle.G",
+                                             "Troj.Spyball.H", "W32.Crater.I"};
+    std::vector<std::string> vendor_partial = {"Troj.Keymaker.C"};
+    auto builtin = filter::make_builtin_filter(split.training, vendor_known,
+                                               vendor_partial);
+    auto builtin_eval = filter::evaluate(builtin, split.evaluation);
+    v["filter.builtin_detection"] = builtin_eval.detection_rate();
+  }
+
+  v["run.records"] = static_cast<double>(result.records.size());
+  v["run.events_executed"] = static_cast<double>(result.events_executed);
+  v["run.messages_delivered"] = static_cast<double>(result.messages_delivered);
+  v["run.bytes_delivered"] = static_cast<double>(result.bytes_delivered);
+  v["run.churn_joins"] = static_cast<double>(result.churn_joins);
+  v["run.churn_leaves"] = static_cast<double>(result.churn_leaves);
+
+  // Every obs counter of the run (sim-driven, deterministic). Gauges and
+  // histograms stay in the snapshot; counters are the scalar aggregates
+  // worth banding across seeds.
+  for (const auto& c : result.metrics.counters) {
+    v["obs." + c.name] = static_cast<double>(c.value);
+  }
+  return v;
+}
+
+const MetricSummary* SweepResult::summary(std::string_view name) const {
+  for (const auto& s : summaries) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+SweepResult run(std::span<const StudyTask> tasks, const SweepOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  SweepResult out;
+  out.tasks.resize(tasks.size());
+  if (tasks.empty()) return out;
+
+  const auto& runner = options.runner;
+  auto sweep_start = Clock::now();
+  std::atomic<std::size_t> next{0};
+
+  // Workers pull task indices from a shared counter; results land in the
+  // slot of their task, so completion order never shows in the output.
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      const StudyTask& task = tasks[i];
+      TaskResult& tr = out.tasks[i];
+      tr.index = task.index;
+      tr.seed = task.seed;
+      auto t0 = Clock::now();
+      try {
+        // The task's private metrics window: every metric the study (and
+        // the observable extraction) records stays in this registry.
+        obs::MetricsRegistry task_registry;
+        obs::ScopedMetricsRegistry scope(task_registry);
+        core::StudyResult study = runner ? runner(task) : run_task(task);
+        tr.values = extract_observables(study, task.network);
+        tr.ok = true;
+      } catch (const std::exception& e) {
+        tr.error = e.what();
+      } catch (...) {
+        tr.error = "unknown exception";
+      }
+      tr.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+  };
+
+  std::size_t jobs = std::max<std::size_t>(1, std::min(options.jobs, tasks.size()));
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  out.wall_seconds = std::chrono::duration<double>(Clock::now() - sweep_start).count();
+  out.tasks_per_second =
+      out.wall_seconds > 0.0 ? static_cast<double>(tasks.size()) / out.wall_seconds : 0.0;
+
+  // Aggregate each metric over the successful tasks, in task-index order so
+  // the bootstrap draws are reproducible.
+  std::map<std::string, std::vector<double>> by_name;
+  for (const auto& tr : out.tasks) {
+    if (!tr.ok) {
+      ++out.failed;
+      continue;
+    }
+    ++out.completed;
+    for (const auto& [name, value] : tr.values) by_name[name].push_back(value);
+  }
+  out.summaries.reserve(by_name.size());
+  for (const auto& [name, values] : by_name) {
+    MetricSummary s;
+    s.name = name;
+    s.moments = analysis::moments(values);
+    s.p50 = analysis::percentile(values, 0.5);
+    s.ci = analysis::bootstrap_mean_ci(values, options.bootstrap_resamples,
+                                       options.bootstrap_seed);
+    out.summaries.push_back(std::move(s));
+  }
+
+  // Throughput metrics land in the caller's registry (the workers recorded
+  // into per-task registries that are gone by now).
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("sweep.tasks_completed").add(out.completed);
+  registry.counter("sweep.tasks_failed").add(out.failed);
+  registry.gauge("sweep.jobs").set(static_cast<std::int64_t>(jobs));
+  auto& wall = registry.histogram(
+      "sweep.task_wall_ns",
+      obs::HistogramSpec::exponential(obs::Unit::kNanosWall, /*wall_clock=*/true));
+  for (const auto& tr : out.tasks) {
+    wall.record(static_cast<std::int64_t>(tr.wall_seconds * 1e9));
+  }
+  return out;
+}
+
+void write_json(std::ostream& out, const SweepResult& result) {
+  out << "{\"format\":\"p2p-sweep-1\"";
+  out << ",\"completed\":" << result.completed;
+  out << ",\"failed\":" << result.failed;
+  out << ",\"tasks\":[";
+  for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+    const auto& t = result.tasks[i];
+    if (i) out << ",";
+    out << "{\"index\":" << t.index << ",\"seed\":" << t.seed << ",\"ok\":"
+        << (t.ok ? "true" : "false");
+    if (!t.ok) out << ",\"error\":\"" << obs::json_escape(t.error) << "\"";
+    out << ",\"values\":{";
+    bool first = true;
+    for (const auto& [name, value] : t.values) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << obs::json_escape(name) << "\":" << json_number(value);
+    }
+    out << "}}";
+  }
+  out << "],\"summaries\":[";
+  for (std::size_t i = 0; i < result.summaries.size(); ++i) {
+    const auto& s = result.summaries[i];
+    if (i) out << ",";
+    out << "{\"metric\":\"" << obs::json_escape(s.name) << "\""
+        << ",\"n\":" << s.moments.n << ",\"mean\":" << json_number(s.moments.mean)
+        << ",\"stddev\":" << json_number(s.moments.stddev)
+        << ",\"min\":" << json_number(s.moments.min)
+        << ",\"max\":" << json_number(s.moments.max)
+        << ",\"p50\":" << json_number(s.p50) << ",\"ci95\":["
+        << json_number(s.ci.lo) << "," << json_number(s.ci.hi) << "]}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace p2p::sweep

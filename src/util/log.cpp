@@ -16,6 +16,10 @@ std::string_view level_name(LogLevel level) {
   }
   return "?";
 }
+// One registered clock per thread: every sweep worker owns exactly one
+// running simulation, and its log lines must carry that simulation's time.
+thread_local Logger::SimClock t_sim_clock;
+
 }  // namespace
 
 Logger& Logger::instance() {
@@ -23,8 +27,14 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_sim_clock(SimClock clock) { t_sim_clock = std::move(clock); }
+
+void Logger::clear_sim_clock() { t_sim_clock = nullptr; }
+
+bool Logger::has_sim_clock() const { return static_cast<bool>(t_sim_clock); }
+
 std::string Logger::time_prefix() const {
-  return sim_clock_ ? sim_clock_().str() : std::string{};
+  return t_sim_clock ? t_sim_clock().str() : std::string{};
 }
 
 void Logger::write(LogLevel level, std::string_view component, std::string_view msg) {

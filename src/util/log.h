@@ -1,11 +1,13 @@
 // Minimal leveled logger. Measurement runs are long; the default level is
-// kWarn so studies stay quiet unless asked. Thread safety is not needed:
-// the discrete-event simulator is single-threaded by design.
+// kWarn so studies stay quiet unless asked.
 //
 // Output goes through a pluggable sink (default: stderr). When a sim clock
 // is registered (sim::Network does this for its lifetime), every line is
 // prefixed with the current simulated time so logs correlate with the
-// obs trace stream.
+// obs trace stream. The clock registration is per-thread — each sweep
+// worker runs its own single-threaded simulation, and its log lines carry
+// that simulation's clock. Level and sink are process-wide; configure them
+// before spawning workers.
 #pragma once
 
 #include <functional>
@@ -37,11 +39,12 @@ class Logger {
   /// default.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
-  /// Register the simulated clock used to prefix log lines. The caller
-  /// owning the clock must clear it before the clocked object dies.
-  void set_sim_clock(SimClock clock) { sim_clock_ = std::move(clock); }
-  void clear_sim_clock() { sim_clock_ = nullptr; }
-  [[nodiscard]] bool has_sim_clock() const { return sim_clock_ != nullptr; }
+  /// Register the simulated clock used to prefix this thread's log lines.
+  /// The caller owning the clock must clear it before the clocked object
+  /// dies.
+  void set_sim_clock(SimClock clock);
+  void clear_sim_clock();
+  [[nodiscard]] bool has_sim_clock() const;
 
   /// Current sim-time prefix ("d0 00:01:02.500"), empty without a clock.
   [[nodiscard]] std::string time_prefix() const;
@@ -52,7 +55,6 @@ class Logger {
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
-  SimClock sim_clock_;
 };
 
 namespace detail {

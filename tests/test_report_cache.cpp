@@ -143,6 +143,53 @@ TEST(StudyCache, RejectsMissingAndCorrupt) {
 
 TEST(StudyCache, PathEncodesNameAndSeed) {
   EXPECT_EQ(bench::cache_path("limewire", 2006), "bench_cache_limewire_2006.bin");
+  EXPECT_EQ(bench::sweep_cache_path(0xabcULL),
+            "bench_cache_sweep_0000000000000abc.bin");
+}
+
+TEST(StudyCache, MissesWhenConfigHashChanges) {
+  core::StudyResult original;
+  original.records.push_back(sample_record(1, true));
+  std::string path = "test_cache_stale.bin";
+  auto cfg = core::limewire_quick();
+  std::uint64_t hash = core::config_hash(cfg);
+  ASSERT_TRUE(bench::save_study(path, original, hash));
+
+  core::StudyResult loaded;
+  EXPECT_TRUE(bench::load_study(path, loaded, hash));
+
+  // Any config edit changes the hash, so the cache entry goes stale.
+  cfg.crawl.duration = cfg.crawl.duration + util::SimDuration::hours(1);
+  std::uint64_t changed = core::config_hash(cfg);
+  ASSERT_NE(changed, hash);
+  EXPECT_FALSE(bench::load_study(path, loaded, changed));
+
+  // Hash 0 skips validation (legacy callers).
+  EXPECT_TRUE(bench::load_study(path, loaded, 0));
+  std::remove(path.c_str());
+}
+
+TEST(StudyCache, ConfigHashCoversSeedAndNestedFields) {
+  auto cfg = core::limewire_quick();
+  std::uint64_t base = core::config_hash(cfg);
+
+  auto seed_changed = cfg;
+  seed_changed.seed += 1;
+  EXPECT_NE(core::config_hash(seed_changed), base);
+
+  auto pop_changed = cfg;
+  pop_changed.population.leaves += 1;
+  EXPECT_NE(core::config_hash(pop_changed), base);
+
+  auto corpus_changed = cfg;
+  corpus_changed.population.corpus.zipf_exponent += 0.01;
+  EXPECT_NE(core::config_hash(corpus_changed), base);
+
+  // Networks never collide even at identical seeds.
+  auto lw = core::limewire_quick();
+  auto ft = core::openft_quick();
+  ft.seed = lw.seed;
+  EXPECT_NE(core::config_hash(lw), core::config_hash(ft));
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// The parallel sweep runner: determinism across job counts, seed
+// derivation, aggregation math, and per-task failure isolation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/stats.h"
+#include "sweep/sweep.h"
+
+namespace p2p {
+namespace {
+
+// Tiny tasks so the multi-job determinism check stays fast: the quick
+// preset cut to a 2-minute crawl still produces responses.
+std::vector<sweep::StudyTask> tiny_tasks(std::size_t n) {
+  sweep::PlanConfig plan;
+  plan.network = sweep::NetworkKind::kOpenFt;
+  plan.quick = true;
+  plan.replications = n;
+  plan.duration = util::SimDuration::minutes(2);
+  return sweep::plan(plan);
+}
+
+TEST(SweepSeeds, DerivationIsPureAndCollisionFree) {
+  EXPECT_EQ(sweep::derive_seed(2006, 0), sweep::derive_seed(2006, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ULL, 1ULL, 2006ULL, 2007ULL}) {
+    for (std::size_t i = 0; i < 256; ++i) {
+      seen.insert(sweep::derive_seed(base, i));
+    }
+  }
+  // Nearby bases and indices must not collide.
+  EXPECT_EQ(seen.size(), 4u * 256u);
+}
+
+TEST(SweepPlan, ExplicitSeedsWinAndPresetsApply) {
+  sweep::PlanConfig plan;
+  plan.network = sweep::NetworkKind::kLimewire;
+  plan.seeds = {11, 22, 33};
+  plan.duration = util::SimDuration::hours(5);
+  auto tasks = sweep::plan(plan);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0].seed, 11u);
+  EXPECT_EQ(tasks[2].seed, 33u);
+  EXPECT_EQ(tasks[1].limewire.seed, 22u);
+  EXPECT_EQ(tasks[1].limewire.crawl.duration, util::SimDuration::hours(5));
+  // Distinct seeds yield distinct config hashes; same plan, same hash.
+  EXPECT_NE(tasks[0].config_hash(), tasks[1].config_hash());
+  EXPECT_EQ(tasks[0].config_hash(), sweep::plan(plan)[0].config_hash());
+}
+
+TEST(SweepRun, JsonIsByteIdenticalAcrossJobCounts) {
+  auto tasks = tiny_tasks(4);
+  sweep::SweepOptions serial;
+  serial.jobs = 1;
+  auto r1 = sweep::run(tasks, serial);
+  sweep::SweepOptions parallel_opts;
+  parallel_opts.jobs = 4;
+  auto r4 = sweep::run(tasks, parallel_opts);
+
+  ASSERT_TRUE(r1.all_ok());
+  ASSERT_TRUE(r4.all_ok());
+  std::ostringstream j1, j4;
+  sweep::write_json(j1, r1);
+  sweep::write_json(j4, r4);
+  EXPECT_EQ(j1.str(), j4.str());
+  // And the runs produced real data, not empty shells.
+  const auto* responses = r1.summary("prevalence.total_responses");
+  ASSERT_NE(responses, nullptr);
+  EXPECT_GT(responses->moments.mean, 0.0);
+}
+
+TEST(SweepRun, TaskMetricsAreIsolatedPerTask) {
+  auto tasks = tiny_tasks(2);
+  auto result = sweep::run(tasks, {});
+  ASSERT_TRUE(result.all_ok());
+  // Had two tasks shared one registry, the second task's counters would
+  // include the first task's traffic; identical configs differing only by
+  // seed must stay the same order of magnitude instead of doubling.
+  double a = result.tasks[0].values.at("obs.sim.events_executed");
+  double b = result.tasks[1].values.at("obs.sim.events_executed");
+  EXPECT_GT(a, 0.0);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(std::max(a, b), 1.5 * std::min(a, b));
+}
+
+TEST(SweepRun, RecordsThroughputMetricsInCallerRegistry) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(registry);
+  auto tasks = tiny_tasks(2);
+  auto result = sweep::run(tasks, {});
+  ASSERT_TRUE(result.all_ok());
+  auto snap = registry.snapshot();
+  std::uint64_t completed = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "sweep.tasks_completed") completed = c.value;
+  }
+  EXPECT_EQ(completed, 2u);
+}
+
+TEST(SweepRun, FailedTaskDoesNotAbortSweep) {
+  auto tasks = tiny_tasks(3);
+  sweep::SweepOptions options;
+  options.runner = [](const sweep::StudyTask& task) -> core::StudyResult {
+    if (task.index == 1) throw std::runtime_error("injected failure");
+    return core::run_openft_study(task.openft);
+  };
+  auto result = sweep::run(tasks, options);
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_FALSE(result.tasks[1].ok);
+  EXPECT_EQ(result.tasks[1].error, "injected failure");
+  EXPECT_TRUE(result.tasks[0].ok);
+  EXPECT_TRUE(result.tasks[2].ok);
+  // Summaries aggregate over the 2 successes only.
+  const auto* s = result.summary("run.records");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->moments.n, 2u);
+  // The failure shows up in the JSON, flagged.
+  std::ostringstream json;
+  sweep::write_json(json, result);
+  EXPECT_NE(json.str().find("injected failure"), std::string::npos);
+}
+
+TEST(SweepAggregation, MomentsMatchHandComputedFixture) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  auto m = analysis::moments(xs);
+  EXPECT_EQ(m.n, 8u);
+  EXPECT_DOUBLE_EQ(m.mean, 5.0);
+  // Sample stddev: sum of squared deviations = 32, 32/7 ≈ 4.5714.
+  EXPECT_NEAR(m.stddev, 2.13809, 1e-5);
+  EXPECT_DOUBLE_EQ(m.min, 2.0);
+  EXPECT_DOUBLE_EQ(m.max, 9.0);
+
+  auto one = analysis::moments(std::vector<double>{3.5});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 3.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(SweepAggregation, PercentileUsesLinearInterpolation) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  // R-7: rank = q * (n - 1); p50 of 4 values sits halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(analysis::percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(analysis::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(analysis::percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(analysis::percentile(xs, 0.25), 17.5);
+  // Unsorted input is handled (percentile sorts a copy).
+  std::vector<double> shuffled = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(analysis::percentile(shuffled, 0.5), 25.0);
+}
+
+TEST(SweepAggregation, BootstrapCiBracketsMeanAndIsSeeded) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  auto ci = analysis::bootstrap_mean_ci(xs, 500, 99);
+  EXPECT_DOUBLE_EQ(ci.point, 4.5);
+  EXPECT_LE(ci.lo, 4.5);
+  EXPECT_GE(ci.hi, 4.5);
+  EXPECT_LT(ci.lo, ci.hi);
+  // Same seed, same draws; different seed, (almost surely) different band.
+  auto again = analysis::bootstrap_mean_ci(xs, 500, 99);
+  EXPECT_DOUBLE_EQ(ci.lo, again.lo);
+  EXPECT_DOUBLE_EQ(ci.hi, again.hi);
+
+  // Degenerate inputs collapse to the point estimate.
+  auto single = analysis::bootstrap_mean_ci(std::vector<double>{2.5}, 100, 1);
+  EXPECT_DOUBLE_EQ(single.lo, 2.5);
+  EXPECT_DOUBLE_EQ(single.hi, 2.5);
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,7 +1,13 @@
 // Wire-format robustness: randomized round-trip sweeps and mutation fuzzing
 // of both protocols' codecs. Parsers must never crash, and valid messages
 // must always survive serialization exactly.
+//
+// Runs in its own binary (ctest label: fuzz) so the sanitizer tier can
+// re-run just this suite with the loops scaled up via P2P_FUZZ_ROUNDS
+// (see ci/run_tiers.sh).
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "gnutella/message.h"
 #include "openft/packet.h"
@@ -9,6 +15,14 @@
 
 namespace p2p {
 namespace {
+
+int fuzz_rounds(int fallback) {
+  if (const char* env = std::getenv("P2P_FUZZ_ROUNDS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
 
 std::string random_text(util::Rng& rng, std::size_t max_len) {
   // NUL-free printable-ish text (NUL is the wire terminator).
@@ -94,7 +108,8 @@ TEST_P(MutationFuzz, GnutellaParserNeverThrows) {
   auto wire = gnutella::serialize(
       gnutella::make_query_hit(gnutella::Guid::random(rng), 4, hit));
 
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = fuzz_rounds(200);
+  for (int round = 0; round < rounds; ++round) {
     util::Bytes mutated = wire;
     std::size_t flips = rng.index(5) + 1;
     for (std::size_t f = 0; f < flips; ++f) {
@@ -114,7 +129,8 @@ TEST_P(MutationFuzz, OpenFtParserNeverThrows) {
   resp.path = "/shared/some file.exe";
   auto wire = openft::serialize(openft::make_packet(resp));
 
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = fuzz_rounds(200);
+  for (int round = 0; round < rounds; ++round) {
     util::Bytes mutated = wire;
     std::size_t flips = rng.index(5) + 1;
     for (std::size_t f = 0; f < flips; ++f) {
@@ -132,7 +148,8 @@ TEST_P(MutationFuzz, RandomBytesNeverParseAsProtocol) {
   // length field must match exactly and the type byte must be known).
   int gnutella_accepts = 0;
   int openft_accepts = 0;
-  for (int round = 0; round < 100; ++round) {
+  const int rounds = fuzz_rounds(100);
+  for (int round = 0; round < rounds; ++round) {
     util::Bytes junk(rng.index(200) + 1);
     rng.fill(junk);
     if (gnutella::parse(junk).has_value()) ++gnutella_accepts;
