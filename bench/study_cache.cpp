@@ -1,238 +1,35 @@
 #include "bench/study_cache.h"
 
-#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "obs/export.h"
-#include "util/bytes.h"
 
 namespace p2p::bench {
 
-namespace {
-
-constexpr std::uint32_t kMagic = 0x50324243;  // "P2BC"
-constexpr std::uint32_t kVersion = 5;  // v5: + config hash (staleness check)
-
-void write_string(util::ByteWriter& w, const std::string& s) {
-  w.u32le(static_cast<std::uint32_t>(s.size()));
-  w.str(s);
-}
-
-std::string read_string(util::ByteReader& r) {
-  std::uint32_t n = r.u32le();
-  return r.str(n);
-}
-
-void write_record(util::ByteWriter& w, const crawler::ResponseRecord& rec) {
-  w.u64le(rec.id);
-  write_string(w, rec.network);
-  w.u64le(static_cast<std::uint64_t>(rec.at.millis()));
-  write_string(w, rec.query);
-  write_string(w, rec.query_category);
-  write_string(w, rec.filename);
-  w.u64le(rec.size);
-  w.u32le(rec.source_ip.value());
-  w.u16le(rec.source_port);
-  write_string(w, rec.source_key);
-  w.u8(rec.source_firewalled ? 1 : 0);
-  write_string(w, rec.content_key);
-  w.u8(rec.download_attempted ? 1 : 0);
-  w.u8(rec.downloaded ? 1 : 0);
-  w.u8(rec.infected ? 1 : 0);
-  w.u32le(rec.strain);
-  write_string(w, rec.strain_name);
-  w.u8(static_cast<std::uint8_t>(rec.type_by_magic));
-}
-
-crawler::ResponseRecord read_record(util::ByteReader& r) {
-  crawler::ResponseRecord rec;
-  rec.id = r.u64le();
-  rec.network = read_string(r);
-  rec.at = util::SimTime::at_millis(static_cast<std::int64_t>(r.u64le()));
-  rec.query = read_string(r);
-  rec.query_category = read_string(r);
-  rec.filename = read_string(r);
-  rec.type_by_name = files::classify_extension(rec.filename);
-  rec.size = r.u64le();
-  rec.source_ip = util::Ipv4{r.u32le()};
-  rec.source_port = r.u16le();
-  rec.source_key = read_string(r);
-  rec.source_firewalled = r.u8() != 0;
-  rec.content_key = read_string(r);
-  rec.download_attempted = r.u8() != 0;
-  rec.downloaded = r.u8() != 0;
-  rec.infected = r.u8() != 0;
-  rec.strain = r.u32le();
-  rec.strain_name = read_string(r);
-  rec.type_by_magic = static_cast<files::FileType>(r.u8());
-  return rec;
-}
-
-void write_i64(util::ByteWriter& w, std::int64_t v) {
-  w.u64le(static_cast<std::uint64_t>(v));
-}
-
-std::int64_t read_i64(util::ByteReader& r) {
-  return static_cast<std::int64_t>(r.u64le());
-}
-
-void write_double(util::ByteWriter& w, double v) {
-  w.u64le(std::bit_cast<std::uint64_t>(v));
-}
-
-double read_double(util::ByteReader& r) { return std::bit_cast<double>(r.u64le()); }
-
-void write_snapshot(util::ByteWriter& w, const obs::MetricsSnapshot& snap) {
-  w.u64le(snap.counters.size());
-  for (const auto& c : snap.counters) {
-    write_string(w, c.name);
-    w.u64le(c.value);
-  }
-  w.u64le(snap.gauges.size());
-  for (const auto& g : snap.gauges) {
-    write_string(w, g.name);
-    write_i64(w, g.value);
-    write_i64(w, g.max);
-  }
-  w.u64le(snap.histograms.size());
-  for (const auto& h : snap.histograms) {
-    write_string(w, h.name);
-    w.u8(static_cast<std::uint8_t>(h.unit));
-    w.u8(h.wall_clock ? 1 : 0);
-    w.u64le(h.count);
-    write_i64(w, h.sum);
-    write_i64(w, h.min);
-    write_i64(w, h.max);
-    write_double(w, h.p50);
-    write_double(w, h.p90);
-    write_double(w, h.p99);
-    w.u64le(h.buckets.size());
-    for (const auto& [lower, count] : h.buckets) {
-      write_i64(w, lower);
-      w.u64le(count);
-    }
-  }
-}
-
-obs::MetricsSnapshot read_snapshot(util::ByteReader& r) {
-  obs::MetricsSnapshot snap;
-  std::uint64_t nc = r.u64le();
-  snap.counters.reserve(nc);
-  for (std::uint64_t i = 0; i < nc; ++i) {
-    obs::MetricsSnapshot::CounterSample c;
-    c.name = read_string(r);
-    c.value = r.u64le();
-    snap.counters.push_back(std::move(c));
-  }
-  std::uint64_t ng = r.u64le();
-  snap.gauges.reserve(ng);
-  for (std::uint64_t i = 0; i < ng; ++i) {
-    obs::MetricsSnapshot::GaugeSample g;
-    g.name = read_string(r);
-    g.value = read_i64(r);
-    g.max = read_i64(r);
-    snap.gauges.push_back(std::move(g));
-  }
-  std::uint64_t nh = r.u64le();
-  snap.histograms.reserve(nh);
-  for (std::uint64_t i = 0; i < nh; ++i) {
-    obs::MetricsSnapshot::HistogramSample h;
-    h.name = read_string(r);
-    h.unit = static_cast<obs::Unit>(r.u8());
-    h.wall_clock = r.u8() != 0;
-    h.count = r.u64le();
-    h.sum = read_i64(r);
-    h.min = read_i64(r);
-    h.max = read_i64(r);
-    h.p50 = read_double(r);
-    h.p90 = read_double(r);
-    h.p99 = read_double(r);
-    std::uint64_t nb = r.u64le();
-    h.buckets.reserve(nb);
-    for (std::uint64_t j = 0; j < nb; ++j) {
-      std::int64_t lower = read_i64(r);
-      std::uint64_t count = r.u64le();
-      h.buckets.emplace_back(lower, count);
-    }
-    snap.histograms.push_back(std::move(h));
-  }
-  return snap;
-}
-
-}  // namespace
-
 std::string cache_path(const std::string& name, std::uint64_t seed) {
-  return "bench_cache_" + name + "_" + std::to_string(seed) + ".bin";
+  return "bench_cache_" + name + "_" + std::to_string(seed) + ".p2pt";
 }
 
 std::string sweep_cache_path(std::uint64_t config_hash) {
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(config_hash));
-  return std::string("bench_cache_sweep_") + buf + ".bin";
+  return std::string("bench_cache_sweep_") + buf + ".p2pt";
 }
 
 bool save_study(const std::string& path, const core::StudyResult& result,
                 std::uint64_t config_hash) {
-  util::ByteWriter w;
-  w.u32le(kMagic);
-  w.u32le(kVersion);
-  w.u64le(config_hash);
-  w.u64le(result.events_executed);
-  w.u64le(result.messages_delivered);
-  w.u64le(result.bytes_delivered);
-  w.u64le(result.churn_joins);
-  w.u64le(result.churn_leaves);
-  w.u64le(result.crawl_stats.queries_sent);
-  w.u64le(result.crawl_stats.responses);
-  w.u64le(result.crawl_stats.study_responses);
-  w.u64le(result.crawl_stats.downloads_ok);
-  w.u64le(result.crawl_stats.downloads_failed);
-  write_snapshot(w, result.metrics);
-  w.u64le(static_cast<std::uint64_t>(result.records.size()));
-  for (const auto& rec : result.records) write_record(w, rec);
-
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(reinterpret_cast<const char*>(w.data().data()),
-            static_cast<std::streamsize>(w.size()));
-  return static_cast<bool>(out);
+  trace::TraceHeader header;
+  if (!result.records.empty()) header.network = result.records.front().network;
+  header.config_hash = config_hash;
+  return core::save_study_trace(path, result, header);
 }
 
 bool load_study(const std::string& path, core::StudyResult& result,
                 std::uint64_t expected_config_hash) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  util::Bytes data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  try {
-    util::ByteReader r(data);
-    if (r.u32le() != kMagic || r.u32le() != kVersion) return false;
-    std::uint64_t stored_hash = r.u64le();
-    if (expected_config_hash != 0 && stored_hash != expected_config_hash) {
-      return false;  // produced by a different config: stale
-    }
-    result.events_executed = r.u64le();
-    result.messages_delivered = r.u64le();
-    result.bytes_delivered = r.u64le();
-    result.churn_joins = r.u64le();
-    result.churn_leaves = r.u64le();
-    result.crawl_stats.queries_sent = r.u64le();
-    result.crawl_stats.responses = r.u64le();
-    result.crawl_stats.study_responses = r.u64le();
-    result.crawl_stats.downloads_ok = r.u64le();
-    result.crawl_stats.downloads_failed = r.u64le();
-    result.metrics = read_snapshot(r);
-    std::uint64_t n = r.u64le();
-    result.records.clear();
-    result.records.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) result.records.push_back(read_record(r));
-    return r.empty();
-  } catch (const util::BufferUnderflow&) {
-    return false;
-  }
+  return core::load_study_trace(path, result, expected_config_hash);
 }
 
 std::string dump_metrics_json(const std::string& bench,

@@ -1,10 +1,10 @@
 // Shared infrastructure for the experiment benches: run a standard study
 // once and cache its response log on disk, so each of the E1..E8 binaries
 // regenerating a different paper table doesn't redo the same month-long
-// crawl. Every cache file embeds the core::config_hash of the study that
-// produced it, and loads validate it — so an edited preset can never
-// silently serve a stale crawl. Delete bench_cache_*.bin to force a fresh
-// crawl.
+// crawl. Cache files are ordinary trace files (src/trace, see DESIGN.md):
+// the header embeds the core::config_hash of the study that produced them,
+// and loads validate it — so an edited preset can never silently serve a
+// stale crawl. Delete bench_cache_*.p2pt to force a fresh crawl.
 #pragma once
 
 #include <string>
@@ -32,9 +32,10 @@ std::string cache_path(const std::string& name, std::uint64_t seed);
 std::string sweep_cache_path(std::uint64_t config_hash);
 
 /// Serialize / deserialize a StudyResult's records + counters + metrics
-/// snapshot. `config_hash` is embedded on save; a load with a non-zero
-/// `expected_config_hash` fails (cache miss) when the file was produced by
-/// a different configuration.
+/// snapshot as a trace file (thin wrappers over core::save_study_trace /
+/// load_study_trace). `config_hash` is embedded on save; a load with a
+/// non-zero `expected_config_hash` fails (cache miss) when the file was
+/// produced by a different configuration.
 bool save_study(const std::string& path, const core::StudyResult& result,
                 std::uint64_t config_hash = 0);
 bool load_study(const std::string& path, core::StudyResult& result,

@@ -3,8 +3,11 @@
 #
 #   tier 1  Release build, full ctest suite (includes the obs, cli, fuzz,
 #           and paper labels at their default scale).
-#   tier 2  Sanitizer build (address,undefined), wire-format fuzz suite
-#           with the mutation loops scaled up via P2P_FUZZ_ROUNDS.
+#   tier 2  Sanitizer build (address,undefined), wire-format + trace-store
+#           fuzz suite with the mutation loops scaled up via P2P_FUZZ_ROUNDS.
+#   tier 3  Replay determinism: record a quick study of each network as a
+#           trace file, replay it offline, and require the replayed JSON
+#           report to be byte-identical to the live one.
 #
 # Usage: ci/run_tiers.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -29,6 +32,25 @@ cmake --build build-ci-sanitize -j "${JOBS}"
 (
   cd build-ci-sanitize
   P2P_FUZZ_ROUNDS=2000 ctest -L fuzz -j "${JOBS}" --output-on-failure
+)
+
+echo "== tier 3: record/replay determinism =="
+(
+  cd build-ci-release
+  rm -rf ci-replay && mkdir ci-replay && cd ci-replay
+  for network in limewire openft; do
+    ../examples/trace record --network "${network}" --quick --seed 7 \
+      "${network}.p2pt" > /dev/null
+    ../examples/trace inspect "${network}.p2pt"
+    ../examples/trace replay "${network}.p2pt" \
+      --json "${network}_replayed.json" > /dev/null
+  done
+  ../examples/limewire_study --quick --seed 7 --json limewire_live.json \
+    > /dev/null
+  ../examples/openft_study --quick --seed 7 --json openft_live.json > /dev/null
+  cmp limewire_live.json limewire_replayed.json
+  cmp openft_live.json openft_replayed.json
+  echo "replayed reports are byte-identical to live runs"
 )
 
 echo "== all tiers passed =="

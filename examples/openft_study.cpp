@@ -4,30 +4,46 @@
 // query-echoing worms, so prevalence is an order of magnitude lower and
 // dominated by one super-spreader host.
 //
+// --record captures the crawl as a binary trace (src/trace) while it runs;
+// --replay rebuilds the same report from a trace without simulating. The
+// --json report is byte-identical between a recorded live run and its
+// replay (see README "Recording and replaying a study").
+//
 //   ./openft_study [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]
+//                  [--json <path>] [--record <trace>|--replay <trace>]
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "analysis/csv.h"
 #include "analysis/stats.h"
 #include "core/report.h"
 #include "core/study.h"
 #include "obs/trace.h"
+#include "trace/writer.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
   using namespace p2p;
   auto cfg = core::openft_standard();
-  std::string csv_path;
+  bool quick = false;
+  std::string csv_path, json_path, record_path, replay_path;
   std::string metrics_path, trace_path, trace_spec = "all";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       cfg = core::openft_quick();
+      quick = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc) {
+      record_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -42,37 +58,87 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]"
+                   " [--json <path>] [--record <trace>|--replay <trace>]"
                    " [--metrics <path>] [--trace <path>]"
                    " [--trace-components <list|all>] [--list-presets]\n";
       return 2;
     }
   }
-
-  std::cout << "Running OpenFT study: " << cfg.population.users << " users, "
-            << cfg.population.search_nodes << " search nodes, "
-            << cfg.crawl.duration.count_ms() / 86'400'000 << " days, seed "
-            << cfg.seed
-            << (cfg.population.enable_superspreader ? "" : " (no super-spreader)")
-            << "\n";
-  if (!trace_path.empty() &&
-      !obs::TraceBuffer::global().enable_from_spec(trace_spec)) {
-    std::cerr << "unknown trace component in: " << trace_spec << "\n";
+  if (!record_path.empty() && !replay_path.empty()) {
+    std::cerr << "--record and --replay are mutually exclusive\n";
     return 2;
   }
-  auto result = core::run_openft_study(cfg);
+
+  core::StudyResult result;
+  if (!replay_path.empty()) {
+    if (!core::load_study_trace(replay_path, result)) {
+      std::cerr << "cannot replay " << replay_path
+                << ": missing, corrupt, or incomplete trace\n";
+      return 1;
+    }
+    std::cout << "Replaying OpenFT study from " << replay_path << ": "
+              << util::format_count(result.records.size()) << " responses\n";
+  } else {
+    std::cout << "Running OpenFT study: " << cfg.population.users << " users, "
+              << cfg.population.search_nodes << " search nodes, "
+              << cfg.crawl.duration.count_ms() / 86'400'000 << " days, seed "
+              << cfg.seed
+              << (cfg.population.enable_superspreader ? "" : " (no super-spreader)")
+              << "\n";
+    if (!trace_path.empty() &&
+        !obs::TraceBuffer::global().enable_from_spec(trace_spec)) {
+      std::cerr << "unknown trace component in: " << trace_spec << "\n";
+      return 2;
+    }
+    std::unique_ptr<trace::TraceWriter> writer;
+    if (!record_path.empty()) {
+      trace::TraceHeader header;
+      header.network = "openft";
+      header.config_hash = core::config_hash(cfg);
+      header.seed = cfg.seed;
+      header.crawl_duration_ms = cfg.crawl.duration.count_ms();
+      header.meta = {{"tool", "openft_study"},
+                     {"preset", quick ? "quick" : "standard"}};
+      writer = std::make_unique<trace::TraceWriter>(record_path, header);
+      if (!writer->ok()) {
+        std::cerr << "cannot write " << record_path << "\n";
+        return 1;
+      }
+    }
+    result = core::run_openft_study(cfg, writer.get());
+    if (writer != nullptr) {
+      writer->write_summary(core::study_summary(result));
+      writer->close();
+      if (!writer->ok()) {
+        std::cerr << "failed writing trace " << record_path << "\n";
+        return 1;
+      }
+      std::cout << "  recorded " << util::format_count(writer->records_written())
+                << " records (" << util::format_count(writer->blocks_written())
+                << " blocks, " << util::format_count(writer->bytes_written())
+                << " bytes) to " << record_path << "\n";
+    }
+  }
   std::cout << "  " << util::format_count(result.events_executed) << " events, "
             << util::format_count(result.messages_delivered) << " messages, "
             << util::format_count(result.records.size()) << " responses\n\n";
 
-  core::print_prevalence(std::cout, "openft", analysis::prevalence(result.records));
-  core::print_strain_ranking(std::cout, "openft",
-                             analysis::strain_ranking(result.records));
-  core::print_sources(std::cout, "openft", analysis::sources(result.records),
-                      analysis::strain_source_concentration(result.records));
-  core::print_size_analysis(std::cout, "openft",
-                            analysis::size_distribution(result.records),
-                            analysis::sizes_per_strain(result.records));
+  auto report = core::build_report(result.records, "openft");
+  core::print_prevalence(std::cout, "openft", report.prevalence);
+  core::print_strain_ranking(std::cout, "openft", report.strain_ranking);
+  core::print_sources(std::cout, "openft", report.sources, report.strain_sources);
+  core::print_size_analysis(std::cout, "openft", report.size_buckets,
+                            report.sizes_per_strain);
 
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    core::write_report_json(out, report);
+    std::cout << "wrote report JSON to " << json_path << "\n";
+  }
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
     if (!out) {

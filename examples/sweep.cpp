@@ -5,13 +5,16 @@
 //   ./sweep [--network limewire|openft] [--quick|--standard]
 //           [--seeds A..B | --seeds N] [--base-seed <n>]
 //           [--days <n> | --hours <n>] [--jobs <n>] [--json <path>]
-//           [--list-presets]
+//           [--record <dir>|--replay <dir>] [--list-presets]
 //
 // The JSON report is deterministic: identical bytes for any --jobs value
 // (wall-clock fields are excluded; task seeds are a pure function of the
-// plan).
+// plan). --record additionally saves each replication as a trace file in
+// <dir>; --replay re-aggregates from those traces without simulating and
+// produces the identical JSON.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -27,7 +30,7 @@ int usage(const char* argv0) {
             << " [--network limewire|openft] [--quick|--standard]"
                " [--seeds A..B | --seeds N] [--base-seed <n>]"
                " [--days <n> | --hours <n>] [--jobs <n>] [--json <path>]"
-               " [--list-presets]\n";
+               " [--record <dir>|--replay <dir>] [--list-presets]\n";
   return 2;
 }
 
@@ -56,7 +59,7 @@ int main(int argc, char** argv) {
   using namespace p2p;
   sweep::PlanConfig plan;
   sweep::SweepOptions options;
-  std::string json_path;
+  std::string json_path, record_dir, replay_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
       std::string name = argv[++i];
@@ -90,6 +93,10 @@ int main(int argc, char** argv) {
       if (options.jobs == 0) options.jobs = 1;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc) {
+      record_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--list-presets") == 0) {
       core::print_presets(std::cout);
       return 0;
@@ -98,10 +105,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!record_dir.empty() && !replay_dir.empty()) {
+    std::cerr << "--record and --replay are mutually exclusive\n";
+    return 2;
+  }
+  if (!record_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(record_dir, ec);
+    if (ec) {
+      std::cerr << "cannot create " << record_dir << ": " << ec.message() << "\n";
+      return 1;
+    }
+    options.runner = sweep::recording_runner(record_dir);
+  } else if (!replay_dir.empty()) {
+    options.runner = sweep::replay_runner(replay_dir);
+  }
+
   auto tasks = sweep::plan(plan);
   std::cout << "Sweep: " << sweep::network_name(plan.network) << " "
             << (plan.quick ? "quick" : "standard") << " preset, "
-            << tasks.size() << " seeds, " << options.jobs << " job(s)\n";
+            << tasks.size() << " seeds, " << options.jobs << " job(s)";
+  if (!record_dir.empty()) std::cout << ", recording to " << record_dir;
+  if (!replay_dir.empty()) std::cout << ", replaying from " << replay_dir;
+  std::cout << "\n";
   auto result = sweep::run(tasks, options);
   char timing[96];
   std::snprintf(timing, sizeof(timing), "%.2fs (%.2f tasks/s)",

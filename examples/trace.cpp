@@ -1,0 +1,258 @@
+// Trace-store workbench: record a study into a binary trace file, inspect
+// the file's header and block structure, replay it through the full
+// analysis pipeline, or dump its records as CSV. A replayed report is
+// byte-identical to the one the recording run produced (--json), which is
+// what decouples month-scale collection from offline analysis — see the
+// README's "Recording and replaying a study" and the format section in
+// DESIGN.md.
+//
+//   ./trace record --network limewire|openft [--quick] [--seed <n>] <file>
+//   ./trace inspect <file>
+//   ./trace replay <file> [--json <path>]
+//   ./trace cat <file> [--csv <path>]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/csv.h"
+#include "core/report.h"
+#include "core/study.h"
+#include "obs/metrics.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace p2p;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <command> ...\n"
+            << "  record --network limewire|openft [--quick] [--seed <n>] <file>\n"
+            << "  inspect <file>\n"
+            << "  replay <file> [--json <path>]\n"
+            << "  cat <file> [--csv <path>]\n"
+            << "  --list-presets\n";
+  return 2;
+}
+
+int cmd_record(int argc, char** argv, const char* argv0) {
+  std::string network = "limewire", file;
+  bool quick = false;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
+      network = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+      seed_set = true;
+    } else if (argv[i][0] != '-' && file.empty()) {
+      file = argv[i];
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (file.empty() || (network != "limewire" && network != "openft")) {
+    return usage(argv0);
+  }
+
+  trace::TraceHeader header;
+  header.network = network;
+  header.meta = {{"tool", "trace record"}, {"preset", quick ? "quick" : "standard"}};
+  core::StudyResult result;
+  if (network == "limewire") {
+    auto cfg = quick ? core::limewire_quick() : core::limewire_standard();
+    if (seed_set) cfg.seed = seed;
+    header.config_hash = core::config_hash(cfg);
+    header.seed = cfg.seed;
+    header.crawl_duration_ms = cfg.crawl.duration.count_ms();
+    trace::TraceWriter writer(file, header);
+    if (!writer.ok()) {
+      std::cerr << "cannot write " << file << "\n";
+      return 1;
+    }
+    result = core::run_limewire_study(cfg, &writer);
+    writer.write_summary(core::study_summary(result));
+    writer.close();
+    if (!writer.ok()) {
+      std::cerr << "failed writing " << file << "\n";
+      return 1;
+    }
+    std::cout << "recorded " << util::format_count(writer.records_written())
+              << " records (" << util::format_count(writer.bytes_written())
+              << " bytes) to " << file << "\n";
+  } else {
+    auto cfg = quick ? core::openft_quick() : core::openft_standard();
+    if (seed_set) cfg.seed = seed;
+    header.config_hash = core::config_hash(cfg);
+    header.seed = cfg.seed;
+    header.crawl_duration_ms = cfg.crawl.duration.count_ms();
+    trace::TraceWriter writer(file, header);
+    if (!writer.ok()) {
+      std::cerr << "cannot write " << file << "\n";
+      return 1;
+    }
+    result = core::run_openft_study(cfg, &writer);
+    writer.write_summary(core::study_summary(result));
+    writer.close();
+    if (!writer.ok()) {
+      std::cerr << "failed writing " << file << "\n";
+      return 1;
+    }
+    std::cout << "recorded " << util::format_count(writer.records_written())
+              << " records (" << util::format_count(writer.bytes_written())
+              << " bytes) to " << file << "\n";
+  }
+  return 0;
+}
+
+void print_header(const trace::TraceHeader& h) {
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(h.config_hash));
+  std::cout << "  version:        " << h.version << "\n"
+            << "  network:        " << h.network << "\n"
+            << "  config hash:    " << hash << "\n"
+            << "  seed:           " << h.seed << "\n"
+            << "  crawl duration: " << h.crawl_duration_ms / 3'600'000.0
+            << " hours\n";
+  for (const auto& [key, value] : h.meta) {
+    std::cout << "  meta " << key << ": " << value << "\n";
+  }
+}
+
+int cmd_inspect(const std::string& file) {
+  trace::TraceReader reader(file);
+  if (!reader.ok()) {
+    std::cerr << file << ": " << reader.error_message() << "\n";
+    return 1;
+  }
+  std::cout << file << ":\n";
+  print_header(reader.header());
+  crawler::ResponseRecord rec;
+  std::uint64_t infected = 0;
+  while (reader.next(rec)) {
+    if (rec.infected) ++infected;
+  }
+  const auto& stats = reader.stats();
+  std::cout << "  records:        " << util::format_count(stats.records_read)
+            << " (" << util::format_count(infected) << " infected)\n"
+            << "  blocks:         " << util::format_count(stats.blocks_read)
+            << " ok, " << util::format_count(stats.blocks_corrupt) << " corrupt, "
+            << util::format_count(stats.blocks_skipped) << " unknown kind\n"
+            << "  bytes:          " << util::format_count(stats.bytes_read) << "\n"
+            << "  summary block:  " << (reader.summary() ? "yes" : "no") << "\n";
+  if (stats.truncated_tail) std::cout << "  WARNING: truncated tail\n";
+  if (!stats.clean()) {
+    std::cerr << file << ": trace is damaged (corrupt blocks or truncated tail)\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_replay(const std::string& file, const std::string& json_path) {
+  auto start = std::chrono::steady_clock::now();
+  trace::TraceData data = trace::read_trace_file(file);
+  if (!data.ok()) {
+    std::cerr << file << ": " << data.error_message << "\n";
+    return 1;
+  }
+  // Replay is an analysis input, not a salvage path: any damage fails loudly
+  // instead of producing a report over silently partial data.
+  if (!data.stats.clean()) {
+    std::cerr << file << ": refusing to replay a damaged trace ("
+              << data.stats.blocks_corrupt << " corrupt blocks"
+              << (data.stats.truncated_tail ? ", truncated tail" : "") << ")\n";
+    return 1;
+  }
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  double rate = secs > 0.0 ? static_cast<double>(data.records.size()) / secs : 0.0;
+  obs::MetricsRegistry::global()
+      .gauge("trace.replay_records_per_sec")
+      .set(static_cast<std::int64_t>(rate));
+
+  std::cout << "Replaying " << data.header.network << " study from " << file
+            << ": " << util::format_count(data.records.size()) << " records ("
+            << util::format_count(static_cast<std::uint64_t>(rate)) << " records/s)\n\n";
+
+  auto report = core::build_report(data.records, data.header.network);
+  core::print_prevalence(std::cout, report.network, report.prevalence);
+  core::print_strain_ranking(std::cout, report.network, report.strain_ranking);
+  core::print_sources(std::cout, report.network, report.sources,
+                      report.strain_sources);
+  core::print_filter_comparison(std::cout, report.network, report.filter_evals);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    core::write_report_json(out, report);
+    std::cout << "wrote report JSON to " << json_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_cat(const std::string& file, const std::string& csv_path) {
+  trace::TraceData data = trace::read_trace_file(file);
+  if (!data.ok()) {
+    std::cerr << file << ": " << data.error_message << "\n";
+    return 1;
+  }
+  if (!data.stats.clean()) {
+    std::cerr << file << ": trace is damaged (corrupt blocks or truncated tail)\n";
+    return 1;
+  }
+  if (csv_path.empty() || csv_path == "-") {
+    analysis::write_csv(std::cout, data.records);
+  } else {
+    std::ofstream out(csv_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << csv_path << "\n";
+      return 1;
+    }
+    analysis::write_csv(out, data.records);
+    std::cerr << "wrote " << data.records.size() << " records to " << csv_path
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::string cmd = argv[1];
+  if (cmd == "--list-presets") {
+    core::print_presets(std::cout);
+    return 0;
+  }
+  if (cmd == "record") return cmd_record(argc - 2, argv + 2, argv[0]);
+
+  // The remaining commands take one file plus optional flags.
+  std::string file, json_path, csv_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (argv[i][0] != '-' && file.empty()) {
+      file = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cmd == "inspect" && !file.empty()) return cmd_inspect(file);
+  if (cmd == "replay" && !file.empty()) return cmd_replay(file, json_path);
+  if (cmd == "cat" && !file.empty()) return cmd_cat(file, csv_path);
+  return usage(argv[0]);
+}

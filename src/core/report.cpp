@@ -3,6 +3,9 @@
 #include <cstdio>
 
 #include "core/study.h"
+#include "filter/limewire_builtin.h"
+#include "filter/size_filter.h"
+#include "obs/json.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -10,6 +13,150 @@ namespace p2p::core {
 
 using util::format_count;
 using util::format_pct;
+
+const std::vector<std::string>& vendor_known_strains() {
+  static const std::vector<std::string> names = {
+      "Troj.Dropper.D",  "W32.Paplin.E", "Troj.Loader.F",
+      "W32.Bindle.G",    "Troj.Spyball.H", "W32.Crater.I"};
+  return names;
+}
+
+const std::vector<std::string>& vendor_partial_strains() {
+  static const std::vector<std::string> names = {"Troj.Keymaker.C"};
+  return names;
+}
+
+Report build_report(std::span<const crawler::ResponseRecord> records,
+                    const std::string& network) {
+  Report r;
+  r.network = network;
+  r.records = records.size();
+  r.prevalence = analysis::prevalence(records);
+  r.strain_ranking = analysis::strain_ranking(records);
+  r.sources = analysis::sources(records);
+  r.strain_sources = analysis::strain_source_concentration(records);
+  r.size_buckets = analysis::size_distribution(records);
+  r.sizes_per_strain = analysis::sizes_per_strain(records);
+  r.categories = analysis::category_breakdown(records);
+  r.days = analysis::daily_series(records);
+
+  auto split = filter::split_at_fraction(records, 0.25);
+  auto size_filter = filter::SizeFilter::learn(split.training);
+  r.filter_evals.push_back(filter::evaluate(size_filter, split.evaluation));
+  if (network == "limewire") {
+    auto builtin = filter::make_builtin_filter(split.training, vendor_known_strains(),
+                                               vendor_partial_strains());
+    r.filter_evals.push_back(filter::evaluate(builtin, split.evaluation));
+  }
+  return r;
+}
+
+void write_report_json(std::ostream& out, const Report& r) {
+  using obs::json_escape;
+  using obs::json_number;
+  out << "{\"format\":\"p2p-report-1\"";
+  out << ",\"network\":\"" << json_escape(r.network) << "\"";
+  out << ",\"records\":" << r.records;
+
+  const auto& p = r.prevalence;
+  out << ",\"prevalence\":{\"total\":" << p.total_responses
+      << ",\"study\":" << p.study_responses << ",\"labeled\":" << p.labeled
+      << ",\"infected\":" << p.infected
+      << ",\"malicious_fraction\":" << json_number(p.malicious_fraction())
+      << ",\"exe_labeled\":" << p.exe_labeled
+      << ",\"exe_infected\":" << p.exe_infected
+      << ",\"archive_labeled\":" << p.archive_labeled
+      << ",\"archive_infected\":" << p.archive_infected << "}";
+
+  out << ",\"strains\":[";
+  for (std::size_t i = 0; i < r.strain_ranking.size(); ++i) {
+    const auto& s = r.strain_ranking[i];
+    if (i) out << ",";
+    out << "{\"name\":\"" << json_escape(s.name) << "\",\"responses\":" << s.responses
+        << ",\"share\":" << json_number(s.share)
+        << ",\"contents\":" << s.distinct_contents
+        << ",\"hosts\":" << s.distinct_sources << "}";
+  }
+  out << "]";
+
+  out << ",\"sources\":{\"malicious\":" << r.sources.malicious_responses
+      << ",\"distinct\":" << r.sources.distinct_sources
+      << ",\"private_fraction\":" << json_number(r.sources.private_fraction)
+      << ",\"by_class\":{";
+  bool first = true;
+  for (const auto& [klass, count] : r.sources.by_class) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << util::to_string(klass) << "\":" << count;
+  }
+  out << "},\"top\":[";
+  for (std::size_t i = 0; i < r.sources.top_sources.size(); ++i) {
+    if (i) out << ",";
+    out << "[\"" << json_escape(r.sources.top_sources[i].first) << "\","
+        << r.sources.top_sources[i].second << "]";
+  }
+  out << "]}";
+
+  out << ",\"strain_sources\":[";
+  for (std::size_t i = 0; i < r.strain_sources.size(); ++i) {
+    const auto& s = r.strain_sources[i];
+    if (i) out << ",";
+    out << "{\"name\":\"" << json_escape(s.name) << "\",\"responses\":" << s.responses
+        << ",\"hosts\":" << s.distinct_sources
+        << ",\"top_share\":" << json_number(s.top_source_share) << "}";
+  }
+  out << "]";
+
+  out << ",\"sizes\":[";
+  for (std::size_t i = 0; i < r.size_buckets.size(); ++i) {
+    const auto& b = r.size_buckets[i];
+    if (i) out << ",";
+    out << "{\"size\":" << b.size << ",\"malicious\":" << b.malicious
+        << ",\"clean\":" << b.clean << "}";
+  }
+  out << "]";
+
+  out << ",\"sizes_per_strain\":{";
+  first = true;
+  for (const auto& [name, sizes] : r.sizes_per_strain) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << sizes.size();
+  }
+  out << "}";
+
+  out << ",\"categories\":[";
+  for (std::size_t i = 0; i < r.categories.size(); ++i) {
+    const auto& c = r.categories[i];
+    if (i) out << ",";
+    out << "{\"category\":\"" << json_escape(c.category)
+        << "\",\"responses\":" << c.responses << ",\"study\":" << c.study_responses
+        << ",\"labeled\":" << c.labeled << ",\"infected\":" << c.infected << "}";
+  }
+  out << "]";
+
+  out << ",\"days\":[";
+  for (std::size_t i = 0; i < r.days.size(); ++i) {
+    const auto& d = r.days[i];
+    if (i) out << ",";
+    out << "{\"day\":" << d.day << ",\"responses\":" << d.responses
+        << ",\"study\":" << d.study_responses << ",\"labeled\":" << d.labeled
+        << ",\"infected\":" << d.infected
+        << ",\"cumulative_strains\":" << d.cumulative_strains << "}";
+  }
+  out << "]";
+
+  out << ",\"filters\":[";
+  for (std::size_t i = 0; i < r.filter_evals.size(); ++i) {
+    const auto& e = r.filter_evals[i];
+    if (i) out << ",";
+    out << "{\"name\":\"" << json_escape(e.filter_name)
+        << "\",\"malicious\":" << e.malicious << ",\"clean\":" << e.clean
+        << ",\"true_positives\":" << e.true_positives
+        << ",\"false_positives\":" << e.false_positives << "}";
+  }
+  out << "]}\n";
+}
 
 void print_presets(std::ostream& out) {
   util::Table t({"preset", "network", "peers", "days", "seed"});

@@ -1,16 +1,60 @@
 // Paper-table emitters: render each reproduced experiment in the same
 // rows/series the paper reports. Used by the bench binaries and examples.
+// Also the canonical Report struct — every analysis family computed once
+// over a record stream — shared by the live and trace-replay paths so the
+// two produce byte-identical JSON for the same records.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <ostream>
+#include <set>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "analysis/stats.h"
 #include "filter/evaluation.h"
 #include "obs/export.h"
 
 namespace p2p::core {
+
+/// Every table of the study computed from one response log. build_report is
+/// the single analysis entry point for both a live StudyResult and a
+/// replayed trace, which is what makes replay-vs-live byte comparison
+/// meaningful.
+struct Report {
+  std::string network;
+  std::uint64_t records = 0;
+  analysis::PrevalenceSummary prevalence;
+  std::vector<analysis::StrainCount> strain_ranking;
+  analysis::SourceSummary sources;
+  std::vector<analysis::StrainSourceConcentration> strain_sources;
+  std::vector<analysis::SizeBucket> size_buckets;
+  std::map<std::string, std::set<std::uint64_t>> sizes_per_strain;
+  std::vector<analysis::CategoryBin> categories;
+  std::vector<analysis::DayBin> days;
+  /// E5 protocol: filters learned on the first quarter, evaluated on the
+  /// rest. Size filter always; LimeWire additionally gets the 2006-era
+  /// builtin filter with the vendor strain lists below.
+  std::vector<filter::FilterEvaluation> filter_evals;
+};
+
+/// The vendor's strain knowledge used for the builtin-filter baseline
+/// (shared by build_report, the sweep observables, and bench_e5 — one list,
+/// kept in sync by construction).
+[[nodiscard]] const std::vector<std::string>& vendor_known_strains();
+[[nodiscard]] const std::vector<std::string>& vendor_partial_strains();
+
+/// Run every analysis family over a time-ordered record stream. `network`
+/// is "limewire" or "openft" (selects the builtin-filter baseline).
+[[nodiscard]] Report build_report(std::span<const crawler::ResponseRecord> records,
+                                  const std::string& network);
+
+/// Deterministic single-line JSON ("p2p-report-1"): doubles rendered
+/// shortest-round-trip, map iteration ordered — identical records in,
+/// identical bytes out.
+void write_report_json(std::ostream& out, const Report& report);
 
 /// The four study presets (limewire/openft × quick/standard) with their key
 /// parameters — the `--list-presets` output shared by the example CLIs.

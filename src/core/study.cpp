@@ -9,6 +9,8 @@
 #include "crawler/workload.h"
 #include "malware/scanner.h"
 #include "sim/network.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
 
 namespace p2p::core {
 
@@ -214,7 +216,8 @@ std::uint64_t config_hash(const OpenFtStudyConfig& config) {
   return h.digest();
 }
 
-StudyResult run_limewire_study(const LimewireStudyConfig& config) {
+StudyResult run_limewire_study(const LimewireStudyConfig& config,
+                               crawler::RecordSink* record_sink) {
   // Each run owns the registry window: reset here, snapshot at the end.
   obs::MetricsRegistry::global().reset();
   sim::Network net(config.seed);
@@ -232,6 +235,14 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config) {
     crawl_cfg.vantage_ip = util::Ipv4(156, 56, 1, static_cast<std::uint8_t>(10 + v));
     crawlers.push_back(std::make_unique<crawler::LimewireCrawler>(
         net, pop.host_cache, workload, scanner, crawl_cfg));
+  }
+
+  // With a single vantage the crawler's finalize() streams records into the
+  // sink in the exact order they land in result.records; the merged
+  // multi-vantage stream is re-sorted below, so it is streamed after the
+  // merge instead.
+  if (record_sink != nullptr && vantage_count == 1) {
+    crawlers[0]->set_record_sink(record_sink);
   }
 
   agents::ChurnConfig churn_cfg = config.churn;
@@ -268,6 +279,9 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config) {
     for (std::size_t i = 0; i < result.records.size(); ++i) {
       result.records[i].id = i + 1;
     }
+    if (record_sink != nullptr) {
+      for (const auto& rec : result.records) record_sink->on_record(rec);
+    }
   }
   result.strain_catalog = pop.strain_catalog;
   result.events_executed = net.events().executed();
@@ -279,7 +293,8 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config) {
   return result;
 }
 
-StudyResult run_openft_study(const OpenFtStudyConfig& config) {
+StudyResult run_openft_study(const OpenFtStudyConfig& config,
+                             crawler::RecordSink* record_sink) {
   obs::MetricsRegistry::global().reset();
   sim::Network net(config.seed);
   auto pop = agents::build_openft_population(net, config.population);
@@ -291,6 +306,7 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config) {
   crawl_cfg.seed = config.seed ^ 0x0f7c4u;
   crawler::OpenFtCrawler crawl(net, pop.host_cache, std::move(workload), scanner,
                                crawl_cfg);
+  if (record_sink != nullptr) crawl.set_record_sink(record_sink);
 
   // The super-spreader is a dedicated malicious server: permanently online,
   // outside the churn process (this is what makes the paper's "67% of
@@ -325,6 +341,51 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config) {
   result.churn_leaves = churn.leaves();
   result.metrics = obs::MetricsRegistry::global().snapshot();
   return result;
+}
+
+trace::StudySummary study_summary(const StudyResult& result) {
+  trace::StudySummary summary;
+  summary.events_executed = result.events_executed;
+  summary.messages_delivered = result.messages_delivered;
+  summary.bytes_delivered = result.bytes_delivered;
+  summary.churn_joins = result.churn_joins;
+  summary.churn_leaves = result.churn_leaves;
+  summary.crawl_stats = result.crawl_stats;
+  summary.metrics = result.metrics;
+  return summary;
+}
+
+void apply_summary(const trace::StudySummary& summary, StudyResult& result) {
+  result.events_executed = summary.events_executed;
+  result.messages_delivered = summary.messages_delivered;
+  result.bytes_delivered = summary.bytes_delivered;
+  result.churn_joins = summary.churn_joins;
+  result.churn_leaves = summary.churn_leaves;
+  result.crawl_stats = summary.crawl_stats;
+  result.metrics = summary.metrics;
+}
+
+bool save_study_trace(const std::string& path, const StudyResult& result,
+                      const trace::TraceHeader& header) {
+  trace::TraceWriter writer(path, header);
+  for (const auto& rec : result.records) writer.on_record(rec);
+  writer.write_summary(study_summary(result));
+  writer.close();
+  return writer.ok();
+}
+
+bool load_study_trace(const std::string& path, StudyResult& result,
+                      std::uint64_t expected_config_hash) {
+  trace::TraceData data = trace::read_trace_file(path);
+  if (!data.ok() || !data.stats.clean()) return false;
+  if (expected_config_hash != 0 &&
+      data.header.config_hash != expected_config_hash) {
+    return false;  // produced by a different config: stale
+  }
+  if (!data.summary.has_value()) return false;
+  result.records = std::move(data.records);
+  apply_summary(*data.summary, result);
+  return true;
 }
 
 }  // namespace p2p::core

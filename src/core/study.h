@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "agents/churn.h"
@@ -13,6 +14,7 @@
 #include "crawler/records.h"
 #include "malware/catalogs.h"
 #include "obs/metrics.h"
+#include "trace/codec.h"
 
 namespace p2p::core {
 
@@ -59,8 +61,32 @@ struct StudyResult {
 [[nodiscard]] OpenFtStudyConfig openft_standard();
 [[nodiscard]] OpenFtStudyConfig openft_quick();
 
-[[nodiscard]] StudyResult run_limewire_study(const LimewireStudyConfig& config);
-[[nodiscard]] StudyResult run_openft_study(const OpenFtStudyConfig& config);
+/// Run a study. When `record_sink` is non-null it receives every response
+/// record in exactly the order it lands in StudyResult.records (for a
+/// multi-vantage LimeWire study that is the merged, renumbered stream), so
+/// a trace::TraceWriter sink captures a byte-replayable copy of the crawl.
+[[nodiscard]] StudyResult run_limewire_study(const LimewireStudyConfig& config,
+                                             crawler::RecordSink* record_sink = nullptr);
+[[nodiscard]] StudyResult run_openft_study(const OpenFtStudyConfig& config,
+                                           crawler::RecordSink* record_sink = nullptr);
+
+/// The non-record half of a StudyResult (run counters, crawl stats, metrics
+/// snapshot) as persisted in a trace summary block.
+[[nodiscard]] trace::StudySummary study_summary(const StudyResult& result);
+/// Inverse of study_summary. Leaves `records` and `strain_catalog` alone.
+void apply_summary(const trace::StudySummary& summary, StudyResult& result);
+
+/// Persist a finished study as a trace file (header + record blocks + one
+/// summary block). Returns false on I/O failure.
+[[nodiscard]] bool save_study_trace(const std::string& path,
+                                    const StudyResult& result,
+                                    const trace::TraceHeader& header);
+/// Load a trace back into a StudyResult. Fails (returns false) on any open
+/// error, block corruption, truncated tail, missing summary, or — when
+/// `expected_config_hash` is non-zero — a header hash mismatch (stale file).
+/// Does not set `strain_catalog`; callers pick the matching catalog.
+[[nodiscard]] bool load_study_trace(const std::string& path, StudyResult& result,
+                                    std::uint64_t expected_config_hash = 0);
 
 /// Stable 64-bit digest over every field of a study configuration
 /// (including nested population/churn/crawl/corpus settings and the seed).

@@ -196,6 +196,9 @@ void LimewireCrawler::finalize() {
       rec.type_by_magic = label->type_by_magic;
     }
   }
+  if (record_sink_ != nullptr) {
+    for (const auto& rec : records_) record_sink_->on_record(rec);
+  }
 }
 
 }  // namespace p2p::crawler

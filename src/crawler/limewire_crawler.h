@@ -62,8 +62,13 @@ class LimewireCrawler {
   void start();
 
   /// Apply content labels to all records. Call once the event loop has
-  /// drained past the crawl end.
+  /// drained past the crawl end. Streams every joined record through the
+  /// record sink, when one is set.
   void finalize();
+
+  /// Install a capture sink (not owned; may be null). Must outlive
+  /// finalize().
+  void set_record_sink(RecordSink* sink) { record_sink_ = sink; }
 
   [[nodiscard]] const std::vector<ResponseRecord>& records() const { return records_; }
   [[nodiscard]] std::vector<ResponseRecord>&& take_records() {
@@ -104,6 +109,7 @@ class LimewireCrawler {
   std::vector<ResponseRecord> records_;
   CrawlStats stats_;
   std::uint64_t next_record_id_ = 1;
+  RecordSink* record_sink_ = nullptr;
 };
 
 }  // namespace p2p::crawler

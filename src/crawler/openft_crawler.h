@@ -24,7 +24,13 @@ class OpenFtCrawler {
                 std::shared_ptr<const malware::Scanner> scanner, CrawlConfig config);
 
   void start();
+  /// Apply content labels; streams every joined record through the record
+  /// sink, when one is set.
   void finalize();
+
+  /// Install a capture sink (not owned; may be null). Must outlive
+  /// finalize().
+  void set_record_sink(RecordSink* sink) { record_sink_ = sink; }
 
   [[nodiscard]] const std::vector<ResponseRecord>& records() const { return records_; }
   [[nodiscard]] std::vector<ResponseRecord>&& take_records() {
@@ -60,6 +66,7 @@ class OpenFtCrawler {
   std::vector<ResponseRecord> records_;
   CrawlStats stats_;
   std::uint64_t next_record_id_ = 1;
+  RecordSink* record_sink_ = nullptr;
 };
 
 }  // namespace p2p::crawler

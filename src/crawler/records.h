@@ -52,4 +52,13 @@ struct ResponseRecord {
   }
 };
 
+/// Consumer of finalized records. Crawlers stream every record through the
+/// sink (if set) as it is joined with its download+scan outcome during
+/// finalize() — the capture hook the trace store (src/trace) plugs into.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void on_record(const ResponseRecord& record) = 0;
+};
+
 }  // namespace p2p::crawler

@@ -2,6 +2,7 @@
 // exporters. Emission only — parsing lives in the tests that validate it.
 #pragma once
 
+#include <charconv>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -40,6 +41,15 @@ inline std::string json_double(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+/// Shortest round-trip double rendering (std::to_chars): byte-stable across
+/// runs and loses no precision. Used by the byte-comparable reports (sweep
+/// JSON, study report JSON).
+inline std::string json_number(double v) {
+  char buf[40];
+  auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
 }
 
 }  // namespace p2p::obs

@@ -220,23 +220,20 @@ std::optional<FtPayload> read_payload(FtCommand command, util::ByteReader& r) {
 util::Bytes serialize(const FtPacket& pkt) {
   util::ByteWriter body;
   write_payload(body, pkt.payload);
-
-  util::ByteWriter w;
-  w.u16be(static_cast<std::uint16_t>(body.size()));
-  w.u16be(static_cast<std::uint16_t>(pkt.command));
-  w.bytes(body.data());
-  return std::move(w).take();
+  return util::tagged_frame_be16(static_cast<std::uint16_t>(pkt.command),
+                                 body.data());
 }
 
 std::optional<FtPacket> parse(const util::Bytes& wire) {
-  util::ByteReader r(wire);
+  auto frame = util::parse_tagged_frame_be16(wire);
+  if (!frame) return std::nullopt;
+  if (frame->tag > static_cast<std::uint16_t>(FtCommand::kBrowseEnd)) {
+    return std::nullopt;
+  }
+  util::ByteReader r(frame->payload);
   try {
-    std::uint16_t length = r.u16be();
-    std::uint16_t command = r.u16be();
-    if (length != r.remaining()) return std::nullopt;
-    if (command > static_cast<std::uint16_t>(FtCommand::kBrowseEnd)) return std::nullopt;
     FtPacket pkt;
-    pkt.command = static_cast<FtCommand>(command);
+    pkt.command = static_cast<FtCommand>(frame->tag);
     auto payload = read_payload(pkt.command, r);
     if (!payload) return std::nullopt;
     pkt.payload = std::move(*payload);

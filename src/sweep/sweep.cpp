@@ -1,11 +1,14 @@
 #include "sweep/sweep.h"
 
 #include <atomic>
-#include <charconv>
 #include <chrono>
+#include <cstdio>
+#include <stdexcept>
 #include <thread>
 
+#include "core/report.h"
 #include "filter/evaluation.h"
+#include "malware/catalogs.h"
 #include "filter/limewire_builtin.h"
 #include "filter/size_filter.h"
 #include "obs/json.h"
@@ -16,13 +19,7 @@ namespace p2p::sweep {
 
 namespace {
 
-// Shortest round-trip double rendering (std::to_chars), so the JSON report
-// is byte-stable and loses no precision.
-std::string json_number(double v) {
-  char buf[40];
-  auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, res.ptr);
-}
+using obs::json_number;
 
 core::StudyResult run_task(const StudyTask& task) {
   if (task.network == NetworkKind::kLimewire) {
@@ -115,12 +112,9 @@ std::map<std::string, double> extract_observables(const core::StudyResult& resul
   v["filter.size_blocked_sizes"] =
       static_cast<double>(size_filter.blocked_sizes().size());
   if (network == NetworkKind::kLimewire) {
-    std::vector<std::string> vendor_known = {"Troj.Dropper.D", "W32.Paplin.E",
-                                             "Troj.Loader.F", "W32.Bindle.G",
-                                             "Troj.Spyball.H", "W32.Crater.I"};
-    std::vector<std::string> vendor_partial = {"Troj.Keymaker.C"};
-    auto builtin = filter::make_builtin_filter(split.training, vendor_known,
-                                               vendor_partial);
+    auto builtin = filter::make_builtin_filter(split.training,
+                                               core::vendor_known_strains(),
+                                               core::vendor_partial_strains());
     auto builtin_eval = filter::evaluate(builtin, split.evaluation);
     v["filter.builtin_detection"] = builtin_eval.detection_rate();
   }
@@ -139,6 +133,48 @@ std::map<std::string, double> extract_observables(const core::StudyResult& resul
     v["obs." + c.name] = static_cast<double>(c.value);
   }
   return v;
+}
+
+std::string task_trace_path(const std::string& dir, const StudyTask& task) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(task.config_hash()));
+  return dir + "/sweep_" + std::string(network_name(task.network)) + "_" + buf +
+         ".p2pt";
+}
+
+std::function<core::StudyResult(const StudyTask&)> recording_runner(
+    std::string dir) {
+  return [dir = std::move(dir)](const StudyTask& task) {
+    core::StudyResult result = run_task(task);
+    trace::TraceHeader header;
+    header.network = std::string(network_name(task.network));
+    header.config_hash = task.config_hash();
+    header.seed = task.seed;
+    header.crawl_duration_ms =
+        (task.network == NetworkKind::kLimewire ? task.limewire.crawl.duration
+                                                : task.openft.crawl.duration)
+            .count_ms();
+    std::string path = task_trace_path(dir, task);
+    if (!core::save_study_trace(path, result, header)) {
+      throw std::runtime_error("cannot write sweep trace: " + path);
+    }
+    return result;
+  };
+}
+
+std::function<core::StudyResult(const StudyTask&)> replay_runner(std::string dir) {
+  return [dir = std::move(dir)](const StudyTask& task) {
+    std::string path = task_trace_path(dir, task);
+    core::StudyResult result;
+    if (!core::load_study_trace(path, result, task.config_hash())) {
+      throw std::runtime_error("missing, corrupt, or stale sweep trace: " + path);
+    }
+    result.strain_catalog = task.network == NetworkKind::kLimewire
+                                ? malware::limewire_catalog()
+                                : malware::openft_catalog();
+    return result;
+  };
 }
 
 const MetricSummary* SweepResult::summary(std::string_view name) const {

@@ -127,6 +127,28 @@ struct SweepOptions {
 [[nodiscard]] std::map<std::string, double> extract_observables(
     const core::StudyResult& result, NetworkKind network);
 
+/// Trace file for one sweep task inside `dir`, keyed by the task's config
+/// hash — an edited preset or seed list misses instead of serving a stale
+/// crawl.
+[[nodiscard]] std::string task_trace_path(const std::string& dir,
+                                          const StudyTask& task);
+
+/// Runner that executes each task normally and persists it as a trace in
+/// `dir` (which must exist). The simulation runs once; the traces are then
+/// enough to re-aggregate the whole sweep offline. Saving happens after the
+/// study's metrics window closes, so the recorded sweep's JSON is
+/// byte-identical to an unrecorded one.
+[[nodiscard]] std::function<core::StudyResult(const StudyTask&)> recording_runner(
+    std::string dir);
+
+/// Runner that rebuilds each task's StudyResult from its trace in `dir`
+/// without simulating. Throws std::runtime_error (failing that task, not
+/// the sweep) when the trace is missing, corrupt, or was recorded under a
+/// different config. Replayed sweep JSON is byte-identical to the recorded
+/// run's.
+[[nodiscard]] std::function<core::StudyResult(const StudyTask&)> replay_runner(
+    std::string dir);
+
 /// Deterministic JSON report: plan echo, per-task values, per-metric
 /// summaries. Wall-clock fields are omitted, so the bytes are identical
 /// across job counts.

@@ -1,0 +1,237 @@
+#include "trace/codec.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace p2p::trace {
+
+namespace {
+
+void encode_i64(util::ByteWriter& w, std::int64_t v) {
+  w.u64le(static_cast<std::uint64_t>(v));
+}
+
+std::int64_t decode_i64(util::ByteReader& r) {
+  return static_cast<std::int64_t>(r.u64le());
+}
+
+void encode_double(util::ByteWriter& w, double v) {
+  w.u64le(std::bit_cast<std::uint64_t>(v));
+}
+
+double decode_double(util::ByteReader& r) {
+  return std::bit_cast<double>(r.u64le());
+}
+
+// Record flags, bit-packed.
+constexpr std::uint8_t kFirewalled = 1u << 0;
+constexpr std::uint8_t kDownloadAttempted = 1u << 1;
+constexpr std::uint8_t kDownloaded = 1u << 2;
+constexpr std::uint8_t kInfected = 1u << 3;
+
+}  // namespace
+
+std::string_view to_string(TraceError e) {
+  switch (e) {
+    case TraceError::kNone: return "ok";
+    case TraceError::kIoError: return "cannot read file";
+    case TraceError::kEmpty: return "empty file";
+    case TraceError::kBadMagic: return "not a trace file (bad magic)";
+    case TraceError::kBadVersion: return "unsupported trace version";
+    case TraceError::kCorruptHeader: return "corrupt trace header";
+  }
+  return "unknown error";
+}
+
+void encode_header_body(util::ByteWriter& w, const TraceHeader& header) {
+  w.lp_str(header.network);
+  w.u64le(header.config_hash);
+  w.u64le(header.seed);
+  encode_i64(w, header.crawl_duration_ms);
+  w.varint(header.meta.size());
+  for (const auto& [key, value] : header.meta) {
+    w.lp_str(key);
+    w.lp_str(value);
+  }
+}
+
+TraceHeader decode_header_body(util::ByteReader& r) {
+  TraceHeader h;
+  h.network = r.lp_str();
+  h.config_hash = r.u64le();
+  h.seed = r.u64le();
+  h.crawl_duration_ms = decode_i64(r);
+  std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.lp_str();
+    std::string value = r.lp_str();
+    h.meta.emplace_back(std::move(key), std::move(value));
+  }
+  if (!r.empty()) throw util::BufferUnderflow{};  // trailing header garbage
+  return h;
+}
+
+void encode_record(util::ByteWriter& w, const crawler::ResponseRecord& rec) {
+  w.varint(rec.id);
+  w.lp_str(rec.network);
+  w.varint(static_cast<std::uint64_t>(rec.at.millis()));
+  w.lp_str(rec.query);
+  w.lp_str(rec.query_category);
+  w.lp_str(rec.filename);
+  w.varint(rec.size);
+  w.u32le(rec.source_ip.value());
+  w.u16le(rec.source_port);
+  w.lp_str(rec.source_key);
+  std::uint8_t flags = 0;
+  if (rec.source_firewalled) flags |= kFirewalled;
+  if (rec.download_attempted) flags |= kDownloadAttempted;
+  if (rec.downloaded) flags |= kDownloaded;
+  if (rec.infected) flags |= kInfected;
+  w.u8(flags);
+  w.lp_str(rec.content_key);
+  w.u32le(rec.strain);
+  w.lp_str(rec.strain_name);
+  w.u8(static_cast<std::uint8_t>(rec.type_by_magic));
+}
+
+crawler::ResponseRecord decode_record(util::ByteReader& r) {
+  crawler::ResponseRecord rec;
+  rec.id = r.varint();
+  rec.network = r.lp_str();
+  rec.at = util::SimTime::at_millis(static_cast<std::int64_t>(r.varint()));
+  rec.query = r.lp_str();
+  rec.query_category = r.lp_str();
+  rec.filename = r.lp_str();
+  rec.type_by_name = files::classify_extension(rec.filename);
+  rec.size = r.varint();
+  rec.source_ip = util::Ipv4{r.u32le()};
+  rec.source_port = r.u16le();
+  rec.source_key = r.lp_str();
+  std::uint8_t flags = r.u8();
+  rec.source_firewalled = (flags & kFirewalled) != 0;
+  rec.download_attempted = (flags & kDownloadAttempted) != 0;
+  rec.downloaded = (flags & kDownloaded) != 0;
+  rec.infected = (flags & kInfected) != 0;
+  rec.content_key = r.lp_str();
+  rec.strain = r.u32le();
+  rec.strain_name = r.lp_str();
+  rec.type_by_magic = static_cast<files::FileType>(r.u8());
+  return rec;
+}
+
+void encode_summary(util::ByteWriter& w, const StudySummary& summary) {
+  w.u64le(summary.events_executed);
+  w.u64le(summary.messages_delivered);
+  w.u64le(summary.bytes_delivered);
+  w.u64le(summary.churn_joins);
+  w.u64le(summary.churn_leaves);
+  const auto& s = summary.crawl_stats;
+  w.u64le(s.queries_sent);
+  w.u64le(s.hits);
+  w.u64le(s.responses);
+  w.u64le(s.study_responses);
+  w.u64le(s.downloads_started);
+  w.u64le(s.downloads_ok);
+  w.u64le(s.downloads_failed);
+  w.u64le(s.bytes_downloaded);
+  w.u64le(s.distinct_contents);
+
+  const auto& m = summary.metrics;
+  w.varint(m.counters.size());
+  for (const auto& c : m.counters) {
+    w.lp_str(c.name);
+    w.u64le(c.value);
+  }
+  w.varint(m.gauges.size());
+  for (const auto& g : m.gauges) {
+    w.lp_str(g.name);
+    encode_i64(w, g.value);
+    encode_i64(w, g.max);
+  }
+  w.varint(m.histograms.size());
+  for (const auto& h : m.histograms) {
+    w.lp_str(h.name);
+    w.u8(static_cast<std::uint8_t>(h.unit));
+    w.u8(h.wall_clock ? 1 : 0);
+    w.u64le(h.count);
+    encode_i64(w, h.sum);
+    encode_i64(w, h.min);
+    encode_i64(w, h.max);
+    encode_double(w, h.p50);
+    encode_double(w, h.p90);
+    encode_double(w, h.p99);
+    w.varint(h.buckets.size());
+    for (const auto& [lower, count] : h.buckets) {
+      encode_i64(w, lower);
+      w.u64le(count);
+    }
+  }
+}
+
+StudySummary decode_summary(util::ByteReader& r) {
+  StudySummary summary;
+  summary.events_executed = r.u64le();
+  summary.messages_delivered = r.u64le();
+  summary.bytes_delivered = r.u64le();
+  summary.churn_joins = r.u64le();
+  summary.churn_leaves = r.u64le();
+  auto& s = summary.crawl_stats;
+  s.queries_sent = r.u64le();
+  s.hits = r.u64le();
+  s.responses = r.u64le();
+  s.study_responses = r.u64le();
+  s.downloads_started = r.u64le();
+  s.downloads_ok = r.u64le();
+  s.downloads_failed = r.u64le();
+  s.bytes_downloaded = r.u64le();
+  s.distinct_contents = r.u64le();
+
+  auto& m = summary.metrics;
+  // Reservations are clamped: a count field large enough to matter would
+  // only survive the block CRC by collision, and must not drive an
+  // allocation before the per-element reads run out of buffer.
+  constexpr std::uint64_t kReserveCap = 4096;
+  std::uint64_t nc = r.varint();
+  m.counters.reserve(std::min(nc, kReserveCap));
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    obs::MetricsSnapshot::CounterSample c;
+    c.name = r.lp_str();
+    c.value = r.u64le();
+    m.counters.push_back(std::move(c));
+  }
+  std::uint64_t ng = r.varint();
+  m.gauges.reserve(std::min(ng, kReserveCap));
+  for (std::uint64_t i = 0; i < ng; ++i) {
+    obs::MetricsSnapshot::GaugeSample g;
+    g.name = r.lp_str();
+    g.value = decode_i64(r);
+    g.max = decode_i64(r);
+    m.gauges.push_back(std::move(g));
+  }
+  std::uint64_t nh = r.varint();
+  m.histograms.reserve(std::min(nh, kReserveCap));
+  for (std::uint64_t i = 0; i < nh; ++i) {
+    obs::MetricsSnapshot::HistogramSample h;
+    h.name = r.lp_str();
+    h.unit = static_cast<obs::Unit>(r.u8());
+    h.wall_clock = r.u8() != 0;
+    h.count = r.u64le();
+    h.sum = decode_i64(r);
+    h.min = decode_i64(r);
+    h.max = decode_i64(r);
+    h.p50 = decode_double(r);
+    h.p90 = decode_double(r);
+    h.p99 = decode_double(r);
+    std::uint64_t nb = r.varint();
+    h.buckets.reserve(std::min(nb, kReserveCap));
+    for (std::uint64_t j = 0; j < nb; ++j) {
+      std::int64_t lower = decode_i64(r);
+      std::uint64_t count = r.u64le();
+      h.buckets.emplace_back(lower, count);
+    }
+    m.histograms.push_back(std::move(h));
+  }
+  return summary;
+}
+
+}  // namespace p2p::trace

@@ -1,0 +1,45 @@
+// Encoders/decoders for everything that lives inside a trace file: the
+// header body, ResponseRecords, and the study summary block. One encoding,
+// one fuzz surface — bench/study_cache and the sweep record/replay path all
+// go through these functions.
+#pragma once
+
+#include "crawler/limewire_crawler.h"  // CrawlStats
+#include "crawler/records.h"
+#include "obs/metrics.h"
+#include "trace/format.h"
+#include "util/bytes.h"
+
+namespace p2p::trace {
+
+/// The non-record payload of a persisted study: the run counters and the
+/// metrics snapshot that core::StudyResult carries beside its record log.
+/// Stored in a summary block so a cached study replays byte-identically,
+/// obs counters included.
+struct StudySummary {
+  std::uint64_t events_executed = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t churn_joins = 0;
+  std::uint64_t churn_leaves = 0;
+  crawler::CrawlStats crawl_stats;
+  obs::MetricsSnapshot metrics;
+};
+
+// Header body (the bytes covered by the header CRC; the prologue fields are
+// written by TraceWriter / checked by TraceReader).
+void encode_header_body(util::ByteWriter& w, const TraceHeader& header);
+/// Throws util::BufferUnderflow on malformed input (callers map that to
+/// TraceError::kCorruptHeader).
+[[nodiscard]] TraceHeader decode_header_body(util::ByteReader& r);
+
+// One response record. decode re-derives type_by_name from the filename,
+// exactly as the crawler did at capture time.
+void encode_record(util::ByteWriter& w, const crawler::ResponseRecord& rec);
+[[nodiscard]] crawler::ResponseRecord decode_record(util::ByteReader& r);
+
+// Summary block payload.
+void encode_summary(util::ByteWriter& w, const StudySummary& summary);
+[[nodiscard]] StudySummary decode_summary(util::ByteReader& r);
+
+}  // namespace p2p::trace

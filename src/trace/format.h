@@ -1,0 +1,84 @@
+// On-disk format of the crawl trace store (see DESIGN.md "Trace store").
+//
+// A trace file decouples the paper's two phases: record a month-scale crawl
+// once, then re-run every offline analysis against the file in milliseconds.
+// The format is append-only and framed in CRC32-checked blocks, so a
+// truncated or bit-flipped file loses at most the damaged blocks — never
+// the whole capture.
+//
+// Layout (all fixed-width integers little-endian, `varint` = unsigned
+// LEB128, `lp_str` = varint length + bytes):
+//
+//   prologue   u32 magic "P2PT" | u16 version | u16 reserved(0)
+//              u32 header_len (bytes of header body; capped)
+//   header     lp_str network | u64 config_hash | u64 seed
+//   body       u64 crawl_duration_ms
+//              varint meta_count, then meta_count x (lp_str key, lp_str val)
+//   header crc u32 crc32(header body)
+//   blocks     until EOF: u8 kind | varint payload_len | u32 crc32(payload)
+//              | payload
+//
+// Block kinds:
+//   1 records  payload = varint count, then `count` encoded ResponseRecords
+//   2 summary  payload = study counters + crawl stats + metrics snapshot
+//              (what bench/study_cache persists beside the records)
+//   other      skipped (forward compatibility)
+//
+// Versioning rules: `version` names the record schema. Any change to the
+// record, header, or summary encoding bumps it; readers reject files whose
+// version they don't implement (no silent partial decode). Truncation and
+// corruption are detected per block via the payload CRC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace p2p::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x54503250;  // "P2PT" on disk
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// Largest accepted header body / block payload. A corrupted length field
+/// must never drive an allocation; anything larger is treated as corruption.
+inline constexpr std::uint64_t kMaxHeaderBytes = 1u << 16;
+inline constexpr std::uint64_t kMaxBlockBytes = 1u << 26;
+
+enum class BlockKind : std::uint8_t {
+  kRecords = 1,
+  kSummary = 2,
+};
+
+/// Study metadata stamped at the front of every trace file. Everything a
+/// replay needs to know where the records came from — and for cache layers,
+/// the config hash that detects staleness.
+struct TraceHeader {
+  std::uint16_t version = kTraceVersion;
+  /// "limewire" or "openft" ("" when a file merges networks).
+  std::string network;
+  /// core::config_hash of the study that produced the capture (0 = unset).
+  std::uint64_t config_hash = 0;
+  std::uint64_t seed = 0;
+  /// Configured crawl duration (the recorded sim-time span is derivable
+  /// from the records themselves).
+  std::int64_t crawl_duration_ms = 0;
+  /// Free-form extension metadata, preserved in order.
+  std::vector<std::pair<std::string, std::string>> meta;
+};
+
+/// Why a trace failed to open. Block-level damage is not an open error —
+/// readers skip damaged blocks and report them via ReadStats.
+enum class TraceError {
+  kNone,
+  kIoError,       // cannot open / read the file
+  kEmpty,         // zero-length file
+  kBadMagic,      // not a trace file
+  kBadVersion,    // schema version this reader does not implement
+  kCorruptHeader, // header truncated or CRC mismatch
+};
+
+[[nodiscard]] std::string_view to_string(TraceError e);
+
+}  // namespace p2p::trace

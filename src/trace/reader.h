@@ -1,0 +1,106 @@
+// Streaming trace reader with skip-corrupt-block recovery.
+//
+// Open errors (missing file, bad magic, wrong version, corrupt header) are
+// terminal: error() is set and next() yields nothing. Block-level damage is
+// not: a block whose CRC or decode fails is skipped (counted in stats), and
+// a truncated tail ends the stream cleanly with stats().truncated_tail set.
+// The reader never throws.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crawler/records.h"
+#include "trace/codec.h"
+
+namespace p2p::trace {
+
+struct ReadStats {
+  std::uint64_t blocks_read = 0;
+  /// Blocks dropped to a CRC mismatch or a decode failure inside a
+  /// CRC-valid payload.
+  std::uint64_t blocks_corrupt = 0;
+  /// Blocks of a kind this reader does not know (skipped, preserved).
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t records_read = 0;
+  std::uint64_t bytes_read = 0;
+  /// The file ends mid-block (torn write / truncation).
+  bool truncated_tail = false;
+
+  [[nodiscard]] bool clean() const {
+    return blocks_corrupt == 0 && !truncated_tail;
+  }
+};
+
+class TraceReader {
+ public:
+  /// Read from an open stream (not owned). The header is validated eagerly.
+  explicit TraceReader(std::istream& in);
+  /// Open `path`. error() is kIoError when the file cannot be opened.
+  explicit TraceReader(const std::string& path);
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  [[nodiscard]] bool ok() const { return error_ == TraceError::kNone; }
+  [[nodiscard]] TraceError error() const { return error_; }
+  /// Human-readable open diagnosis ("" when ok).
+  [[nodiscard]] const std::string& error_message() const { return error_message_; }
+
+  /// Valid when ok().
+  [[nodiscard]] const TraceHeader& header() const { return header_; }
+
+  /// Pull the next record, advancing through blocks as needed. Returns
+  /// false at end of stream (also on open error). Summary blocks
+  /// encountered along the way are captured (see summary()).
+  [[nodiscard]] bool next(crawler::ResponseRecord& out);
+
+  /// The last summary block seen so far. Definitive once next() has
+  /// returned false.
+  [[nodiscard]] const std::optional<StudySummary>& summary() const {
+    return summary_;
+  }
+
+  [[nodiscard]] const ReadStats& stats() const { return stats_; }
+
+ private:
+  void open(std::istream& in);
+  /// Load the next decodable records block into the cursor. Returns false
+  /// at end of stream.
+  bool advance_block();
+
+  std::unique_ptr<std::ifstream> owned_in_;
+  std::istream* in_ = nullptr;
+  TraceError error_ = TraceError::kNone;
+  std::string error_message_;
+  TraceHeader header_;
+  std::optional<StudySummary> summary_;
+  ReadStats stats_;
+  bool done_ = false;
+
+  // Decoded-records cursor over the current block.
+  std::vector<crawler::ResponseRecord> block_records_;
+  std::size_t block_pos_ = 0;
+};
+
+/// Everything in one call: header + all records + summary + stats. `error`
+/// is the open error (block damage shows up in `stats`).
+struct TraceData {
+  TraceError error = TraceError::kNone;
+  std::string error_message;
+  TraceHeader header;
+  std::optional<StudySummary> summary;
+  std::vector<crawler::ResponseRecord> records;
+  ReadStats stats;
+
+  [[nodiscard]] bool ok() const { return error == TraceError::kNone; }
+};
+
+[[nodiscard]] TraceData read_trace_file(const std::string& path);
+
+}  // namespace p2p::trace

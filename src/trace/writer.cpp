@@ -1,0 +1,118 @@
+#include "trace/writer.h"
+
+#include "obs/metrics.h"
+
+namespace p2p::trace {
+
+namespace {
+
+// Trace I/O counters (per-registry; sweep tasks record into their scoped
+// registry). References rebind via bound_metrics when the registry changes.
+struct WriterMetrics {
+  obs::Counter& records =
+      obs::MetricsRegistry::global().counter("trace.records_written");
+  obs::Counter& blocks =
+      obs::MetricsRegistry::global().counter("trace.blocks_written");
+  obs::Counter& bytes =
+      obs::MetricsRegistry::global().counter("trace.bytes_written");
+};
+
+void write_prologue_and_header(std::ostream& out, const TraceHeader& header,
+                               std::uint64_t& bytes_written) {
+  util::ByteWriter body;
+  encode_header_body(body, header);
+
+  util::ByteWriter w;
+  w.u32le(kTraceMagic);
+  w.u16le(header.version);
+  w.u16le(0);  // reserved
+  w.u32le(static_cast<std::uint32_t>(body.size()));
+  w.bytes(body.data());
+  w.u32le(util::crc32(body.data()));
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+  bytes_written += w.size();
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& out, const TraceHeader& header,
+                         TraceWriterOptions options)
+    : out_(&out), options_(options) {
+  if (options_.records_per_block == 0) options_.records_per_block = 1;
+  write_prologue_and_header(*out_, header, bytes_written_);
+}
+
+TraceWriter::TraceWriter(const std::string& path, const TraceHeader& header,
+                         TraceWriterOptions options)
+    : owned_out_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | std::ios::trunc)),
+      out_(owned_out_.get()),
+      options_(options) {
+  if (options_.records_per_block == 0) options_.records_per_block = 1;
+  if (!*owned_out_) {
+    ok_ = false;
+    return;
+  }
+  write_prologue_and_header(*out_, header, bytes_written_);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::on_record(const crawler::ResponseRecord& record) {
+  if (!ok_) return;
+  encode_record(pending_, record);
+  ++pending_count_;
+  ++records_written_;
+  obs::bound_metrics<WriterMetrics>().records.add();
+  if (pending_count_ >= options_.records_per_block) flush_records();
+}
+
+void TraceWriter::write_summary(const StudySummary& summary) {
+  if (!ok_) return;
+  flush_records();
+  util::ByteWriter payload;
+  encode_summary(payload, summary);
+  write_block(BlockKind::kSummary, payload.data());
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (ok_) flush_records();
+  if (out_ != nullptr) {
+    out_->flush();
+    if (!*out_) ok_ = false;
+  }
+}
+
+void TraceWriter::flush_records() {
+  if (pending_count_ == 0) return;
+  util::ByteWriter payload;
+  payload.varint(pending_count_);
+  payload.bytes(pending_.data());
+  write_block(BlockKind::kRecords, payload.data());
+  pending_ = util::ByteWriter{};
+  pending_count_ = 0;
+}
+
+void TraceWriter::write_block(BlockKind kind, const util::Bytes& payload) {
+  util::ByteWriter frame;
+  frame.u8(static_cast<std::uint8_t>(kind));
+  frame.varint(payload.size());
+  frame.u32le(util::crc32(payload));
+  frame.bytes(payload);
+  out_->write(reinterpret_cast<const char*>(frame.data().data()),
+              static_cast<std::streamsize>(frame.size()));
+  if (!*out_) {
+    ok_ = false;
+    return;
+  }
+  bytes_written_ += frame.size();
+  ++blocks_written_;
+  auto& metrics = obs::bound_metrics<WriterMetrics>();
+  metrics.blocks.add();
+  metrics.bytes.add(frame.size());
+}
+
+}  // namespace p2p::trace

@@ -1,5 +1,6 @@
 #include "util/bytes.h"
 
+#include <array>
 #include <cstring>
 
 namespace p2p::util {
@@ -43,6 +44,19 @@ void ByteWriter::str(std::string_view s) {
 void ByteWriter::cstr(std::string_view s) {
   str(s);
   buf_.push_back(0);
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::lp_str(std::string_view s) {
+  varint(s.size());
+  str(s);
 }
 
 void ByteReader::require(std::size_t n) const {
@@ -92,6 +106,24 @@ std::uint32_t ByteReader::u32be() {
   for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
   pos_ += 4;
   return v;
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    std::uint8_t b = u8();
+    // The 10th byte can only contribute the top bit of the value.
+    if (shift == 63 && (b & 0xfe) != 0) throw BufferUnderflow{};
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw BufferUnderflow{};
+}
+
+std::string ByteReader::lp_str() {
+  std::uint64_t n = varint();
+  if (n > remaining()) throw BufferUnderflow{};
+  return str(static_cast<std::size_t>(n));
 }
 
 Bytes ByteReader::bytes(std::size_t n) {
@@ -154,6 +186,43 @@ std::optional<Bytes> from_hex(std::string_view hex) {
     out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
   }
   return out;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  // Table-driven CRC-32/IEEE (reflected 0xEDB88320), built on first use.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? 0xedb88320u : 0u);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t b : data) crc = (crc >> 8) ^ table[(crc ^ b) & 0xff];
+  return ~crc;
+}
+
+Bytes tagged_frame_be16(std::uint16_t tag, std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u16be(static_cast<std::uint16_t>(payload.size()));
+  w.u16be(tag);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+std::optional<TaggedFrame> parse_tagged_frame_be16(
+    std::span<const std::uint8_t> wire) {
+  if (wire.size() < 4) return std::nullopt;
+  std::uint16_t length = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(wire[0]) << 8) | wire[1]);
+  if (length != wire.size() - 4) return std::nullopt;
+  TaggedFrame frame;
+  frame.tag = static_cast<std::uint16_t>((static_cast<std::uint16_t>(wire[2]) << 8) |
+                                         wire[3]);
+  frame.payload = wire.subspan(4);
+  return frame;
 }
 
 }  // namespace p2p::util

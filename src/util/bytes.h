@@ -37,12 +37,19 @@ class ByteWriter {
   void u16be(std::uint16_t v);
   void u32be(std::uint32_t v);
 
+  /// Unsigned LEB128: low 7 bits first, high bit = continuation. At most
+  /// 10 bytes for a full uint64. The trace codec's integer encoding.
+  void varint(std::uint64_t v);
+
   /// Raw bytes, no length prefix.
   void bytes(std::span<const std::uint8_t> data);
   /// String bytes, no terminator.
   void str(std::string_view s);
   /// String bytes followed by a single NUL (Gnutella query criteria).
   void cstr(std::string_view s);
+  /// Varint length prefix followed by the string bytes (trace codec
+  /// strings; study-cache records use the same encoding).
+  void lp_str(std::string_view s);
 
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
   [[nodiscard]] const Bytes& data() const& { return buf_; }
@@ -65,12 +72,19 @@ class ByteReader {
   [[nodiscard]] std::uint16_t u16be();
   [[nodiscard]] std::uint32_t u32be();
 
+  /// Unsigned LEB128 (see ByteWriter::varint). Throws BufferUnderflow on a
+  /// truncated or overlong (> 10 byte / > 64 bit) encoding, so malformed
+  /// input fails like any other short read.
+  [[nodiscard]] std::uint64_t varint();
+
   /// Read exactly n bytes.
   [[nodiscard]] Bytes bytes(std::size_t n);
   /// Read up to and excluding the next NUL; consumes the NUL.
   [[nodiscard]] std::string cstr();
   /// Read exactly n bytes as a string.
   [[nodiscard]] std::string str(std::size_t n);
+  /// Inverse of ByteWriter::lp_str (varint length + bytes).
+  [[nodiscard]] std::string lp_str();
 
   void skip(std::size_t n);
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
@@ -89,5 +103,26 @@ class ByteReader {
 
 /// Inverse of to_hex. Returns nullopt on odd length or non-hex chars.
 [[nodiscard]] std::optional<Bytes> from_hex(std::string_view hex);
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial). `seed` chains incremental
+/// computations: crc32(b, crc32(a)) == crc32(a + b).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0);
+
+/// Tagged length-prefixed frame, the OpenFT packet framing:
+/// [u16be payload length][u16be tag][payload]. The length covers the
+/// payload only.
+[[nodiscard]] Bytes tagged_frame_be16(std::uint16_t tag,
+                                      std::span<const std::uint8_t> payload);
+
+struct TaggedFrame {
+  std::uint16_t tag = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Strict parse of a tagged_frame_be16 wire: the declared length must cover
+/// the remaining bytes exactly. Returns nullopt on any mismatch.
+[[nodiscard]] std::optional<TaggedFrame> parse_tagged_frame_be16(
+    std::span<const std::uint8_t> wire);
 
 }  // namespace p2p::util

@@ -106,6 +106,129 @@ TEST(ByteReader, BytesExtractsExactRange) {
   EXPECT_EQ(r.remaining(), 1u);
 }
 
+TEST(Varint, EncodesCanonicalLeb128) {
+  ByteWriter w;
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(300);
+  const Bytes& b = w.data();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x00);
+  EXPECT_EQ(b[1], 0x7F);
+  EXPECT_EQ(b[2], 0x80);  // 128 = [0x80, 0x01]
+  EXPECT_EQ(b[3], 0x01);
+  EXPECT_EQ(b[4], 0xAC);  // 300 = [0xAC, 0x02]
+  EXPECT_EQ(b[5], 0x02);
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  0xFFFFFFFFull,
+                                  0xFFFFFFFFFFFFFFFFull};
+  ByteWriter w;
+  for (std::uint64_t v : values) w.varint(v);
+  Bytes wire = std::move(w).take();
+  ByteReader r(wire);
+  for (std::uint64_t v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Varint, TruncatedThrows) {
+  Bytes wire = {0x80, 0x80};  // continuation bits with no terminator
+  ByteReader r(wire);
+  EXPECT_THROW((void)r.varint(), BufferUnderflow);
+}
+
+TEST(Varint, OverlongThrows) {
+  // 11 continuation bytes: more than a uint64 can carry.
+  Bytes wire(11, 0x80);
+  wire.push_back(0x01);
+  ByteReader r(wire);
+  EXPECT_THROW((void)r.varint(), BufferUnderflow);
+}
+
+TEST(Varint, TenthByteOverflowThrows) {
+  // 10-byte encoding whose final byte sets bits beyond the 64th.
+  Bytes wire(9, 0x80);
+  wire.push_back(0x02);
+  ByteReader r(wire);
+  EXPECT_THROW((void)r.varint(), BufferUnderflow);
+}
+
+TEST(LpStr, RoundTripsIncludingEmptyAndNulBytes) {
+  ByteWriter w;
+  w.lp_str("");
+  w.lp_str("hello");
+  w.lp_str(std::string_view("a\0b", 3));
+  Bytes wire = std::move(w).take();
+  ByteReader r(wire);
+  EXPECT_EQ(r.lp_str(), "");
+  EXPECT_EQ(r.lp_str(), "hello");
+  EXPECT_EQ(r.lp_str(), std::string("a\0b", 3));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(LpStr, LengthBeyondBufferThrows) {
+  ByteWriter w;
+  w.varint(100);  // declares 100 bytes...
+  w.str("hi");    // ...provides 2
+  Bytes wire = std::move(w).take();
+  ByteReader r(wire);
+  EXPECT_THROW((void)r.lp_str(), BufferUnderflow);
+}
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  // The standard CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  Bytes data = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32(Bytes{}), 0u);
+}
+
+TEST(Crc32, SeedChainsIncrementalComputation) {
+  Bytes all = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  Bytes head(all.begin(), all.begin() + 4);
+  Bytes tail(all.begin() + 4, all.end());
+  EXPECT_EQ(crc32(tail, crc32(head)), crc32(all));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data(64, 0x5A);
+  std::uint32_t clean = crc32(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(crc32(data), clean);
+}
+
+TEST(TaggedFrame, RoundTrips) {
+  Bytes payload = {1, 2, 3};
+  Bytes wire = tagged_frame_be16(0x0042, payload);
+  ASSERT_EQ(wire.size(), 7u);
+  EXPECT_EQ(wire[0], 0x00);  // length, big-endian
+  EXPECT_EQ(wire[1], 0x03);
+  EXPECT_EQ(wire[2], 0x00);  // tag, big-endian
+  EXPECT_EQ(wire[3], 0x42);
+  auto frame = parse_tagged_frame_be16(wire);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->tag, 0x0042);
+  EXPECT_EQ(Bytes(frame->payload.begin(), frame->payload.end()), payload);
+}
+
+TEST(TaggedFrame, RejectsLengthMismatch) {
+  Bytes payload = {1, 2, 3};
+  Bytes wire = tagged_frame_be16(7, payload);
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(parse_tagged_frame_be16(truncated).has_value());
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(parse_tagged_frame_be16(padded).has_value());
+  EXPECT_FALSE(parse_tagged_frame_be16(Bytes{0x00}).has_value());
+}
+
 TEST(Hex, RoundTrip) {
   Bytes data = {0x00, 0x01, 0xAB, 0xFF};
   std::string hex = to_hex(data);

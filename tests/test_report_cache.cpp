@@ -142,9 +142,9 @@ TEST(StudyCache, RejectsMissingAndCorrupt) {
 }
 
 TEST(StudyCache, PathEncodesNameAndSeed) {
-  EXPECT_EQ(bench::cache_path("limewire", 2006), "bench_cache_limewire_2006.bin");
+  EXPECT_EQ(bench::cache_path("limewire", 2006), "bench_cache_limewire_2006.p2pt");
   EXPECT_EQ(bench::sweep_cache_path(0xabcULL),
-            "bench_cache_sweep_0000000000000abc.bin");
+            "bench_cache_sweep_0000000000000abc.p2pt");
 }
 
 TEST(StudyCache, MissesWhenConfigHashChanges) {
