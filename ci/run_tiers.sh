@@ -1,56 +1,165 @@
 #!/usr/bin/env bash
 # Test tiers for CI and pre-merge runs:
 #
-#   tier 1  Release build, full ctest suite (includes the obs, cli, fuzz,
-#           and paper labels at their default scale).
-#   tier 2  Sanitizer build (address,undefined), wire-format + trace-store
-#           fuzz suite with the mutation loops scaled up via P2P_FUZZ_ROUNDS.
-#   tier 3  Replay determinism: record a quick study of each network as a
-#           trace file, replay it offline, and require the replayed JSON
-#           report to be byte-identical to the live one.
+#   release   Release build, full ctest suite (includes the obs, cli, fault,
+#             fuzz, and paper labels at their default scale).
+#   sanitize  Sanitizer build (address,undefined), wire-format + trace-store
+#             + fault-corruption fuzz suite with the mutation loops scaled up
+#             via P2P_FUZZ_ROUNDS.
+#   replay    Replay determinism: record a quick study of each network as a
+#             trace file, replay it offline, and require the replayed JSON
+#             report to be byte-identical to the live one.
+#   tsan      ThreadSanitizer build (-DP2P_SANITIZE=thread); runs the sweep
+#             and fault suites, the two concurrency-bearing layers.
+#   chaos     Faulted --quick studies of both networks: bit-reproducible
+#             under a fixed seed + fault plan, degradation counters obey
+#             their accounting invariants, unknown --faults specs exit
+#             non-zero, and a faulted sweep is --jobs invariant.
 #
-# Usage: ci/run_tiers.sh [jobs]   (default: nproc)
+# Usage: ci/run_tiers.sh [jobs] [tier ...]
+#   A leading integer sets the job count (default: nproc); remaining
+#   arguments select tiers, in order. No tier arguments = all tiers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+JOBS="$(nproc)"
+if [[ $# -gt 0 && "$1" =~ ^[0-9]+$ ]]; then
+  JOBS="$1"
+  shift
+fi
+TIERS=("$@")
+if [[ ${#TIERS[@]} -eq 0 ]]; then
+  TIERS=(release sanitize replay tsan chaos)
+fi
 
-echo "== tier 1: Release build + full suite =="
-cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-ci-release -j "${JOBS}"
-(
-  cd build-ci-release
-  ctest -L obs --output-on-failure
-  ctest -L paper --output-on-failure
-  ctest -j "${JOBS}" --output-on-failure
-)
+build_release() {
+  cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci-release -j "${JOBS}"
+}
 
-echo "== tier 2: sanitizer build + scaled fuzz suite =="
-cmake -B build-ci-sanitize -S . -DCMAKE_BUILD_TYPE=Debug \
-  -DP2P_SANITIZE=address,undefined
-cmake --build build-ci-sanitize -j "${JOBS}"
-(
-  cd build-ci-sanitize
-  P2P_FUZZ_ROUNDS=2000 ctest -L fuzz -j "${JOBS}" --output-on-failure
-)
+tier_release() {
+  echo "== tier release: Release build + full suite =="
+  build_release
+  (
+    cd build-ci-release
+    ctest -L obs --output-on-failure
+    ctest -L paper --output-on-failure
+    ctest -j "${JOBS}" --output-on-failure
+  )
+}
 
-echo "== tier 3: record/replay determinism =="
-(
-  cd build-ci-release
-  rm -rf ci-replay && mkdir ci-replay && cd ci-replay
-  for network in limewire openft; do
-    ../examples/trace record --network "${network}" --quick --seed 7 \
-      "${network}.p2pt" > /dev/null
-    ../examples/trace inspect "${network}.p2pt"
-    ../examples/trace replay "${network}.p2pt" \
-      --json "${network}_replayed.json" > /dev/null
-  done
-  ../examples/limewire_study --quick --seed 7 --json limewire_live.json \
-    > /dev/null
-  ../examples/openft_study --quick --seed 7 --json openft_live.json > /dev/null
-  cmp limewire_live.json limewire_replayed.json
-  cmp openft_live.json openft_replayed.json
-  echo "replayed reports are byte-identical to live runs"
-)
+tier_sanitize() {
+  echo "== tier sanitize: asan/ubsan build + scaled fuzz suite =="
+  cmake -B build-ci-sanitize -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DP2P_SANITIZE=address,undefined
+  cmake --build build-ci-sanitize -j "${JOBS}"
+  (
+    cd build-ci-sanitize
+    P2P_FUZZ_ROUNDS=2000 ctest -L fuzz -j "${JOBS}" --output-on-failure
+  )
+}
 
-echo "== all tiers passed =="
+tier_replay() {
+  echo "== tier replay: record/replay determinism =="
+  [[ -d build-ci-release ]] || build_release
+  (
+    cd build-ci-release
+    rm -rf ci-replay && mkdir ci-replay && cd ci-replay
+    for network in limewire openft; do
+      ../examples/trace record --network "${network}" --quick --seed 7 \
+        "${network}.p2pt" > /dev/null
+      ../examples/trace inspect "${network}.p2pt"
+      ../examples/trace replay "${network}.p2pt" \
+        --json "${network}_replayed.json" > /dev/null
+    done
+    ../examples/limewire_study --quick --seed 7 --json limewire_live.json \
+      > /dev/null
+    ../examples/openft_study --quick --seed 7 --json openft_live.json > /dev/null
+    cmp limewire_live.json limewire_replayed.json
+    cmp openft_live.json openft_replayed.json
+    echo "replayed reports are byte-identical to live runs"
+  )
+}
+
+tier_tsan() {
+  echo "== tier tsan: ThreadSanitizer build + sweep/fault suites =="
+  cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DP2P_SANITIZE=thread
+  cmake --build build-ci-tsan -j "${JOBS}" --target p2p_tests p2p_fault_tests
+  (
+    cd build-ci-tsan
+    ctest -L fault -j "${JOBS}" --output-on-failure
+    ctest -R '^Sweep' -j "${JOBS}" --output-on-failure
+  )
+}
+
+tier_chaos() {
+  echo "== tier chaos: faulted studies, invariants, jobs invariance =="
+  [[ -d build-ci-release ]] || build_release
+  (
+    cd build-ci-release
+    rm -rf ci-chaos && mkdir ci-chaos && cd ci-chaos
+
+    echo "-- faulted runs are bit-reproducible"
+    for network in limewire openft; do
+      ../examples/${network}_study --quick --seed 7 --faults moderate \
+        --json "${network}_a.json" > /dev/null
+      ../examples/${network}_study --quick --seed 7 --faults moderate \
+        --json "${network}_b.json" > /dev/null
+      cmp "${network}_a.json" "${network}_b.json"
+    done
+
+    echo "-- fault appendix present iff faults were injected"
+    ../examples/limewire_study --quick --seed 7 --json clean.json > /dev/null
+    grep -q '"faults"' limewire_a.json
+    grep -q '"faults"' openft_a.json
+    ! grep -q '"faults"' clean.json
+
+    echo "-- degradation counters obey their accounting invariants"
+    for network in limewire openft; do
+      python3 - "${network}_a.json" <<'PY'
+import json, sys
+f = json.load(open(sys.argv[1]))["faults"]
+deg, inj = f["degradation"], f["injected"]
+assert deg["downloads_started"] >= (
+    deg["downloads_ok"] + deg["downloads_failed"] + deg["downloads_abandoned"]
+), "resolutions exceed started downloads"
+assert inj["downloads_stalled"] <= deg["downloads_started"], "stalls exceed fetches"
+assert deg["downloads_ok"] > 0, "faulted study collapsed (no downloads)"
+assert inj["messages_dropped"] > 0, "moderate preset injected nothing"
+print(f"   {sys.argv[1]}: ok")
+PY
+    done
+
+    echo "-- unknown fault specs are rejected"
+    for tool in limewire_study openft_study sweep; do
+      if ../examples/${tool} --faults not-a-preset > /dev/null 2>&1; then
+        echo "${tool} accepted an unknown --faults spec" >&2
+        exit 1
+      fi
+    done
+
+    echo "-- faulted sweep JSON is identical across --jobs"
+    ../examples/sweep --quick --seeds 3 --faults moderate --jobs 1 \
+      --json sweep_j1.json > /dev/null
+    ../examples/sweep --quick --seeds 3 --faults moderate --jobs 4 \
+      --json sweep_j4.json > /dev/null
+    cmp sweep_j1.json sweep_j4.json
+    echo "chaos tier passed"
+  )
+}
+
+for tier in "${TIERS[@]}"; do
+  case "${tier}" in
+    release)  tier_release ;;
+    sanitize) tier_sanitize ;;
+    replay)   tier_replay ;;
+    tsan)     tier_tsan ;;
+    chaos)    tier_chaos ;;
+    *)
+      echo "unknown tier: ${tier} (known: release sanitize replay tsan chaos)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "== all selected tiers passed =="

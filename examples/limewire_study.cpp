@@ -9,6 +9,7 @@
 //
 //   ./limewire_study [--quick] [--csv <path>] [--seed <n>] [--json <path>]
 //                    [--record <trace>|--replay <trace>]
+//                    [--faults <preset|spec>] [--fault-seed <n>]
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -18,9 +19,22 @@
 #include "analysis/stats.h"
 #include "core/report.h"
 #include "core/study.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 #include "trace/writer.h"
 #include "util/strings.h"
+
+namespace {
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--quick] [--csv <path>] [--seed <n>] [--json <path>]"
+               " [--record <trace>|--replay <trace>] [--metrics <path>]"
+               " [--trace <path>] [--trace-components <list|all>]"
+               " [--faults <none|mild|moderate|severe|k=v,...>]"
+               " [--fault-seed <n>] [--list-presets]\n";
+  return 2;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2p;
@@ -28,6 +42,8 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string csv_path, json_path, record_path, replay_path;
   std::string metrics_path, trace_path, trace_spec = "all";
+  std::string faults_spec;
+  std::uint64_t fault_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       cfg = core::limewire_quick();
@@ -48,20 +64,31 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-components") == 0 && i + 1 < argc) {
       trace_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      faults_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--list-presets") == 0) {
       core::print_presets(std::cout);
       return 0;
     } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--quick] [--csv <path>] [--seed <n>] [--json <path>]"
-                   " [--record <trace>|--replay <trace>] [--metrics <path>]"
-                   " [--trace <path>] [--trace-components <list|all>] [--list-presets]\n";
-      return 2;
+      return usage(argv[0]);
     }
   }
   if (!record_path.empty() && !replay_path.empty()) {
     std::cerr << "--record and --replay are mutually exclusive\n";
     return 2;
+  }
+  if (!faults_spec.empty()) {
+    auto parsed = fault::parse_spec(faults_spec);
+    if (!parsed) {
+      std::cerr << "bad --faults spec: " << faults_spec << "\n";
+      return usage(argv[0]);
+    }
+    core::apply_faults(cfg, *parsed, fault_seed);
+    if (cfg.faults.enabled()) {
+      std::cout << "Fault injection: " << fault::describe(cfg.faults) << "\n";
+    }
   }
 
   core::StudyResult result;
@@ -118,6 +145,8 @@ int main(int argc, char** argv) {
             << util::format_count(result.churn_joins) << " peer joins\n\n";
 
   auto report = core::build_report(result.records, "limewire");
+  core::attach_fault_report(report, result.faults_enabled, result.fault_counters,
+                            result.crawl_stats);
   core::print_prevalence(std::cout, "limewire", report.prevalence);
   core::print_strain_ranking(std::cout, "limewire", report.strain_ranking);
   core::print_sources(std::cout, "limewire", report.sources, report.strain_sources);

@@ -5,7 +5,8 @@
 //   ./sweep [--network limewire|openft] [--quick|--standard]
 //           [--seeds A..B | --seeds N] [--base-seed <n>]
 //           [--days <n> | --hours <n>] [--jobs <n>] [--json <path>]
-//           [--record <dir>|--replay <dir>] [--list-presets]
+//           [--record <dir>|--replay <dir>] [--faults <preset|spec>]
+//           [--fault-seed <n>] [--list-presets]
 //
 // The JSON report is deterministic: identical bytes for any --jobs value
 // (wall-clock fields are excluded; task seeds are a pure function of the
@@ -20,6 +21,7 @@
 #include <string>
 
 #include "core/report.h"
+#include "fault/fault.h"
 #include "sweep/sweep.h"
 #include "util/table.h"
 
@@ -30,7 +32,9 @@ int usage(const char* argv0) {
             << " [--network limewire|openft] [--quick|--standard]"
                " [--seeds A..B | --seeds N] [--base-seed <n>]"
                " [--days <n> | --hours <n>] [--jobs <n>] [--json <path>]"
-               " [--record <dir>|--replay <dir>] [--list-presets]\n";
+               " [--record <dir>|--replay <dir>]"
+               " [--faults <none|mild|moderate|severe|k=v,...>]"
+               " [--fault-seed <n>] [--list-presets]\n";
   return 2;
 }
 
@@ -97,6 +101,15 @@ int main(int argc, char** argv) {
       record_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
       replay_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      auto parsed = fault::parse_spec(argv[++i]);
+      if (!parsed) {
+        std::cerr << "bad --faults spec: " << argv[i] << "\n";
+        return usage(argv[0]);
+      }
+      plan.faults = *parsed;
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      plan.fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--list-presets") == 0) {
       core::print_presets(std::cout);
       return 0;
@@ -127,6 +140,9 @@ int main(int argc, char** argv) {
             << tasks.size() << " seeds, " << options.jobs << " job(s)";
   if (!record_dir.empty()) std::cout << ", recording to " << record_dir;
   if (!replay_dir.empty()) std::cout << ", replaying from " << replay_dir;
+  if (plan.faults.enabled()) {
+    std::cout << ", faults: " << fault::describe(plan.faults);
+  }
   std::cout << "\n";
   auto result = sweep::run(tasks, options);
   char timing[96];

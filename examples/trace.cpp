@@ -184,6 +184,11 @@ int cmd_replay(const std::string& file, const std::string& json_path) {
             << util::format_count(static_cast<std::uint64_t>(rate)) << " records/s)\n\n";
 
   auto report = core::build_report(data.records, data.header.network);
+  if (data.summary) {
+    core::attach_fault_report(report, data.summary->faults_enabled,
+                              data.summary->fault_counters,
+                              data.summary->crawl_stats);
+  }
   core::print_prevalence(std::cout, report.network, report.prevalence);
   core::print_strain_ranking(std::cout, report.network, report.strain_ranking);
   core::print_sources(std::cout, report.network, report.sources,

@@ -60,6 +60,16 @@ void ChurnDriver::leave(std::size_t idx) {
   net_.events().schedule_in(offline, [this, idx] { join(idx); });
 }
 
+void ChurnDriver::crash(std::size_t idx, sim::SimDuration downtime) {
+  if (idx >= current_.size() || current_[idx] == sim::kInvalidNode) return;
+  // No shutdown(): an abrupt crash sends no BYE. Peers keep the dead
+  // endpoint in their tables until their own maintenance notices.
+  net_.remove_node(current_[idx]);
+  current_[idx] = sim::kInvalidNode;
+  ++leaves_;
+  net_.events().schedule_in(downtime, [this, idx] { join(idx); });
+}
+
 std::size_t ChurnDriver::online_count() const {
   return static_cast<std::size_t>(
       std::count_if(current_.begin(), current_.end(),

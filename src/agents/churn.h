@@ -27,6 +27,13 @@ class ChurnDriver {
   /// Schedule initial joins and the ongoing on/off process.
   void start();
 
+  /// Fault-injected abrupt departure (src/fault): the peer vanishes with no
+  /// graceful BYE — neighbours must discover the dead link themselves — and
+  /// rejoins after `downtime`, keeping its identity. No-op while offline.
+  /// The crash does not consume this driver's own rng, so enabling fault
+  /// churn never shifts the organic session schedule.
+  void crash(std::size_t idx, sim::SimDuration downtime);
+
   [[nodiscard]] std::uint64_t joins() const { return joins_; }
   [[nodiscard]] std::uint64_t leaves() const { return leaves_; }
   [[nodiscard]] std::size_t online_count() const;

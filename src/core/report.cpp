@@ -26,6 +26,21 @@ const std::vector<std::string>& vendor_partial_strains() {
   return names;
 }
 
+void attach_fault_report(Report& report, bool enabled,
+                         const fault::FaultCounters& injected,
+                         const crawler::CrawlStats& stats) {
+  if (!enabled) return;
+  report.faults.enabled = true;
+  report.faults.injected = injected;
+  report.faults.downloads_started = stats.downloads_started;
+  report.faults.downloads_ok = stats.downloads_ok;
+  report.faults.downloads_failed = stats.downloads_failed;
+  report.faults.downloads_abandoned = stats.downloads_abandoned;
+  report.faults.retries_spent = stats.retries_spent;
+  report.faults.hosts_quarantined = stats.hosts_quarantined;
+  report.faults.scan_timeouts = stats.scan_timeouts;
+}
+
 Report build_report(std::span<const crawler::ResponseRecord> records,
                     const std::string& network) {
   Report r;
@@ -155,7 +170,30 @@ void write_report_json(std::ostream& out, const Report& r) {
         << ",\"true_positives\":" << e.true_positives
         << ",\"false_positives\":" << e.false_positives << "}";
   }
-  out << "]}\n";
+  out << "]";
+
+  // Emitted only for fault-injected runs, keeping fault-free reports
+  // byte-identical to pre-fault builds.
+  if (r.faults.enabled) {
+    const auto& f = r.faults;
+    out << ",\"faults\":{\"injected\":{\"messages_dropped\":"
+        << f.injected.messages_dropped
+        << ",\"messages_delayed\":" << f.injected.messages_delayed
+        << ",\"messages_duplicated\":" << f.injected.messages_duplicated
+        << ",\"payloads_corrupted\":" << f.injected.payloads_corrupted
+        << ",\"peer_crashes\":" << f.injected.peer_crashes
+        << ",\"peer_restarts\":" << f.injected.peer_restarts
+        << ",\"downloads_stalled\":" << f.injected.downloads_stalled
+        << ",\"scan_timeouts\":" << f.injected.scan_timeouts
+        << "},\"degradation\":{\"downloads_started\":" << f.downloads_started
+        << ",\"downloads_ok\":" << f.downloads_ok
+        << ",\"downloads_failed\":" << f.downloads_failed
+        << ",\"downloads_abandoned\":" << f.downloads_abandoned
+        << ",\"retries_spent\":" << f.retries_spent
+        << ",\"hosts_quarantined\":" << f.hosts_quarantined
+        << ",\"scan_timeouts\":" << f.scan_timeouts << "}}";
+  }
+  out << "}\n";
 }
 
 void print_presets(std::ostream& out) {

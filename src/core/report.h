@@ -14,10 +14,28 @@
 #include <vector>
 
 #include "analysis/stats.h"
+#include "crawler/limewire_crawler.h"  // CrawlStats
+#include "fault/fault.h"               // FaultCounters
 #include "filter/evaluation.h"
 #include "obs/export.h"
 
 namespace p2p::core {
+
+/// Fault-injection appendix: what the injector did and how the crawler
+/// degraded. Attached (and emitted in the JSON) only for runs that injected
+/// faults, so fault-free reports stay byte-identical to pre-fault builds.
+struct FaultReport {
+  bool enabled = false;
+  fault::FaultCounters injected;
+  // Crawler degradation under fault load.
+  std::uint64_t downloads_started = 0;
+  std::uint64_t downloads_ok = 0;
+  std::uint64_t downloads_failed = 0;
+  std::uint64_t downloads_abandoned = 0;
+  std::uint64_t retries_spent = 0;
+  std::uint64_t hosts_quarantined = 0;
+  std::uint64_t scan_timeouts = 0;
+};
 
 /// Every table of the study computed from one response log. build_report is
 /// the single analysis entry point for both a live StudyResult and a
@@ -38,7 +56,16 @@ struct Report {
   /// rest. Size filter always; LimeWire additionally gets the 2006-era
   /// builtin filter with the vendor strain lists below.
   std::vector<filter::FilterEvaluation> filter_evals;
+  /// Set via attach_fault_report; default (disabled) emits nothing.
+  FaultReport faults;
 };
+
+/// Fill the report's fault appendix from a run's fault record — works for
+/// both the live path (StudyResult fields) and the replay path (decoded
+/// trace summary). No-op when `enabled` is false.
+void attach_fault_report(Report& report, bool enabled,
+                         const fault::FaultCounters& injected,
+                         const crawler::CrawlStats& stats);
 
 /// The vendor's strain knowledge used for the builtin-filter baseline
 /// (shared by build_report, the sweep observables, and bench_e5 — one list,

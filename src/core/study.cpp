@@ -7,6 +7,7 @@
 #include "util/rng.h"
 
 #include "crawler/workload.h"
+#include "fault/chaos.h"
 #include "malware/scanner.h"
 #include "sim/network.h"
 #include "trace/reader.h"
@@ -66,6 +67,22 @@ OpenFtStudyConfig openft_quick() {
   cfg.crawl.query_interval = sim::SimDuration::seconds(180);
   cfg.workload_top_n = 80;
   return cfg;
+}
+
+void apply_faults(LimewireStudyConfig& config, const fault::FaultSpec& spec,
+                  std::uint64_t fault_seed) {
+  if (!spec.enabled()) return;
+  config.faults = spec;
+  config.fault_seed = fault_seed;
+  config.crawl.fetch = crawler::resilient_fetch_policy();
+}
+
+void apply_faults(OpenFtStudyConfig& config, const fault::FaultSpec& spec,
+                  std::uint64_t fault_seed) {
+  if (!spec.enabled()) return;
+  config.faults = spec;
+  config.fault_seed = fault_seed;
+  config.crawl.fetch = crawler::resilient_fetch_policy();
 }
 
 namespace {
@@ -157,6 +174,33 @@ void hash_crawl(ConfigHasher& h, const crawler::CrawlConfig& c) {
   h.dur(c.dynamic_probe_interval);
   h.u64(c.vantage_ip.value());
   h.u64(c.seed);
+  // Folded only when non-default so digests of pre-existing fault-free
+  // configs (and the traces keyed on them) are unchanged.
+  if (c.fetch.active()) {
+    h.str("fetch");
+    h.dur(c.fetch.fetch_timeout);
+    h.dur(c.fetch.retry_backoff);
+    h.dur(c.fetch.retry_backoff_max);
+    h.u64(c.fetch.breaker_threshold);
+    h.dur(c.fetch.breaker_cooldown);
+  }
+}
+
+void hash_faults(ConfigHasher& h, const fault::FaultSpec& f,
+                 std::uint64_t fault_seed) {
+  // Same back-compat rule as the fetch policy above.
+  if (!f.enabled() && fault_seed == 0) return;
+  h.str("faults");
+  h.f64(f.message_loss);
+  h.f64(f.message_delay);
+  h.dur(f.message_delay_max);
+  h.f64(f.message_duplicate);
+  h.f64(f.payload_corrupt);
+  h.f64(f.crashes_per_hour);
+  h.dur(f.crash_downtime);
+  h.f64(f.download_stall);
+  h.f64(f.scan_timeout);
+  h.u64(fault_seed);
 }
 }  // namespace
 
@@ -185,6 +229,7 @@ std::uint64_t config_hash(const LimewireStudyConfig& config) {
   hash_crawl(h, config.crawl);
   h.u64(config.workload_top_n);
   h.u64(config.crawler_count);
+  hash_faults(h, config.faults, config.fault_seed);
   return h.digest();
 }
 
@@ -213,6 +258,7 @@ std::uint64_t config_hash(const OpenFtStudyConfig& config) {
   hash_churn(h, config.churn);
   hash_crawl(h, config.crawl);
   h.u64(config.workload_top_n);
+  hash_faults(h, config.faults, config.fault_seed);
   return h.digest();
 }
 
@@ -221,6 +267,13 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
   // Each run owns the registry window: reset here, snapshot at the end.
   obs::MetricsRegistry::global().reset();
   sim::Network net(config.seed);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.faults.enabled()) {
+    std::uint64_t fault_seed =
+        config.fault_seed != 0 ? config.fault_seed : config.seed;
+    injector = std::make_unique<fault::FaultInjector>(config.faults, fault_seed);
+    net.set_fault_hook(injector.get());
+  }
   auto pop = agents::build_gnutella_population(net, config.population);
   auto scanner = std::make_shared<malware::Scanner>(pop.strain_catalog.strains);
   auto workload = crawler::QueryWorkload::popular_from_catalog(
@@ -235,6 +288,7 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
     crawl_cfg.vantage_ip = util::Ipv4(156, 56, 1, static_cast<std::uint8_t>(10 + v));
     crawlers.push_back(std::make_unique<crawler::LimewireCrawler>(
         net, pop.host_cache, workload, scanner, crawl_cfg));
+    if (injector) crawlers.back()->set_fault_injector(injector.get());
   }
 
   // With a single vantage the crawler's finalize() streams records into the
@@ -250,6 +304,11 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
   agents::ChurnDriver churn(net, std::move(pop.leaf_specs), churn_cfg);
   churn.start();
   for (auto& c : crawlers) c->start();
+  std::unique_ptr<fault::CrashDriver> crash_driver;
+  if (injector) {
+    crash_driver = std::make_unique<fault::CrashDriver>(net, churn, *injector);
+    crash_driver->start();
+  }
 
   net.events().run_until(study_end(config.crawl));
 
@@ -270,6 +329,10 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
     result.crawl_stats.downloads_failed += s.downloads_failed;
     result.crawl_stats.bytes_downloaded += s.bytes_downloaded;
     result.crawl_stats.distinct_contents += s.distinct_contents;
+    result.crawl_stats.downloads_abandoned += s.downloads_abandoned;
+    result.crawl_stats.retries_spent += s.retries_spent;
+    result.crawl_stats.hosts_quarantined += s.hosts_quarantined;
+    result.crawl_stats.scan_timeouts += s.scan_timeouts;
   }
   if (vantage_count > 1) {
     // Merge the vantage logs into one time-ordered stream with fresh ids.
@@ -289,6 +352,10 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
   result.bytes_delivered = net.bytes_delivered();
   result.churn_joins = churn.joins();
   result.churn_leaves = churn.leaves();
+  if (injector) {
+    result.faults_enabled = true;
+    result.fault_counters = injector->counters();
+  }
   result.metrics = obs::MetricsRegistry::global().snapshot();
   return result;
 }
@@ -297,6 +364,13 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config,
                              crawler::RecordSink* record_sink) {
   obs::MetricsRegistry::global().reset();
   sim::Network net(config.seed);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.faults.enabled()) {
+    std::uint64_t fault_seed =
+        config.fault_seed != 0 ? config.fault_seed : config.seed;
+    injector = std::make_unique<fault::FaultInjector>(config.faults, fault_seed);
+    net.set_fault_hook(injector.get());
+  }
   auto pop = agents::build_openft_population(net, config.population);
   auto scanner = std::make_shared<malware::Scanner>(pop.strain_catalog.strains);
   auto workload = crawler::QueryWorkload::popular_from_catalog(
@@ -307,6 +381,7 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config,
   crawler::OpenFtCrawler crawl(net, pop.host_cache, std::move(workload), scanner,
                                crawl_cfg);
   if (record_sink != nullptr) crawl.set_record_sink(record_sink);
+  if (injector) crawl.set_fault_injector(injector.get());
 
   // The super-spreader is a dedicated malicious server: permanently online,
   // outside the churn process (this is what makes the paper's "67% of
@@ -326,6 +401,11 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config,
   agents::ChurnDriver churn(net, std::move(churnable), churn_cfg);
   churn.start();
   crawl.start();
+  std::unique_ptr<fault::CrashDriver> crash_driver;
+  if (injector) {
+    crash_driver = std::make_unique<fault::CrashDriver>(net, churn, *injector);
+    crash_driver->start();
+  }
 
   net.events().run_until(study_end(config.crawl));
   crawl.finalize();
@@ -339,6 +419,10 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config,
   result.bytes_delivered = net.bytes_delivered();
   result.churn_joins = churn.joins();
   result.churn_leaves = churn.leaves();
+  if (injector) {
+    result.faults_enabled = true;
+    result.fault_counters = injector->counters();
+  }
   result.metrics = obs::MetricsRegistry::global().snapshot();
   return result;
 }
@@ -352,6 +436,8 @@ trace::StudySummary study_summary(const StudyResult& result) {
   summary.churn_leaves = result.churn_leaves;
   summary.crawl_stats = result.crawl_stats;
   summary.metrics = result.metrics;
+  summary.faults_enabled = result.faults_enabled;
+  summary.fault_counters = result.fault_counters;
   return summary;
 }
 
@@ -363,6 +449,8 @@ void apply_summary(const trace::StudySummary& summary, StudyResult& result) {
   result.churn_leaves = summary.churn_leaves;
   result.crawl_stats = summary.crawl_stats;
   result.metrics = summary.metrics;
+  result.faults_enabled = summary.faults_enabled;
+  result.fault_counters = summary.fault_counters;
 }
 
 bool save_study_trace(const std::string& path, const StudyResult& result,

@@ -12,6 +12,7 @@
 #include "crawler/limewire_crawler.h"
 #include "crawler/openft_crawler.h"
 #include "crawler/records.h"
+#include "fault/fault.h"
 #include "malware/catalogs.h"
 #include "obs/metrics.h"
 #include "trace/codec.h"
@@ -28,6 +29,12 @@ struct LimewireStudyConfig {
   /// Number of instrumented clients crawling in parallel from distinct
   /// vantage addresses; their logs are merged time-ordered.
   std::size_t crawler_count = 1;
+  /// Fault plan (all-zero default = fault-free, byte-identical legacy run).
+  /// Set via apply_faults so the crawler's resilience comes on with it.
+  fault::FaultSpec faults{};
+  /// Seed of the fault schedule; 0 derives it from `seed` so one --seed
+  /// still controls the whole run.
+  std::uint64_t fault_seed = 0;
 };
 
 struct OpenFtStudyConfig {
@@ -36,7 +43,19 @@ struct OpenFtStudyConfig {
   agents::ChurnConfig churn{};
   crawler::CrawlConfig crawl{};
   std::size_t workload_top_n = 150;
+  /// Fault plan and schedule seed; see LimewireStudyConfig.
+  fault::FaultSpec faults{};
+  std::uint64_t fault_seed = 0;
 };
+
+/// Enable a fault plan on a study config: stores the spec + schedule seed
+/// and switches the crawler to its resilient fetch policy (timeouts,
+/// backoff retries, circuit breaker). A non-enabled spec is a no-op, so
+/// `--faults none` leaves the run byte-identical to no flag at all.
+void apply_faults(LimewireStudyConfig& config, const fault::FaultSpec& spec,
+                  std::uint64_t fault_seed = 0);
+void apply_faults(OpenFtStudyConfig& config, const fault::FaultSpec& spec,
+                  std::uint64_t fault_seed = 0);
 
 struct StudyResult {
   std::vector<crawler::ResponseRecord> records;
@@ -51,6 +70,10 @@ struct StudyResult {
   /// (the registry is reset at study start). Deterministic for a fixed
   /// seed, modulo wall-clock histograms (excluded from exports by default).
   obs::MetricsSnapshot metrics;
+  /// Whether this run injected faults, and what the injector did. Both stay
+  /// all-zero (and out of the JSON report) for fault-free runs.
+  bool faults_enabled = false;
+  fault::FaultCounters fault_counters{};
 };
 
 /// Presets. `standard` runs the paper-scale month; `quick` is a scaled-down

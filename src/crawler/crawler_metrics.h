@@ -17,6 +17,9 @@ struct CrawlerMetrics {
   obs::Counter& downloads_ok = r.counter("crawler.downloads_ok");
   obs::Counter& downloads_failed = r.counter("crawler.downloads_failed");
   obs::Counter& download_retries = r.counter("crawler.download_retries");
+  obs::Counter& downloads_abandoned = r.counter("crawler.downloads_abandoned");
+  obs::Counter& hosts_quarantined = r.counter("crawler.hosts_quarantined");
+  obs::Counter& scan_timeouts = r.counter("crawler.scan_timeouts");
   obs::Counter& bytes_downloaded = r.counter("crawler.bytes_downloaded");
   obs::Counter& distinct_contents = r.counter("crawler.distinct_contents");
   /// Sim-time gap between a query leaving the vantage point and each hit

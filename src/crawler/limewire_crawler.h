@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "crawler/label_store.h"
@@ -14,7 +15,39 @@
 #include "malware/scanner.h"
 #include "sim/network.h"
 
+namespace p2p::fault {
+class FaultInjector;
+}
+
 namespace p2p::crawler {
+
+/// Crawler-side resilience against lossy networks (see DESIGN.md "Fault
+/// injection & resilience"). Every knob's zero default reproduces the
+/// pre-fault-layer crawler exactly — enabling any of them is what a chaos
+/// study does via core::apply_faults.
+struct FetchPolicy {
+  /// Give up on a fetch whose outcome never arrives (stalled transfer).
+  /// Zero disables the watchdog.
+  sim::SimDuration fetch_timeout{};
+  /// Base delay of the bounded exponential backoff between a failed fetch
+  /// and its retry from an alternate source. Zero retries immediately
+  /// within the failure callback (the original crawler behaviour).
+  sim::SimDuration retry_backoff{};
+  sim::SimDuration retry_backoff_max = sim::SimDuration::minutes(5);
+  /// Consecutive failures from one host before it is quarantined (circuit
+  /// breaker). Zero disables the breaker.
+  std::size_t breaker_threshold = 0;
+  sim::SimDuration breaker_cooldown = sim::SimDuration::minutes(30);
+
+  [[nodiscard]] bool active() const {
+    return fetch_timeout.count_ms() > 0 || retry_backoff.count_ms() > 0 ||
+           breaker_threshold > 0;
+  }
+};
+
+/// The resilience defaults a fault-injected study runs with (applied by
+/// core::apply_faults alongside the fault spec).
+[[nodiscard]] FetchPolicy resilient_fetch_policy();
 
 struct CrawlConfig {
   /// How long the crawl runs (the paper: "over a month of data").
@@ -35,6 +68,8 @@ struct CrawlConfig {
   /// crawlers on distinct addresses).
   util::Ipv4 vantage_ip = util::Ipv4(156, 56, 1, 10);
   std::uint64_t seed = 99;
+  /// Resilience knobs; the all-zero default is the legacy crawler.
+  FetchPolicy fetch{};
 };
 
 struct CrawlStats {
@@ -47,6 +82,11 @@ struct CrawlStats {
   std::uint64_t downloads_failed = 0;
   std::uint64_t bytes_downloaded = 0;
   std::uint64_t distinct_contents = 0;
+  // Graceful-degradation counters (all zero in a fault-free run).
+  std::uint64_t downloads_abandoned = 0;  // fetch watchdog fired
+  std::uint64_t retries_spent = 0;        // re-fetches from alternate sources
+  std::uint64_t hosts_quarantined = 0;    // circuit-breaker trips
+  std::uint64_t scan_timeouts = 0;        // injected scanner timeouts
 };
 
 class LimewireCrawler {
@@ -70,6 +110,10 @@ class LimewireCrawler {
   /// finalize().
   void set_record_sink(RecordSink* sink) { record_sink_ = sink; }
 
+  /// Install the fault injector driving download stalls and scanner
+  /// timeouts (not owned; may be null = no injected crawler faults).
+  void set_fault_injector(fault::FaultInjector* injector) { faults_ = injector; }
+
   [[nodiscard]] const std::vector<ResponseRecord>& records() const { return records_; }
   [[nodiscard]] std::vector<ResponseRecord>&& take_records() {
     return std::move(records_);
@@ -83,6 +127,15 @@ class LimewireCrawler {
   void issue_next_query();
   void on_hit(const gnutella::HitEvent& event);
   void on_download(const gnutella::DownloadOutcome& outcome);
+  void start_fetch(const gnutella::QueryHit& hit, const gnutella::QueryHitResult& result,
+                   const std::string& key, bool is_retry);
+  void maybe_retry(const std::string& key);
+  void retry_now(const std::string& key);
+  void on_fetch_timeout(std::uint64_t request);
+  [[nodiscard]] bool resilience_active() const { return config_.fetch.active(); }
+  [[nodiscard]] bool quarantined(const std::string& source);
+  void note_failure(const std::string& source);
+  void note_success(const std::string& source);
 
   sim::Network& net_;
   QueryWorkload workload_;
@@ -97,7 +150,16 @@ class LimewireCrawler {
   std::unordered_map<gnutella::Guid, QueryItem, gnutella::GuidHash> query_of_guid_;
   /// When each query left the vantage point, for the hit-latency histogram.
   std::unordered_map<gnutella::Guid, sim::SimTime, gnutella::GuidHash> query_issued_at_;
-  std::unordered_map<std::uint64_t, std::string> download_key_;  // request -> content key
+  /// In-flight fetches: request id -> content key and the source host it was
+  /// issued to (for the circuit breaker).
+  struct FetchState {
+    std::string key;
+    std::string source;
+  };
+  std::unordered_map<std::uint64_t, FetchState> fetches_;
+  /// Requests whose outcome already resolved (watchdog abandonment or an
+  /// injected stall); a late DownloadOutcome for these is ignored.
+  std::unordered_set<std::uint64_t> stalled_;
   /// Alternate sources per content key, for retry after a failed fetch
   /// (the paper's apparatus downloaded from another responder on failure).
   struct AltSource {
@@ -105,6 +167,13 @@ class LimewireCrawler {
     gnutella::QueryHitResult result;
   };
   std::unordered_map<std::string, std::vector<AltSource>> alternates_;
+  /// Circuit breaker: consecutive failures per source host, and hosts
+  /// quarantined until a deadline.
+  std::unordered_map<std::string, std::size_t> source_failures_;
+  std::unordered_map<std::string, sim::SimTime> quarantined_until_;
+  /// Backoff exponent per content key (count of scheduled retries so far).
+  std::unordered_map<std::string, std::uint32_t> backoff_level_;
+  fault::FaultInjector* faults_ = nullptr;
   LabelStore labels_;
   std::vector<ResponseRecord> records_;
   CrawlStats stats_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crawler/crawler_metrics.h"
+#include "fault/fault.h"
 #include "files/hash.h"
 #include "obs/trace.h"
 #include "util/strings.h"
@@ -27,7 +28,8 @@ OpenFtCrawler::OpenFtCrawler(sim::Network& net,
       workload_(std::move(workload)),
       scanner_(std::move(scanner)),
       config_(config),
-      rng_(config.seed) {
+      rng_(config.seed),
+      labels_(config.max_download_attempts) {
   sim::HostProfile profile;
   profile.ip = util::Ipv4(156, 56, 1, 11);
   profile.port = 1216;
@@ -99,13 +101,12 @@ void OpenFtCrawler::on_result(const openft::FtSearchEvent& event) {
   if (rec.is_study_type()) {
     ++stats_.study_responses;
     m.study_responses.add(1);
-    if (labels_.want_download(rec.content_key)) {
-      labels_.mark_pending(rec.content_key);
-      std::uint64_t request = node_->download(entry);
-      download_key_[request] = rec.content_key;
-      ++stats_.downloads_started;
-      m.downloads_started.add(1);
-    } else if (!labels_.has(rec.content_key)) {
+    // A quarantined responder is neither fetched from nor remembered as an
+    // alternate (always false with the circuit breaker off).
+    bool skip = quarantined(entry.owner.str());
+    if (!skip && labels_.want_download(rec.content_key)) {
+      start_fetch(entry, rec.content_key, /*is_retry=*/false);
+    } else if (!skip && !labels_.has(rec.content_key)) {
       auto& alts = alternates_[rec.content_key];
       bool same_source =
           std::any_of(alts.begin(), alts.end(), [&](const openft::SearchResponse& a) {
@@ -117,11 +118,116 @@ void OpenFtCrawler::on_result(const openft::FtSearchEvent& event) {
   records_.push_back(std::move(rec));
 }
 
+void OpenFtCrawler::start_fetch(const openft::SearchResponse& entry,
+                                const std::string& key, bool is_retry) {
+  auto& m = CrawlerMetrics::get();
+  labels_.mark_pending(key);
+  std::uint64_t request = node_->download(entry);
+  fetches_[request] = FetchState{key, entry.owner.str()};
+  ++stats_.downloads_started;
+  m.downloads_started.add(1);
+  if (is_retry) {
+    ++stats_.retries_spent;
+    m.download_retries.add(1);
+    P2P_TRACE(obs::Component::kCrawler, "download_retry", net_.now(),
+              obs::tf("network", "openft"), obs::tf("key", key));
+  }
+  // Injected stall: the transfer's outcome will be suppressed; only the
+  // watchdog (if armed) resolves this fetch.
+  if (faults_ != nullptr && faults_->download_stalls()) stalled_.insert(request);
+  if (config_.fetch.fetch_timeout.count_ms() > 0) {
+    net_.schedule_node(node_id_, config_.fetch.fetch_timeout,
+                       [this, request] { on_fetch_timeout(request); });
+  }
+}
+
+void OpenFtCrawler::maybe_retry(const std::string& key) {
+  if (!labels_.want_download(key)) return;
+  if (config_.fetch.retry_backoff.count_ms() <= 0) {
+    // Legacy behaviour: retry immediately, inside the failure callback.
+    retry_now(key);
+    return;
+  }
+  auto alt_it = alternates_.find(key);
+  if (alt_it == alternates_.end() || alt_it->second.empty()) return;
+  std::uint32_t level = backoff_level_[key]++;
+  std::int64_t ms = config_.fetch.retry_backoff.count_ms()
+                    << std::min<std::uint32_t>(level, 16);
+  ms = std::min(ms, config_.fetch.retry_backoff_max.count_ms());
+  net_.schedule_node(node_id_, sim::SimDuration::millis(ms),
+                     [this, key] { retry_now(key); });
+}
+
+void OpenFtCrawler::retry_now(const std::string& key) {
+  if (!labels_.want_download(key)) return;
+  auto alt_it = alternates_.find(key);
+  if (alt_it == alternates_.end()) return;
+  while (!alt_it->second.empty() && quarantined(alt_it->second.back().owner.str())) {
+    alt_it->second.pop_back();
+  }
+  if (alt_it->second.empty()) return;
+  openft::SearchResponse alt = std::move(alt_it->second.back());
+  alt_it->second.pop_back();
+  start_fetch(alt, key, /*is_retry=*/true);
+}
+
+void OpenFtCrawler::on_fetch_timeout(std::uint64_t request) {
+  auto it = fetches_.find(request);
+  if (it == fetches_.end()) return;  // outcome already arrived
+  std::string key = it->second.key;
+  std::string source = it->second.source;
+  fetches_.erase(it);
+  stalled_.erase(request);
+  auto& m = CrawlerMetrics::get();
+  ++stats_.downloads_abandoned;
+  m.downloads_abandoned.add(1);
+  P2P_TRACE(obs::Component::kCrawler, "download_abandoned", net_.now(),
+            obs::tf("network", "openft"), obs::tf("key", key));
+  labels_.mark_failed(key);
+  note_failure(source);
+  maybe_retry(key);
+}
+
+bool OpenFtCrawler::quarantined(const std::string& source) {
+  if (config_.fetch.breaker_threshold == 0) return false;
+  auto it = quarantined_until_.find(source);
+  if (it == quarantined_until_.end()) return false;
+  if (net_.now() >= it->second) {
+    quarantined_until_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void OpenFtCrawler::note_failure(const std::string& source) {
+  if (config_.fetch.breaker_threshold == 0) return;
+  if (++source_failures_[source] < config_.fetch.breaker_threshold) return;
+  source_failures_.erase(source);
+  quarantined_until_[source] = net_.now() + config_.fetch.breaker_cooldown;
+  auto& m = CrawlerMetrics::get();
+  ++stats_.hosts_quarantined;
+  m.hosts_quarantined.add(1);
+  P2P_TRACE(obs::Component::kCrawler, "host_quarantined", net_.now(),
+            obs::tf("network", "openft"), obs::tf("host", source));
+}
+
+void OpenFtCrawler::note_success(const std::string& source) {
+  if (config_.fetch.breaker_threshold == 0) return;
+  source_failures_.erase(source);
+}
+
 void OpenFtCrawler::on_download(const openft::FtDownloadOutcome& outcome) {
-  auto key_it = download_key_.find(outcome.request_id);
-  if (key_it == download_key_.end()) return;
-  std::string key = key_it->second;
-  download_key_.erase(key_it);
+  auto fetch_it = fetches_.find(outcome.request_id);
+  if (fetch_it == fetches_.end()) return;  // abandoned by the watchdog
+  if (auto st = stalled_.find(outcome.request_id); st != stalled_.end()) {
+    // Injected stall: suppress the real outcome; the fetches_ entry stays so
+    // the watchdog still resolves (abandons) this fetch.
+    stalled_.erase(st);
+    return;
+  }
+  std::string key = fetch_it->second.key;
+  std::string source = fetch_it->second.source;
+  fetches_.erase(fetch_it);
 
   auto& m = CrawlerMetrics::get();
   if (!outcome.success) {
@@ -130,24 +236,12 @@ void OpenFtCrawler::on_download(const openft::FtDownloadOutcome& outcome) {
     P2P_TRACE(obs::Component::kCrawler, "download_failed", net_.now(),
               obs::tf("network", "openft"), obs::tf("key", key));
     labels_.mark_failed(key);
-    if (labels_.want_download(key)) {
-      auto alt_it = alternates_.find(key);
-      if (alt_it != alternates_.end() && !alt_it->second.empty()) {
-        openft::SearchResponse alt = std::move(alt_it->second.back());
-        alt_it->second.pop_back();
-        labels_.mark_pending(key);
-        std::uint64_t request = node_->download(alt);
-        download_key_[request] = key;
-        ++stats_.downloads_started;
-        m.downloads_started.add(1);
-        m.download_retries.add(1);
-        P2P_TRACE(obs::Component::kCrawler, "download_retry", net_.now(),
-                  obs::tf("network", "openft"), obs::tf("key", key));
-      }
-    }
+    note_failure(source);
+    maybe_retry(key);
     return;
   }
   alternates_.erase(key);
+  backoff_level_.erase(key);
   ++stats_.downloads_ok;
   stats_.bytes_downloaded += outcome.content.size();
   m.downloads_ok.add(1);
@@ -159,7 +253,22 @@ void OpenFtCrawler::on_download(const openft::FtDownloadOutcome& outcome) {
 
   auto digest = files::md5(outcome.content);
   if (files::hex(digest) != key) {
+    // A host serving corrupted bytes counts against its circuit breaker.
     labels_.mark_failed(key);
+    if (resilience_active()) {
+      note_failure(source);
+      maybe_retry(key);
+    }
+    return;
+  }
+  note_success(source);
+  if (faults_ != nullptr && faults_->scan_times_out()) {
+    ++stats_.scan_timeouts;
+    m.scan_timeouts.add(1);
+    P2P_TRACE(obs::Component::kCrawler, "scan_timeout", net_.now(),
+              obs::tf("network", "openft"), obs::tf("key", key));
+    labels_.mark_failed(key);
+    maybe_retry(key);
     return;
   }
   auto scan = scanner_->scan(outcome.content);

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "crawler/label_store.h"
@@ -32,6 +33,10 @@ class OpenFtCrawler {
   /// finalize().
   void set_record_sink(RecordSink* sink) { record_sink_ = sink; }
 
+  /// Install the fault injector driving download stalls and scanner
+  /// timeouts (not owned; may be null = no injected crawler faults).
+  void set_fault_injector(fault::FaultInjector* injector) { faults_ = injector; }
+
   [[nodiscard]] const std::vector<ResponseRecord>& records() const { return records_; }
   [[nodiscard]] std::vector<ResponseRecord>&& take_records() {
     return std::move(records_);
@@ -45,6 +50,15 @@ class OpenFtCrawler {
   void issue_next_query();
   void on_result(const openft::FtSearchEvent& event);
   void on_download(const openft::FtDownloadOutcome& outcome);
+  void start_fetch(const openft::SearchResponse& entry, const std::string& key,
+                   bool is_retry);
+  void maybe_retry(const std::string& key);
+  void retry_now(const std::string& key);
+  void on_fetch_timeout(std::uint64_t request);
+  [[nodiscard]] bool resilience_active() const { return config_.fetch.active(); }
+  [[nodiscard]] bool quarantined(const std::string& source);
+  void note_failure(const std::string& source);
+  void note_success(const std::string& source);
 
   sim::Network& net_;
   QueryWorkload workload_;
@@ -59,9 +73,21 @@ class OpenFtCrawler {
   std::unordered_map<std::uint64_t, QueryItem> query_of_search_;
   /// When each search left the vantage point, for the hit-latency histogram.
   std::unordered_map<std::uint64_t, sim::SimTime> search_issued_at_;
-  std::unordered_map<std::uint64_t, std::string> download_key_;
+  /// In-flight fetches: request id -> content key and source host.
+  struct FetchState {
+    std::string key;
+    std::string source;
+  };
+  std::unordered_map<std::uint64_t, FetchState> fetches_;
+  /// Requests with an injected stall; their real outcome is suppressed.
+  std::unordered_set<std::uint64_t> stalled_;
   /// Alternate sources per content key for retry after failed fetches.
   std::unordered_map<std::string, std::vector<openft::SearchResponse>> alternates_;
+  /// Circuit breaker state (see LimewireCrawler).
+  std::unordered_map<std::string, std::size_t> source_failures_;
+  std::unordered_map<std::string, sim::SimTime> quarantined_until_;
+  std::unordered_map<std::string, std::uint32_t> backoff_level_;
+  fault::FaultInjector* faults_ = nullptr;
   LabelStore labels_;
   std::vector<ResponseRecord> records_;
   CrawlStats stats_;

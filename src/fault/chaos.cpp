@@ -1,0 +1,46 @@
+#include "fault/chaos.h"
+
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace p2p::fault {
+
+CrashDriver::CrashDriver(sim::Network& net, agents::ChurnDriver& churn,
+                         FaultInjector& injector)
+    : net_(net), churn_(churn), injector_(injector) {}
+
+void CrashDriver::start() {
+  if (injector_.spec().crashes_per_hour <= 0.0) return;
+  schedule_next();
+}
+
+void CrashDriver::schedule_next() {
+  net_.events().schedule_in(injector_.plan().next_crash_delay(), [this] {
+    crash_one();
+    schedule_next();
+  });
+}
+
+void CrashDriver::crash_one() {
+  // Victims are drawn among currently-online churnable peers; the crawler
+  // and any pinned hosts (e.g. the OpenFT super-spreader) are outside the
+  // churn set and never crash.
+  std::vector<std::size_t> online;
+  online.reserve(churn_.specs().size());
+  for (std::size_t i = 0; i < churn_.specs().size(); ++i) {
+    if (churn_.node_of(i) != sim::kInvalidNode) online.push_back(i);
+  }
+  if (online.empty()) return;
+  std::size_t idx = online[injector_.plan().pick_victim(online.size())];
+  sim::SimDuration downtime = injector_.plan().next_restart_delay();
+  P2P_TRACE(obs::Component::kNet, "peer_crash", net_.now(),
+            obs::tf("spec", static_cast<std::uint64_t>(idx)),
+            obs::tf("downtime_ms", static_cast<std::uint64_t>(downtime.count_ms())));
+  churn_.crash(idx, downtime);
+  ++crashes_;
+  injector_.count_crash();
+  injector_.count_restart();  // the restart is committed at crash time
+}
+
+}  // namespace p2p::fault

@@ -1,0 +1,35 @@
+// Crash/restart churn: the fault plan's host-level failure mode. Picks a
+// random online churnable peer on a seed-derived exponential schedule and
+// crashes it abruptly (no graceful BYE — neighbours discover the dead link
+// by timeout, exactly the failure long-running crawls must survive). The
+// peer restarts after a plan-drawn downtime, keeping its identity.
+#pragma once
+
+#include "agents/churn.h"
+#include "fault/fault.h"
+#include "sim/network.h"
+
+namespace p2p::fault {
+
+class CrashDriver {
+ public:
+  /// `injector` and `churn` must outlive the driver; the driver schedules
+  /// against `net`'s event queue and only crashes peers managed by `churn`.
+  CrashDriver(sim::Network& net, agents::ChurnDriver& churn, FaultInjector& injector);
+
+  /// Schedule the first crash (no-op when crashes_per_hour is zero).
+  void start();
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+
+ private:
+  void schedule_next();
+  void crash_one();
+
+  sim::Network& net_;
+  agents::ChurnDriver& churn_;
+  FaultInjector& injector_;
+  std::uint64_t crashes_ = 0;
+};
+
+}  // namespace p2p::fault

@@ -153,6 +153,12 @@ void Network::send(ConnId conn, NodeId sender, util::Bytes payload) {
   metrics_.messages_sent.add(1);
   metrics_.message_bytes.record(static_cast<std::int64_t>(payload.size()));
 
+  // Fault injection (src/fault): decided before the transfer is scheduled.
+  // A dropped message still serializes on the sender's uplink below — the
+  // bytes were transmitted, they just never arrive.
+  SendFaults faults;
+  if (fault_hook_ != nullptr) faults = fault_hook_->on_send(payload);
+
   // Transfer time: size over the tighter of the two access links, serialized
   // behind earlier sends in the same direction.
   double bps = std::min(profile(sender).uplink_bps, profile(receiver).downlink_bps);
@@ -162,8 +168,18 @@ void Network::send(ConnId conn, NodeId sender, util::Bytes payload) {
   SimTime start = std::max(events_.now(), tx_free);
   SimTime done = start + SimDuration::millis(transfer_ms);
   tx_free = done;
-  SimTime arrival = done + c->latency;
+  SimTime arrival = done + c->latency + faults.extra_delay;
 
+  if (faults.drop) {
+    metrics_.messages_dropped.add(1);
+    return;
+  }
+  if (faults.duplicate) {
+    events_.schedule_at(arrival + SimDuration::millis(1),
+                        [this, conn, receiver, payload]() mutable {
+                          deliver(conn, receiver, std::move(payload));
+                        });
+  }
   events_.schedule_at(arrival, [this, conn, receiver, payload = std::move(payload)]() mutable {
     deliver(conn, receiver, std::move(payload));
   });

@@ -53,6 +53,25 @@ struct HostProfile {
 
 class Network;
 
+/// Per-message fault decisions returned by a MessageFaultHook.
+struct SendFaults {
+  /// Message vanishes (never delivered; the sender still spent the uplink).
+  bool drop = false;
+  /// Extra queueing delay added to the arrival time (zero = on time).
+  SimDuration extra_delay{};
+  /// Deliver a second copy shortly after the first.
+  bool duplicate = false;
+};
+
+/// Fault-injection hook consulted once per send() on a live connection (see
+/// src/fault). May mutate the payload in place (corruption); must be
+/// deterministic for a fixed seed. Null hook == today's fault-free network.
+class MessageFaultHook {
+ public:
+  virtual ~MessageFaultHook() = default;
+  virtual SendFaults on_send(util::Bytes& payload) = 0;
+};
+
 /// Behaviour attached to a simulated host. Protocol servents subclass this.
 class Node {
  public:
@@ -141,6 +160,11 @@ class Network {
   /// The other endpoint of `conn` relative to `self`.
   [[nodiscard]] NodeId peer_of(ConnId conn, NodeId self) const;
 
+  /// Install (or clear, with nullptr) the fault-injection hook. Not owned;
+  /// must outlive the network or be cleared first. With no hook installed
+  /// the send path is byte-identical to a fault-free build.
+  void set_fault_hook(MessageFaultHook* hook) { fault_hook_ = hook; }
+
   // -- Timers ---------------------------------------------------------------
 
   /// Schedule a callback owned by a node; skipped if the node is removed
@@ -184,6 +208,7 @@ class Network {
   std::unordered_map<ConnId, Connection> conns_;
   std::map<util::Endpoint, NodeId> listeners_;
   ConnId next_conn_ = 1;
+  MessageFaultHook* fault_hook_ = nullptr;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
 

@@ -67,10 +67,12 @@ std::vector<StudyTask> plan(const PlanConfig& config) {
       t.limewire = config.quick ? core::limewire_quick() : core::limewire_standard();
       t.limewire.seed = seeds[i];
       if (config.duration) t.limewire.crawl.duration = *config.duration;
+      core::apply_faults(t.limewire, config.faults, config.fault_seed);
     } else {
       t.openft = config.quick ? core::openft_quick() : core::openft_standard();
       t.openft.seed = seeds[i];
       if (config.duration) t.openft.crawl.duration = *config.duration;
+      core::apply_faults(t.openft, config.faults, config.fault_seed);
     }
     tasks.push_back(std::move(t));
   }
@@ -117,6 +119,25 @@ std::map<std::string, double> extract_observables(const core::StudyResult& resul
                                                core::vendor_partial_strains());
     auto builtin_eval = filter::evaluate(builtin, split.evaluation);
     v["filter.builtin_detection"] = builtin_eval.detection_rate();
+  }
+
+  // Fault-injected runs band their injection and degradation counters too;
+  // fault-free runs add no keys (the JSON stays identical to pre-fault).
+  if (result.faults_enabled) {
+    const auto& f = result.fault_counters;
+    v["fault.messages_dropped"] = static_cast<double>(f.messages_dropped);
+    v["fault.messages_delayed"] = static_cast<double>(f.messages_delayed);
+    v["fault.messages_duplicated"] = static_cast<double>(f.messages_duplicated);
+    v["fault.payloads_corrupted"] = static_cast<double>(f.payloads_corrupted);
+    v["fault.peer_crashes"] = static_cast<double>(f.peer_crashes);
+    v["fault.downloads_stalled"] = static_cast<double>(f.downloads_stalled);
+    v["fault.scan_timeouts"] = static_cast<double>(f.scan_timeouts);
+    const auto& s = result.crawl_stats;
+    v["degradation.downloads_abandoned"] =
+        static_cast<double>(s.downloads_abandoned);
+    v["degradation.retries_spent"] = static_cast<double>(s.retries_spent);
+    v["degradation.hosts_quarantined"] = static_cast<double>(s.hosts_quarantined);
+    v["degradation.scan_timeouts"] = static_cast<double>(s.scan_timeouts);
   }
 
   v["run.records"] = static_cast<double>(result.records.size());

@@ -64,6 +64,12 @@ struct PlanConfig {
   /// Override the crawl duration of every task (e.g. scale a quick sweep
   /// up to 5 days).
   std::optional<sim::SimDuration> duration;
+  /// Fault plan applied to every task via core::apply_faults (enables the
+  /// crawlers' resilient fetch policy with it). All-zero = fault-free.
+  fault::FaultSpec faults{};
+  /// Explicit fault-schedule seed; 0 derives each task's schedule from its
+  /// own task seed.
+  std::uint64_t fault_seed = 0;
 };
 
 [[nodiscard]] std::vector<StudyTask> plan(const PlanConfig& config);

@@ -135,6 +135,21 @@ void encode_summary(util::ByteWriter& w, const StudySummary& summary) {
   w.u64le(s.downloads_failed);
   w.u64le(s.bytes_downloaded);
   w.u64le(s.distinct_contents);
+  w.u64le(s.downloads_abandoned);
+  w.u64le(s.retries_spent);
+  w.u64le(s.hosts_quarantined);
+  w.u64le(s.scan_timeouts);
+
+  w.u8(summary.faults_enabled ? 1 : 0);
+  const auto& f = summary.fault_counters;
+  w.u64le(f.messages_dropped);
+  w.u64le(f.messages_delayed);
+  w.u64le(f.messages_duplicated);
+  w.u64le(f.payloads_corrupted);
+  w.u64le(f.peer_crashes);
+  w.u64le(f.peer_restarts);
+  w.u64le(f.downloads_stalled);
+  w.u64le(f.scan_timeouts);
 
   const auto& m = summary.metrics;
   w.varint(m.counters.size());
@@ -185,6 +200,21 @@ StudySummary decode_summary(util::ByteReader& r) {
   s.downloads_failed = r.u64le();
   s.bytes_downloaded = r.u64le();
   s.distinct_contents = r.u64le();
+  s.downloads_abandoned = r.u64le();
+  s.retries_spent = r.u64le();
+  s.hosts_quarantined = r.u64le();
+  s.scan_timeouts = r.u64le();
+
+  summary.faults_enabled = r.u8() != 0;
+  auto& f = summary.fault_counters;
+  f.messages_dropped = r.u64le();
+  f.messages_delayed = r.u64le();
+  f.messages_duplicated = r.u64le();
+  f.payloads_corrupted = r.u64le();
+  f.peer_crashes = r.u64le();
+  f.peer_restarts = r.u64le();
+  f.downloads_stalled = r.u64le();
+  f.scan_timeouts = r.u64le();
 
   auto& m = summary.metrics;
   // Reservations are clamped: a count field large enough to matter would

@@ -6,6 +6,7 @@
 
 #include "crawler/limewire_crawler.h"  // CrawlStats
 #include "crawler/records.h"
+#include "fault/fault.h"  // FaultCounters
 #include "obs/metrics.h"
 #include "trace/format.h"
 #include "util/bytes.h"
@@ -24,6 +25,10 @@ struct StudySummary {
   std::uint64_t churn_leaves = 0;
   crawler::CrawlStats crawl_stats;
   obs::MetricsSnapshot metrics;
+  /// Fault-injection record (version 2): replaying a faulted trace reports
+  /// the identical fault section without re-running the study.
+  bool faults_enabled = false;
+  fault::FaultCounters fault_counters;
 };
 
 // Header body (the bytes covered by the header CRC; the prologue fields are

@@ -15,8 +15,8 @@
 //   body       u64 crawl_duration_ms
 //              varint meta_count, then meta_count x (lp_str key, lp_str val)
 //   header crc u32 crc32(header body)
-//   blocks     until EOF: u8 kind | varint payload_len | u32 crc32(payload)
-//              | payload
+//   blocks     until EOF: u8 kind | varint payload_len
+//              | u32 crc32(kind byte + payload) | payload
 //
 // Block kinds:
 //   1 records  payload = varint count, then `count` encoded ResponseRecords
@@ -39,7 +39,11 @@
 namespace p2p::trace {
 
 inline constexpr std::uint32_t kTraceMagic = 0x54503250;  // "P2PT" on disk
-inline constexpr std::uint16_t kTraceVersion = 1;
+/// v2: summary block gained the crawler degradation counters and the
+/// fault-injection record (crawler::CrawlStats tail + fault::FaultCounters),
+/// and the block CRC now covers the kind byte — a bit-flipped kind reads as
+/// a corrupt block instead of a silently skipped "unknown kind".
+inline constexpr std::uint16_t kTraceVersion = 2;
 
 /// Largest accepted header body / block payload. A corrupted length field
 /// must never drive an allocation; anything larger is treated as corruption.

@@ -182,7 +182,7 @@ bool TraceReader::advance_block() {
       return false;
     }
     stats_.bytes_read += 1 + varint_size(payload_len) + 4 + payload_len;
-    if (util::crc32(payload) != stored_crc) {
+    if (util::crc32(payload, util::crc32({&kind, 1})) != stored_crc) {
       // Damaged block: its length prefix got us past it, keep going.
       ++stats_.blocks_corrupt;
       metrics.corrupt.add();

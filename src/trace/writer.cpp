@@ -98,9 +98,12 @@ void TraceWriter::flush_records() {
 
 void TraceWriter::write_block(BlockKind kind, const util::Bytes& payload) {
   util::ByteWriter frame;
-  frame.u8(static_cast<std::uint8_t>(kind));
+  const std::uint8_t kind_byte = static_cast<std::uint8_t>(kind);
+  frame.u8(kind_byte);
   frame.varint(payload.size());
-  frame.u32le(util::crc32(payload));
+  // The CRC covers the kind byte too: a flipped kind must read as a corrupt
+  // block, not as a silently skippable unknown kind.
+  frame.u32le(util::crc32(payload, util::crc32({&kind_byte, 1})));
   frame.bytes(payload);
   out_->write(reinterpret_cast<const char*>(frame.data().data()),
               static_cast<std::streamsize>(frame.size()));

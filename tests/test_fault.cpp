@@ -1,0 +1,347 @@
+// Fault-injection determinism and crawler-resilience suite (ctest label:
+// fault).
+//
+// The contract under test, in order of importance:
+//   1. Same (spec, seed) ⇒ the same fault schedule, decision by decision.
+//   2. Per-category streams are independent: message-layer draws never shift
+//      the crawler- or crash-layer schedules.
+//   3. Faults disabled ⇒ study output is byte-identical to the pre-fault
+//      tree (pinned by tests/data/fault_off_*.json fixtures).
+//   4. A faulted study is reproducible end to end, and its degradation
+//      counters obey the accounting invariants.
+//   5. Retry/backoff/circuit-breaker behave as configured.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "fault/fault.h"
+
+namespace p2p {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string report_json(const core::StudyResult& result,
+                        const std::string& network) {
+  auto report = core::build_report(result.records, network);
+  core::attach_fault_report(report, result.faults_enabled,
+                            result.fault_counters, result.crawl_stats);
+  std::ostringstream out;
+  core::write_report_json(out, report);
+  return out.str();
+}
+
+// Keep in sync with the generator that produced tests/data/fault_off_*.json
+// (a pre-fault-subsystem build of exactly these configs).
+core::LimewireStudyConfig tiny_limewire() {
+  auto cfg = core::limewire_quick();
+  cfg.seed = 4242;
+  cfg.population.ultrapeers = 6;
+  cfg.population.leaves = 60;
+  cfg.population.corpus.num_titles = 400;
+  cfg.crawl.duration = sim::SimDuration::hours(2);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(120);
+  cfg.workload_top_n = 40;
+  return cfg;
+}
+
+core::OpenFtStudyConfig tiny_openft() {
+  auto cfg = core::openft_quick();
+  cfg.seed = 4242;
+  cfg.population.search_nodes = 4;
+  cfg.population.users = 50;
+  cfg.population.corpus.num_titles = 400;
+  cfg.crawl.duration = sim::SimDuration::hours(2);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(120);
+  cfg.workload_top_n = 40;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Schedule determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  auto spec = fault::preset_moderate();
+  fault::FaultPlan a(spec, 99);
+  fault::FaultPlan b(spec, 99);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.drop_message(), b.drop_message()) << "at draw " << i;
+    auto da = a.extra_delay();
+    auto db = b.extra_delay();
+    ASSERT_EQ(da.has_value(), db.has_value()) << "at draw " << i;
+    if (da) {
+      EXPECT_EQ(da->count_ms(), db->count_ms());
+    }
+    EXPECT_EQ(a.duplicate_message(), b.duplicate_message());
+    EXPECT_EQ(a.download_stalls(), b.download_stalls());
+    EXPECT_EQ(a.scan_times_out(), b.scan_times_out());
+    EXPECT_EQ(a.next_crash_delay().count_ms(), b.next_crash_delay().count_ms());
+    EXPECT_EQ(a.pick_victim(97), b.pick_victim(97));
+    util::Bytes pa(64, 0x5a), pb(64, 0x5a);
+    EXPECT_EQ(a.corrupt_payload(pa), b.corrupt_payload(pb));
+    EXPECT_EQ(pa, pb);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  auto spec = fault::preset_moderate();
+  fault::FaultPlan a(spec, 1);
+  fault::FaultPlan b(spec, 2);
+  bool diverged = false;
+  for (int i = 0; i < 2000 && !diverged; ++i) {
+    diverged = a.drop_message() != b.drop_message() ||
+               a.next_crash_delay().count_ms() != b.next_crash_delay().count_ms();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlan, CategoryStreamsAreIndependent) {
+  auto spec = fault::preset_severe();
+  fault::FaultPlan quiet(spec, 7);
+  fault::FaultPlan noisy(spec, 7);
+  // Burn through message- and corruption-layer draws on one plan only; the
+  // crawler and crash schedules must not move.
+  for (int i = 0; i < 500; ++i) {
+    (void)noisy.drop_message();
+    (void)noisy.extra_delay();
+    (void)noisy.duplicate_message();
+    util::Bytes p(32, 0xff);
+    (void)noisy.corrupt_payload(p);
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(quiet.download_stalls(), noisy.download_stalls()) << "at " << i;
+    EXPECT_EQ(quiet.scan_times_out(), noisy.scan_times_out());
+    EXPECT_EQ(quiet.next_crash_delay().count_ms(),
+              noisy.next_crash_delay().count_ms());
+    EXPECT_EQ(quiet.pick_victim(31), noisy.pick_victim(31));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpec, ParsePresetsAndKeyValues) {
+  auto none = fault::parse_spec("none");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_FALSE(none->enabled());
+
+  for (const char* name : {"mild", "moderate", "severe"}) {
+    auto p = fault::parse_spec(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_TRUE(p->enabled()) << name;
+  }
+
+  auto kv = fault::parse_spec("loss=0.1,delay=0.2,delay_max_ms=1500,stall=0.05");
+  ASSERT_TRUE(kv.has_value());
+  EXPECT_DOUBLE_EQ(kv->message_loss, 0.1);
+  EXPECT_DOUBLE_EQ(kv->message_delay, 0.2);
+  EXPECT_EQ(kv->message_delay_max.count_ms(), 1500);
+  EXPECT_DOUBLE_EQ(kv->download_stall, 0.05);
+  EXPECT_TRUE(kv->enabled());
+}
+
+TEST(FaultSpec, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(fault::parse_spec("hurricane").has_value());
+  EXPECT_FALSE(fault::parse_spec("loss").has_value());
+  EXPECT_FALSE(fault::parse_spec("loss=abc").has_value());
+  EXPECT_FALSE(fault::parse_spec("loss=-0.1").has_value());
+  EXPECT_FALSE(fault::parse_spec("unknown_key=1").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// 3. Faults off ⇒ byte-identical to the pre-fault tree
+// ---------------------------------------------------------------------------
+
+TEST(FaultOff, LimewireReportMatchesPreFaultFixture) {
+  std::string expected =
+      read_file(std::string(P2P_SOURCE_DIR) + "/tests/data/fault_off_limewire.json");
+  ASSERT_FALSE(expected.empty()) << "fixture missing";
+  auto result = core::run_limewire_study(tiny_limewire());
+  EXPECT_FALSE(result.faults_enabled);
+  EXPECT_EQ(report_json(result, "limewire"), expected);
+}
+
+TEST(FaultOff, OpenFtReportMatchesPreFaultFixture) {
+  std::string expected =
+      read_file(std::string(P2P_SOURCE_DIR) + "/tests/data/fault_off_openft.json");
+  ASSERT_FALSE(expected.empty()) << "fixture missing";
+  auto result = core::run_openft_study(tiny_openft());
+  EXPECT_FALSE(result.faults_enabled);
+  EXPECT_EQ(report_json(result, "openft"), expected);
+}
+
+TEST(FaultOff, NoneSpecIsIdenticalToNoSpec) {
+  auto plain = tiny_limewire();
+  auto none = tiny_limewire();
+  core::apply_faults(none, *fault::parse_spec("none"));
+  EXPECT_EQ(core::config_hash(plain), core::config_hash(none));
+  EXPECT_FALSE(none.faults.enabled());
+  EXPECT_FALSE(none.crawl.fetch.active());
+}
+
+TEST(FaultOff, FaultPlanChangesConfigHash) {
+  auto plain = tiny_limewire();
+  auto faulted = tiny_limewire();
+  core::apply_faults(faulted, fault::preset_mild());
+  EXPECT_NE(core::config_hash(plain), core::config_hash(faulted));
+  auto reseeded = tiny_limewire();
+  core::apply_faults(reseeded, fault::preset_mild(), 77);
+  EXPECT_NE(core::config_hash(faulted), core::config_hash(reseeded));
+}
+
+// ---------------------------------------------------------------------------
+// 4. Faulted runs: reproducibility + degradation accounting
+// ---------------------------------------------------------------------------
+
+TEST(FaultedStudy, SameSeedSameFaultedRun) {
+  auto cfg = tiny_limewire();
+  core::apply_faults(cfg, fault::preset_moderate());
+  auto a = core::run_limewire_study(cfg);
+  auto b = core::run_limewire_study(cfg);
+  EXPECT_TRUE(a.faults_enabled);
+  EXPECT_EQ(a.fault_counters.messages_dropped, b.fault_counters.messages_dropped);
+  EXPECT_EQ(a.fault_counters.peer_crashes, b.fault_counters.peer_crashes);
+  EXPECT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(report_json(a, "limewire"), report_json(b, "limewire"));
+}
+
+TEST(FaultedStudy, FaultSeedSelectsTheSchedule) {
+  auto cfg = tiny_limewire();
+  core::apply_faults(cfg, fault::preset_moderate(), 11);
+  auto a = core::run_limewire_study(cfg);
+  cfg.fault_seed = 12;
+  auto b = core::run_limewire_study(cfg);
+  // A different fault schedule over the same study seed must not produce the
+  // same injection record.
+  EXPECT_NE(report_json(a, "limewire"), report_json(b, "limewire"));
+}
+
+TEST(FaultedStudy, DegradationAccountingHolds) {
+  auto cfg = tiny_limewire();
+  core::apply_faults(cfg, fault::preset_severe());
+  auto result = core::run_limewire_study(cfg);
+  const auto& s = result.crawl_stats;
+  const auto& f = result.fault_counters;
+  EXPECT_GT(f.messages_dropped, 0u);
+  EXPECT_GT(f.peer_crashes, 0u);
+  // Every resolution is a started download; in-flight fetches at end-of-study
+  // account for the remainder.
+  EXPECT_GE(s.downloads_started,
+            s.downloads_ok + s.downloads_failed + s.downloads_abandoned);
+  // Stalls are a subset of started downloads.
+  EXPECT_LE(f.downloads_stalled, s.downloads_started);
+  // The run still produces a study (graceful degradation, not collapse).
+  EXPECT_GT(result.records.size(), 0u);
+  EXPECT_GT(s.downloads_ok, 0u);
+}
+
+TEST(FaultedStudy, OpenFtFaultedRunIsReproducible) {
+  auto cfg = tiny_openft();
+  core::apply_faults(cfg, fault::preset_moderate());
+  auto a = core::run_openft_study(cfg);
+  auto b = core::run_openft_study(cfg);
+  EXPECT_TRUE(a.faults_enabled);
+  EXPECT_EQ(report_json(a, "openft"), report_json(b, "openft"));
+  EXPECT_GT(a.fault_counters.messages_dropped, 0u);
+}
+
+TEST(FaultedStudy, SummaryRoundTripsFaultRecord) {
+  auto cfg = tiny_openft();
+  core::apply_faults(cfg, fault::preset_mild());
+  auto result = core::run_openft_study(cfg);
+  auto summary = core::study_summary(result);
+  core::StudyResult restored;
+  restored.records = result.records;
+  core::apply_summary(summary, restored);
+  EXPECT_EQ(restored.faults_enabled, result.faults_enabled);
+  EXPECT_EQ(restored.fault_counters.messages_dropped,
+            result.fault_counters.messages_dropped);
+  EXPECT_EQ(restored.fault_counters.scan_timeouts,
+            result.fault_counters.scan_timeouts);
+  EXPECT_EQ(report_json(restored, "openft"), report_json(result, "openft"));
+}
+
+// ---------------------------------------------------------------------------
+// 5. Resilience mechanics: retries, backoff bounds, circuit breaker
+// ---------------------------------------------------------------------------
+
+// The resilience tests want download volume, not byte-identity, so they use
+// the quick preset as-is (an order of magnitude more fetches than the tiny
+// fixture configs above).
+core::LimewireStudyConfig busy_limewire() {
+  auto cfg = core::limewire_quick();
+  cfg.seed = 4242;
+  return cfg;
+}
+
+TEST(Resilience, RetriesSpendAlternateSources) {
+  auto cfg = busy_limewire();
+  // Heavy payload corruption: content-hash mismatches fail downloads, which
+  // then get retried from recorded alternate sources.
+  core::apply_faults(cfg, *fault::parse_spec("corrupt=0.4"));
+  auto result = core::run_limewire_study(cfg);
+  EXPECT_GT(result.crawl_stats.downloads_failed, 0u);
+  EXPECT_GT(result.crawl_stats.retries_spent, 0u);
+}
+
+TEST(Resilience, WatchdogAbandonsStalledDownloads) {
+  auto cfg = busy_limewire();
+  core::apply_faults(cfg, *fault::parse_spec("stall=0.5"));
+  auto result = core::run_limewire_study(cfg);
+  EXPECT_GT(result.fault_counters.downloads_stalled, 0u);
+  // Every stall resolves through the watchdog, never through an outcome.
+  EXPECT_EQ(result.crawl_stats.downloads_abandoned,
+            result.fault_counters.downloads_stalled);
+}
+
+TEST(Resilience, BreakerQuarantinesRepeatOffenders) {
+  auto cfg = busy_limewire();
+  // Hosts serving corrupted bytes count against their breaker; with a
+  // hair-trigger threshold one bad payload quarantines the host.
+  core::apply_faults(cfg, *fault::parse_spec("corrupt=0.25"));
+  cfg.crawl.fetch.breaker_threshold = 1;
+  auto result = core::run_limewire_study(cfg);
+  EXPECT_GT(result.crawl_stats.hosts_quarantined, 0u);
+  // Each quarantine consumes at least one failure event (transfer failure,
+  // watchdog abandonment, or a content-hash mismatch on an otherwise
+  // successful transfer), and every failure event maps to a started fetch.
+  EXPECT_LE(result.crawl_stats.hosts_quarantined,
+            result.crawl_stats.downloads_started);
+}
+
+TEST(Resilience, ScanTimeoutsAreCountedAndRetried) {
+  auto cfg = busy_limewire();
+  core::apply_faults(cfg, *fault::parse_spec("scan_timeout=0.5"));
+  auto result = core::run_limewire_study(cfg);
+  EXPECT_GT(result.crawl_stats.scan_timeouts, 0u);
+  EXPECT_EQ(result.crawl_stats.scan_timeouts,
+            result.fault_counters.scan_timeouts);
+}
+
+TEST(Resilience, ResilientPolicyIsBoundedAndActive) {
+  auto p = crawler::resilient_fetch_policy();
+  EXPECT_TRUE(p.active());
+  EXPECT_GT(p.fetch_timeout.count_ms(), 0);
+  EXPECT_GT(p.retry_backoff.count_ms(), 0);
+  EXPECT_GE(p.retry_backoff_max.count_ms(), p.retry_backoff.count_ms());
+  EXPECT_GT(p.breaker_threshold, 0u);
+  // Default-constructed policy is the legacy crawler: everything off.
+  crawler::FetchPolicy off;
+  EXPECT_FALSE(off.active());
+}
+
+}  // namespace
+}  // namespace p2p

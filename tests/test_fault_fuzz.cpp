@@ -1,0 +1,90 @@
+// Fault-layer corruption fuzz: FaultPlan::corrupt_payload is exactly the
+// mutation a faulted sim::Network applies to frames in flight, so both
+// protocol parsers must survive its output — parse to nullopt or to valid
+// data, never crash. Runs in the fuzz binary (ctest label: fuzz) so the
+// sanitizer tier scales the loops up via P2P_FUZZ_ROUNDS.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fault/fault.h"
+#include "gnutella/message.h"
+#include "openft/packet.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace {
+
+int fuzz_rounds(int fallback) {
+  if (const char* env = std::getenv("P2P_FUZZ_ROUNDS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+// A plan that corrupts every message it sees: the worst case of the
+// injector's in-flight mutation.
+fault::FaultPlan always_corrupt(std::uint64_t seed) {
+  fault::FaultSpec spec;
+  spec.payload_corrupt = 1.0;
+  return fault::FaultPlan(spec, seed);
+}
+
+class FaultCorruptionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultCorruptionFuzz, GnutellaParserSurvivesInjectedCorruption) {
+  util::Rng rng(GetParam() ^ 0xc0de);
+  auto plan = always_corrupt(GetParam());
+  gnutella::QueryHit hit;
+  hit.servent_guid = gnutella::Guid::random(rng);
+  gnutella::QueryHitResult r;
+  r.filename = "payload sample.exe";
+  rng.fill(r.sha1);
+  hit.results.push_back(r);
+  auto wire = gnutella::serialize(
+      gnutella::make_query_hit(gnutella::Guid::random(rng), 4, hit));
+
+  const int rounds = fuzz_rounds(300);
+  for (int round = 0; round < rounds; ++round) {
+    util::Bytes mutated = wire;
+    ASSERT_TRUE(plan.corrupt_payload(mutated));
+    EXPECT_NO_THROW({ auto parsed = gnutella::parse(mutated); (void)parsed; });
+  }
+}
+
+TEST_P(FaultCorruptionFuzz, OpenFtParserSurvivesInjectedCorruption) {
+  util::Rng rng(GetParam() ^ 0x0f7);
+  auto plan = always_corrupt(GetParam() ^ 0x9e3779b9);
+  openft::SearchResponse resp;
+  resp.search_id = rng.next();
+  resp.owner = {util::Ipv4(10, 1, 2, 3), 1216};
+  resp.path = "/shared/payload sample.exe";
+  rng.fill(resp.md5);
+  auto wire = openft::serialize(openft::make_packet(resp));
+
+  const int rounds = fuzz_rounds(300);
+  for (int round = 0; round < rounds; ++round) {
+    util::Bytes mutated = wire;
+    ASSERT_TRUE(plan.corrupt_payload(mutated));
+    EXPECT_NO_THROW({ auto parsed = openft::parse(mutated); (void)parsed; });
+  }
+}
+
+TEST_P(FaultCorruptionFuzz, CorruptionAlwaysChangesBytesAndKeepsSize) {
+  auto plan = always_corrupt(GetParam() ^ 0x5eed);
+  const int rounds = fuzz_rounds(300);
+  for (int round = 0; round < rounds; ++round) {
+    util::Bytes original(1 + (round % 64), static_cast<std::uint8_t>(round));
+    util::Bytes mutated = original;
+    ASSERT_TRUE(plan.corrupt_payload(mutated));
+    EXPECT_EQ(mutated.size(), original.size());
+    EXPECT_NE(mutated, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultCorruptionFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace p2p

@@ -259,13 +259,15 @@ TEST(TraceCorruption, BitFlippedBlockIsContained) {
 
 TEST(TraceCorruption, UnknownBlockKindIsSkipped) {
   std::string file = write_trace_string(4, 4);
-  // Append a valid frame of an unknown kind (0x7F) with a correct CRC.
+  // Append a valid frame of an unknown kind (0x7F) with a correct CRC
+  // (which covers the kind byte, then the payload).
   util::ByteWriter payload;
   payload.str("future data");
   util::ByteWriter frame;
-  frame.u8(0x7F);
+  const std::uint8_t kind = 0x7F;
+  frame.u8(kind);
   frame.varint(payload.size());
-  frame.u32le(util::crc32(payload.data()));
+  frame.u32le(util::crc32(payload.data(), util::crc32({&kind, 1})));
   frame.bytes(payload.data());
   file.append(reinterpret_cast<const char*>(frame.data().data()), frame.size());
 

@@ -192,10 +192,13 @@ TEST_P(TraceMutationFuzz, ReaderNeverThrowsOnMutatedFiles) {
     // A damaged file can only lose records, and any loss must be accounted
     // for: fewer records than the clean file implies corrupt blocks or a
     // truncated tail (header failures read zero records and report no
-    // blocks at all).
+    // blocks at all). Sole exception: a cut landing exactly on a block
+    // boundary is indistinguishable from a file that recorded fewer blocks
+    // — but then the reader must have consumed every remaining byte.
     EXPECT_LE(count, 12u);
-    if (count < 12u && stats.blocks_read + stats.blocks_corrupt > 0) {
-      EXPECT_FALSE(stats.clean());
+    if (count < 12u && stats.blocks_read + stats.blocks_corrupt > 0 &&
+        stats.clean()) {
+      EXPECT_EQ(stats.bytes_read, mutated.size());
     }
   }
 }
