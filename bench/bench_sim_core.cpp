@@ -1,0 +1,432 @@
+// Simulation-core microbench: the before/after evidence for the hot-path
+// rework (sim::Task + 4-ary heap, shared util::Payload buffers). The
+// "legacy" side is a faithful in-binary replica of the pre-optimization
+// core — std::function actions in a binary std::priority_queue with the
+// then-default per-event wall timing — so both sides run in the same
+// process, same compiler, same allocator.
+//
+// Emits a JSON report (stdout or --json <path>) that ci/run_tiers.sh's
+// bench tier uploads as an artifact; the committed BENCH_sim_core.json at
+// the repo root pins the first baseline. --check additionally enforces the
+// acceptance thresholds (>= 2x events/sec, >= 5x payload-copy-byte
+// reduction) for local verification; CI runs without it so a loaded runner
+// cannot flake the build.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "sim/task.h"
+#include "util/bytes.h"
+#include "util/payload.h"
+#include "util/sim_time.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook: global operator new/delete so every heap byte the
+// measured loops touch is visible (std::function control blocks, vector
+// buffers, Payload reps). Aggregates only; never throws off hot paths.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+struct AllocSnapshot {
+  std::uint64_t calls;
+  std::uint64_t bytes;
+};
+
+AllocSnapshot alloc_now() {
+  return {g_alloc_calls.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed)};
+}
+
+AllocSnapshot alloc_since(const AllocSnapshot& start) {
+  AllocSnapshot now = alloc_now();
+  return {now.calls - start.calls, now.bytes - start.bytes};
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace p2p {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy event queue replica: std::function actions, binary heap, wall
+// timing on (the pre-optimization defaults). Mirrors the old step()'s
+// metric traffic so the comparison isolates the queue/closure machinery.
+// ---------------------------------------------------------------------------
+
+class LegacyQueue {
+ public:
+  using Action = std::function<void()>;
+
+  LegacyQueue()
+      : m_executed_(obs::MetricsRegistry::global().counter("bench.legacy_executed")),
+        m_depth_(obs::MetricsRegistry::global().gauge("bench.legacy_depth")),
+        m_event_wall_ns_(obs::MetricsRegistry::global().histogram(
+            "bench.legacy_event_wall_ns",
+            obs::HistogramSpec::exponential(obs::Unit::kNanosWall,
+                                            /*wall_clock=*/true))) {}
+
+  void set_wall_timing(bool on) { wall_timing_ = on; }
+
+  void schedule_at(util::SimTime at, Action action) {
+    heap_.push(Entry{at, next_seq_++, std::move(action)});
+    m_depth_.set(static_cast<std::int64_t>(heap_.size()));
+  }
+
+  void schedule_in(util::SimDuration delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    Entry& top = const_cast<Entry&>(heap_.top());
+    util::SimTime at = top.at;
+    Action action = std::move(top.action);
+    heap_.pop();
+    now_ = at;
+    m_executed_.add(1);
+    m_depth_.set(static_cast<std::int64_t>(heap_.size()));
+    if (wall_timing_) {
+      auto start = Clock::now();
+      action();
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - start)
+                    .count();
+      m_event_wall_ns_.record(static_cast<std::int64_t>(ns));
+      return true;
+    }
+    action();
+    return true;
+  }
+
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Entry {
+    util::SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  util::SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  bool wall_timing_ = true;  // the pre-optimization default
+
+  obs::Counter& m_executed_;
+  obs::Gauge& m_depth_;
+  obs::Histogram& m_event_wall_ns_;
+};
+
+// ---------------------------------------------------------------------------
+// Scheduling microbench: the classic hold model. A fixed population of
+// self-rescheduling events churns through the queue; each closure captures
+// the shape of the simulator's delivery events (~40 bytes — past
+// std::function's 16-byte SBO, inside sim::Task's 64).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kHoldPopulation = 64;
+constexpr std::uint64_t kHoldEvents = 1'500'000;
+
+struct SchedResult {
+  double events_per_sec = 0.0;
+  double allocs_per_event = 0.0;
+};
+
+// Deterministic per-event delay spread so both queues see identical stamp
+// sequences; splitmix-style mixing, no global RNG state.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename Queue>
+SchedResult run_hold(Queue& q) {
+  std::uint64_t remaining = kHoldEvents;
+  std::uint64_t sink = 0;
+  // The capture mimics a delivery event: queue ptr + "conn"/"receiver" ids +
+  // a payload-handle-sized word + the countdown.
+  struct Reschedule {
+    Queue* q;
+    std::uint64_t* remaining;
+    std::uint64_t* sink;
+    std::uint64_t conn;
+    std::uint64_t state;
+    void operator()() const {
+      *sink ^= state;
+      if (*remaining == 0) return;
+      --*remaining;
+      Reschedule next = *this;
+      next.state = mix(state);
+      q->schedule_in(util::SimDuration::millis(1 + (next.state & 7)),
+                     std::move(next));
+    }
+  };
+  AllocSnapshot before = alloc_now();
+  auto start = Clock::now();
+  for (std::size_t i = 0; i < kHoldPopulation; ++i) {
+    q.schedule_in(util::SimDuration::millis(1),
+                  Reschedule{&q, &remaining, &sink, i, mix(i)});
+  }
+  q.run_all();
+  double elapsed = seconds_since(start);
+  AllocSnapshot used = alloc_since(before);
+  if (sink == 0xdeadbeef) std::puts("");  // defeat whole-loop elision
+  SchedResult r;
+  r.events_per_sec = static_cast<double>(kHoldEvents) / elapsed;
+  r.allocs_per_event =
+      static_cast<double>(used.calls) / static_cast<double>(kHoldEvents);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Payload fan-out: one serialized message broadcast to 30 neighbors, the
+// paper-study hot pattern (query/search floods). Legacy materialized one
+// Bytes copy per neighbor and moved it into the scheduled delivery closure;
+// the optimized path serializes once and every hop shares the buffer.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kNeighbors = 30;
+constexpr std::size_t kMessageBytes = 600;  // a well-filled query-hit frame
+constexpr std::size_t kBroadcasts = 40'000;
+
+struct FanoutResult {
+  double broadcasts_per_sec = 0.0;
+  double copy_bytes_per_broadcast = 0.0;
+  double allocs_per_broadcast = 0.0;
+};
+
+FanoutResult run_fanout_legacy(const util::Bytes& base) {
+  std::uint64_t sink = 0;
+  AllocSnapshot before = alloc_now();
+  auto start = Clock::now();
+  for (std::size_t b = 0; b < kBroadcasts; ++b) {
+    for (std::size_t n = 0; n < kNeighbors; ++n) {
+      util::Bytes wire(base);  // per-neighbor serialize -> fresh buffer
+      // The old Network::send captured the vector by value in the delivery
+      // event; model that capture + invoke + destroy with a real Task.
+      sim::Task delivery([payload = std::move(wire), &sink] {
+        sink += payload.size() + payload[0];
+      });
+      delivery();
+    }
+  }
+  double elapsed = seconds_since(start);
+  AllocSnapshot used = alloc_since(before);
+  if (sink == 1) std::puts("");
+  FanoutResult r;
+  r.broadcasts_per_sec = static_cast<double>(kBroadcasts) / elapsed;
+  r.copy_bytes_per_broadcast =
+      static_cast<double>(used.bytes) / static_cast<double>(kBroadcasts);
+  r.allocs_per_broadcast =
+      static_cast<double>(used.calls) / static_cast<double>(kBroadcasts);
+  return r;
+}
+
+FanoutResult run_fanout_payload(const util::Bytes& base) {
+  std::uint64_t sink = 0;
+  AllocSnapshot before = alloc_now();
+  auto start = Clock::now();
+  for (std::size_t b = 0; b < kBroadcasts; ++b) {
+    util::Payload wire{util::Bytes(base)};  // serialize once per broadcast
+    for (std::size_t n = 0; n < kNeighbors; ++n) {
+      sim::Task delivery([payload = wire, &sink] {  // refcount bump per hop
+        sink += payload.size() + payload[0];
+      });
+      delivery();
+    }
+  }
+  double elapsed = seconds_since(start);
+  AllocSnapshot used = alloc_since(before);
+  if (sink == 1) std::puts("");
+  FanoutResult r;
+  r.broadcasts_per_sec = static_cast<double>(kBroadcasts) / elapsed;
+  r.copy_bytes_per_broadcast =
+      static_cast<double>(used.bytes) / static_cast<double>(kBroadcasts);
+  r.allocs_per_broadcast =
+      static_cast<double>(used.calls) / static_cast<double>(kBroadcasts);
+  return r;
+}
+
+int run(int argc, char** argv) {
+  std::string json_path;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Scheduling: legacy defaults (wall timing on), legacy minus timing (to
+  // separate the clock-read cost from the closure/heap cost), optimized.
+  // Interleaved best-of-N: each configuration's fastest repetition is the
+  // least noise-polluted estimate, and interleaving keeps a transient CPU
+  // hiccup from biasing one side of the comparison.
+  constexpr int kRepeats = 5;
+  auto best = [](SchedResult& acc, SchedResult sample) {
+    if (sample.events_per_sec > acc.events_per_sec) {
+      acc.events_per_sec = sample.events_per_sec;
+    }
+    acc.allocs_per_event = sample.allocs_per_event;  // deterministic
+  };
+  SchedResult legacy{};
+  SchedResult legacy_notiming{};
+  SchedResult optimized{};
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    {
+      LegacyQueue q;
+      best(legacy, run_hold(q));
+    }
+    {
+      LegacyQueue q;
+      q.set_wall_timing(false);
+      best(legacy_notiming, run_hold(q));
+    }
+    {
+      sim::EventQueue q;
+      best(optimized, run_hold(q));
+    }
+  }
+
+  util::Bytes base(kMessageBytes);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<std::uint8_t>(mix(i) & 0xff);
+  }
+  auto best_fan = [](FanoutResult& acc, FanoutResult sample) {
+    if (sample.broadcasts_per_sec > acc.broadcasts_per_sec) {
+      acc.broadcasts_per_sec = sample.broadcasts_per_sec;
+    }
+    acc.copy_bytes_per_broadcast = sample.copy_bytes_per_broadcast;
+    acc.allocs_per_broadcast = sample.allocs_per_broadcast;
+  };
+  FanoutResult fan_legacy{};
+  FanoutResult fan_payload{};
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    best_fan(fan_legacy, run_fanout_legacy(base));
+    best_fan(fan_payload, run_fanout_payload(base));
+  }
+
+  double sched_speedup = optimized.events_per_sec / legacy.events_per_sec;
+  double sched_speedup_notiming =
+      optimized.events_per_sec / legacy_notiming.events_per_sec;
+  double copy_reduction =
+      fan_legacy.copy_bytes_per_broadcast /
+      std::max(1.0, fan_payload.copy_bytes_per_broadcast);
+
+  char buf[2048];
+  int len = std::snprintf(
+      buf, sizeof(buf),
+      "{\"format\":\"p2p-bench-sim-core-1\","
+      "\"scheduling\":{"
+      "\"events\":%llu,\"capture_bytes\":%zu,"
+      "\"legacy_events_per_sec\":%.0f,"
+      "\"legacy_notiming_events_per_sec\":%.0f,"
+      "\"optimized_events_per_sec\":%.0f,"
+      "\"speedup\":%.2f,\"speedup_vs_notiming\":%.2f,"
+      "\"legacy_allocs_per_event\":%.3f,"
+      "\"optimized_allocs_per_event\":%.3f},"
+      "\"payload_fanout\":{"
+      "\"neighbors\":%zu,\"message_bytes\":%zu,\"broadcasts\":%zu,"
+      "\"legacy_broadcasts_per_sec\":%.0f,"
+      "\"optimized_broadcasts_per_sec\":%.0f,"
+      "\"legacy_copy_bytes_per_broadcast\":%.0f,"
+      "\"optimized_copy_bytes_per_broadcast\":%.0f,"
+      "\"copy_reduction\":%.1f,"
+      "\"legacy_allocs_per_broadcast\":%.2f,"
+      "\"optimized_allocs_per_broadcast\":%.2f}}\n",
+      static_cast<unsigned long long>(kHoldEvents), sizeof(void*) * 5,
+      legacy.events_per_sec, legacy_notiming.events_per_sec,
+      optimized.events_per_sec, sched_speedup, sched_speedup_notiming,
+      legacy.allocs_per_event, optimized.allocs_per_event, kNeighbors,
+      kMessageBytes, kBroadcasts, fan_legacy.broadcasts_per_sec,
+      fan_payload.broadcasts_per_sec, fan_legacy.copy_bytes_per_broadcast,
+      fan_payload.copy_bytes_per_broadcast, copy_reduction,
+      fan_legacy.allocs_per_broadcast, fan_payload.allocs_per_broadcast);
+  if (len < 0 || static_cast<std::size_t>(len) >= sizeof(buf)) {
+    std::fprintf(stderr, "bench_sim_core: report formatting failed\n");
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_sim_core: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(buf, f);
+    std::fclose(f);
+  }
+  std::fputs(buf, stdout);
+
+  if (check) {
+    bool ok = true;
+    if (sched_speedup < 2.0) {
+      std::fprintf(stderr, "CHECK FAILED: scheduling speedup %.2fx < 2x\n",
+                   sched_speedup);
+      ok = false;
+    }
+    if (copy_reduction < 5.0) {
+      std::fprintf(stderr, "CHECK FAILED: copy reduction %.1fx < 5x\n",
+                   copy_reduction);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::fprintf(stderr, "checks passed: %.2fx events/sec, %.1fx fewer copy bytes\n",
+                 sched_speedup, copy_reduction);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2p
+
+int main(int argc, char** argv) { return p2p::run(argc, argv); }

@@ -10,7 +10,11 @@
 #             trace file, replay it offline, and require the replayed JSON
 #             report to be byte-identical to the live one.
 #   tsan      ThreadSanitizer build (-DP2P_SANITIZE=thread); runs the sweep
-#             and fault suites, the two concurrency-bearing layers.
+#             and fault suites plus the Payload refcount stress — the
+#             concurrency-bearing layers.
+#   bench     Simulation-core microbench (bench_sim_core --check): asserts
+#             the >=2x scheduling and >=5x copy-reduction floors hold and
+#             leaves bench_sim_core.json behind as a CI artifact.
 #   chaos     Faulted --quick studies of both networks: bit-reproducible
 #             under a fixed seed + fault plan, degradation counters obey
 #             their accounting invariants, unknown --faults specs exit
@@ -29,7 +33,7 @@ if [[ $# -gt 0 && "$1" =~ ^[0-9]+$ ]]; then
 fi
 TIERS=("$@")
 if [[ ${#TIERS[@]} -eq 0 ]]; then
-  TIERS=(release sanitize replay tsan chaos)
+  TIERS=(release sanitize replay tsan chaos bench)
 fi
 
 build_release() {
@@ -56,6 +60,9 @@ tier_sanitize() {
   (
     cd build-ci-sanitize
     P2P_FUZZ_ROUNDS=2000 ctest -L fuzz -j "${JOBS}" --output-on-failure
+    # The zero-copy payload layer is all refcounts and aliasing — exactly
+    # what asan/ubsan are for; the event queue's slab recycling rides along.
+    ctest -R 'Payload|EventQueue|^Task' -j "${JOBS}" --output-on-failure
   )
 }
 
@@ -89,6 +96,9 @@ tier_tsan() {
     cd build-ci-tsan
     ctest -L fault -j "${JOBS}" --output-on-failure
     ctest -R '^Sweep' -j "${JOBS}" --output-on-failure
+    # Payload refcounts cross sweep worker threads; the stress test hammers
+    # concurrent copy/destroy so TSan can see any missing ordering.
+    ctest -R 'Payload' -j "${JOBS}" --output-on-failure
   )
 }
 
@@ -148,6 +158,18 @@ PY
   )
 }
 
+tier_bench() {
+  echo "== tier bench: simulation-core perf floors =="
+  [[ -d build-ci-release ]] || build_release
+  (
+    cd build-ci-release
+    # --check enforces the floors pinned in BENCH_sim_core.json at the repo
+    # root (>=2x events/sec, >=5x fewer copied bytes on a 30-neighbor
+    # broadcast); the JSON lands next to the binary for artifact upload.
+    ./bench/bench_sim_core --check --json bench_sim_core.json
+  )
+}
+
 for tier in "${TIERS[@]}"; do
   case "${tier}" in
     release)  tier_release ;;
@@ -155,8 +177,9 @@ for tier in "${TIERS[@]}"; do
     replay)   tier_replay ;;
     tsan)     tier_tsan ;;
     chaos)    tier_chaos ;;
+    bench)    tier_bench ;;
     *)
-      echo "unknown tier: ${tier} (known: release sanitize replay tsan chaos)" >&2
+      echo "unknown tier: ${tier} (known: release sanitize replay tsan chaos bench)" >&2
       exit 2
       ;;
   esac

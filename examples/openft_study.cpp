@@ -23,6 +23,7 @@
 #include "core/study.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
+#include "sim/event_queue.h"
 #include "trace/writer.h"
 #include "util/strings.h"
 
@@ -63,6 +64,9 @@ int main(int argc, char** argv) {
       replay_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+      // Per-event wall timing is opt-in (two steady_clock reads per event);
+      // a metrics snapshot is the one consumer of sim.event_wall_ns.
+      p2p::sim::EventQueue::set_default_wall_timing(true);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-components") == 0 && i + 1 < argc) {

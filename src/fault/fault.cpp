@@ -153,6 +153,23 @@ bool FaultPlan::corrupt_payload(util::Bytes& payload) {
       !corrupt_rng_.chance(spec_.payload_corrupt)) {
     return false;
   }
+  apply_corruption({payload.data(), payload.size()});
+  return true;
+}
+
+bool FaultPlan::corrupt_payload(util::Payload& payload) {
+  // Identical decision stream to the Bytes overload: the cheap roll gates
+  // first; only a payload that will actually be corrupted pays the
+  // copy-on-write clone inside mutate().
+  if (spec_.payload_corrupt <= 0.0 || payload.empty() ||
+      !corrupt_rng_.chance(spec_.payload_corrupt)) {
+    return false;
+  }
+  apply_corruption(payload.mutate());
+  return true;
+}
+
+void FaultPlan::apply_corruption(std::span<std::uint8_t> payload) {
   std::size_t flips = 1 + static_cast<std::size_t>(corrupt_rng_.bounded(4));
   std::array<std::size_t, 4> at{};
   std::array<std::uint8_t, 4> before{};
@@ -176,7 +193,6 @@ bool FaultPlan::corrupt_payload(util::Bytes& payload) {
   if (!changed) {
     payload[at[0]] ^= static_cast<std::uint8_t>(1 + corrupt_rng_.bounded(255));
   }
-  return true;
 }
 
 bool FaultPlan::download_stalls() {
@@ -203,7 +219,7 @@ std::size_t FaultPlan::pick_victim(std::size_t bound) {
   return crash_rng_.index(bound);
 }
 
-sim::SendFaults FaultInjector::on_send(util::Bytes& payload) {
+sim::SendFaults FaultInjector::on_send(util::Payload& payload) {
   sim::SendFaults f;
   if (plan_.drop_message()) {
     f.drop = true;

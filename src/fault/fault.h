@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "obs/metrics.h"
 #include "sim/network.h"
 #include "util/bytes.h"
+#include "util/payload.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
@@ -95,6 +97,10 @@ class FaultPlan {
   /// Maybe flip 1-4 bytes of `payload` in place. Returns true if corrupted;
   /// a corrupted payload is guaranteed to differ from the original.
   bool corrupt_payload(util::Bytes& payload);
+  /// Same decision stream over a shared payload: the copy-on-write clone
+  /// happens only after the (rarely taken) corruption roll passes, so the
+  /// fault-free common case never touches the buffer.
+  bool corrupt_payload(util::Payload& payload);
 
   // Crawler-layer decisions.
   bool download_stalls();
@@ -107,6 +113,10 @@ class FaultPlan {
   [[nodiscard]] std::size_t pick_victim(std::size_t bound);
 
  private:
+  /// Flip 1-4 bytes, guaranteeing a net change (shared by both
+  /// corrupt_payload overloads; consumes corrupt_rng_ identically).
+  void apply_corruption(std::span<std::uint8_t> payload);
+
   FaultSpec spec_;
   std::uint64_t seed_;
   util::Rng message_rng_;
@@ -153,8 +163,8 @@ class FaultInjector final : public sim::MessageFaultHook {
   FaultInjector(FaultSpec spec, std::uint64_t seed) : plan_(spec, seed) {}
 
   // sim::MessageFaultHook: one call per sim::Network::send of a live
-  // connection; may mutate the payload (corruption).
-  sim::SendFaults on_send(util::Bytes& payload) override;
+  // connection; may corrupt the payload via its copy-on-write path.
+  sim::SendFaults on_send(util::Payload& payload) override;
 
   /// Crawler hook: decide whether this fetch will hang. Counted here.
   bool download_stalls();

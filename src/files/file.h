@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -15,21 +16,29 @@ namespace p2p::files {
 /// Content id used across the framework: SHA-1 of bytes.
 using ContentId = Digest20;
 
-/// A concrete file with bytes. Immutable after construction; hashes are
-/// computed once.
+/// A concrete file with bytes. Logically immutable after construction.
+/// Digests are computed lazily on first access: each protocol stack keys
+/// content by exactly one digest (Gnutella by SHA-1, OpenFT by MD5), and
+/// eagerly hashing every generated file with both algorithms used to be
+/// the single largest cost of study setup (~75% of a --quick run's wall
+/// time went to SHA-1+MD5 over the synthetic corpus). call_once keeps the
+/// cached digests safe to share across sweep worker threads.
 class FileContent {
  public:
   FileContent(std::string name, util::Bytes bytes)
-      : name_(std::move(name)),
-        bytes_(std::move(bytes)),
-        sha1_(files::sha1(bytes_)),
-        md5_(files::md5(bytes_)) {}
+      : name_(std::move(name)), bytes_(std::move(bytes)) {}
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const util::Bytes& bytes() const { return bytes_; }
   [[nodiscard]] std::uint64_t size() const { return bytes_.size(); }
-  [[nodiscard]] const Digest20& sha1() const { return sha1_; }
-  [[nodiscard]] const Digest16& md5() const { return md5_; }
+  [[nodiscard]] const Digest20& sha1() const {
+    std::call_once(sha1_once_, [this] { sha1_ = files::sha1(bytes_); });
+    return sha1_;
+  }
+  [[nodiscard]] const Digest16& md5() const {
+    std::call_once(md5_once_, [this] { md5_ = files::md5(bytes_); });
+    return md5_;
+  }
   [[nodiscard]] FileType type_by_extension() const {
     return classify_extension(name_);
   }
@@ -40,8 +49,10 @@ class FileContent {
  private:
   std::string name_;
   util::Bytes bytes_;
-  Digest20 sha1_;
-  Digest16 md5_;
+  mutable std::once_flag sha1_once_;
+  mutable std::once_flag md5_once_;
+  mutable Digest20 sha1_{};
+  mutable Digest16 md5_{};
 };
 
 /// Metadata-only view used in protocol result sets (no bytes).

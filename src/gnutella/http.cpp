@@ -8,7 +8,7 @@ namespace p2p::gnutella {
 
 namespace {
 
-std::string_view as_view(const util::Bytes& b) {
+std::string_view as_view(util::ByteView b) {
   return {reinterpret_cast<const char*>(b.data()), b.size()};
 }
 
@@ -18,7 +18,7 @@ struct SplitMessage {
   util::Bytes body;
 };
 
-std::optional<SplitMessage> split_head(const util::Bytes& wire) {
+std::optional<SplitMessage> split_head(util::ByteView wire) {
   std::string_view text = as_view(wire);
   std::size_t sep = text.find("\r\n\r\n");
   if (sep == std::string_view::npos) return std::nullopt;
@@ -103,7 +103,7 @@ util::Bytes HttpRequest::serialize() const {
   return std::move(w).take();
 }
 
-std::optional<HttpRequest> HttpRequest::parse(const util::Bytes& wire) {
+std::optional<HttpRequest> HttpRequest::parse(util::ByteView wire) {
   auto split = split_head(wire);
   if (!split || split->lines.empty()) return std::nullopt;
   auto parts = util::split(split->lines[0], " ");
@@ -131,7 +131,7 @@ util::Bytes HttpResponse::serialize() const {
   return std::move(w).take();
 }
 
-std::optional<HttpResponse> HttpResponse::parse(const util::Bytes& wire) {
+std::optional<HttpResponse> HttpResponse::parse(util::ByteView wire) {
   auto split = split_head(wire);
   if (!split || split->lines.empty()) return std::nullopt;
   const std::string& status_line = split->lines[0];
@@ -184,7 +184,7 @@ util::Bytes GivLine::serialize() const {
   return std::move(w).take();
 }
 
-std::optional<GivLine> GivLine::parse(const util::Bytes& wire) {
+std::optional<GivLine> GivLine::parse(util::ByteView wire) {
   std::string_view text = as_view(wire);
   if (!text.starts_with("GIV ")) return std::nullopt;
   std::size_t nl = text.find("\n\n");
@@ -208,15 +208,15 @@ std::optional<GivLine> GivLine::parse(const util::Bytes& wire) {
   return giv;
 }
 
-bool looks_like_http_request(const util::Bytes& wire) {
+bool looks_like_http_request(util::ByteView wire) {
   return as_view(wire).starts_with("GET ");
 }
 
-bool looks_like_giv(const util::Bytes& wire) {
+bool looks_like_giv(util::ByteView wire) {
   return as_view(wire).starts_with("GIV ");
 }
 
-bool looks_like_handshake(const util::Bytes& wire) {
+bool looks_like_handshake(util::ByteView wire) {
   return as_view(wire).starts_with("GNUTELLA");
 }
 

@@ -25,7 +25,7 @@ struct HttpRequest {
   std::vector<std::pair<std::string, std::string>> headers;
 
   [[nodiscard]] util::Bytes serialize() const;
-  static std::optional<HttpRequest> parse(const util::Bytes& wire);
+  static std::optional<HttpRequest> parse(util::ByteView wire);
 };
 
 struct HttpResponse {
@@ -35,7 +35,7 @@ struct HttpResponse {
   util::Bytes body;
 
   [[nodiscard]] util::Bytes serialize() const;
-  static std::optional<HttpResponse> parse(const util::Bytes& wire);
+  static std::optional<HttpResponse> parse(util::ByteView wire);
 };
 
 /// "/get/<index>/<filename>" -> (index, filename); nullopt if not that shape.
@@ -53,12 +53,12 @@ struct GivLine {
   std::string filename;
 
   [[nodiscard]] util::Bytes serialize() const;
-  static std::optional<GivLine> parse(const util::Bytes& wire);
+  static std::optional<GivLine> parse(util::ByteView wire);
 };
 
 /// Quick dispatch on an incoming transfer-connection message.
-[[nodiscard]] bool looks_like_http_request(const util::Bytes& wire);
-[[nodiscard]] bool looks_like_giv(const util::Bytes& wire);
-[[nodiscard]] bool looks_like_handshake(const util::Bytes& wire);
+[[nodiscard]] bool looks_like_http_request(util::ByteView wire);
+[[nodiscard]] bool looks_like_giv(util::ByteView wire);
+[[nodiscard]] bool looks_like_handshake(util::ByteView wire);
 
 }  // namespace p2p::gnutella

@@ -175,7 +175,7 @@ util::Bytes serialize(const Message& msg) {
   return std::move(w).take();
 }
 
-std::optional<Message> parse(const util::Bytes& wire) {
+std::optional<Message> parse(util::ByteView wire) {
   util::ByteReader r(wire);
   try {
     Message msg;

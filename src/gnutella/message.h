@@ -110,7 +110,7 @@ struct Message {
 
 /// Parse one descriptor. Returns nullopt on malformed input (bad lengths,
 /// unknown type, truncation) — the servent drops such traffic.
-[[nodiscard]] std::optional<Message> parse(const util::Bytes& wire);
+[[nodiscard]] std::optional<Message> parse(util::ByteView wire);
 
 /// Helper constructors that fill in type tags consistently.
 [[nodiscard]] Message make_ping(Guid guid, std::uint8_t ttl);

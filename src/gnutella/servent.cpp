@@ -54,7 +54,7 @@ struct GnutellaMetrics {
   static GnutellaMetrics& get() { return obs::bound_metrics<GnutellaMetrics>(); }
 };
 
-std::string_view as_view(const util::Bytes& b) {
+std::string_view as_view(util::ByteView b) {
   return {reinterpret_cast<const char*>(b.data()), b.size()};
 }
 
@@ -331,7 +331,7 @@ void Servent::send_handshake_connect(sim::ConnId conn) {
 }
 
 void Servent::handle_handshake(sim::ConnId conn, ConnState& state,
-                               const util::Bytes& wire) {
+                               util::ByteView wire) {
   std::string_view text = as_view(wire);
   if (text.starts_with("GNUTELLA CONNECT/0.6")) {
     // We are the acceptor.
@@ -434,7 +434,7 @@ void Servent::send_qrt(sim::ConnId conn) {
 // Message dispatch
 // ---------------------------------------------------------------------------
 
-void Servent::on_message(sim::ConnId conn, const util::Bytes& payload) {
+void Servent::on_message(sim::ConnId conn, const util::Payload& payload) {
   auto it = conns_.find(conn);
   if (it == conns_.end()) return;
   ConnState& state = it->second;
@@ -481,7 +481,7 @@ void Servent::on_message(sim::ConnId conn, const util::Bytes& payload) {
 }
 
 void Servent::handle_descriptor(sim::ConnId conn, ConnState& state,
-                                const util::Bytes& wire) {
+                                util::ByteView wire) {
   auto msg = parse(wire);
   if (!msg) {
     ++stats_.dropped_malformed;
@@ -615,6 +615,10 @@ void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& ms
     m.dropped_ttl.add(1);
   }
 
+  // Serialize each forwarded form once, lazily; every neighbor that takes
+  // it shares the same buffer (a Payload refcount bump per hop, no copies).
+  util::Payload fwd_wire;
+  util::Payload leaf_wire;
   for (auto& [cid, st] : conns_) {
     if (cid == conn) continue;
     if ((st.kind != ConnKind::kOverlayIn && st.kind != ConnKind::kOverlayOut) ||
@@ -623,7 +627,8 @@ void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& ms
     }
     if (st.peer_ultrapeer) {
       if (ttl_ok) {
-        send_msg(cid, fwd);
+        if (fwd_wire.empty()) fwd_wire = serialize(fwd);
+        network().send(cid, id(), fwd_wire);
         ++stats_.queries_forwarded_up;
         m.queries_routed.add(1);
       }
@@ -635,9 +640,12 @@ void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& ms
         m.qrp_suppressed.add(1);
         continue;
       }
-      Message leaf_fwd = fwd;
-      leaf_fwd.header.ttl = std::max<std::uint8_t>(leaf_fwd.header.ttl, 1);
-      send_msg(cid, leaf_fwd);
+      if (leaf_wire.empty()) {
+        Message leaf_fwd = fwd;
+        leaf_fwd.header.ttl = std::max<std::uint8_t>(leaf_fwd.header.ttl, 1);
+        leaf_wire = serialize(leaf_fwd);
+      }
+      network().send(cid, id(), leaf_wire);
       ++stats_.queries_forwarded_leaf;
       m.queries_routed.add(1);
     }
@@ -722,11 +730,13 @@ Guid Servent::send_query(const std::string& criteria) {
   Guid guid = Guid::random(rng_);
   our_queries_.insert(guid);
   note_seen(guid);
-  Message query = make_query(guid, config_.query_ttl, criteria);
+  // One serialization for the whole broadcast; every neighbor shares the
+  // buffer.
+  util::Payload wire{serialize(make_query(guid, config_.query_ttl, criteria))};
   for (auto& [cid, st] : conns_) {
     if ((st.kind == ConnKind::kOverlayOut || st.kind == ConnKind::kOverlayIn) &&
         st.hs == HsState::kEstablished) {
-      send_msg(cid, query);
+      network().send(cid, id(), wire);
     }
   }
   ++stats_.queries_originated;
@@ -870,7 +880,7 @@ void Servent::handle_push(sim::ConnId conn, const Message& msg) {
   GnutellaMetrics::get().pushes_routed.add(1);
 }
 
-void Servent::handle_giv(sim::ConnId conn, ConnState& state, const util::Bytes& wire) {
+void Servent::handle_giv(sim::ConnId conn, ConnState& state, util::ByteView wire) {
   auto giv = GivLine::parse(wire);
   if (!giv) {
     network().close(conn, id());
@@ -894,7 +904,7 @@ void Servent::handle_giv(sim::ConnId conn, ConnState& state, const util::Bytes& 
   conns_.erase(conn);
 }
 
-void Servent::handle_http_request(sim::ConnId conn, const util::Bytes& wire) {
+void Servent::handle_http_request(sim::ConnId conn, util::ByteView wire) {
   auto req = HttpRequest::parse(wire);
   HttpResponse resp;
 
@@ -939,7 +949,7 @@ void Servent::handle_http_request(sim::ConnId conn, const util::Bytes& wire) {
 }
 
 void Servent::handle_http_response(sim::ConnId conn, ConnState& state,
-                                   const util::Bytes& wire) {
+                                   util::ByteView wire) {
   std::uint64_t did = state.download_id;
   auto pending_it = pending_downloads_.find(did);
   network().close(conn, id());

@@ -152,7 +152,7 @@ class Servent : public sim::Node {
   bool accept_connection(sim::NodeId from) override;
   void on_connection_open(sim::ConnId conn, sim::NodeId peer, bool initiated) override;
   void on_connection_failed(sim::ConnId conn, sim::NodeId target) override;
-  void on_message(sim::ConnId conn, const util::Bytes& payload) override;
+  void on_message(sim::ConnId conn, const util::Payload& payload) override;
   void on_connection_closed(sim::ConnId conn) override;
 
   // -- Client API -----------------------------------------------------------
@@ -257,12 +257,12 @@ class Servent : public sim::Node {
   // Handshake.
   void begin_overlay_connect();
   void send_handshake_connect(sim::ConnId conn);
-  void handle_handshake(sim::ConnId conn, ConnState& state, const util::Bytes& wire);
+  void handle_handshake(sim::ConnId conn, ConnState& state, util::ByteView wire);
   void established(sim::ConnId conn, ConnState& state);
   void send_qrt(sim::ConnId conn);
 
   // Descriptor handling.
-  void handle_descriptor(sim::ConnId conn, ConnState& state, const util::Bytes& wire);
+  void handle_descriptor(sim::ConnId conn, ConnState& state, util::ByteView wire);
   void handle_query(sim::ConnId conn, ConnState& state, const Message& msg);
   void handle_query_hit(sim::ConnId conn, const Message& msg);
   void handle_ping(sim::ConnId conn, const Message& msg);
@@ -272,9 +272,9 @@ class Servent : public sim::Node {
   void answer_query(sim::ConnId conn, const Message& msg);
 
   // Transfers.
-  void handle_http_request(sim::ConnId conn, const util::Bytes& wire);
-  void handle_giv(sim::ConnId conn, ConnState& state, const util::Bytes& wire);
-  void handle_http_response(sim::ConnId conn, ConnState& state, const util::Bytes& wire);
+  void handle_http_request(sim::ConnId conn, util::ByteView wire);
+  void handle_giv(sim::ConnId conn, ConnState& state, util::ByteView wire);
+  void handle_http_response(sim::ConnId conn, ConnState& state, util::ByteView wire);
   void fail_download(std::uint64_t id, const std::string& error);
   void start_push(PendingDownload& pending);
 

@@ -29,7 +29,7 @@ struct OpenFtMetrics {
   static OpenFtMetrics& get() { return obs::bound_metrics<OpenFtMetrics>(); }
 };
 
-std::string_view as_view(const util::Bytes& b) {
+std::string_view as_view(util::ByteView b) {
   return {reinterpret_cast<const char*>(b.data()), b.size()};
 }
 
@@ -41,7 +41,7 @@ util::Bytes make_get(const files::Digest16& md5) {
   return text_bytes("GET /" + files::hex(md5) + " HTTP/1.1\r\n\r\n");
 }
 
-std::optional<files::Digest16> parse_get(const util::Bytes& wire) {
+std::optional<files::Digest16> parse_get(util::ByteView wire) {
   std::string_view text = as_view(wire);
   if (!text.starts_with("GET /")) return std::nullopt;
   std::size_t space = text.find(' ', 5);
@@ -67,7 +67,7 @@ struct ParsedResponse {
   util::Bytes body;
 };
 
-std::optional<ParsedResponse> parse_response(const util::Bytes& wire) {
+std::optional<ParsedResponse> parse_response(util::ByteView wire) {
   std::string_view text = as_view(wire);
   if (!text.starts_with("HTTP/1.1 ")) return std::nullopt;
   std::size_t head_end = text.find("\r\n\r\n");
@@ -93,7 +93,7 @@ struct ParsedPush {
   util::Bytes body;
 };
 
-std::optional<ParsedPush> parse_push_delivery(const util::Bytes& wire) {
+std::optional<ParsedPush> parse_push_delivery(util::ByteView wire) {
   std::string_view text = as_view(wire);
   if (!text.starts_with("PUSH ")) return std::nullopt;
   std::size_t head_end = text.find("\r\n\r\n");
@@ -361,7 +361,7 @@ void FtNode::send_pkt(sim::ConnId conn, const FtPacket& pkt) {
   network().send(conn, id(), serialize(pkt));
 }
 
-void FtNode::on_message(sim::ConnId conn, const util::Bytes& payload) {
+void FtNode::on_message(sim::ConnId conn, const util::Payload& payload) {
   auto it = conns_.find(conn);
   if (it == conns_.end()) return;
   ConnState& state = it->second;
@@ -606,12 +606,15 @@ void FtNode::handle_search_request(sim::ConnId conn, ConnState& state,
   if (req.ttl > 1) {
     SearchRequest fwd = req;
     fwd.ttl = static_cast<std::uint8_t>(req.ttl - 1);
+    // Serialized once on first matching peer; the mesh shares the buffer.
+    util::Payload wire;
     for (const auto& [cid, st] : conns_) {
       if (cid == conn) continue;
       if ((st.kind == ConnKind::kSessionOut || st.kind == ConnKind::kSessionIn) &&
           st.session == SessionState::kEstablished && st.have_peer_info &&
           (st.peer_info.klass & kSearch) != 0) {
-        send_pkt(cid, make_packet(fwd));
+        if (wire.empty()) wire = serialize(make_packet(fwd));
+        network().send(cid, id(), wire);
         ++stats_.searches_forwarded;
         OpenFtMetrics::get().searches_forwarded.add(1);
       }
@@ -626,10 +629,12 @@ std::uint64_t FtNode::search(const std::string& query) {
   req.search_id = search_id;
   req.ttl = config_.search_ttl;
   req.query = query;
+  util::Payload wire;
   for (const auto& [cid, st] : conns_) {
     if (st.kind == ConnKind::kSessionOut && st.session == SessionState::kEstablished &&
         st.have_peer_info && (st.peer_info.klass & kSearch) != 0) {
-      send_pkt(cid, make_packet(req));
+      if (wire.empty()) wire = serialize(make_packet(req));
+      network().send(cid, id(), wire);
     }
   }
   ++stats_.searches_sent;
@@ -671,11 +676,13 @@ std::uint64_t FtNode::download(const SearchResponse& entry) {
     const auto& prof = network().profile(id());
     push.requester = util::Endpoint{prof.ip, prof.port};
     push.md5 = entry.md5;
+    util::Payload wire;
     for (const auto& [cid, st] : conns_) {
       if (st.kind == ConnKind::kSessionOut &&
           st.session == SessionState::kEstablished && st.have_peer_info &&
           (st.peer_info.klass & kSearch) != 0) {
-        send_pkt(cid, make_packet(push));
+        if (wire.empty()) wire = serialize(make_packet(push));
+        network().send(cid, id(), wire);
       }
     }
   }
@@ -734,7 +741,7 @@ void FtNode::handle_push_request(sim::ConnId conn, const PushRequest& req) {
 }
 
 void FtNode::handle_transfer_message(sim::ConnId conn, ConnState& state,
-                                     const util::Bytes& wire) {
+                                     util::ByteView wire) {
   std::string_view text = as_view(wire);
 
   if (text.starts_with("GET ")) {

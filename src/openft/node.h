@@ -92,7 +92,7 @@ class FtNode : public sim::Node {
   void start() override;
   void on_connection_open(sim::ConnId conn, sim::NodeId peer, bool initiated) override;
   void on_connection_failed(sim::ConnId conn, sim::NodeId target) override;
-  void on_message(sim::ConnId conn, const util::Bytes& payload) override;
+  void on_message(sim::ConnId conn, const util::Payload& payload) override;
   void on_connection_closed(sim::ConnId conn) override;
 
   // -- Client API -----------------------------------------------------------
@@ -198,7 +198,7 @@ class FtNode : public sim::Node {
 
   // Transfers.
   void handle_transfer_message(sim::ConnId conn, ConnState& state,
-                               const util::Bytes& wire);
+                               util::ByteView wire);
   void fail_download(std::uint64_t id, const std::string& error);
 
   FtConfig config_;

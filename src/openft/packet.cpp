@@ -224,7 +224,7 @@ util::Bytes serialize(const FtPacket& pkt) {
                                  body.data());
 }
 
-std::optional<FtPacket> parse(const util::Bytes& wire) {
+std::optional<FtPacket> parse(util::ByteView wire) {
   auto frame = util::parse_tagged_frame_be16(wire);
   if (!frame) return std::nullopt;
   if (frame->tag > static_cast<std::uint16_t>(FtCommand::kBrowseEnd)) {

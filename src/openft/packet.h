@@ -144,7 +144,7 @@ struct FtPacket {
 [[nodiscard]] util::Bytes serialize(const FtPacket& pkt);
 
 /// Parse one packet; nullopt on malformed input.
-[[nodiscard]] std::optional<FtPacket> parse(const util::Bytes& wire);
+[[nodiscard]] std::optional<FtPacket> parse(util::ByteView wire);
 
 /// Convenience constructors (keep command tag and payload type in sync).
 [[nodiscard]] FtPacket make_packet(FtPayload payload);

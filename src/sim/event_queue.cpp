@@ -1,9 +1,5 @@
 #include "sim/event_queue.h"
 
-#include <chrono>
-#include <stdexcept>
-#include <utility>
-
 #include "obs/trace.h"
 
 namespace p2p::sim {
@@ -16,51 +12,11 @@ EventQueue::EventQueue()
           obs::HistogramSpec::exponential(obs::Unit::kNanosWall,
                                           /*wall_clock=*/true))) {}
 
-void EventQueue::schedule_at(SimTime at, Action action) {
-  // The monotonicity invariant (see header): an event may never be placed
-  // before the current clock.
-  if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
-  heap_.push(Entry{at, next_seq_++, std::move(action)});
-  m_depth_.set(static_cast<std::int64_t>(heap_.size()));
-}
-
-void EventQueue::schedule_in(SimDuration delay, Action action) {
-  schedule_at(now_ + delay, std::move(action));
-}
-
-bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() returns const&; the action must be moved out, so
-  // copy the entry header and steal the closure via const_cast — contained
-  // and safe because we pop immediately.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  SimTime at = top.at;
-  Action action = std::move(top.action);
-  heap_.pop();
-  now_ = at;
-  ++executed_;
-  m_executed_.add(1);
-  m_depth_.set(static_cast<std::int64_t>(heap_.size()));
-#ifndef P2P_OBS_DISABLED
-  if (wall_timing_) {
-    auto start = std::chrono::steady_clock::now();
-    action();
-    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start)
-                  .count();
-    m_event_wall_ns_.record(static_cast<std::int64_t>(ns));
-    return true;
-  }
-#endif
-  action();
-  return true;
-}
-
 void EventQueue::run_until(SimTime until) {
   P2P_TRACE(obs::Component::kSim, "run_until", now_,
             obs::tf("until_ms", until.millis()),
             obs::tf("pending", heap_.size()));
-  while (!heap_.empty() && heap_.top().at <= until) step();
+  while (!heap_.empty() && heap_.front().at <= until) step();
   if (now_ < until) now_ = until;
 }
 

@@ -2,14 +2,27 @@
 // clock. Single-threaded by design — determinism matters more to a
 // measurement reproduction than parallel speedup, and ties are broken by
 // insertion sequence so runs are exactly reproducible.
+//
+// Hot-path layout (see DESIGN.md "Simulation-core performance"): events are
+// sim::Task closures (64-byte inline capture, no heap for the simulator's
+// own events). The closures themselves never ride the heap: the 4-ary
+// implicit heap orders 24-byte trivially-copyable (at, seq, slot) keys,
+// and each slot indexes a Task parked in a recycled slab. Sift-up/down
+// therefore shuffles three words per level instead of a ~100-byte closure,
+// and a 4-ary heap halves the tree depth of the binary heap
+// std::priority_queue used. Pop order is the exact (at, seq) total order
+// of the old binary heap, so every study report stays byte-identical
+// (property-tested in test_event_queue).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "sim/task.h"
 #include "util/sim_time.h"
 
 namespace p2p::sim {
@@ -19,7 +32,7 @@ using util::SimTime;
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = Task;
 
   EventQueue();
 
@@ -31,10 +44,32 @@ class EventQueue {
   /// stamp), so accepting a past stamp would deliver that event "now"
   /// while every record it produces claims an earlier time — a silent
   /// causality violation in the measurement logs. Violations throw.
-  void schedule_at(SimTime at, Action action);
+  void schedule_at(SimTime at, Action action) {
+    // The monotonicity invariant (see above): an event may never be
+    // placed before the current clock.
+    if (at < now_) {
+      throw std::invalid_argument("EventQueue: scheduling in the past");
+    }
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      tasks_[slot] = std::move(action);
+    } else {
+      slot = static_cast<std::uint32_t>(tasks_.size());
+      tasks_.push_back(std::move(action));
+    }
+    heap_push(Entry{at, next_seq_++, slot});
+    // Depth is sampled at schedule time: every high-water mark is attained
+    // immediately after a push, so the gauge's max is exact and the drain
+    // path stays free of metric writes.
+    m_depth_.set(static_cast<std::int64_t>(heap_.size()));
+  }
 
   /// Schedule relative to the current clock.
-  void schedule_in(SimDuration delay, Action action);
+  void schedule_in(SimDuration delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -44,7 +79,30 @@ class EventQueue {
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   /// Run the next event; returns false if the queue is empty.
-  bool step();
+  bool step() {
+    if (heap_.empty()) return false;
+    Entry top = heap_pop();
+    // Lift the closure out of the slab before running it: the event may
+    // schedule more events, which can reuse (or reallocate) the slab.
+    Task action = std::move(tasks_[top.slot]);
+    free_slots_.push_back(top.slot);
+    now_ = top.at;
+    ++executed_;
+    m_executed_.add(1);
+#ifndef P2P_OBS_DISABLED
+    if (wall_timing_) {
+      auto start = std::chrono::steady_clock::now();
+      action();
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      m_event_wall_ns_.record(static_cast<std::int64_t>(ns));
+      return true;
+    }
+#endif
+    action();
+    return true;
+  }
 
   /// Run events until the queue drains or the clock passes `until`.
   /// Events stamped after `until` stay queued. On return the clock is
@@ -56,33 +114,103 @@ class EventQueue {
   void run_all();
 
   /// Record per-event wall-clock execution time into the
-  /// `sim.event_wall_ns` histogram (two steady_clock reads per event;
-  /// negligible against typical event work, but switchable for
-  /// overhead-sensitive sweeps).
+  /// `sim.event_wall_ns` histogram (two steady_clock reads per event).
+  /// Off by default: at tens of millions of events per study the clock
+  /// reads dominate trivial events, so sweeps stay clean and profiling
+  /// runs opt in (--metrics wires this on in the example CLIs).
   void set_wall_timing(bool on) { wall_timing_ = on; }
+  [[nodiscard]] bool wall_timing() const { return wall_timing_; }
+
+  /// Process-wide default for newly constructed queues. The example CLIs
+  /// flip this before building the study's Network when --metrics asks
+  /// for a snapshot; the sweep runner leaves it off.
+  static void set_default_wall_timing(bool on) {
+    default_wall_timing_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool default_wall_timing() {
+    return default_wall_timing_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Heap node: ordering key plus the slab slot holding the closure.
+  /// Trivially copyable on purpose — heap sifts are plain 24-byte moves.
   struct Entry {
     SimTime at;
     std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Strict-weak order matching the old binary heap's Later comparator
+  /// inverted: true when `a` must run before `b`.
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  // 4-ary hole-based sifts; definitions below the class so the step/
+  // schedule fast paths above inline fully into callers' loops.
+  void heap_push(Entry entry);
+  /// Removes and returns the earliest entry. Precondition: !empty().
+  Entry heap_pop();
+
+  // 4-ary implicit heap: children of i are 4i+1 .. 4i+4.
+  std::vector<Entry> heap_;
+  // Closure slab indexed by Entry::slot; freed slots are recycled LIFO so
+  // a steady-state run touches the same few cache lines.
+  std::vector<Task> tasks_;
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  bool wall_timing_ = true;
+  bool wall_timing_ = default_wall_timing();
+
+  inline static std::atomic<bool> default_wall_timing_{false};
 
   obs::Counter& m_executed_;
   obs::Gauge& m_depth_;
   obs::Histogram& m_event_wall_ns_;
+
+  static constexpr std::size_t kArity = 4;
 };
+
+inline void EventQueue::heap_push(Entry entry) {
+  // Hole-based sift-up: float the insertion point toward the root before
+  // placing the entry, so each level costs one Entry move, not a swap.
+  std::size_t i = heap_.size();
+  heap_.emplace_back();  // the hole
+  while (i > 0) {
+    std::size_t parent = (i - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+inline EventQueue::Entry EventQueue::heap_pop() {
+  Entry result = heap_.front();
+  Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift the former last leaf down from the root, moving the earliest
+    // child up into the hole each level.
+    std::size_t i = 0;
+    const std::size_t size = heap_.size();
+    for (;;) {
+      std::size_t first_child = i * kArity + 1;
+      if (first_child >= size) break;
+      std::size_t best = first_child;
+      std::size_t end = first_child + kArity < size ? first_child + kArity : size;
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return result;
+}
 
 }  // namespace p2p::sim

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "obs/trace.h"
@@ -34,7 +35,7 @@ NodeId Network::add_node(std::unique_ptr<Node> node, HostProfile profile) {
   NodeId id = static_cast<NodeId>(slots_.size());
   node->id_ = id;
   node->network_ = this;
-  slots_.push_back(Slot{std::move(node), profile, 0});
+  slots_.push_back(Slot{std::move(node), profile, 0, {}});
   ++alive_count_;
   if (!profile.behind_nat) {
     listeners_[util::Endpoint{profile.ip, profile.port}] = id;
@@ -53,12 +54,17 @@ NodeId Network::add_node(std::unique_ptr<Node> node, HostProfile profile) {
 
 void Network::remove_node(NodeId id) {
   if (id >= slots_.size() || !slots_[id].node) return;
-  // Close every connection touching this node.
+  // Close every connection touching this node — found via the node's own
+  // conn-id list rather than a scan of the whole (ever-grown) table.
   std::vector<ConnId> to_close;
-  for (auto& [cid, c] : conns_) {
-    if (!c.closed && (c.a == id || c.b == id)) to_close.push_back(cid);
+  for (ConnId cid : slots_[id].conns) {
+    const Connection* c = find_conn(cid);
+    if (c != nullptr && !c->closed && (c->a == id || c->b == id)) {
+      to_close.push_back(cid);
+    }
   }
   for (ConnId cid : to_close) close(cid, id);
+  slots_[id].conns.clear();
   const auto& prof = slots_[id].profile;
   if (!prof.behind_nat) listeners_.erase(util::Endpoint{prof.ip, prof.port});
   slots_[id].node.reset();
@@ -96,13 +102,16 @@ SimDuration Network::draw_latency() {
 ConnId Network::connect(NodeId from, NodeId to) {
   metrics_.connects_attempted.add(1);
   ConnId cid = next_conn_++;
-  Connection c;
-  c.a = from;
-  c.b = to;
-  c.latency = draw_latency();
-  conns_[cid] = c;
+  assert(cid - 1 == conn_slots_.size() && "ConnIds index the slot table");
+  ConnSlot& slot = conn_slots_.emplace_back();
+  slot.live = true;
+  slot.conn.a = from;
+  slot.conn.b = to;
+  slot.conn.latency = draw_latency();
+  if (from < slots_.size()) slots_[from].conns.push_back(cid);
+  if (to < slots_.size()) slots_[to].conns.push_back(cid);
 
-  events_.schedule_in(c.latency, [this, cid, from, to] {
+  events_.schedule_in(slot.conn.latency, [this, cid, from, to] {
     auto* conn = find_conn(cid);
     if (!conn || conn->closed) return;
     Node* initiator = node(from);
@@ -112,10 +121,11 @@ ConnId Network::connect(NodeId from, NodeId to) {
       conn->closed = true;
       metrics_.connects_failed.add(1);
       if (initiator) initiator->on_connection_failed(cid, to);
-      conns_.erase(cid);
+      erase_conn(cid);
       return;
     }
     conn->open = true;
+    ++open_conns_;
     metrics_.connections_opened.add(1);
     metrics_.connections_open.add(1);
     P2P_TRACE(obs::Component::kNet, "conn_open", events_.now(),
@@ -136,7 +146,7 @@ ConnId Network::connect(NodeId from, NodeId to) {
   return cid;
 }
 
-void Network::send(ConnId conn, NodeId sender, util::Bytes payload) {
+void Network::send(ConnId conn, NodeId sender, util::Payload payload) {
   auto* c = find_conn(conn);
   if (!c || !c->open || c->closed) {
     metrics_.messages_dropped.add(1);
@@ -155,7 +165,9 @@ void Network::send(ConnId conn, NodeId sender, util::Bytes payload) {
 
   // Fault injection (src/fault): decided before the transfer is scheduled.
   // A dropped message still serializes on the sender's uplink below — the
-  // bytes were transmitted, they just never arrive.
+  // bytes were transmitted, they just never arrive. Corruption mutates via
+  // Payload::mutate(), so a shared broadcast buffer is cloned rather than
+  // altered under its other senders.
   SendFaults faults;
   if (fault_hook_ != nullptr) faults = fault_hook_->on_send(payload);
 
@@ -175,17 +187,21 @@ void Network::send(ConnId conn, NodeId sender, util::Bytes payload) {
     return;
   }
   if (faults.duplicate) {
+    // The duplicate shares the (possibly corrupted) buffer with the primary
+    // delivery — a refcount bump, not a copy; nothing is materialized at
+    // all unless the fault plan asked for a duplicate, and the drop check
+    // above already disposed of lost messages.
     events_.schedule_at(arrival + SimDuration::millis(1),
-                        [this, conn, receiver, payload]() mutable {
-                          deliver(conn, receiver, std::move(payload));
+                        [this, conn, receiver, payload] {
+                          deliver(conn, receiver, payload);
                         });
   }
-  events_.schedule_at(arrival, [this, conn, receiver, payload = std::move(payload)]() mutable {
-    deliver(conn, receiver, std::move(payload));
+  events_.schedule_at(arrival, [this, conn, receiver, payload = std::move(payload)] {
+    deliver(conn, receiver, payload);
   });
 }
 
-void Network::deliver(ConnId conn, NodeId to, util::Bytes payload) {
+void Network::deliver(ConnId conn, NodeId to, const util::Payload& payload) {
   // Graceful-close semantics: bytes sent while the connection was open are
   // delivered even if a close raced them (as TCP flushes before FIN); only
   // receiver death drops them.
@@ -214,6 +230,7 @@ void Network::close(ConnId conn, NodeId closer) {
   c->open = false;
   NodeId peer = (closer == c->a) ? c->b : c->a;
   if (was_open) {
+    --open_conns_;
     metrics_.connections_closed.add(1);
     metrics_.connections_open.add(-1);
     P2P_TRACE(obs::Component::kNet, "conn_close", events_.now(),
@@ -225,7 +242,7 @@ void Network::close(ConnId conn, NodeId closer) {
   // Reclaim the entry once the close notification and any short in-flight
   // messages have had time to land; later arrivals are dropped (RST-like).
   events_.schedule_in(c->latency * 2 + SimDuration::seconds(10),
-                      [this, conn] { conns_.erase(conn); });
+                      [this, conn] { erase_conn(conn); });
 }
 
 bool Network::connection_open(ConnId conn) const {
@@ -241,28 +258,40 @@ NodeId Network::peer_of(ConnId conn, NodeId self) const {
   return kInvalidNode;
 }
 
-void Network::schedule_node(NodeId id, SimDuration delay, std::function<void()> fn) {
-  if (id >= slots_.size()) return;
-  std::uint64_t gen = slots_[id].generation;
-  events_.schedule_in(delay, [this, id, gen, fn = std::move(fn)] {
-    if (id < slots_.size() && slots_[id].node && slots_[id].generation == gen) fn();
-  });
-}
-
 std::size_t Network::open_connection_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(conns_.begin(), conns_.end(),
-                    [](const auto& kv) { return kv.second.open && !kv.second.closed; }));
+#ifndef NDEBUG
+  // The counter must agree with a full recount of the table; a drift here
+  // means some open/close path forgot to maintain it.
+  std::size_t recount = static_cast<std::size_t>(
+      std::count_if(conn_slots_.begin(), conn_slots_.end(), [](const ConnSlot& s) {
+        return s.live && s.conn.open && !s.conn.closed;
+      }));
+  assert(recount == open_conns_ && "open-connection counter drifted");
+#endif
+  return open_conns_;
 }
 
 Network::Connection* Network::find_conn(ConnId id) {
-  auto it = conns_.find(id);
-  return it == conns_.end() ? nullptr : &it->second;
+  if (id == 0 || id > conn_slots_.size()) return nullptr;
+  ConnSlot& slot = conn_slots_[id - 1];
+  return slot.live ? &slot.conn : nullptr;
 }
 
 const Network::Connection* Network::find_conn(ConnId id) const {
-  auto it = conns_.find(id);
-  return it == conns_.end() ? nullptr : &it->second;
+  if (id == 0 || id > conn_slots_.size()) return nullptr;
+  const ConnSlot& slot = conn_slots_[id - 1];
+  return slot.live ? &slot.conn : nullptr;
+}
+
+void Network::erase_conn(ConnId id) {
+  if (id == 0 || id > conn_slots_.size()) return;
+  ConnSlot& slot = conn_slots_[id - 1];
+  if (!slot.live) return;
+  assert(!(slot.conn.open && !slot.conn.closed) &&
+         "erasing a connection that is still open");
+  slot.live = false;
+  slot.generation++;
+  slot.conn = Connection{};
 }
 
 }  // namespace p2p::sim

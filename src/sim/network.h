@@ -13,11 +13,17 @@
 //
 // Single-threaded on top of EventQueue; all callbacks fire from the event
 // loop, never re-entrantly from inside send()/connect().
+//
+// Hot-path layout (see DESIGN.md "Simulation-core performance"): payloads
+// are shared util::Payload buffers (a broadcast serializes once), the
+// connection table is a slot vector indexed directly by the sequential
+// ConnId (the same never-reused pattern as the node slots_), and the
+// listener table is hashed — so send/deliver/lookup do no tree walks and
+// no per-hop byte copies.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -27,6 +33,7 @@
 #include "sim/event_queue.h"
 #include "util/bytes.h"
 #include "util/ip.h"
+#include "util/payload.h"
 #include "util/rng.h"
 
 namespace p2p::sim {
@@ -64,12 +71,13 @@ struct SendFaults {
 };
 
 /// Fault-injection hook consulted once per send() on a live connection (see
-/// src/fault). May mutate the payload in place (corruption); must be
-/// deterministic for a fixed seed. Null hook == today's fault-free network.
+/// src/fault). May corrupt the payload via its copy-on-write mutate() —
+/// shared broadcast siblings are unaffected; must be deterministic for a
+/// fixed seed. Null hook == today's fault-free network.
 class MessageFaultHook {
  public:
   virtual ~MessageFaultHook() = default;
-  virtual SendFaults on_send(util::Bytes& payload) = 0;
+  virtual SendFaults on_send(util::Payload& payload) = 0;
 };
 
 /// Behaviour attached to a simulated host. Protocol servents subclass this.
@@ -95,7 +103,9 @@ class Node {
     (void)conn;
     (void)target;
   }
-  virtual void on_message(ConnId conn, const util::Bytes& payload) = 0;
+  /// The payload is a shared immutable buffer; keep a copy (refcount bump)
+  /// if the bytes must outlive the callback.
+  virtual void on_message(ConnId conn, const util::Payload& payload) = 0;
   virtual void on_connection_closed(ConnId conn) { (void)conn; }
 
   /// Set by Network::add_node.
@@ -149,8 +159,10 @@ class Network {
 
   /// Send a payload over an open connection from `sender`'s side.
   /// Silently drops if the connection is no longer open (mirrors TCP send
-  /// after FIN — the study treats those bytes as lost).
-  void send(ConnId conn, NodeId sender, util::Bytes payload);
+  /// after FIN — the study treats those bytes as lost). Accepts anything
+  /// convertible to util::Payload; a broadcast should build the Payload
+  /// once and pass copies so all hops share one serialized buffer.
+  void send(ConnId conn, NodeId sender, util::Payload payload);
 
   /// Close from either side; the peer gets on_connection_closed after one
   /// propagation delay.
@@ -168,13 +180,24 @@ class Network {
   // -- Timers ---------------------------------------------------------------
 
   /// Schedule a callback owned by a node; skipped if the node is removed
-  /// before it fires.
-  void schedule_node(NodeId id, SimDuration delay, std::function<void()> fn);
+  /// before it fires. Templated so the callable lands in the event's
+  /// sim::Task inline storage directly, with no std::function detour.
+  template <typename F>
+  void schedule_node(NodeId id, SimDuration delay, F&& fn) {
+    if (id >= slots_.size()) return;
+    std::uint64_t gen = slots_[id].generation;
+    events_.schedule_in(
+        delay, [this, id, gen, fn = std::forward<F>(fn)]() mutable {
+          if (id < slots_.size() && slots_[id].node && slots_[id].generation == gen) fn();
+        });
+  }
 
   // -- Introspection for tests / stats --------------------------------------
 
   [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
   [[nodiscard]] std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  /// O(1): maintained by connect/close (debug builds assert it against a
+  /// full recount of the connection table).
   [[nodiscard]] std::size_t open_connection_count() const;
 
   LatencyModel latency_model;
@@ -184,6 +207,10 @@ class Network {
     std::unique_ptr<Node> node;  // null after removal
     HostProfile profile;
     std::uint64_t generation = 0;
+    /// Every ConnId this node has ever been an endpoint of; pruned of dead
+    /// ids when scanned. remove_node closes via this list instead of
+    /// walking the whole connection table.
+    std::vector<ConnId> conns;
   };
   struct Connection {
     NodeId a = kInvalidNode;
@@ -195,18 +222,30 @@ class Network {
     SimTime tx_free_a_to_b;
     SimTime tx_free_b_to_a;
   };
+  /// Connection-table entry. ConnIds are sequential and never reused, so
+  /// the table is a plain vector indexed by `id - 1` — O(1) lookups with
+  /// no hashing on the per-message path. `live` flips false when the old
+  /// code would have erased the map entry; `generation` counts those
+  /// erasures (asserted in debug against stale-id reuse).
+  struct ConnSlot {
+    Connection conn;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
 
   Connection* find_conn(ConnId id);
   const Connection* find_conn(ConnId id) const;
-  void deliver(ConnId conn, NodeId to, util::Bytes payload);
+  void erase_conn(ConnId id);
+  void deliver(ConnId conn, NodeId to, const util::Payload& payload);
   SimDuration draw_latency();
 
   EventQueue events_;
   util::Rng rng_;
   std::vector<Slot> slots_;
   std::size_t alive_count_ = 0;
-  std::unordered_map<ConnId, Connection> conns_;
-  std::map<util::Endpoint, NodeId> listeners_;
+  std::vector<ConnSlot> conn_slots_;
+  std::size_t open_conns_ = 0;
+  std::unordered_map<util::Endpoint, NodeId, util::EndpointHash> listeners_;
   ConnId next_conn_ = 1;
   MessageFaultHook* fault_hook_ = nullptr;
   std::uint64_t messages_delivered_ = 0;

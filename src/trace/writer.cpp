@@ -96,26 +96,29 @@ void TraceWriter::flush_records() {
   pending_count_ = 0;
 }
 
-void TraceWriter::write_block(BlockKind kind, const util::Bytes& payload) {
-  util::ByteWriter frame;
+void TraceWriter::write_block(BlockKind kind, util::ByteView payload) {
+  util::ByteWriter head;
   const std::uint8_t kind_byte = static_cast<std::uint8_t>(kind);
-  frame.u8(kind_byte);
-  frame.varint(payload.size());
+  head.u8(kind_byte);
+  head.varint(payload.size());
   // The CRC covers the kind byte too: a flipped kind must read as a corrupt
   // block, not as a silently skippable unknown kind.
-  frame.u32le(util::crc32(payload, util::crc32({&kind_byte, 1})));
-  frame.bytes(payload);
-  out_->write(reinterpret_cast<const char*>(frame.data().data()),
-              static_cast<std::streamsize>(frame.size()));
+  head.u32le(util::crc32(payload, util::crc32({&kind_byte, 1})));
+  // The payload goes straight from the caller's buffer to the stream —
+  // framing never copies the block body.
+  out_->write(reinterpret_cast<const char*>(head.data().data()),
+              static_cast<std::streamsize>(head.size()));
+  out_->write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
   if (!*out_) {
     ok_ = false;
     return;
   }
-  bytes_written_ += frame.size();
+  bytes_written_ += head.size() + payload.size();
   ++blocks_written_;
   auto& metrics = obs::bound_metrics<WriterMetrics>();
   metrics.blocks.add();
-  metrics.bytes.add(frame.size());
+  metrics.bytes.add(head.size() + payload.size());
 }
 
 }  // namespace p2p::trace

@@ -50,7 +50,7 @@ class TraceWriter : public crawler::RecordSink {
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
 
  private:
-  void write_block(BlockKind kind, const util::Bytes& payload);
+  void write_block(BlockKind kind, util::ByteView payload);
   void flush_records();
 
   std::unique_ptr<std::ofstream> owned_out_;

@@ -18,6 +18,11 @@ namespace p2p::util {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Non-owning read-only view of wire bytes. Parser entry points take this
+/// so owned Bytes, shared util::Payload buffers, and sub-spans all flow in
+/// without a copy.
+using ByteView = std::span<const std::uint8_t>;
+
 /// Error thrown when a reader runs past the end of its buffer.
 /// Protocol handlers catch this to drop malformed messages.
 class BufferUnderflow : public std::runtime_error {

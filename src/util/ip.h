@@ -4,6 +4,7 @@
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -55,6 +56,22 @@ struct Endpoint {
 
   [[nodiscard]] std::string str() const;
   auto operator<=>(const Endpoint&) const = default;
+};
+
+/// Hash functor for unordered containers keyed by Endpoint (the listener
+/// table consulted on every simulated connect). splitmix64 finalizer over
+/// the packed (ip, port) pair — cheap and well mixed for the sequential
+/// 10.x.x.x addresses the population builder hands out.
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& ep) const noexcept {
+    std::uint64_t x = (std::uint64_t{ep.ip.value()} << 16) | ep.port;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
 };
 
 }  // namespace p2p::util

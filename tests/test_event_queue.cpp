@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
 namespace p2p::sim {
 namespace {
 
@@ -87,6 +95,127 @@ TEST(EventQueue, CountsExecuted) {
   for (int i = 0; i < 7; ++i) q.schedule_in(SimDuration::millis(i), [] {});
   q.run_all();
   EXPECT_EQ(q.executed(), 7u);
+}
+
+// Reference for the property test below: the binary heap the queue used
+// before the 4-ary rewrite, with its exact Later comparator. Every report
+// byte depends on pop order, so the new heap must reproduce this order —
+// not just "some valid (at, seq) order".
+struct RefEntry {
+  SimTime at;
+  std::uint64_t seq;
+};
+struct RefLater {
+  bool operator()(const RefEntry& a, const RefEntry& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+TEST(EventQueue, PropertyPopsMatchBinaryHeapUnderRandomSchedules) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(0x4a77'0000 + seed);
+    EventQueue q;
+    std::priority_queue<RefEntry, std::vector<RefEntry>, RefLater> ref;
+    std::uint64_t next_seq = 0;
+    std::vector<std::pair<std::int64_t, std::uint64_t>> popped;
+    std::vector<RefEntry> expected;
+
+    // Interleave bursts of pushes (with heavy stamp collisions so seq
+    // tie-breaks are exercised) and partial drains that restructure the
+    // heap mid-stream.
+    for (int round = 0; round < 40; ++round) {
+      std::uint64_t pushes = rng.bounded(30);
+      for (std::uint64_t i = 0; i < pushes; ++i) {
+        SimTime at = q.now() + SimDuration::millis(
+                                   static_cast<std::int64_t>(rng.bounded(8)));
+        std::uint64_t seq = next_seq++;
+        q.schedule_at(at, [&popped, at, seq] {
+          popped.emplace_back(at.millis(), seq);
+        });
+        ref.push(RefEntry{at, seq});
+      }
+      std::uint64_t pops = rng.bounded(20);
+      for (std::uint64_t i = 0; i < pops && !ref.empty(); ++i) {
+        expected.push_back(ref.top());
+        ref.pop();
+        ASSERT_TRUE(q.step());
+      }
+    }
+    while (!ref.empty()) {
+      expected.push_back(ref.top());
+      ref.pop();
+      ASSERT_TRUE(q.step());
+    }
+    ASSERT_FALSE(q.step());
+
+    ASSERT_EQ(popped.size(), expected.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < popped.size(); ++i) {
+      EXPECT_EQ(popped[i].first, expected[i].at.millis()) << "seed " << seed;
+      EXPECT_EQ(popped[i].second, expected[i].seq) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Task, InvokesAndReportsEngagement) {
+  int calls = 0;
+  Task t([&] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(t));
+  t();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(static_cast<bool>(Task{}));
+}
+
+TEST(Task, MoveTransfersCallable) {
+  int calls = 0;
+  Task a([&] { ++calls; });
+  Task b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
+  Task c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Task, LargeCapturesFallBackToHeapAndStillRun) {
+  // 3x the inline budget: forces the heap path.
+  struct Big {
+    unsigned char blob[Task::kInlineSize * 3] = {};
+  };
+  auto big = std::make_shared<int>(0);
+  Big payload;
+  payload.blob[0] = 7;
+  Task t([big, payload] { *big = payload.blob[0]; });
+  Task moved(std::move(t));
+  moved();
+  EXPECT_EQ(*big, 7);
+}
+
+TEST(Task, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    Task t([token = std::move(token)] { (void)token; });
+    Task u(std::move(t));
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Task, TypicalDeliveryClosureFitsInline) {
+  // The shape of Network::send's delivery event: this + conn + receiver +
+  // one Payload handle. If this ever outgrows the inline buffer the hot
+  // path regresses to one allocation per message — fail loudly here.
+  struct Probe {
+    void* self;
+    std::uint64_t conn;
+    std::uint32_t receiver;
+    void* payload_rep;
+  };
+  static_assert(sizeof(Probe) <= Task::kInlineSize,
+                "delivery closure no longer fits Task inline storage");
 }
 
 }  // namespace

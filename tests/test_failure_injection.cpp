@@ -36,7 +36,7 @@ class GarbageNode : public sim::Node {
       network().send(conn, id(), util::Bytes(s.begin(), s.end()));
     }
   }
-  void on_message(sim::ConnId, const util::Bytes&) override {}
+  void on_message(sim::ConnId, const util::Payload&) override {}
 
  private:
   sim::NodeId target_;

@@ -18,7 +18,7 @@ using sim::SimTime;
 class ChattyNode : public sim::Node {
  public:
   explicit ChattyNode(std::uint64_t seed) : rng_(seed) {}
-  void on_message(sim::ConnId conn, const util::Bytes& payload) override {
+  void on_message(sim::ConnId conn, const util::Payload& payload) override {
     ++received_;
     if (rng_.chance(0.3) && !payload.empty()) {
       network().send(conn, id(), {payload[0]});

@@ -28,8 +28,8 @@ class ProbeNode : public Node {
   void on_connection_failed(ConnId conn, NodeId target) override {
     events.push_back({"failed", conn, target, {}});
   }
-  void on_message(ConnId conn, const util::Bytes& payload) override {
-    events.push_back({"msg", conn, kInvalidNode, payload});
+  void on_message(ConnId conn, const util::Payload& payload) override {
+    events.push_back({"msg", conn, kInvalidNode, payload.to_bytes()});
   }
   void on_connection_closed(ConnId conn) override {
     events.push_back({"closed", conn, kInvalidNode, {}});
