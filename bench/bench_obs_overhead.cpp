@@ -1,0 +1,155 @@
+// Obs-overhead microbench: the per-call cost of every observability
+// primitive on its hot path, in whichever build flavor this binary was
+// compiled (normal, or -DP2P_OBS_DISABLED=ON where the primitives compile
+// out). CI runs it in both flavors with --check, which enforces pinned
+// per-op ceilings so an accidental regression (say, a mutex sneaking onto
+// the span fast path) fails the tier instead of silently taxing every
+// simulation event.
+//
+//   ./bench_obs_overhead [--check]
+//
+// Output is one line per op: "op=<name> ns_per_op=<x> ceiling=<y>". The
+// ceilings are deliberately loose (10-50x typical) — they catch order-of-
+// magnitude regressions, not scheduler noise.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/progress.h"
+#include "obs/timeseries.h"
+#include "util/sim_time.h"
+
+namespace {
+
+using namespace p2p;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kIters = 1'000'000;
+
+double time_ns_per_op(std::size_t iters, void (*op)(std::size_t)) {
+  // One warmup pass populates thread-local caches (registry, span buffer)
+  // so the measured pass sees the steady-state path.
+  op(64);
+  auto start = Clock::now();
+  op(iters);
+  auto stop = Clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(iters);
+}
+
+volatile std::uint64_t sink;
+
+void op_counter_add(std::size_t n) {
+  auto& counter = obs::MetricsRegistry::global().counter("bench.overhead");
+  for (std::size_t i = 0; i < n; ++i) counter.add(1);
+  sink = counter.value();
+}
+
+void op_gauge_set(std::size_t n) {
+  auto& gauge = obs::MetricsRegistry::global().gauge("bench.overhead_gauge");
+  for (std::size_t i = 0; i < n; ++i) gauge.set(static_cast<std::int64_t>(i));
+  sink = static_cast<std::uint64_t>(gauge.value());
+}
+
+void op_span_disabled(std::size_t n) {
+  // The common case: OBS_SPAN at a call site while no --profile is active.
+  for (std::size_t i = 0; i < n; ++i) {
+    OBS_SPAN("bench.span");
+    sink = i;
+  }
+}
+
+void op_span_enabled(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    OBS_SPAN("bench.span");
+    sink = i;
+  }
+}
+
+void op_progress_suppressed(std::size_t n) {
+  // A throttled reporter drops every tick after the first: the hot path a
+  // study loop pays once per window when --progress is on.
+  static obs::ProgressReporter* reporter = [] {
+    obs::ProgressConfig cfg;
+    cfg.human = true;
+    cfg.throttle = std::chrono::hours(24);
+    static std::ostringstream null_out;
+    static obs::ProgressReporter r(cfg, &null_out);
+    return &r;
+  }();
+  obs::StudyProgress p;
+  p.network = "bench";
+  p.sim_end = util::SimTime::zero() + util::SimDuration::days(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.sim_now = util::SimTime::zero() + util::SimDuration::millis(
+                                            static_cast<std::int64_t>(i));
+    p.events_executed = i;
+    reporter->study_tick(p);
+  }
+  sink = reporter->suppressed();
+}
+
+struct Op {
+  const char* name;
+  void (*fn)(std::size_t);
+  double ceiling_ns;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+
+#ifdef P2P_OBS_DISABLED
+  // Compiled out: everything must cost no more than the loop itself.
+  constexpr double kCounterCeil = 5.0;
+  constexpr double kGaugeCeil = 5.0;
+  constexpr double kSpanOffCeil = 5.0;
+  constexpr double kSpanOnCeil = 5.0;
+  constexpr double kProgressCeil = 10.0;
+#else
+  constexpr double kCounterCeil = 50.0;
+  constexpr double kGaugeCeil = 50.0;
+  constexpr double kSpanOffCeil = 25.0;
+  constexpr double kSpanOnCeil = 2000.0;
+  constexpr double kProgressCeil = 2000.0;
+#endif
+
+  obs::SpanProfiler::global().disable();
+  const Op ops_pre[] = {
+      {"counter_add", op_counter_add, kCounterCeil},
+      {"gauge_set", op_gauge_set, kGaugeCeil},
+      {"span_profiler_off", op_span_disabled, kSpanOffCeil},
+      {"progress_suppressed", op_progress_suppressed, kProgressCeil},
+  };
+
+  bool ok = true;
+  auto run = [&](const Op& op) {
+    double ns = time_ns_per_op(kIters, op.fn);
+    bool pass = ns <= op.ceiling_ns;
+    std::printf("op=%s ns_per_op=%.2f ceiling=%.0f%s\n", op.name, ns,
+                op.ceiling_ns, pass ? "" : " FAIL");
+    if (!pass) ok = false;
+  };
+  for (const auto& op : ops_pre) run(op);
+
+  obs::SpanProfiler::global().enable();
+  run(Op{"span_profiler_on", op_span_enabled, kSpanOnCeil});
+  obs::SpanProfiler::global().disable();
+
+#ifdef P2P_OBS_DISABLED
+  std::printf("flavor=disabled\n");
+#else
+  std::printf("flavor=enabled\n");
+#endif
+
+  if (check && !ok) {
+    std::fprintf(stderr, "obs overhead ceiling exceeded\n");
+    return 1;
+  }
+  return 0;
+}

@@ -44,6 +44,10 @@ std::string dump_metrics_json(const std::string& bench,
 
 core::StudyResult limewire_study_cached() {
   auto cfg = core::limewire_standard();
+  // The cached standard studies record a daily time series so E6 can render
+  // time-resolved curves straight from the recorder. Part of config_hash, so
+  // pre-recorder caches are invalidated once and re-recorded.
+  cfg.timeseries.window = sim::SimDuration::days(1);
   std::string path = cache_path("limewire", cfg.seed);
   std::uint64_t hash = core::config_hash(cfg);
   core::StudyResult result;
@@ -66,6 +70,7 @@ core::StudyResult limewire_study_cached() {
 
 core::StudyResult openft_study_cached() {
   auto cfg = core::openft_standard();
+  cfg.timeseries.window = sim::SimDuration::days(1);
   std::string path = cache_path("openft", cfg.seed);
   std::uint64_t hash = core::config_hash(cfg);
   core::StudyResult result;

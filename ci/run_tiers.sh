@@ -14,7 +14,10 @@
 #             concurrency-bearing layers.
 #   bench     Simulation-core microbench (bench_sim_core --check): asserts
 #             the >=2x scheduling and >=5x copy-reduction floors hold and
-#             leaves bench_sim_core.json behind as a CI artifact.
+#             leaves bench_sim_core.json behind as a CI artifact. Also runs
+#             bench_obs_overhead --check in the release build AND in a
+#             -DP2P_OBS_DISABLED=ON build, pinning the per-op cost ceilings
+#             of the observability primitives in both flavors.
 #   chaos     Faulted --quick studies of both networks: bit-reproducible
 #             under a fixed seed + fault plan, degradation counters obey
 #             their accounting invariants, unknown --faults specs exit
@@ -154,6 +157,29 @@ PY
     ../examples/sweep --quick --seeds 3 --faults moderate --jobs 4 \
       --json sweep_j4.json > /dev/null
     cmp sweep_j1.json sweep_j4.json
+
+    echo "-- time-resolved telemetry of a faulted run (artifacts + determinism)"
+    # One fully-instrumented faulted study: the hourly time series and the
+    # span profile land in ci-chaos/ for artifact upload, and the series
+    # (standalone and embedded in the report) is bit-reproducible.
+    ../examples/limewire_study --quick --seed 7 --faults moderate \
+      --timeseries limewire_faulted.timeseries.jsonl --window 1h \
+      --profile limewire_faulted.trace.json \
+      --json limewire_ts_a.json > /dev/null
+    ../examples/limewire_study --quick --seed 7 --faults moderate \
+      --timeseries limewire_ts_b.jsonl --window 1h \
+      --json limewire_ts_b.json > /dev/null
+    cmp limewire_faulted.timeseries.jsonl limewire_ts_b.jsonl
+    cmp limewire_ts_a.json limewire_ts_b.json
+    grep -q '"timeseries"' limewire_ts_a.json
+    python3 - limewire_faulted.trace.json <<'PY'
+import json, sys
+t = json.load(open(sys.argv[1]))
+events = t["traceEvents"]
+assert events, "profile captured no spans"
+assert all(e["ph"] == "X" and e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+print(f"   {sys.argv[1]}: {len(events)} spans ok")
+PY
     echo "chaos tier passed"
   )
 }
@@ -167,6 +193,18 @@ tier_bench() {
     # root (>=2x events/sec, >=5x fewer copied bytes on a 30-neighbor
     # broadcast); the JSON lands next to the binary for artifact upload.
     ./bench/bench_sim_core --check --json bench_sim_core.json
+
+    echo "-- obs overhead ceilings (enabled flavor)"
+    ./bench/bench_obs_overhead --check | tee bench_obs_overhead.txt
+  )
+
+  echo "-- obs overhead ceilings (P2P_OBS_DISABLED flavor)"
+  cmake -B build-ci-obsoff -S . -DCMAKE_BUILD_TYPE=Release -DP2P_OBS_DISABLED=ON
+  cmake --build build-ci-obsoff -j "${JOBS}" --target bench_obs_overhead
+  (
+    cd build-ci-obsoff
+    ./bench/bench_obs_overhead --check \
+      | tee ../build-ci-release/bench_obs_overhead_disabled.txt
   )
 }
 

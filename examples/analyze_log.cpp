@@ -3,36 +3,58 @@
 // analysis table without re-crawling — the workflow of an analyst working
 // from the study's raw data.
 //
-//   ./analyze_log <log.csv>
+//   ./analyze_log <log.csv> [obs flags]
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "analysis/csv.h"
 #include "analysis/stats.h"
 #include "core/report.h"
 #include "filter/evaluation.h"
 #include "filter/size_filter.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs_cli.h"
 #include "util/strings.h"
+
+namespace {
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <log.csv>"
+            << p2p::examples::ObsCli::kUsage << "\n";
+  return 2;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2p;
-  if (argc != 2) {
-    std::cerr << "usage: " << argv[0] << " <log.csv>\n";
-    return 2;
+  std::string path;
+  examples::ObsCli obs_cli;
+  for (int i = 1; i < argc; ++i) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv[0]);
+    } else if (argv[i][0] != '-' && path.empty()) {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
   }
-  std::ifstream in(argv[1]);
+  if (path.empty()) return usage(argv[0]);
+  if (!obs_cli.activate()) return 2;
+  std::ifstream in(path);
   if (!in) {
-    std::cerr << "cannot open " << argv[1] << "\n";
+    std::cerr << "cannot open " << path << "\n";
     return 1;
   }
   auto records = analysis::read_csv(in);
   if (!records) {
-    std::cerr << argv[1] << ": not a response log written by this framework\n";
+    std::cerr << path << ": not a response log written by this framework\n";
     return 1;
   }
   std::string network = records->empty() ? "unknown" : records->front().network;
   std::cout << "loaded " << util::format_count(records->size()) << " " << network
-            << " responses from " << argv[1] << "\n\n";
+            << " responses from " << path << "\n\n";
 
   core::print_prevalence(std::cout, network, analysis::prevalence(*records));
   core::print_strain_ranking(std::cout, network, analysis::strain_ranking(*records));
@@ -49,5 +71,20 @@ int main(int argc, char** argv) {
   std::vector<filter::FilterEvaluation> evals = {
       filter::evaluate(size_filter, split.evaluation)};
   core::print_filter_comparison(std::cout, network, evals);
+
+  // Offline analysis has no sim clock, so --timeseries yields an empty
+  // series; the flag set stays uniform across every example binary.
+  if (!obs_cli.write_timeseries(obs::TimeSeries{})) return 1;
+  if (!obs_cli.write_profile()) return 1;
+  if (!obs_cli.write_trace()) return 1;
+  if (!obs_cli.metrics_path.empty()) {
+    std::ofstream out(obs_cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << obs_cli.metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(out, obs::MetricsRegistry::global().snapshot());
+    std::cout << "wrote metrics snapshot to " << obs_cli.metrics_path << "\n";
+  }
   return 0;
 }

@@ -7,13 +7,25 @@
 // same 14-day epidemic twice — unprotected and with the filter deployed —
 // and prints the infection curves side by side.
 //
-//   ./epidemic [--days N] [--users N] [--execute-prob P]
+//   ./epidemic [--days N] [--users N] [--execute-prob P] [obs flags]
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "agents/epidemic.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs_cli.h"
 #include "util/strings.h"
 #include "util/table.h"
+
+namespace {
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--days N] [--users N] [--execute-prob P]"
+            << p2p::examples::ObsCli::kUsage << "\n";
+  return 2;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2p;
@@ -22,19 +34,22 @@ int main(int argc, char** argv) {
   base.users = 100;
   base.duration = sim::SimDuration::days(7);
   base.sample_interval = sim::SimDuration::hours(24);
+  examples::ObsCli obs_cli;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
       base.duration = sim::SimDuration::days(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
       base.users = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--execute-prob") == 0 && i + 1 < argc) {
       base.behavior.execute_prob = std::atof(argv[++i]);
     } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--days N] [--users N] [--execute-prob P]\n";
-      return 2;
+      return usage(argv[0]);
     }
   }
+  if (!obs_cli.activate()) return 2;
 
   std::cout << "Simulating a passive-worm epidemic: " << base.users << " users, "
             << base.initial_infected << " initial worm hosts, "
@@ -68,5 +83,20 @@ int main(int argc, char** argv) {
                                 static_cast<double>(sim_on.user_count()))
             << " (" << util::format_count(sim_on.total_downloads_blocked())
             << " worm downloads blocked)\n";
+
+  // The epidemic has no study loop, so --timeseries yields an empty series;
+  // the flag set stays uniform across every example binary.
+  if (!obs_cli.write_timeseries(obs::TimeSeries{})) return 1;
+  if (!obs_cli.write_profile()) return 1;
+  if (!obs_cli.write_trace()) return 1;
+  if (!obs_cli.metrics_path.empty()) {
+    std::ofstream out(obs_cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << obs_cli.metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(out, obs::MetricsRegistry::global().snapshot());
+    std::cout << "wrote metrics snapshot to " << obs_cli.metrics_path << "\n";
+  }
   return 0;
 }

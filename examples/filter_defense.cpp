@@ -7,32 +7,53 @@
 // slipped through, and how many clean downloads it would have cost.
 //
 //   ./filter_defense [--quick] [--top-strains N] [--sizes-per-strain M]
+//                    [obs flags]
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "core/study.h"
 #include "filter/evaluation.h"
 #include "filter/size_filter.h"
+#include "obs/export.h"
+#include "obs_cli.h"
 #include "util/strings.h"
 #include "util/table.h"
+
+namespace {
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--quick] [--top-strains N] [--sizes-per-strain M]"
+            << p2p::examples::ObsCli::kUsage << "\n";
+  return 2;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2p;
   auto cfg = core::limewire_standard();
   filter::SizeFilterConfig filter_cfg;
+  examples::ObsCli obs_cli;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
       cfg = core::limewire_quick();
     } else if (std::strcmp(argv[i], "--top-strains") == 0 && i + 1 < argc) {
       filter_cfg.top_strains = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--sizes-per-strain") == 0 && i + 1 < argc) {
       filter_cfg.sizes_per_strain = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--quick] [--top-strains N] [--sizes-per-strain M]\n";
-      return 2;
+      return usage(argv[0]);
     }
   }
+  cfg.timeseries = obs_cli.timeseries_config();
+  if (!obs_cli.activate()) return 2;
+  auto progress = obs_cli.make_progress();
+  std::optional<obs::ProgressReporter::Scope> progress_scope;
+  if (progress != nullptr) progress_scope.emplace(*progress);
 
   std::cout << "Crawling to collect training + exposure data...\n";
   auto result = core::run_limewire_study(cfg);
@@ -79,5 +100,18 @@ int main(int argc, char** argv) {
                              static_cast<double>(clean_lost + clean_kept),
                    3)
             << " false positives — the paper's \"over 99% vs very low\" result.\n";
+
+  if (!obs_cli.write_timeseries(result.timeseries)) return 1;
+  if (!obs_cli.write_profile()) return 1;
+  if (!obs_cli.write_trace()) return 1;
+  if (!obs_cli.metrics_path.empty()) {
+    std::ofstream out(obs_cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << obs_cli.metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(out, result.metrics);
+    std::cout << "wrote metrics snapshot to " << obs_cli.metrics_path << "\n";
+  }
   return 0;
 }

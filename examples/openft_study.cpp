@@ -12,18 +12,19 @@
 //   ./openft_study [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]
 //                  [--json <path>] [--record <trace>|--replay <trace>]
 //                  [--faults <preset|spec>] [--fault-seed <n>]
+//                  [obs flags — see examples/obs_cli.h]
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "analysis/csv.h"
 #include "analysis/stats.h"
 #include "core/report.h"
 #include "core/study.h"
 #include "fault/fault.h"
-#include "obs/trace.h"
-#include "sim/event_queue.h"
+#include "obs_cli.h"
 #include "trace/writer.h"
 #include "util/strings.h"
 
@@ -32,10 +33,9 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]"
                " [--json <path>] [--record <trace>|--replay <trace>]"
-               " [--metrics <path>] [--trace <path>]"
-               " [--trace-components <list|all>]"
                " [--faults <none|mild|moderate|severe|k=v,...>]"
-               " [--fault-seed <n>] [--list-presets]\n";
+               " [--fault-seed <n>] [--list-presets]"
+            << p2p::examples::ObsCli::kUsage << "\n";
   return 2;
 }
 }  // namespace
@@ -45,11 +45,14 @@ int main(int argc, char** argv) {
   auto cfg = core::openft_standard();
   bool quick = false;
   std::string csv_path, json_path, record_path, replay_path;
-  std::string metrics_path, trace_path, trace_spec = "all";
   std::string faults_spec;
   std::uint64_t fault_seed = 0;
+  examples::ObsCli obs_cli;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
       cfg = core::openft_quick();
       quick = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
@@ -62,15 +65,6 @@ int main(int argc, char** argv) {
       record_path = argv[++i];
     } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
       replay_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
-      metrics_path = argv[++i];
-      // Per-event wall timing is opt-in (two steady_clock reads per event);
-      // a metrics snapshot is the one consumer of sim.event_wall_ns.
-      p2p::sim::EventQueue::set_default_wall_timing(true);
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace-components") == 0 && i + 1 < argc) {
-      trace_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--no-superspreader") == 0) {
       cfg.population.enable_superspreader = false;
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
@@ -84,6 +78,7 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  cfg.timeseries = obs_cli.timeseries_config();
   if (!record_path.empty() && !replay_path.empty()) {
     std::cerr << "--record and --replay are mutually exclusive\n";
     return 2;
@@ -99,6 +94,9 @@ int main(int argc, char** argv) {
       std::cout << "Fault injection: " << fault::describe(cfg.faults) << "\n";
     }
   }
+
+  if (!obs_cli.activate()) return 2;
+  auto progress = obs_cli.make_progress();
 
   core::StudyResult result;
   if (!replay_path.empty()) {
@@ -116,11 +114,8 @@ int main(int argc, char** argv) {
               << cfg.seed
               << (cfg.population.enable_superspreader ? "" : " (no super-spreader)")
               << "\n";
-    if (!trace_path.empty() &&
-        !obs::TraceBuffer::global().enable_from_spec(trace_spec)) {
-      std::cerr << "unknown trace component in: " << trace_spec << "\n";
-      return 2;
-    }
+    std::optional<obs::ProgressReporter::Scope> progress_scope;
+    if (progress != nullptr) progress_scope.emplace(*progress);
     std::unique_ptr<trace::TraceWriter> writer;
     if (!record_path.empty()) {
       trace::TraceHeader header;
@@ -157,6 +152,7 @@ int main(int argc, char** argv) {
   auto report = core::build_report(result.records, "openft");
   core::attach_fault_report(report, result.faults_enabled, result.fault_counters,
                             result.crawl_stats);
+  report.timeseries = result.timeseries;
   core::print_prevalence(std::cout, "openft", report.prevalence);
   core::print_strain_ranking(std::cout, "openft", report.strain_ranking);
   core::print_sources(std::cout, "openft", report.sources, report.strain_sources);
@@ -182,27 +178,18 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << util::format_count(result.records.size())
               << " records to " << csv_path << "\n";
   }
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
+  if (!obs_cli.metrics_path.empty()) {
+    std::ofstream out(obs_cli.metrics_path);
     if (!out) {
-      std::cerr << "cannot write " << metrics_path << "\n";
+      std::cerr << "cannot write " << obs_cli.metrics_path << "\n";
       return 1;
     }
     obs::write_json(out, result.metrics);
     core::print_metrics(std::cout, "openft", result.metrics);
-    std::cout << "wrote metrics snapshot to " << metrics_path << "\n";
+    std::cout << "wrote metrics snapshot to " << obs_cli.metrics_path << "\n";
   }
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::cerr << "cannot write " << trace_path << "\n";
-      return 1;
-    }
-    const auto& buf = obs::TraceBuffer::global();
-    buf.write_jsonl(out);
-    std::cout << "wrote " << util::format_count(buf.size()) << " trace events ("
-              << util::format_count(buf.dropped()) << " dropped) to "
-              << trace_path << "\n";
-  }
+  if (!obs_cli.write_timeseries(result.timeseries)) return 1;
+  if (!obs_cli.write_profile()) return 1;
+  if (!obs_cli.write_trace()) return 1;
   return 0;
 }

@@ -4,30 +4,46 @@
 // observational half of "we instrument two different open source P2P
 // networks".
 //
-//   ./query_observatory [--hours N] [--leaves N]
+//   ./query_observatory [--hours N] [--leaves N] [obs flags]
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "agents/churn.h"
 #include "agents/population.h"
 #include "crawler/observatory.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs_cli.h"
 #include "util/strings.h"
 #include "util/table.h"
+
+namespace {
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--hours N] [--leaves N]"
+            << p2p::examples::ObsCli::kUsage << "\n";
+  return 2;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2p;
   int hours = 12;
   std::size_t leaves = 200;
+  examples::ObsCli obs_cli;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
       hours = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--leaves") == 0 && i + 1 < argc) {
       leaves = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else {
-      std::cerr << "usage: " << argv[0] << " [--hours N] [--leaves N]\n";
-      return 2;
+      return usage(argv[0]);
     }
   }
+  if (!obs_cli.activate()) return 2;
 
   sim::Network net(4711);
   agents::GnutellaPopulationConfig pop_cfg;
@@ -72,5 +88,20 @@ int main(int argc, char** argv) {
             << " (catalog Zipf exponent: " << -pop_cfg.corpus.zipf_exponent
             << "; an observed slope of similar magnitude validates the "
                "crawler's popularity-weighted replay workload)\n";
+
+  // The observatory runs the sim in one shot rather than a study loop, so
+  // --timeseries yields an empty series; the flag set stays uniform.
+  if (!obs_cli.write_timeseries(obs::TimeSeries{})) return 1;
+  if (!obs_cli.write_profile()) return 1;
+  if (!obs_cli.write_trace()) return 1;
+  if (!obs_cli.metrics_path.empty()) {
+    std::ofstream out(obs_cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << obs_cli.metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(out, obs::MetricsRegistry::global().snapshot());
+    std::cout << "wrote metrics snapshot to " << obs_cli.metrics_path << "\n";
+  }
   return 0;
 }

@@ -2,36 +2,55 @@
 // networks and print the headline results (malware prevalence, strain
 // concentration, sources, and the filtering comparison).
 //
-//   ./quickstart [--standard] [--list-presets]
+//   ./quickstart [--standard] [--list-presets] [obs flags]
 //
 // The default "quick" preset simulates ~8 hours of crawling in a couple of
 // seconds; --standard runs the full 30-day configuration the benches use.
 #include <cstring>
 #include <iostream>
+#include <optional>
 
 #include "analysis/stats.h"
 #include "core/report.h"
 #include "core/study.h"
 #include "filter/limewire_builtin.h"
 #include "filter/size_filter.h"
+#include "obs_cli.h"
+
+namespace {
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--standard] [--list-presets]"
+            << p2p::examples::ObsCli::kUsage << "\n";
+  return 2;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2p;
   bool standard = false;
+  examples::ObsCli obs_cli;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--standard") == 0) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--standard") == 0) {
       standard = true;
     } else if (std::strcmp(argv[i], "--list-presets") == 0) {
       core::print_presets(std::cout);
       return 0;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--standard] [--list-presets]\n";
-      return 2;
+      return usage(argv[0]);
     }
   }
+  if (!obs_cli.activate()) return 2;
+  auto progress = obs_cli.make_progress();
+  std::optional<obs::ProgressReporter::Scope> progress_scope;
+  if (progress != nullptr) progress_scope.emplace(*progress);
 
   auto lw_cfg = standard ? core::limewire_standard() : core::limewire_quick();
   auto ft_cfg = standard ? core::openft_standard() : core::openft_quick();
+  lw_cfg.timeseries = obs_cli.timeseries_config();
+  ft_cfg.timeseries = obs_cli.timeseries_config();
 
   std::cout << "Running LimeWire study ("
             << lw_cfg.crawl.duration.count_ms() / 3'600'000 << "h simulated)...\n";
@@ -69,5 +88,21 @@ int main(int argc, char** argv) {
       filter::evaluate(size_filter, split.evaluation),
   };
   core::print_filter_comparison(std::cout, "limewire", evals);
+
+  // The standalone timeseries export carries the LimeWire run's series (the
+  // OpenFT run reuses the registry after its own reset; each study's series
+  // rides in its own StudyResult).
+  if (!obs_cli.write_timeseries(lw.timeseries)) return 1;
+  if (!obs_cli.write_profile()) return 1;
+  if (!obs_cli.write_trace()) return 1;
+  if (!obs_cli.metrics_path.empty()) {
+    std::ofstream out(obs_cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << obs_cli.metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(out, ft.metrics);
+    std::cout << "wrote metrics snapshot to " << obs_cli.metrics_path << "\n";
+  }
   return 0;
 }

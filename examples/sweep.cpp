@@ -22,6 +22,7 @@
 
 #include "core/report.h"
 #include "fault/fault.h"
+#include "obs_cli.h"
 #include "sweep/sweep.h"
 #include "util/table.h"
 
@@ -34,7 +35,8 @@ int usage(const char* argv0) {
                " [--days <n> | --hours <n>] [--jobs <n>] [--json <path>]"
                " [--record <dir>|--replay <dir>]"
                " [--faults <none|mild|moderate|severe|k=v,...>]"
-               " [--fault-seed <n>] [--list-presets]\n";
+               " [--fault-seed <n>] [--list-presets]"
+            << p2p::examples::ObsCli::kUsage << "\n";
   return 2;
 }
 
@@ -64,8 +66,12 @@ int main(int argc, char** argv) {
   sweep::PlanConfig plan;
   sweep::SweepOptions options;
   std::string json_path, record_dir, replay_dir;
+  examples::ObsCli obs_cli;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
       std::string name = argv[++i];
       if (name == "limewire") {
         plan.network = sweep::NetworkKind::kLimewire;
@@ -122,6 +128,10 @@ int main(int argc, char** argv) {
     std::cerr << "--record and --replay are mutually exclusive\n";
     return 2;
   }
+  plan.timeseries = obs_cli.timeseries_config();
+  if (!obs_cli.activate()) return 2;
+  auto progress = obs_cli.make_progress();
+  options.progress = progress.get();
   if (!record_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(record_dir, ec);
@@ -178,5 +188,29 @@ int main(int argc, char** argv) {
     sweep::write_json(out, result);
     std::cout << "\nwrote " << json_path << "\n";
   }
+  if (!obs_cli.metrics_path.empty()) {
+    std::ofstream out(obs_cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << obs_cli.metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(out, obs::MetricsRegistry::global().snapshot());
+    std::cout << "wrote metrics snapshot to " << obs_cli.metrics_path << "\n";
+  }
+  if (!obs_cli.timeseries_path.empty()) {
+    // The sweep's per-task series live in the JSON report; the standalone
+    // export carries the first task's series (one seed's time-resolved
+    // view, same bytes for any --jobs).
+    obs::TimeSeries first;
+    for (const auto& task : result.tasks) {
+      if (task.ok && !task.timeseries.empty()) {
+        first = task.timeseries;
+        break;
+      }
+    }
+    if (!obs_cli.write_timeseries(first)) return 1;
+  }
+  if (!obs_cli.write_profile()) return 1;
+  if (!obs_cli.write_trace()) return 1;
   return result.all_ok() ? 0 : 1;
 }

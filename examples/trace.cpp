@@ -15,12 +15,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "analysis/csv.h"
 #include "core/report.h"
 #include "core/study.h"
 #include "obs/metrics.h"
+#include "obs_cli.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
 #include "util/strings.h"
@@ -35,17 +37,23 @@ int usage(const char* argv0) {
             << "  inspect <file>\n"
             << "  replay <file> [--json <path>]\n"
             << "  cat <file> [--csv <path>]\n"
-            << "  --list-presets\n";
+            << "  --list-presets\n"
+            << "every command also accepts the obs flags:\n "
+            << examples::ObsCli::kUsage << "\n";
   return 2;
 }
 
-int cmd_record(int argc, char** argv, const char* argv0) {
+int cmd_record(int argc, char** argv, const char* argv0,
+               examples::ObsCli& obs_cli) {
   std::string network = "limewire", file;
   bool quick = false;
   std::uint64_t seed = 0;
   bool seed_set = false;
   for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv0);
+    } else if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
       network = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -61,6 +69,10 @@ int cmd_record(int argc, char** argv, const char* argv0) {
   if (file.empty() || (network != "limewire" && network != "openft")) {
     return usage(argv0);
   }
+  if (!obs_cli.activate()) return 2;
+  auto progress = obs_cli.make_progress();
+  std::optional<obs::ProgressReporter::Scope> progress_scope;
+  if (progress != nullptr) progress_scope.emplace(*progress);
 
   trace::TraceHeader header;
   header.network = network;
@@ -69,6 +81,7 @@ int cmd_record(int argc, char** argv, const char* argv0) {
   if (network == "limewire") {
     auto cfg = quick ? core::limewire_quick() : core::limewire_standard();
     if (seed_set) cfg.seed = seed;
+    cfg.timeseries = obs_cli.timeseries_config();
     header.config_hash = core::config_hash(cfg);
     header.seed = cfg.seed;
     header.crawl_duration_ms = cfg.crawl.duration.count_ms();
@@ -90,6 +103,7 @@ int cmd_record(int argc, char** argv, const char* argv0) {
   } else {
     auto cfg = quick ? core::openft_quick() : core::openft_standard();
     if (seed_set) cfg.seed = seed;
+    cfg.timeseries = obs_cli.timeseries_config();
     header.config_hash = core::config_hash(cfg);
     header.seed = cfg.seed;
     header.crawl_duration_ms = cfg.crawl.duration.count_ms();
@@ -109,6 +123,7 @@ int cmd_record(int argc, char** argv, const char* argv0) {
               << " records (" << util::format_count(writer.bytes_written())
               << " bytes) to " << file << "\n";
   }
+  if (!obs_cli.write_timeseries(result.timeseries)) return 1;
   return 0;
 }
 
@@ -156,7 +171,8 @@ int cmd_inspect(const std::string& file) {
   return 0;
 }
 
-int cmd_replay(const std::string& file, const std::string& json_path) {
+int cmd_replay(const std::string& file, const std::string& json_path,
+               const examples::ObsCli& obs_cli) {
   auto start = std::chrono::steady_clock::now();
   trace::TraceData data = trace::read_trace_file(file);
   if (!data.ok()) {
@@ -188,6 +204,7 @@ int cmd_replay(const std::string& file, const std::string& json_path) {
     core::attach_fault_report(report, data.summary->faults_enabled,
                               data.summary->fault_counters,
                               data.summary->crawl_stats);
+    report.timeseries = data.summary->timeseries;
   }
   core::print_prevalence(std::cout, report.network, report.prevalence);
   core::print_strain_ranking(std::cout, report.network, report.strain_ranking);
@@ -204,6 +221,7 @@ int cmd_replay(const std::string& file, const std::string& json_path) {
     core::write_report_json(out, report);
     std::cout << "wrote report JSON to " << json_path << "\n";
   }
+  if (!obs_cli.write_timeseries(report.timeseries)) return 1;
   return 0;
 }
 
@@ -232,6 +250,23 @@ int cmd_cat(const std::string& file, const std::string& csv_path) {
   return 0;
 }
 
+// Obs outputs shared by every command (the timeseries export is per-command:
+// record/replay have a real series to write, inspect/cat none).
+int write_obs_outputs(const examples::ObsCli& obs_cli) {
+  if (!obs_cli.metrics_path.empty()) {
+    std::ofstream out(obs_cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << obs_cli.metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(out, obs::MetricsRegistry::global().snapshot());
+    std::cout << "wrote metrics snapshot to " << obs_cli.metrics_path << "\n";
+  }
+  if (!obs_cli.write_profile()) return 1;
+  if (!obs_cli.write_trace()) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,12 +276,19 @@ int main(int argc, char** argv) {
     core::print_presets(std::cout);
     return 0;
   }
-  if (cmd == "record") return cmd_record(argc - 2, argv + 2, argv[0]);
+  examples::ObsCli obs_cli;
+  if (cmd == "record") {
+    int rc = cmd_record(argc - 2, argv + 2, argv[0], obs_cli);
+    return rc != 0 ? rc : write_obs_outputs(obs_cli);
+  }
 
   // The remaining commands take one file plus optional flags.
   std::string file, json_path, csv_path;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+    bool obs_err = false;
+    if (obs_cli.parse(argc, argv, i, &obs_err)) {
+      if (obs_err) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
@@ -256,8 +298,18 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (cmd == "inspect" && !file.empty()) return cmd_inspect(file);
-  if (cmd == "replay" && !file.empty()) return cmd_replay(file, json_path);
-  if (cmd == "cat" && !file.empty()) return cmd_cat(file, csv_path);
-  return usage(argv[0]);
+  if (!obs_cli.activate()) return 2;
+  int rc;
+  if (cmd == "inspect" && !file.empty()) {
+    rc = cmd_inspect(file);
+    if (rc == 0 && !obs_cli.write_timeseries(obs::TimeSeries{})) rc = 1;
+  } else if (cmd == "replay" && !file.empty()) {
+    rc = cmd_replay(file, json_path, obs_cli);
+  } else if (cmd == "cat" && !file.empty()) {
+    rc = cmd_cat(file, csv_path);
+    if (rc == 0 && !obs_cli.write_timeseries(obs::TimeSeries{})) rc = 1;
+  } else {
+    return usage(argv[0]);
+  }
+  return rc != 0 ? rc : write_obs_outputs(obs_cli);
 }

@@ -172,6 +172,13 @@ void write_report_json(std::ostream& out, const Report& r) {
   }
   out << "]";
 
+  // Emitted only for runs that recorded a series, keeping unrecorded
+  // reports byte-identical to pre-timeseries builds.
+  if (!r.timeseries.empty()) {
+    out << ",\"timeseries\":";
+    obs::write_timeseries_json(out, r.timeseries);
+  }
+
   // Emitted only for fault-injected runs, keeping fault-free reports
   // byte-identical to pre-fault builds.
   if (r.faults.enabled) {

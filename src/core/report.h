@@ -18,6 +18,7 @@
 #include "fault/fault.h"               // FaultCounters
 #include "filter/evaluation.h"
 #include "obs/export.h"
+#include "obs/timeseries.h"
 
 namespace p2p::core {
 
@@ -58,6 +59,10 @@ struct Report {
   std::vector<filter::FilterEvaluation> filter_evals;
   /// Set via attach_fault_report; default (disabled) emits nothing.
   FaultReport faults;
+  /// Windowed counter/gauge series from the run. Emitted in the JSON only
+  /// when non-empty, so unrecorded reports stay byte-identical to
+  /// pre-timeseries builds.
+  obs::TimeSeries timeseries;
 };
 
 /// Fill the report's fault appendix from a run's fault record — works for

@@ -9,6 +9,9 @@
 #include "crawler/workload.h"
 #include "fault/chaos.h"
 #include "malware/scanner.h"
+#include "obs/profile.h"
+#include "obs/progress.h"
+#include "obs/timeseries.h"
 #include "sim/network.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
@@ -90,6 +93,58 @@ sim::SimTime study_end(const crawler::CrawlConfig& crawl) {
   // Small grace period so in-flight hits/downloads at crawl end settle.
   return sim::SimTime::zero() + crawl.warmup + crawl.duration +
          sim::SimDuration::minutes(10);
+}
+
+struct ProgressCounters {
+  std::uint64_t responses = 0;
+  std::uint64_t degraded = 0;
+};
+
+// The study's event loop. Plain run_until when nothing time-resolved is
+// wanted; otherwise tiled at window boundaries — run_until executes every
+// event with at <= until and then advances the clock, so the tiling is
+// exactly behavior-neutral (same events, same order, same records) and only
+// adds the between-event sampling/progress hooks. `counters` supplies the
+// live response/degradation totals for progress lines.
+template <typename CountersFn>
+obs::TimeSeries run_study_loop(sim::Network& net,
+                               const crawler::CrawlConfig& crawl,
+                               const obs::TimeSeriesConfig& ts,
+                               std::string_view network, CountersFn&& counters) {
+  OBS_SPAN("study.run");
+  sim::SimTime end = study_end(crawl);
+  obs::ProgressReporter* progress = obs::ProgressReporter::current();
+  bool want_progress = progress != nullptr && progress->enabled();
+  if (!ts.enabled() && !want_progress) {
+    net.events().run_until(end);
+    return {};
+  }
+  // Progress without a time series still needs boundaries to report at:
+  // ~1% of the run, but no finer than a simulated minute.
+  sim::SimDuration step =
+      ts.enabled() ? ts.window
+                   : std::max(sim::SimDuration::minutes(1),
+                              (end - sim::SimTime::zero()) / 100);
+  obs::TimeSeriesRecorder recorder(obs::MetricsRegistry::global(), ts);
+  sim::SimTime t = sim::SimTime::zero();
+  while (t < end) {
+    t = std::min(t + step, end);
+    net.events().run_until(t);
+    recorder.sample(t);
+    if (want_progress) {
+      ProgressCounters c = counters();
+      obs::StudyProgress p;
+      p.network = network;
+      p.sim_now = t;
+      p.sim_end = end;
+      p.events_executed = net.events().executed();
+      p.responses = c.responses;
+      p.degraded = c.degraded;
+      p.final = t == end;
+      progress->study_tick(p);
+    }
+  }
+  return recorder.take();
 }
 
 // Order-dependent field mixer for config_hash: every field is folded
@@ -202,6 +257,17 @@ void hash_faults(ConfigHasher& h, const fault::FaultSpec& f,
   h.f64(f.scan_timeout);
   h.u64(fault_seed);
 }
+
+void hash_timeseries(ConfigHasher& h, const obs::TimeSeriesConfig& t) {
+  // Same back-compat rule as the fetch policy / faults: digests of
+  // pre-existing configs (and the traces keyed on them) are unchanged.
+  // An enabled series changes what a study result and its persisted trace
+  // contain, so caches must not serve across the change.
+  if (!t.enabled()) return;
+  h.str("timeseries");
+  h.dur(t.window);
+  h.u64(t.max_windows);
+}
 }  // namespace
 
 std::uint64_t config_hash(const LimewireStudyConfig& config) {
@@ -230,6 +296,7 @@ std::uint64_t config_hash(const LimewireStudyConfig& config) {
   h.u64(config.workload_top_n);
   h.u64(config.crawler_count);
   hash_faults(h, config.faults, config.fault_seed);
+  hash_timeseries(h, config.timeseries);
   return h.digest();
 }
 
@@ -259,6 +326,7 @@ std::uint64_t config_hash(const OpenFtStudyConfig& config) {
   hash_crawl(h, config.crawl);
   h.u64(config.workload_top_n);
   hash_faults(h, config.faults, config.fault_seed);
+  hash_timeseries(h, config.timeseries);
   return h.digest();
 }
 
@@ -274,7 +342,10 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
     injector = std::make_unique<fault::FaultInjector>(config.faults, fault_seed);
     net.set_fault_hook(injector.get());
   }
-  auto pop = agents::build_gnutella_population(net, config.population);
+  auto pop = [&] {
+    OBS_SPAN("study.setup");
+    return agents::build_gnutella_population(net, config.population);
+  }();
   auto scanner = std::make_shared<malware::Scanner>(pop.strain_catalog.strains);
   auto workload = crawler::QueryWorkload::popular_from_catalog(
       *pop.catalog, config.workload_top_n, pop.lure_queries);
@@ -310,9 +381,21 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
     crash_driver->start();
   }
 
-  net.events().run_until(study_end(config.crawl));
+  obs::TimeSeries series = run_study_loop(
+      net, config.crawl, config.timeseries, "limewire", [&crawlers] {
+        ProgressCounters c;
+        for (const auto& cr : crawlers) {
+          const auto& s = cr->stats();
+          c.responses += s.responses;
+          c.degraded +=
+              s.downloads_failed + s.downloads_abandoned + s.scan_timeouts;
+        }
+        return c;
+      });
 
+  OBS_SPAN("study.finalize");
   StudyResult result;
+  result.timeseries = std::move(series);
   for (auto& c : crawlers) {
     c->finalize();
     auto records = c->take_records();
@@ -371,7 +454,10 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config,
     injector = std::make_unique<fault::FaultInjector>(config.faults, fault_seed);
     net.set_fault_hook(injector.get());
   }
-  auto pop = agents::build_openft_population(net, config.population);
+  auto pop = [&] {
+    OBS_SPAN("study.setup");
+    return agents::build_openft_population(net, config.population);
+  }();
   auto scanner = std::make_shared<malware::Scanner>(pop.strain_catalog.strains);
   auto workload = crawler::QueryWorkload::popular_from_catalog(
       *pop.catalog, config.workload_top_n, pop.lure_queries);
@@ -407,10 +493,21 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config,
     crash_driver->start();
   }
 
-  net.events().run_until(study_end(config.crawl));
+  obs::TimeSeries series = run_study_loop(
+      net, config.crawl, config.timeseries, "openft", [&crawl] {
+        ProgressCounters c;
+        const auto& s = crawl.stats();
+        c.responses = s.responses;
+        c.degraded =
+            s.downloads_failed + s.downloads_abandoned + s.scan_timeouts;
+        return c;
+      });
+
+  OBS_SPAN("study.finalize");
   crawl.finalize();
 
   StudyResult result;
+  result.timeseries = std::move(series);
   result.records = crawl.take_records();
   result.crawl_stats = crawl.stats();
   result.strain_catalog = pop.strain_catalog;
@@ -438,6 +535,7 @@ trace::StudySummary study_summary(const StudyResult& result) {
   summary.metrics = result.metrics;
   summary.faults_enabled = result.faults_enabled;
   summary.fault_counters = result.fault_counters;
+  summary.timeseries = result.timeseries;
   return summary;
 }
 
@@ -451,10 +549,12 @@ void apply_summary(const trace::StudySummary& summary, StudyResult& result) {
   result.metrics = summary.metrics;
   result.faults_enabled = summary.faults_enabled;
   result.fault_counters = summary.fault_counters;
+  result.timeseries = summary.timeseries;
 }
 
 bool save_study_trace(const std::string& path, const StudyResult& result,
                       const trace::TraceHeader& header) {
+  OBS_SPAN("trace.save_study");
   trace::TraceWriter writer(path, header);
   for (const auto& rec : result.records) writer.on_record(rec);
   writer.write_summary(study_summary(result));
@@ -464,6 +564,7 @@ bool save_study_trace(const std::string& path, const StudyResult& result,
 
 bool load_study_trace(const std::string& path, StudyResult& result,
                       std::uint64_t expected_config_hash) {
+  OBS_SPAN("trace.load_study");
   trace::TraceData data = trace::read_trace_file(path);
   if (!data.ok() || !data.stats.clean()) return false;
   if (expected_config_hash != 0 &&

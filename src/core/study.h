@@ -15,6 +15,7 @@
 #include "fault/fault.h"
 #include "malware/catalogs.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "trace/codec.h"
 
 namespace p2p::core {
@@ -35,6 +36,10 @@ struct LimewireStudyConfig {
   /// Seed of the fault schedule; 0 derives it from `seed` so one --seed
   /// still controls the whole run.
   std::uint64_t fault_seed = 0;
+  /// Windowed metric sampling (disabled by default). When enabled the run
+  /// loop tiles at window boundaries — behavior-neutral — and the result
+  /// carries a TimeSeries. Folded into config_hash only when enabled.
+  obs::TimeSeriesConfig timeseries{};
 };
 
 struct OpenFtStudyConfig {
@@ -46,6 +51,8 @@ struct OpenFtStudyConfig {
   /// Fault plan and schedule seed; see LimewireStudyConfig.
   fault::FaultSpec faults{};
   std::uint64_t fault_seed = 0;
+  /// Windowed metric sampling; see LimewireStudyConfig.
+  obs::TimeSeriesConfig timeseries{};
 };
 
 /// Enable a fault plan on a study config: stores the spec + schedule seed
@@ -74,6 +81,9 @@ struct StudyResult {
   /// all-zero (and out of the JSON report) for fault-free runs.
   bool faults_enabled = false;
   fault::FaultCounters fault_counters{};
+  /// Windowed counter deltas / gauge values over the run; empty (and out
+  /// of every export) unless the config enabled time-series recording.
+  obs::TimeSeries timeseries;
 };
 
 /// Presets. `standard` runs the paper-scale month; `quick` is a scaled-down

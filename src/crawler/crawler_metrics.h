@@ -20,6 +20,9 @@ struct CrawlerMetrics {
   obs::Counter& downloads_abandoned = r.counter("crawler.downloads_abandoned");
   obs::Counter& hosts_quarantined = r.counter("crawler.hosts_quarantined");
   obs::Counter& scan_timeouts = r.counter("crawler.scan_timeouts");
+  /// Infected contents found at scan time (download-complete), so windowed
+  /// series see infections when they happen, not at finalize().
+  obs::Counter& infected_detected = r.counter("crawler.infected_detected");
   obs::Counter& bytes_downloaded = r.counter("crawler.bytes_downloaded");
   obs::Counter& distinct_contents = r.counter("crawler.distinct_contents");
   /// Sim-time gap between a query leaving the vantage point and each hit

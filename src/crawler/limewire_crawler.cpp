@@ -5,6 +5,7 @@
 #include "crawler/crawler_metrics.h"
 #include "fault/fault.h"
 #include "files/hash.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace p2p::crawler {
@@ -61,6 +62,7 @@ void LimewireCrawler::start() {
 }
 
 void LimewireCrawler::issue_next_query() {
+  OBS_SPAN("crawler.query_cycle");
   if (net_.now() >= end_time_) return;
   const QueryItem& item = workload_.sample(rng_);
   gnutella::Guid guid =
@@ -303,6 +305,7 @@ void LimewireCrawler::on_download(const gnutella::DownloadOutcome& outcome) {
   label.strain_name = label.infected ? scanner_->strain_name(label.strain) : "";
   label.type_by_magic = files::classify_magic(outcome.content);
   label.size = outcome.content.size();
+  if (label.infected) m.infected_detected.add(1);
   labels_.put(key, std::move(label));
   ++stats_.distinct_contents;
   m.distinct_contents.add(1);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "files/zip.h"
+#include "obs/profile.h"
 
 namespace p2p::files {
 
@@ -54,6 +55,7 @@ ContentCatalog::ContentCatalog(const CorpusConfig& config)
   if (config.num_titles == 0) {
     throw std::invalid_argument("ContentCatalog: num_titles must be > 0");
   }
+  OBS_SPAN("corpus.build");
   util::Rng rng(config.seed);
   const std::array<double, 6> weights{config.frac_audio,      config.frac_video,
                                       config.frac_executable, config.frac_archive,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -587,6 +588,7 @@ void Servent::handle_pong(const Message& msg) {
 }
 
 void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& msg) {
+  OBS_SPAN("gnutella.handle_query");
   (void)state;
   auto& m = GnutellaMetrics::get();
   if (already_seen(msg.header.guid)) {

@@ -1,0 +1,187 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "obs/json.h"
+
+namespace p2p::obs {
+
+namespace {
+
+thread_local ProgressReporter* t_current = nullptr;
+
+std::string format_si(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(ProgressConfig config,
+                                   std::ostream* human_out, ClockFn clock)
+    : config_(std::move(config)),
+      human_out_(human_out != nullptr ? human_out : &std::cerr),
+      clock_(std::move(clock)) {
+  if (!config_.jsonl_path.empty()) {
+    jsonl_.open(config_.jsonl_path, std::ios::binary);
+  }
+}
+
+ProgressReporter* ProgressReporter::current() { return t_current; }
+
+ProgressReporter::Scope::Scope(ProgressReporter& reporter)
+    : previous_(t_current) {
+  t_current = &reporter;
+}
+
+ProgressReporter::Scope::~Scope() { t_current = previous_; }
+
+ProgressReporter::TimePoint ProgressReporter::now() const {
+  return clock_ ? clock_() : std::chrono::steady_clock::now();
+}
+
+bool ProgressReporter::should_emit(bool final) {
+  TimePoint t = now();
+  if (!started_) {
+    started_ = true;
+    start_ = t;
+    last_emit_ = t - config_.throttle;  // first tick always emits
+    last_events_at_ = t;
+  }
+  if (!final && t - last_emit_ < config_.throttle) {
+    ++suppressed_;
+    return false;
+  }
+  last_emit_ = t;
+  ++emitted_;
+  return true;
+}
+
+void ProgressReporter::emit_line(const std::string& human,
+                                 const std::string& json) {
+  if (config_.human && human_out_ != nullptr) {
+    *human_out_ << human << "\n";
+    human_out_->flush();
+  }
+  if (jsonl_.is_open()) {
+    jsonl_ << json << "\n";
+    jsonl_.flush();
+  }
+}
+
+void ProgressReporter::study_tick(const StudyProgress& p) {
+#ifndef P2P_OBS_DISABLED
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TimePoint t = now();
+  if (!should_emit(p.final)) return;
+
+  // Events/sec over the interval since the last accounted tick; ETA from
+  // overall wall elapsed vs sim fraction completed.
+  double interval_s =
+      std::chrono::duration<double>(t - last_events_at_).count();
+  double events_per_sec =
+      interval_s > 0.0
+          ? static_cast<double>(p.events_executed - last_events_) / interval_s
+          : 0.0;
+  last_events_ = p.events_executed;
+  last_events_at_ = t;
+
+  double total_ms = static_cast<double>(p.sim_end.millis());
+  double frac = total_ms > 0.0
+                    ? static_cast<double>(p.sim_now.millis()) / total_ms
+                    : 1.0;
+  double elapsed_s = std::chrono::duration<double>(t - start_).count();
+  double eta_s = (frac > 0.0 && frac < 1.0)
+                     ? std::max(0.0, elapsed_s * (1.0 - frac) / frac)
+                     : 0.0;
+
+  char human[256];
+  double day_now = static_cast<double>(p.sim_now.millis()) / 86'400'000.0;
+  double day_end = static_cast<double>(p.sim_end.millis()) / 86'400'000.0;
+  std::snprintf(human, sizeof(human),
+                "[%.*s] day %.2f/%.2f (%3.0f%%) | %s events | %s ev/s | "
+                "eta %.0fs | responses %llu | degraded %llu%s",
+                static_cast<int>(p.network.size()), p.network.data(), day_now,
+                day_end, frac * 100.0,
+                format_si(static_cast<double>(p.events_executed)).c_str(),
+                format_si(events_per_sec).c_str(), eta_s,
+                static_cast<unsigned long long>(p.responses),
+                static_cast<unsigned long long>(p.degraded),
+                p.final ? " | done" : "");
+
+  std::string json = "{\"type\":\"study\",\"network\":\"";
+  json += json_escape(p.network);
+  json += "\",\"sim_ms\":" + std::to_string(p.sim_now.millis());
+  json += ",\"sim_end_ms\":" + std::to_string(p.sim_end.millis());
+  json += ",\"events\":" + std::to_string(p.events_executed);
+  json += ",\"events_per_sec\":" + json_double(events_per_sec);
+  json += ",\"eta_s\":" + json_double(eta_s);
+  json += ",\"responses\":" + std::to_string(p.responses);
+  json += ",\"degraded\":" + std::to_string(p.degraded);
+  json += std::string(",\"final\":") + (p.final ? "true" : "false") + "}";
+
+  emit_line(human, json);
+#else
+  (void)p;
+#endif
+}
+
+void ProgressReporter::sweep_tick(const SweepProgress& p) {
+#ifndef P2P_OBS_DISABLED
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TimePoint t = now();
+  if (!should_emit(p.final)) return;
+
+  double elapsed_s = std::chrono::duration<double>(t - start_).count();
+  double frac = p.total > 0
+                    ? static_cast<double>(p.done) / static_cast<double>(p.total)
+                    : 1.0;
+  double eta_s = (frac > 0.0 && frac < 1.0)
+                     ? std::max(0.0, elapsed_s * (1.0 - frac) / frac)
+                     : 0.0;
+
+  char human[192];
+  std::snprintf(human, sizeof(human),
+                "[sweep] %zu/%zu seeds (%3.0f%%) | %zu failed | seed %llu | "
+                "eta %.0fs%s",
+                p.done, p.total, frac * 100.0, p.failed,
+                static_cast<unsigned long long>(p.seed), eta_s,
+                p.final ? " | done" : "");
+
+  std::string json = "{\"type\":\"sweep\",\"done\":" + std::to_string(p.done);
+  json += ",\"total\":" + std::to_string(p.total);
+  json += ",\"failed\":" + std::to_string(p.failed);
+  json += ",\"seed\":" + std::to_string(p.seed);
+  json += ",\"eta_s\":" + json_double(eta_s);
+  json += std::string(",\"final\":") + (p.final ? "true" : "false") + "}";
+
+  emit_line(human, json);
+#else
+  (void)p;
+#endif
+}
+
+std::uint64_t ProgressReporter::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+std::uint64_t ProgressReporter::suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+}  // namespace p2p::obs

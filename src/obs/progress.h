@@ -1,0 +1,129 @@
+// Live progress channel for long runs: wall-clock-throttled status lines
+// while a study (or sweep) is still going.
+//
+// Two output modes, combinable:
+//  * human — one-line updates to a stream (stderr by default): sim-day
+//    completed/total, events/sec, ETA, and the degradation counters that
+//    matter under fault injection.
+//  * JSONL — machine-readable, one object per update, for tooling (the
+//    future p2p_service streams these).
+//
+// Progress is observability of the *host* run, not of the simulation: it
+// is wall-clock driven, explicitly non-deterministic, and never touches
+// stdout or any byte-comparable artifact (reports, sweep JSON, traces).
+//
+// Threading: ticks are serialized by an internal mutex, so one reporter
+// can take completions from every sweep worker. Studies find their
+// reporter ambiently via ProgressReporter::current() (a thread-local
+// installed with ProgressReporter::Scope) — sweep workers are fresh
+// threads and deliberately inherit none, so a sweep reports per-seed
+// completion, not per-seed inner chatter.
+//
+// The throttle clock is injectable for tests; under P2P_OBS_DISABLED the
+// tick methods compile to no-ops.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/sim_time.h"
+
+namespace p2p::obs {
+
+struct ProgressConfig {
+  /// Emit human-readable lines (to `human_out`, default stderr).
+  bool human = false;
+  /// When non-empty, append one JSON object per update to this file.
+  std::string jsonl_path;
+  /// Minimum wall time between emitted updates; out-of-window ticks are
+  /// counted (suppressed()) but produce no output. Final ticks bypass it.
+  std::chrono::milliseconds throttle{1000};
+
+  [[nodiscard]] bool enabled() const { return human || !jsonl_path.empty(); }
+};
+
+/// One study-progress observation (the study loop produces these at its
+/// window boundaries).
+struct StudyProgress {
+  std::string_view network;
+  util::SimTime sim_now;
+  util::SimTime sim_end;
+  std::uint64_t events_executed = 0;
+  std::uint64_t responses = 0;
+  /// Degradation under faults: failed + abandoned downloads + scan
+  /// timeouts so far (zero on clean runs).
+  std::uint64_t degraded = 0;
+  bool final = false;  // bypasses the throttle
+};
+
+/// One sweep-progress observation (per completed task).
+struct SweepProgress {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  std::size_t failed = 0;
+  std::uint64_t seed = 0;
+  bool final = false;
+};
+
+class ProgressReporter {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  /// Injectable wall clock (tests drive the throttle deterministically).
+  using ClockFn = std::function<TimePoint()>;
+
+  explicit ProgressReporter(ProgressConfig config,
+                            std::ostream* human_out = nullptr,
+                            ClockFn clock = {});
+
+  [[nodiscard]] bool enabled() const { return config_.enabled(); }
+
+  void study_tick(const StudyProgress& p);
+  void sweep_tick(const SweepProgress& p);
+
+  /// Updates that produced output / were swallowed by the throttle.
+  [[nodiscard]] std::uint64_t emitted() const;
+  [[nodiscard]] std::uint64_t suppressed() const;
+
+  /// The calling thread's ambient reporter (nullptr when none installed).
+  static ProgressReporter* current();
+
+  /// Installs a reporter as the calling thread's ambient one for the
+  /// scope's lifetime; scopes nest.
+  class Scope {
+   public:
+    explicit Scope(ProgressReporter& reporter);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ProgressReporter* previous_;
+  };
+
+ private:
+  [[nodiscard]] bool should_emit(bool final);  // callers hold mu_
+  [[nodiscard]] TimePoint now() const;
+  void emit_line(const std::string& human, const std::string& json);
+
+  ProgressConfig config_;
+  std::ostream* human_out_;
+  ClockFn clock_;
+  std::ofstream jsonl_;
+
+  mutable std::mutex mu_;
+  bool started_ = false;
+  TimePoint start_{};
+  TimePoint last_emit_{};
+  std::uint64_t last_events_ = 0;
+  TimePoint last_events_at_{};
+  std::uint64_t emitted_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace p2p::obs

@@ -1,0 +1,102 @@
+#include "obs/timeseries.h"
+
+#include "obs/json.h"
+
+namespace p2p::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(const MetricsRegistry& registry,
+                                       TimeSeriesConfig config)
+    : registry_(&registry), config_(config) {
+#ifndef P2P_OBS_DISABLED
+  // Baseline: counters incremented during setup (before the event loop)
+  // belong to no window.
+  MetricsSnapshot snap = registry_->snapshot();
+  for (const auto& c : snap.counters) last_counters_[c.name] = c.value;
+#endif
+}
+
+void TimeSeriesRecorder::sample(util::SimTime end) {
+#ifndef P2P_OBS_DISABLED
+  if (!config_.enabled()) return;
+  MetricsSnapshot snap = registry_->snapshot();
+  TimeSeries::Window w;
+  w.end_ms = end.millis();
+  for (const auto& c : snap.counters) {
+    std::uint64_t& last = last_counters_[c.name];  // new counters start at 0
+    if (c.value != last) {
+      w.counters.emplace_back(c.name, c.value - last);
+      last = c.value;
+    }
+  }
+  for (const auto& g : snap.gauges) w.gauges.emplace_back(g.name, g.value);
+  if (config_.max_windows > 0 && windows_.size() == config_.max_windows) {
+    windows_.pop_front();
+    ++dropped_;
+  }
+  windows_.push_back(std::move(w));
+#else
+  (void)end;
+#endif
+}
+
+TimeSeries TimeSeriesRecorder::take() {
+  TimeSeries series;
+#ifndef P2P_OBS_DISABLED
+  series.window_ms = config_.window.count_ms();
+  series.windows.assign(std::make_move_iterator(windows_.begin()),
+                        std::make_move_iterator(windows_.end()));
+  series.windows_dropped = dropped_;
+  windows_.clear();
+#endif
+  return series;
+}
+
+namespace {
+
+void write_window_body(std::ostream& out, const TimeSeries::Window& w) {
+  out << "{\"end_ms\":" << w.end_ms << ",\"counters\":{";
+  for (std::size_t i = 0; i < w.counters.size(); ++i) {
+    if (i) out << ",";
+    out << "\"" << json_escape(w.counters[i].first)
+        << "\":" << w.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < w.gauges.size(); ++i) {
+    if (i) out << ",";
+    out << "\"" << json_escape(w.gauges[i].first) << "\":" << w.gauges[i].second;
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void write_timeseries_json(std::ostream& out, const TimeSeries& series) {
+  out << "{\"window_ms\":" << series.window_ms
+      << ",\"dropped\":" << series.windows_dropped << ",\"windows\":[";
+  for (std::size_t i = 0; i < series.windows.size(); ++i) {
+    if (i) out << ",";
+    write_window_body(out, series.windows[i]);
+  }
+  out << "]}";
+}
+
+void write_timeseries_jsonl(std::ostream& out, const TimeSeries& series) {
+  for (const auto& w : series.windows) {
+    write_window_body(out, w);
+    out << "\n";
+  }
+}
+
+void write_timeseries_csv(std::ostream& out, const TimeSeries& series) {
+  out << "end_ms,kind,name,value\n";
+  for (const auto& w : series.windows) {
+    for (const auto& [name, delta] : w.counters) {
+      out << w.end_ms << ",counter," << name << "," << delta << "\n";
+    }
+    for (const auto& [name, value] : w.gauges) {
+      out << w.end_ms << ",gauge," << name << "," << value << "\n";
+    }
+  }
+}
+
+}  // namespace p2p::obs

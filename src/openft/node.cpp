@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/strings.h"
 
@@ -553,6 +554,7 @@ bool share_matches(const std::vector<std::string>& query_tokens,
 
 void FtNode::handle_search_request(sim::ConnId conn, ConnState& state,
                                    const SearchRequest& req) {
+  OBS_SPAN("openft.handle_search");
   (void)state;
   if (!is_search_node()) return;
   if (search_routes_.contains(req.search_id)) return;  // duplicate

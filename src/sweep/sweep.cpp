@@ -13,6 +13,8 @@
 #include "filter/size_filter.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "util/rng.h"
 
 namespace p2p::sweep {
@@ -68,11 +70,13 @@ std::vector<StudyTask> plan(const PlanConfig& config) {
       t.limewire.seed = seeds[i];
       if (config.duration) t.limewire.crawl.duration = *config.duration;
       core::apply_faults(t.limewire, config.faults, config.fault_seed);
+      t.limewire.timeseries = config.timeseries;
     } else {
       t.openft = config.quick ? core::openft_quick() : core::openft_standard();
       t.openft.seed = seeds[i];
       if (config.duration) t.openft.crawl.duration = *config.duration;
       core::apply_faults(t.openft, config.faults, config.fault_seed);
+      t.openft.timeseries = config.timeseries;
     }
     tasks.push_back(std::move(t));
   }
@@ -214,6 +218,8 @@ SweepResult run(std::span<const StudyTask> tasks, const SweepOptions& options) {
   const auto& runner = options.runner;
   auto sweep_start = Clock::now();
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failures{0};
 
   // Workers pull task indices from a shared counter; results land in the
   // slot of their task, so completion order never shows in the output.
@@ -227,12 +233,14 @@ SweepResult run(std::span<const StudyTask> tasks, const SweepOptions& options) {
       tr.seed = task.seed;
       auto t0 = Clock::now();
       try {
+        OBS_SPAN("sweep.task");
         // The task's private metrics window: every metric the study (and
         // the observable extraction) records stays in this registry.
         obs::MetricsRegistry task_registry;
         obs::ScopedMetricsRegistry scope(task_registry);
         core::StudyResult study = runner ? runner(task) : run_task(task);
         tr.values = extract_observables(study, task.network);
+        tr.timeseries = std::move(study.timeseries);
         tr.ok = true;
       } catch (const std::exception& e) {
         tr.error = e.what();
@@ -240,6 +248,17 @@ SweepResult run(std::span<const StudyTask> tasks, const SweepOptions& options) {
         tr.error = "unknown exception";
       }
       tr.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (!tr.ok) failures.fetch_add(1, std::memory_order_relaxed);
+      std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.progress != nullptr && options.progress->enabled()) {
+        obs::SweepProgress p;
+        p.done = completed;
+        p.total = tasks.size();
+        p.failed = failures.load(std::memory_order_relaxed);
+        p.seed = task.seed;
+        p.final = completed == tasks.size();
+        options.progress->sweep_tick(p);
+      }
     }
   };
 
@@ -311,7 +330,14 @@ void write_json(std::ostream& out, const SweepResult& result) {
       first = false;
       out << "\"" << obs::json_escape(name) << "\":" << json_number(value);
     }
-    out << "}}";
+    out << "}";
+    // Per-task series only when the plan recorded one: unrecorded sweep
+    // JSON stays byte-identical to pre-timeseries builds.
+    if (!t.timeseries.empty()) {
+      out << ",\"timeseries\":";
+      obs::write_timeseries_json(out, t.timeseries);
+    }
+    out << "}";
   }
   out << "],\"summaries\":[";
   for (std::size_t i = 0; i < result.summaries.size(); ++i) {

@@ -24,6 +24,7 @@
 
 #include "analysis/stats.h"
 #include "core/study.h"
+#include "obs/progress.h"
 
 namespace p2p::sweep {
 
@@ -70,6 +71,10 @@ struct PlanConfig {
   /// Explicit fault-schedule seed; 0 derives each task's schedule from its
   /// own task seed.
   std::uint64_t fault_seed = 0;
+  /// Windowed metric sampling applied to every task. Each task records
+  /// against its own scoped registry, so per-task series are byte-identical
+  /// across --jobs counts.
+  obs::TimeSeriesConfig timeseries{};
 };
 
 [[nodiscard]] std::vector<StudyTask> plan(const PlanConfig& config);
@@ -84,6 +89,9 @@ struct TaskResult {
   /// (prevalence.*, strains.*, sources.*, filter.*) plus every obs counter
   /// (obs.<name>). Deterministic for the task's config.
   std::map<std::string, double> values;
+  /// The task's windowed series; empty (and absent from the JSON) unless
+  /// the plan enabled time-series recording.
+  obs::TimeSeries timeseries;
   /// Wall-clock cost (excluded from deterministic exports).
   double wall_seconds = 0.0;
 };
@@ -120,6 +128,10 @@ struct SweepOptions {
   /// call runs under that task's scoped metrics registry. Defaults to
   /// core::run_limewire_study / run_openft_study.
   std::function<core::StudyResult(const StudyTask&)> runner;
+  /// Optional live-progress channel: ticked once per completed task (its
+  /// mutex serializes the workers). Progress is wall-clock output only and
+  /// never touches the sweep's deterministic JSON.
+  obs::ProgressReporter* progress = nullptr;
 };
 
 /// Run every task (failures are per-task, never abort the sweep), then

@@ -181,6 +181,28 @@ void encode_summary(util::ByteWriter& w, const StudySummary& summary) {
       w.u64le(count);
     }
   }
+
+  // Optional timeseries tail. Absent on runs that recorded none, so those
+  // summaries stay byte-identical to pre-timeseries traces; decode detects
+  // it by the buffer not being exhausted after the histograms.
+  const auto& ts = summary.timeseries;
+  if (ts.window_ms <= 0) return;
+  encode_i64(w, ts.window_ms);
+  w.u64le(ts.windows_dropped);
+  w.varint(ts.windows.size());
+  for (const auto& win : ts.windows) {
+    encode_i64(w, win.end_ms);
+    w.varint(win.counters.size());
+    for (const auto& [name, delta] : win.counters) {
+      w.lp_str(name);
+      w.u64le(delta);
+    }
+    w.varint(win.gauges.size());
+    for (const auto& [name, value] : win.gauges) {
+      w.lp_str(name);
+      encode_i64(w, value);
+    }
+  }
 }
 
 StudySummary decode_summary(util::ByteReader& r) {
@@ -260,6 +282,33 @@ StudySummary decode_summary(util::ByteReader& r) {
       h.buckets.emplace_back(lower, count);
     }
     m.histograms.push_back(std::move(h));
+  }
+
+  if (!r.empty()) {
+    auto& ts = summary.timeseries;
+    ts.window_ms = decode_i64(r);
+    ts.windows_dropped = r.u64le();
+    std::uint64_t nw = r.varint();
+    ts.windows.reserve(std::min(nw, kReserveCap));
+    for (std::uint64_t i = 0; i < nw; ++i) {
+      obs::TimeSeries::Window win;
+      win.end_ms = decode_i64(r);
+      std::uint64_t ncnt = r.varint();
+      win.counters.reserve(std::min(ncnt, kReserveCap));
+      for (std::uint64_t j = 0; j < ncnt; ++j) {
+        std::string name = r.lp_str();
+        std::uint64_t delta = r.u64le();
+        win.counters.emplace_back(std::move(name), delta);
+      }
+      std::uint64_t ngg = r.varint();
+      win.gauges.reserve(std::min(ngg, kReserveCap));
+      for (std::uint64_t j = 0; j < ngg; ++j) {
+        std::string name = r.lp_str();
+        std::int64_t value = decode_i64(r);
+        win.gauges.emplace_back(std::move(name), value);
+      }
+      ts.windows.push_back(std::move(win));
+    }
   }
   return summary;
 }

@@ -8,6 +8,7 @@
 #include "crawler/records.h"
 #include "fault/fault.h"  // FaultCounters
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "trace/format.h"
 #include "util/bytes.h"
 
@@ -29,6 +30,10 @@ struct StudySummary {
   /// the identical fault section without re-running the study.
   bool faults_enabled = false;
   fault::FaultCounters fault_counters;
+  /// Windowed counter/gauge series (optional tail, written only when the
+  /// run recorded one): replaying a trace reproduces the exact timeseries
+  /// block without re-running the study.
+  obs::TimeSeries timeseries;
 };
 
 // Header body (the bytes covered by the header CRC; the prologue fields are

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace p2p::trace {
 
@@ -230,6 +231,7 @@ bool TraceReader::advance_block() {
 }
 
 TraceData read_trace_file(const std::string& path) {
+  OBS_SPAN("trace.read_file");
   TraceData data;
   TraceReader reader(path);
   if (!reader.ok()) {

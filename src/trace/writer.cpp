@@ -1,6 +1,7 @@
 #include "trace/writer.h"
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace p2p::trace {
 
@@ -88,6 +89,7 @@ void TraceWriter::close() {
 
 void TraceWriter::flush_records() {
   if (pending_count_ == 0) return;
+  OBS_SPAN("trace.flush_records");
   util::ByteWriter payload;
   payload.varint(pending_count_);
   payload.bytes(pending_.data());

@@ -37,6 +37,11 @@ std::string Logger::time_prefix() const {
   return t_sim_clock ? t_sim_clock().str() : std::string{};
 }
 
+std::optional<SimTime> Logger::sim_now() const {
+  if (!t_sim_clock) return std::nullopt;
+  return t_sim_clock();
+}
+
 void Logger::write(LogLevel level, std::string_view component, std::string_view msg) {
   if (!enabled(level)) return;
   if (sink_) {

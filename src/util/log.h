@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -48,6 +49,11 @@ class Logger {
 
   /// Current sim-time prefix ("d0 00:01:02.500"), empty without a clock.
   [[nodiscard]] std::string time_prefix() const;
+
+  /// The calling thread's current simulated time, or nullopt without a
+  /// registered clock. Raw form of time_prefix(), for consumers (the span
+  /// profiler) that tag measurements with sim time.
+  [[nodiscard]] std::optional<SimTime> sim_now() const;
 
   void write(LogLevel level, std::string_view component, std::string_view msg);
 

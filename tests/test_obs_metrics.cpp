@@ -1,10 +1,15 @@
 // Counter/gauge/histogram semantics, quantile math, snapshot determinism.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/csv.h"
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
@@ -220,6 +225,125 @@ TEST(ObsTimer, ScopedWallTimerRecordsOneSample) {
 #ifndef P2P_OBS_DISABLED
   EXPECT_EQ(h.count(), 1u);
 #endif
+}
+
+// Undo a json_escape by hand: every escape the emitter produces must map
+// back to the byte it came from.
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        out += static_cast<char>(std::stoi(std::string(s.substr(i + 1, 4)),
+                                           nullptr, 16));
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unknown escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST(ObsJson, EscapeRoundTripsEveryByteBelow0x80) {
+  std::string original;
+  for (int c = 0; c < 0x80; ++c) original += static_cast<char>(c);
+  std::string escaped = json_escape(original);
+  // No raw control characters or unescaped quotes/backslashes survive.
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    EXPECT_GE(static_cast<unsigned char>(escaped[i]), 0x20u) << "at " << i;
+    if (escaped[i] == '"') {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(escaped[i - 1], '\\');
+    }
+  }
+  EXPECT_EQ(json_unescape(escaped), original);
+}
+
+TEST(ObsJson, EscapePassesUtf8Through) {
+  std::string original = "caf\xc3\xa9 \xe2\x98\x83";  // café ☃
+  EXPECT_EQ(json_escape(original), original);
+}
+
+TEST(ObsJson, NumberRoundTripsExactly) {
+  for (double v : {0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 1e-300, 1e300,
+                   123456789.123456789, -0.007}) {
+    std::string text = json_number(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+    // A valid JSON number: no nan/inf, no leading '+'.
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    EXPECT_NE(text[0], '+');
+  }
+}
+
+TEST(ObsJson, DoubleIsAlwaysParseable) {
+  for (double v : {0.0, -0.0, 1e-7, 6.02e23, -273.15, 100.0 / 7.0}) {
+    std::string text = json_double(v);
+    // %.6g loses precision by design, but must stay a parseable number
+    // close to the input.
+    double parsed = std::stod(text);
+    EXPECT_NEAR(parsed, v, std::abs(v) * 1e-5 + 1e-12) << text;
+  }
+}
+
+TEST(ObsHistogram, LinearBucketEdgesAreHalfOpen) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  // Buckets: underflow(<10), [10,20), [20,30), overflow(>=30).
+  Histogram h(HistogramSpec::linear(10, 10, 2));
+  h.record(9);   // underflow
+  h.record(10);  // first bucket, inclusive lower edge
+  h.record(19);  // still first bucket
+  h.record(20);  // second bucket, exactly on the boundary
+  h.record(29);
+  h.record(30);  // overflow, exclusive upper edge
+  EXPECT_EQ(h.count(), 6u);
+
+  std::vector<std::uint64_t> counts;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    counts.push_back(h.bucket_value(i));
+    if (h.bucket_value(i) > 0 && i + 1 < h.bucket_count()) {
+      EXPECT_LT(h.bucket_lower(i), h.bucket_upper(i));
+    }
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);  // 9
+  EXPECT_EQ(counts[1], 2u);  // 10, 19
+  EXPECT_EQ(counts[2], 2u);  // 20, 29
+  EXPECT_EQ(counts[3], 1u);  // 30
+}
+
+TEST(ObsHistogram, ExponentialEdgesCoverExtremes) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  Histogram h(HistogramSpec::exponential());
+  h.record(0);
+  h.record(1);
+  h.record(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::int64_t>::max());
+  // Every recorded value lands in a bucket whose [lower, upper) contains it.
+  std::uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) bucketed += h.bucket_value(i);
+  EXPECT_EQ(bucketed, 3u);
 }
 
 }  // namespace

@@ -1,0 +1,186 @@
+// ProgressReporter: throttle mechanics under a fake clock, final-tick
+// bypass, JSONL output, human formatting, and the ambient Scope.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/progress.h"
+#include "util/sim_time.h"
+
+namespace p2p::obs {
+namespace {
+
+using TimePoint = ProgressReporter::TimePoint;
+
+struct FakeClock {
+  TimePoint now{};
+  ProgressReporter::ClockFn fn() {
+    return [this] { return now; };
+  }
+  void advance(std::chrono::milliseconds d) { now += d; }
+};
+
+StudyProgress study_at(std::int64_t sim_ms, bool final = false) {
+  StudyProgress p;
+  p.network = "limewire";
+  p.sim_now = util::SimTime::zero() + util::SimDuration::millis(sim_ms);
+  p.sim_end = util::SimTime::zero() + util::SimDuration::days(30);
+  p.events_executed = static_cast<std::uint64_t>(sim_ms);
+  p.final = final;
+  return p;
+}
+
+TEST(ObsProgress, DisabledConfigReportsNothing) {
+  ProgressConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  cfg.human = true;
+  EXPECT_TRUE(cfg.enabled());
+}
+
+TEST(ObsProgress, FirstTickEmitsThenThrottleSuppresses) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "progress compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  FakeClock clock;
+  ProgressConfig cfg;
+  cfg.human = true;
+  cfg.throttle = std::chrono::milliseconds(1000);
+  std::ostringstream out;
+  ProgressReporter reporter(cfg, &out, clock.fn());
+
+  reporter.study_tick(study_at(1000));
+  EXPECT_EQ(reporter.emitted(), 1u);
+
+  clock.advance(std::chrono::milliseconds(100));
+  reporter.study_tick(study_at(2000));
+  EXPECT_EQ(reporter.emitted(), 1u);
+  EXPECT_EQ(reporter.suppressed(), 1u);
+
+  clock.advance(std::chrono::milliseconds(1000));
+  reporter.study_tick(study_at(3000));
+  EXPECT_EQ(reporter.emitted(), 2u);
+  EXPECT_EQ(reporter.suppressed(), 1u);
+}
+
+TEST(ObsProgress, FinalTickBypassesThrottle) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "progress compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  FakeClock clock;
+  ProgressConfig cfg;
+  cfg.human = true;
+  cfg.throttle = std::chrono::milliseconds(1000);
+  std::ostringstream out;
+  ProgressReporter reporter(cfg, &out, clock.fn());
+
+  reporter.study_tick(study_at(1000));
+  clock.advance(std::chrono::milliseconds(1));
+  reporter.study_tick(study_at(2000, /*final=*/true));
+  EXPECT_EQ(reporter.emitted(), 2u);
+  EXPECT_NE(out.str().find("done"), std::string::npos);
+}
+
+TEST(ObsProgress, HumanLineCarriesDayAndCounts) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "progress compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  FakeClock clock;
+  ProgressConfig cfg;
+  cfg.human = true;
+  std::ostringstream out;
+  ProgressReporter reporter(cfg, &out, clock.fn());
+
+  auto p = study_at(86'400'000);  // day 1 of 30
+  p.responses = 123;
+  p.degraded = 4;
+  reporter.study_tick(p);
+  std::string line = out.str();
+  EXPECT_NE(line.find("[limewire]"), std::string::npos);
+  EXPECT_NE(line.find("day 1.00/30.00"), std::string::npos);
+  EXPECT_NE(line.find("responses 123"), std::string::npos);
+  EXPECT_NE(line.find("degraded 4"), std::string::npos);
+}
+
+TEST(ObsProgress, JsonlFileGetsOneObjectPerUpdate) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "progress compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  std::string path = ::testing::TempDir() + "obs_progress_test.jsonl";
+  {
+    FakeClock clock;
+    ProgressConfig cfg;
+    cfg.jsonl_path = path;
+    cfg.throttle = std::chrono::milliseconds(0);
+    ProgressReporter reporter(cfg, nullptr, clock.fn());
+    reporter.study_tick(study_at(1000));
+    SweepProgress sp;
+    sp.done = 2;
+    sp.total = 8;
+    sp.seed = 42;
+    reporter.sweep_tick(sp);
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("{\"type\":\"study\",\"network\":\"limewire\"", 0), 0u);
+  EXPECT_EQ(lines[0].back(), '}');
+  EXPECT_EQ(lines[1].rfind("{\"type\":\"sweep\",\"done\":2,\"total\":8", 0), 0u);
+  EXPECT_NE(lines[1].find("\"seed\":42"), std::string::npos);
+}
+
+TEST(ObsProgress, ScopeInstallsAmbientReporterAndNests) {
+  EXPECT_EQ(ProgressReporter::current(), nullptr);
+  ProgressConfig cfg;
+  cfg.human = true;
+  std::ostringstream out;
+  ProgressReporter outer(cfg, &out);
+  {
+    ProgressReporter::Scope outer_scope(outer);
+    EXPECT_EQ(ProgressReporter::current(), &outer);
+    ProgressReporter inner(cfg, &out);
+    {
+      ProgressReporter::Scope inner_scope(inner);
+      EXPECT_EQ(ProgressReporter::current(), &inner);
+    }
+    EXPECT_EQ(ProgressReporter::current(), &outer);
+  }
+  EXPECT_EQ(ProgressReporter::current(), nullptr);
+}
+
+TEST(ObsProgress, EtaIsNeverNegative) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "progress compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  FakeClock clock;
+  ProgressConfig cfg;
+  std::string path = ::testing::TempDir() + "obs_progress_eta.jsonl";
+  cfg.jsonl_path = path;
+  cfg.throttle = std::chrono::milliseconds(0);
+  {
+    ProgressReporter reporter(cfg, nullptr, clock.fn());
+    // Zero wall time elapsed: the naive extrapolation is 0/0-ish; the
+    // reporter must clamp rather than emit a negative ETA.
+    reporter.study_tick(study_at(1000));
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  std::remove(path.c_str());
+  EXPECT_EQ(line.find("\"eta_s\":-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2p::obs

@@ -1,0 +1,232 @@
+// TimeSeriesRecorder semantics (window deltas, setup baseline, ring bound,
+// export shapes) and the determinism contract: a study's timeseries block
+// is byte-identical across runs, and a sweep's across --jobs counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/study.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "sweep/sweep.h"
+#include "util/sim_time.h"
+
+namespace p2p::obs {
+namespace {
+
+TimeSeriesConfig window_config(std::int64_t ms, std::size_t max_windows = 4096) {
+  TimeSeriesConfig cfg;
+  cfg.window = util::SimDuration::millis(ms);
+  cfg.max_windows = max_windows;
+  return cfg;
+}
+
+TEST(ObsTimeSeries, WindowsHoldCounterDeltasNotTotals) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  MetricsRegistry r;
+  auto& sent = r.counter("net.sent");
+  TimeSeriesRecorder rec(r, window_config(1000));
+  sent.add(7);
+  rec.sample(util::SimTime::zero() + util::SimDuration::millis(1000));
+  sent.add(3);
+  rec.sample(util::SimTime::zero() + util::SimDuration::millis(2000));
+
+  TimeSeries series = rec.take();
+  ASSERT_EQ(series.windows.size(), 2u);
+  EXPECT_EQ(series.window_ms, 1000);
+  ASSERT_EQ(series.windows[0].counters.size(), 1u);
+  EXPECT_EQ(series.windows[0].counters[0].first, "net.sent");
+  EXPECT_EQ(series.windows[0].counters[0].second, 7u);
+  EXPECT_EQ(series.windows[0].end_ms, 1000);
+  ASSERT_EQ(series.windows[1].counters.size(), 1u);
+  EXPECT_EQ(series.windows[1].counters[0].second, 3u);
+}
+
+TEST(ObsTimeSeries, SetupActivityBeforeConstructionIsBaseline) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  MetricsRegistry r;
+  r.counter("setup.work").add(100);
+  TimeSeriesRecorder rec(r, window_config(1000));
+  rec.sample(util::SimTime::zero() + util::SimDuration::millis(1000));
+
+  TimeSeries series = rec.take();
+  ASSERT_EQ(series.windows.size(), 1u);
+  // Unchanged since the baseline snapshot → zero delta → omitted.
+  EXPECT_TRUE(series.windows[0].counters.empty());
+}
+
+TEST(ObsTimeSeries, GaugesAreSampledLevels) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  MetricsRegistry r;
+  auto& depth = r.gauge("queue.depth");
+  TimeSeriesRecorder rec(r, window_config(1000));
+  depth.set(42);
+  rec.sample(util::SimTime::zero() + util::SimDuration::millis(1000));
+  depth.set(17);
+  rec.sample(util::SimTime::zero() + util::SimDuration::millis(2000));
+
+  TimeSeries series = rec.take();
+  ASSERT_EQ(series.windows.size(), 2u);
+  ASSERT_EQ(series.windows[0].gauges.size(), 1u);
+  EXPECT_EQ(series.windows[0].gauges[0].second, 42);
+  EXPECT_EQ(series.windows[1].gauges[0].second, 17);
+}
+
+TEST(ObsTimeSeries, RingBufferDropsOldestAndCounts) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  MetricsRegistry r;
+  auto& c = r.counter("c");
+  TimeSeriesRecorder rec(r, window_config(1000, 3));
+  for (int i = 1; i <= 5; ++i) {
+    c.add(1);
+    rec.sample(util::SimTime::zero() + util::SimDuration::millis(1000 * i));
+  }
+
+  TimeSeries series = rec.take();
+  ASSERT_EQ(series.windows.size(), 3u);
+  EXPECT_EQ(series.windows_dropped, 2u);
+  // The oldest two windows (end 1000, 2000) were dropped.
+  EXPECT_EQ(series.windows[0].end_ms, 3000);
+  EXPECT_EQ(series.windows[2].end_ms, 5000);
+}
+
+TEST(ObsTimeSeries, DisabledConfigRecordsNothing) {
+  MetricsRegistry r;
+  r.counter("c").add(5);
+  TimeSeriesRecorder rec(r, TimeSeriesConfig{});  // window 0 → disabled
+  rec.sample(util::SimTime::zero() + util::SimDuration::millis(1000));
+  TimeSeries series = rec.take();
+  EXPECT_TRUE(series.windows.empty());
+  EXPECT_TRUE(series.empty());
+}
+
+TEST(ObsTimeSeries, JsonJsonlCsvShapes) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  MetricsRegistry r;
+  r.counter("a");
+  auto& b = r.counter("b");
+  auto& g = r.gauge("g");
+  TimeSeriesRecorder rec(r, window_config(500));
+  b.add(2);
+  g.set(-3);
+  rec.sample(util::SimTime::zero() + util::SimDuration::millis(500));
+  TimeSeries series = rec.take();
+
+  std::ostringstream json;
+  write_timeseries_json(json, series);
+  EXPECT_EQ(json.str(),
+            "{\"window_ms\":500,\"dropped\":0,\"windows\":["
+            "{\"end_ms\":500,\"counters\":{\"b\":2},\"gauges\":{\"g\":-3}}]}");
+
+  std::ostringstream jsonl;
+  write_timeseries_jsonl(jsonl, series);
+  EXPECT_EQ(jsonl.str(),
+            "{\"end_ms\":500,\"counters\":{\"b\":2},\"gauges\":{\"g\":-3}}\n");
+
+  std::ostringstream csv;
+  write_timeseries_csv(csv, series);
+  EXPECT_EQ(csv.str(),
+            "end_ms,kind,name,value\n"
+            "500,counter,b,2\n"
+            "500,gauge,g,-3\n");
+}
+
+// A short faulted study run twice produces byte-identical timeseries JSON —
+// the windowed sampling must not perturb (or be perturbed by) the
+// deterministic schedule.
+TEST(ObsTimeSeriesStudy, TwoRunsProduceIdenticalBytes) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  auto cfg = core::limewire_quick();
+  cfg.crawl.duration = util::SimDuration::hours(4);
+  cfg.timeseries.window = util::SimDuration::hours(1);
+  core::apply_faults(cfg, fault::preset_moderate(), /*fault_seed=*/7);
+
+  auto render = [&] {
+    auto result = core::run_limewire_study(cfg);
+    std::ostringstream out;
+    write_timeseries_json(out, result.timeseries);
+    return out.str();
+  };
+  std::string first = render();
+  std::string second = render();
+  EXPECT_FALSE(first.empty());
+  EXPECT_NE(first.find("\"end_ms\":3600000"), std::string::npos);
+  EXPECT_EQ(first, second);
+}
+
+// Enabling the recorder must not change what the simulation does: the same
+// config with recording off yields the same records.
+TEST(ObsTimeSeriesStudy, RecordingIsBehaviorNeutral) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  auto cfg = core::limewire_quick();
+  cfg.crawl.duration = util::SimDuration::hours(4);
+
+  auto baseline = core::run_limewire_study(cfg);
+  cfg.timeseries.window = util::SimDuration::minutes(30);
+  auto recorded = core::run_limewire_study(cfg);
+
+  EXPECT_EQ(baseline.events_executed, recorded.events_executed);
+  ASSERT_EQ(baseline.records.size(), recorded.records.size());
+  for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+    EXPECT_EQ(baseline.records[i].at.millis(), recorded.records[i].at.millis());
+    EXPECT_EQ(baseline.records[i].source_port, recorded.records[i].source_port);
+  }
+  // Windows tile warmup + crawl + the settle grace period; the final
+  // (possibly partial) window ends exactly at the study end.
+  ASSERT_GE(recorded.timeseries.windows.size(), 8u);
+  EXPECT_EQ(recorded.timeseries.windows.back().end_ms,
+            (cfg.crawl.warmup + cfg.crawl.duration).count_ms() + 600'000);
+}
+
+// Per-task series ride through the sweep unchanged by parallelism: the
+// whole sweep JSON (which embeds them) is byte-identical for any --jobs.
+TEST(ObsTimeSeriesSweep, JobsCountDoesNotChangeBytes) {
+#ifdef P2P_OBS_DISABLED
+  GTEST_SKIP() << "recording compiled out (P2P_OBS_DISABLED)";
+#endif
+
+  sweep::PlanConfig plan;
+  plan.network = sweep::NetworkKind::kLimewire;
+  plan.quick = true;
+  plan.replications = 3;
+  plan.duration = util::SimDuration::hours(3);
+  plan.timeseries.window = util::SimDuration::hours(1);
+
+  auto render = [&](std::size_t jobs) {
+    sweep::SweepOptions options;
+    options.jobs = jobs;
+    auto result = sweep::run(sweep::plan(plan), options);
+    std::ostringstream out;
+    sweep::write_json(out, result);
+    return out.str();
+  };
+  std::string serial = render(1);
+  std::string parallel = render(4);
+  EXPECT_NE(serial.find("\"timeseries\""), std::string::npos);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace p2p::obs
