@@ -9,15 +9,19 @@
 #   replay    Replay determinism: record a quick study of each network as a
 #             trace file, replay it offline, and require the replayed JSON
 #             report to be byte-identical to the live one.
-#   tsan      ThreadSanitizer build (-DP2P_SANITIZE=thread); runs the sweep
-#             and fault suites plus the Payload refcount stress — the
-#             concurrency-bearing layers.
+#   tsan      ThreadSanitizer build (-DP2P_SANITIZE=thread); runs the sweep,
+#             fault, and shard suites plus the Payload refcount stress and a
+#             sharded (--shards 4) quick study of each network — the
+#             concurrency-bearing layers under their real workload.
 #   bench     Simulation-core microbench (bench_sim_core --check): asserts
 #             the >=2x scheduling and >=5x copy-reduction floors hold and
 #             leaves bench_sim_core.json behind as a CI artifact. Also runs
-#             bench_obs_overhead --check in the release build AND in a
-#             -DP2P_OBS_DISABLED=ON build, pinning the per-op cost ceilings
-#             of the observability primitives in both flavors.
+#             bench_shard --check (sharded-engine scaling + million-peer
+#             capacity; the >=2x 4-shard speedup floor is enforced on
+#             >=4-core hosts) and bench_obs_overhead --check in the release
+#             build AND in a -DP2P_OBS_DISABLED=ON build, pinning the
+#             per-op cost ceilings of the observability primitives in both
+#             flavors.
 #   chaos     Faulted --quick studies of both networks: bit-reproducible
 #             under a fixed seed + fault plan, degradation counters obey
 #             their accounting invariants, unknown --faults specs exit
@@ -92,9 +96,11 @@ tier_replay() {
 }
 
 tier_tsan() {
-  echo "== tier tsan: ThreadSanitizer build + sweep/fault suites =="
+  echo "== tier tsan: ThreadSanitizer build + sweep/fault/shard suites =="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DP2P_SANITIZE=thread
-  cmake --build build-ci-tsan -j "${JOBS}" --target p2p_tests p2p_fault_tests
+  cmake --build build-ci-tsan -j "${JOBS}" \
+    --target p2p_tests p2p_fault_tests p2p_shard_tests \
+             limewire_study openft_study
   (
     cd build-ci-tsan
     ctest -L fault -j "${JOBS}" --output-on-failure
@@ -102,6 +108,15 @@ tier_tsan() {
     # Payload refcounts cross sweep worker threads; the stress test hammers
     # concurrent copy/destroy so TSan can see any missing ordering.
     ctest -R 'Payload' -j "${JOBS}" --output-on-failure
+    # The sharded engine is the most concurrency-dense layer: worker pool,
+    # window barriers, cross-shard outbox drains. Run its differential and
+    # lookahead-property suite plus a full sharded quick study of each
+    # network so TSan sees the real workload, not just the harness.
+    ctest -L shard -j "${JOBS}" --output-on-failure
+    for network in limewire openft; do
+      ./examples/${network}_study --quick --seed 7 --shards 4 \
+        --json "tsan_${network}_sharded.json" > /dev/null
+    done
   )
 }
 
@@ -193,6 +208,12 @@ tier_bench() {
     # root (>=2x events/sec, >=5x fewer copied bytes on a 30-neighbor
     # broadcast); the JSON lands next to the binary for artifact upload.
     ./bench/bench_sim_core --check --json bench_sim_core.json
+
+    # Sharded-engine scaling: events/sec at 1/2/4/8 shards plus the
+    # million-peer --quick capacity run. --check asserts executed-event
+    # counts are identical at every shard count and, on >=4-core hosts,
+    # that 4 shards clear a >=2x speedup floor over 1 shard.
+    ./bench/bench_shard --check --json bench_shard.json
 
     echo "-- obs overhead ceilings (enabled flavor)"
     ./bench/bench_obs_overhead --check | tee bench_obs_overhead.txt

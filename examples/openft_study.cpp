@@ -11,8 +11,11 @@
 //
 //   ./openft_study [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]
 //                  [--json <path>] [--record <trace>|--replay <trace>]
-//                  [--faults <preset|spec>] [--fault-seed <n>]
+//                  [--faults <preset|spec>] [--fault-seed <n>] [--shards <n>]
 //                  [obs flags — see examples/obs_cli.h]
+//
+// --shards N (N >= 1) runs the study on the sharded engine with N worker
+// threads; output is byte-identical for every N.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -34,7 +37,7 @@ int usage(const char* argv0) {
             << " [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]"
                " [--json <path>] [--record <trace>|--replay <trace>]"
                " [--faults <none|mild|moderate|severe|k=v,...>]"
-               " [--fault-seed <n>] [--list-presets]"
+               " [--fault-seed <n>] [--shards <n>] [--list-presets]"
             << p2p::examples::ObsCli::kUsage << "\n";
   return 2;
 }
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   std::string csv_path, json_path, record_path, replay_path;
   std::string faults_spec;
   std::uint64_t fault_seed = 0;
+  std::uint64_t shards = 0;
   examples::ObsCli obs_cli;
   for (int i = 1; i < argc; ++i) {
     bool obs_err = false;
@@ -71,6 +75,13 @@ int main(int argc, char** argv) {
       faults_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      shards = std::strtoull(argv[++i], &end, 10);
+      // Reject junk and wrapped negatives ("-3" parses as 2^64-3).
+      if (end == argv[i] || *end != '\0' || shards == 0 || shards > 4096) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--list-presets") == 0) {
       core::print_presets(std::cout);
       return 0;
@@ -79,6 +90,7 @@ int main(int argc, char** argv) {
     }
   }
   cfg.timeseries = obs_cli.timeseries_config();
+  cfg.shards = shards;
   if (!record_path.empty() && !replay_path.empty()) {
     std::cerr << "--record and --replay are mutually exclusive\n";
     return 2;

@@ -4,9 +4,9 @@
 //
 //   ./sweep [--network limewire|openft] [--quick|--standard]
 //           [--seeds A..B | --seeds N] [--base-seed <n>]
-//           [--days <n> | --hours <n>] [--jobs <n>] [--json <path>]
-//           [--record <dir>|--replay <dir>] [--faults <preset|spec>]
-//           [--fault-seed <n>] [--list-presets]
+//           [--days <n> | --hours <n>] [--jobs <n>] [--shards <n>]
+//           [--json <path>] [--record <dir>|--replay <dir>]
+//           [--faults <preset|spec>] [--fault-seed <n>] [--list-presets]
 //
 // The JSON report is deterministic: identical bytes for any --jobs value
 // (wall-clock fields are excluded; task seeds are a pure function of the
@@ -32,7 +32,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--network limewire|openft] [--quick|--standard]"
                " [--seeds A..B | --seeds N] [--base-seed <n>]"
-               " [--days <n> | --hours <n>] [--jobs <n>] [--json <path>]"
+               " [--days <n> | --hours <n>] [--jobs <n>] [--shards <n>]"
+               " [--json <path>]"
                " [--record <dir>|--replay <dir>]"
                " [--faults <none|mild|moderate|severe|k=v,...>]"
                " [--fault-seed <n>] [--list-presets]"
@@ -116,6 +117,15 @@ int main(int argc, char** argv) {
       plan.faults = *parsed;
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       plan.fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      plan.shards =
+          static_cast<std::size_t>(std::strtoull(argv[++i], &end, 10));
+      // Reject junk and wrapped negatives ("-3" parses as 2^64-3).
+      if (end == argv[i] || *end != '\0' || plan.shards == 0 ||
+          plan.shards > 4096) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--list-presets") == 0) {
       core::print_presets(std::cout);
       return 0;

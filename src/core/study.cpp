@@ -6,6 +6,7 @@
 
 #include "util/rng.h"
 
+#include "core/shard_study.h"
 #include "crawler/workload.h"
 #include "fault/chaos.h"
 #include "malware/scanner.h"
@@ -268,6 +269,15 @@ void hash_timeseries(ConfigHasher& h, const obs::TimeSeriesConfig& t) {
   h.dur(t.window);
   h.u64(t.max_windows);
 }
+
+void hash_sharded(ConfigHasher& h, std::size_t shards) {
+  // The sharded engine is a different model (a different byte stream), so
+  // serial-model traces must never satisfy a sharded request or vice versa.
+  // Only the *marker* is folded, never the count: --shards 4 must produce
+  // the same header hash as --shards 1 for the byte-identity guarantee.
+  if (shards == 0) return;
+  h.str("sharded");
+}
 }  // namespace
 
 std::uint64_t config_hash(const LimewireStudyConfig& config) {
@@ -297,6 +307,7 @@ std::uint64_t config_hash(const LimewireStudyConfig& config) {
   h.u64(config.crawler_count);
   hash_faults(h, config.faults, config.fault_seed);
   hash_timeseries(h, config.timeseries);
+  hash_sharded(h, config.shards);
   return h.digest();
 }
 
@@ -327,11 +338,13 @@ std::uint64_t config_hash(const OpenFtStudyConfig& config) {
   h.u64(config.workload_top_n);
   hash_faults(h, config.faults, config.fault_seed);
   hash_timeseries(h, config.timeseries);
+  hash_sharded(h, config.shards);
   return h.digest();
 }
 
 StudyResult run_limewire_study(const LimewireStudyConfig& config,
                                crawler::RecordSink* record_sink) {
+  if (config.shards > 0) return run_limewire_study_sharded(config, record_sink);
   // Each run owns the registry window: reset here, snapshot at the end.
   obs::MetricsRegistry::global().reset();
   sim::Network net(config.seed);
@@ -445,6 +458,7 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
 
 StudyResult run_openft_study(const OpenFtStudyConfig& config,
                              crawler::RecordSink* record_sink) {
+  if (config.shards > 0) return run_openft_study_sharded(config, record_sink);
   obs::MetricsRegistry::global().reset();
   sim::Network net(config.seed);
   std::unique_ptr<fault::FaultInjector> injector;

@@ -40,6 +40,11 @@ struct LimewireStudyConfig {
   /// loop tiles at window boundaries — behavior-neutral — and the result
   /// carries a TimeSeries. Folded into config_hash only when enabled.
   obs::TimeSeriesConfig timeseries{};
+  /// 0 = legacy serial model (byte-identical to previous releases). Any
+  /// value >= 1 routes to the sharded engine, whose output is identical at
+  /// every shard count; a "sharded" marker (never the count) is folded into
+  /// config_hash so the two models can't share trace caches.
+  std::size_t shards = 0;
 };
 
 struct OpenFtStudyConfig {
@@ -53,6 +58,8 @@ struct OpenFtStudyConfig {
   std::uint64_t fault_seed = 0;
   /// Windowed metric sampling; see LimewireStudyConfig.
   obs::TimeSeriesConfig timeseries{};
+  /// Sharded-engine worker count; see LimewireStudyConfig.
+  std::size_t shards = 0;
 };
 
 /// Enable a fault plan on a study config: stores the spec + schedule seed

@@ -1,0 +1,69 @@
+// Per-shard counters with deterministic merge into the global registry.
+//
+// obs::Counter is deliberately single-threaded (a branch plus an add), so
+// shard workers must never touch the global MetricsRegistry directly. Each
+// worker instead bumps plain integers in its own cache-line-aligned block,
+// and the study loop — single-threaded, between engine runs — folds the
+// deltas into the registry. Because the fold is a *sum* over shards, the
+// registry sees exactly the same totals at every shard count: the series a
+// TimeSeriesRecorder samples at window boundaries is shard-count invariant
+// by construction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace p2p::obs {
+
+template <std::size_t N>
+class ShardedCounters {
+ public:
+  /// `names` are the registry counter names, one per slot; `shards` blocks
+  /// are allocated, each owned by exactly one worker during runs.
+  ShardedCounters(const std::array<const char*, N>& names, std::size_t shards)
+      : names_(names), blocks_(shards) {}
+
+  /// Worker-side increment (no synchronization: the block belongs to the
+  /// calling shard's worker; the study-loop flush happens between runs).
+  void add(std::size_t shard, std::size_t slot, std::uint64_t n = 1) {
+    blocks_[shard].v[slot] += n;
+  }
+
+  /// Sum over shards — the shard-count-invariant total.
+  [[nodiscard]] std::uint64_t total(std::size_t slot) const {
+    std::uint64_t sum = 0;
+    for (const auto& b : blocks_) sum += b.v[slot];
+    return sum;
+  }
+
+  /// Fold deltas since the previous flush into the registry, in fixed slot
+  /// order. Call from the study loop only (single-threaded section).
+  void flush_to(MetricsRegistry& registry) {
+    for (std::size_t slot = 0; slot < N; ++slot) {
+      std::uint64_t now = total(slot);
+      std::uint64_t delta = now - flushed_[slot];
+      if (delta != 0) registry.counter(names_[slot]).add(delta);
+      flushed_[slot] = now;
+    }
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return blocks_.size(); }
+
+ private:
+  struct alignas(64) Block {
+    std::array<std::uint64_t, N> v{};
+  };
+
+  std::array<const char*, N> names_;
+  std::vector<Block> blocks_;
+  std::array<std::uint64_t, N> flushed_{};
+};
+
+}  // namespace p2p::obs

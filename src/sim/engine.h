@@ -1,0 +1,57 @@
+// Engine-agnostic view of a discrete-event executor.
+//
+// Two implementations exist: the serial EventQueue (one queue, one thread,
+// ties broken by global insertion order) and the ShardedEngine (one queue
+// per shard, one worker per shard, ties broken by an intrinsic
+// (origin, origin-sequence) key so results are independent of the shard
+// count). Tests and generic drivers program against this interface so the
+// same contract suite runs against both executors parametrically (see
+// tests/test_event_queue.cpp and tests/test_invariants.cpp).
+//
+// The interface is deliberately the common core only: single-event step()
+// has no meaning for a barrier-synchronized parallel engine and stays on
+// EventQueue.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/task.h"
+#include "util/sim_time.h"
+
+namespace p2p::sim {
+
+using util::SimDuration;
+using util::SimTime;
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Schedule `action` at absolute time `at` (>= now(); past stamps throw
+  /// std::invalid_argument — the same clock-monotonicity contract for every
+  /// implementation). Events at the same instant scheduled from the same
+  /// context run in scheduling order.
+  virtual void schedule_at(SimTime at, Task action) = 0;
+
+  /// Schedule relative to the current clock.
+  void schedule_in(SimDuration delay, Task action) {
+    schedule_at(now() + delay, std::move(action));
+  }
+
+  /// Current simulated time. Between run calls this is the last run_until
+  /// target (or the stamp of the last executed event after run_all).
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Run every event with stamp <= until; later events stay queued. On
+  /// return the clock is exactly `until`, even if execution ended earlier.
+  virtual void run_until(SimTime until) = 0;
+
+  /// Drain completely (use only for bounded workloads).
+  virtual void run_all() = 0;
+
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::size_t pending() const = 0;
+  [[nodiscard]] virtual std::uint64_t executed() const = 0;
+};
+
+}  // namespace p2p::sim

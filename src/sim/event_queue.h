@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "sim/engine.h"
 #include "sim/task.h"
 #include "util/sim_time.h"
 
@@ -30,7 +31,7 @@ namespace p2p::sim {
 using util::SimDuration;
 using util::SimTime;
 
-class EventQueue {
+class EventQueue final : public Engine {
  public:
   using Action = Task;
 
@@ -44,7 +45,7 @@ class EventQueue {
   /// stamp), so accepting a past stamp would deliver that event "now"
   /// while every record it produces claims an earlier time — a silent
   /// causality violation in the measurement logs. Violations throw.
-  void schedule_at(SimTime at, Action action) {
+  void schedule_at(SimTime at, Action action) override {
     // The monotonicity invariant (see above): an event may never be
     // placed before the current clock.
     if (at < now_) {
@@ -72,11 +73,11 @@ class EventQueue {
   }
 
   /// Current simulated time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
-  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] bool empty() const override { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const override { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const override { return executed_; }
 
   /// Run the next event; returns false if the queue is empty.
   bool step() {
@@ -108,10 +109,10 @@ class EventQueue {
   /// Events stamped after `until` stay queued. On return the clock is
   /// exactly `until`, even if the last executed event (or the whole
   /// queue) ended earlier.
-  void run_until(SimTime until);
+  void run_until(SimTime until) override;
 
   /// Drain the queue completely (use only for bounded workloads).
-  void run_all();
+  void run_all() override;
 
   /// Record per-event wall-clock execution time into the
   /// `sim.event_wall_ns` histogram (two steady_clock reads per event).

@@ -1,0 +1,78 @@
+#include "sim/peer_table.h"
+
+#include <algorithm>
+
+namespace p2p::sim {
+
+void PeerTable::reserve(std::size_t peers) {
+  ip_.reserve(peers);
+  port_.reserve(peers);
+  flags_.reserve(peers);
+  strain_.reserve(peers);
+  variant_.reserve(peers);
+  share_off_.reserve(peers);
+  share_len_.reserve(peers);
+  churn_off_.reserve(peers);
+  churn_len_.reserve(peers);
+  online_start_.reserve(peers);
+}
+
+std::uint32_t PeerTable::add(util::Ipv4 ip, std::uint16_t port,
+                             std::uint8_t flags, std::uint16_t strain,
+                             std::uint8_t variant) {
+  auto idx = static_cast<std::uint32_t>(ip_.size());
+  ip_.push_back(ip.value());
+  port_.push_back(port);
+  flags_.push_back(flags);
+  strain_.push_back(strain);
+  variant_.push_back(variant);
+  share_off_.push_back(0);
+  share_len_.push_back(0);
+  churn_off_.push_back(0);
+  churn_len_.push_back(0);
+  online_start_.push_back(1);
+  return idx;
+}
+
+void PeerTable::set_shares(std::uint32_t peer,
+                           const std::vector<std::uint32_t>& sorted_entries) {
+  share_off_[peer] = static_cast<std::uint32_t>(shares_pool_.size());
+  share_len_[peer] = static_cast<std::uint32_t>(sorted_entries.size());
+  shares_pool_.insert(shares_pool_.end(), sorted_entries.begin(),
+                      sorted_entries.end());
+}
+
+void PeerTable::set_churn(std::uint32_t peer, bool initially_online,
+                          const std::vector<std::int64_t>& transitions_ms) {
+  churn_off_[peer] = static_cast<std::uint32_t>(churn_pool_.size());
+  churn_len_[peer] = static_cast<std::uint32_t>(transitions_ms.size());
+  online_start_[peer] = initially_online ? 1 : 0;
+  churn_pool_.insert(churn_pool_.end(), transitions_ms.begin(),
+                     transitions_ms.end());
+}
+
+bool PeerTable::shares(std::uint32_t p, std::uint32_t entry) const {
+  const std::uint32_t* begin = shares_pool_.data() + share_off_[p];
+  const std::uint32_t* end = begin + share_len_[p];
+  return std::binary_search(begin, end, entry);
+}
+
+bool PeerTable::online_at(std::uint32_t p, util::SimTime at) const {
+  if ((flags_[p] & kPermanent) != 0) return true;
+  const std::int64_t* begin = churn_pool_.data() + churn_off_[p];
+  const std::int64_t* end = begin + churn_len_[p];
+  // Number of transitions at or before `at` flips the starting parity.
+  auto past = static_cast<std::size_t>(
+      std::upper_bound(begin, end, at.millis()) - begin);
+  bool online = online_start_[p] != 0;
+  return (past % 2 == 0) ? online : !online;
+}
+
+std::size_t PeerTable::memory_bytes() const {
+  return ip_.size() * (sizeof(std::uint32_t) * 4 + sizeof(std::uint16_t) * 2 +
+                       sizeof(std::uint8_t) * 3) +
+         shares_pool_.size() * sizeof(std::uint32_t) +
+         churn_pool_.size() * sizeof(std::int64_t);
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,98 @@
+// Struct-of-arrays peer population for the sharded simulation core.
+//
+// The legacy model materializes each peer as a heap-allocated node object
+// plus a closure-holding spec — fine at the paper's ~750 hosts, hopeless at
+// the million-peer scale the eDonkey follow-ups measure. This table keeps
+// one flat column per attribute, so a 1M-peer population costs tens of
+// megabytes of contiguous memory (~34 bytes/peer of columns plus the shared
+// share/churn pools), enumeration is a linear scan, and shards can read it
+// concurrently: the table is built single-threaded during study setup and
+// immutable for the rest of the run.
+//
+// Variable-length per-peer data (share lists, churn transition times) lives
+// in two shared pools addressed by (offset, length) columns — the classic
+// CSR layout — instead of a vector-per-peer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/ip.h"
+#include "util/sim_time.h"
+
+namespace p2p::sim {
+
+class PeerTable {
+ public:
+  /// Per-peer boolean attributes, packed into one byte column.
+  enum Flag : std::uint8_t {
+    kFirewalled = 1u << 0,        // behind NAT
+    kAdvertisesPrivate = 1u << 1,  // hits carry its RFC1918 address
+    kInfected = 1u << 2,
+    kPermanent = 1u << 3,  // outside the churn process (always online)
+  };
+
+  static constexpr std::uint16_t kNoStrain = 0xffff;
+
+  void reserve(std::size_t peers);
+
+  /// Append a peer; returns its index. Columns only — share/churn spans are
+  /// attached separately (set_shares / set_churn) as their pools are built.
+  std::uint32_t add(util::Ipv4 ip, std::uint16_t port, std::uint8_t flags,
+                    std::uint16_t strain, std::uint8_t variant);
+
+  /// Attach the peer's shared catalog entries: `sorted_entries` must be
+  /// ascending and deduplicated (enables binary-search matching).
+  void set_shares(std::uint32_t peer, const std::vector<std::uint32_t>& sorted_entries);
+
+  /// Attach the peer's churn schedule: ascending on/off transition stamps
+  /// (ms). `initially_online` gives the parity of the first interval.
+  void set_churn(std::uint32_t peer, bool initially_online,
+                 const std::vector<std::int64_t>& transitions_ms);
+
+  [[nodiscard]] std::size_t size() const { return ip_.size(); }
+
+  [[nodiscard]] util::Ipv4 ip(std::uint32_t p) const { return util::Ipv4(ip_[p]); }
+  [[nodiscard]] std::uint16_t port(std::uint32_t p) const { return port_[p]; }
+  [[nodiscard]] std::uint8_t flags(std::uint32_t p) const { return flags_[p]; }
+  [[nodiscard]] bool has_flag(std::uint32_t p, Flag f) const {
+    return (flags_[p] & f) != 0;
+  }
+  /// Strain index into the study's CalibratedCatalog, or kNoStrain.
+  [[nodiscard]] std::uint16_t strain(std::uint32_t p) const { return strain_[p]; }
+  /// Which fixed payload variant of its strain this peer serves.
+  [[nodiscard]] std::uint8_t variant(std::uint32_t p) const { return variant_[p]; }
+
+  /// Does the peer share catalog entry `entry`? (binary search of its span)
+  [[nodiscard]] bool shares(std::uint32_t p, std::uint32_t entry) const;
+  [[nodiscard]] std::uint32_t share_count(std::uint32_t p) const {
+    return share_len_[p];
+  }
+  [[nodiscard]] const std::uint32_t* share_begin(std::uint32_t p) const {
+    return shares_pool_.data() + share_off_[p];
+  }
+
+  /// Is the peer online at sim time `at`? Permanent peers always are;
+  /// otherwise parity over the churn transition span.
+  [[nodiscard]] bool online_at(std::uint32_t p, util::SimTime at) const;
+
+  /// Total bytes of column + pool storage (the 1M-peer budget check).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::vector<std::uint32_t> ip_;
+  std::vector<std::uint16_t> port_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint16_t> strain_;
+  std::vector<std::uint8_t> variant_;
+  std::vector<std::uint32_t> share_off_;
+  std::vector<std::uint32_t> share_len_;
+  std::vector<std::uint32_t> churn_off_;
+  std::vector<std::uint32_t> churn_len_;
+  std::vector<std::uint8_t> online_start_;
+  std::vector<std::uint32_t> shares_pool_;
+  std::vector<std::int64_t> churn_pool_;
+};
+
+}  // namespace p2p::sim

@@ -1,0 +1,405 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace p2p::sim {
+
+namespace {
+
+/// Handler context: which engine/shard/entity the current thread is
+/// executing for. Thread-local so S workers never contend, and checked
+/// against the engine pointer so nested engines (a sharded model inside a
+/// sweep task) never cross wires.
+struct TlCtx {
+  const ShardedEngine* engine = nullptr;
+  std::size_t shard = 0;
+  ShardedEngine::EntityId entity = 0;
+};
+thread_local TlCtx tl_ctx;
+
+constexpr std::int64_t kNoCap = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+/// Worker rendezvous: a central generation barrier whose last arriver runs
+/// a completion step (the round planner) before releasing the others. The
+/// mutex/condvar pair gives every cross-thread access around a window a
+/// happens-before edge — this is the entire synchronization surface of the
+/// engine, which is what makes it straightforward to reason about (and for
+/// TSan to verify).
+class ShardedEngine::Impl {
+ public:
+  void reset(std::size_t participants) {
+    n_ = participants;
+    arrived_ = 0;
+    generation_ = 0;
+    error_ = nullptr;
+  }
+
+  template <typename Completion>
+  void arrive_and_wait(Completion&& completion) {
+    std::unique_lock lock(mutex_);
+    std::size_t my_generation = generation_;
+    if (++arrived_ == n_) {
+      completion();
+      arrived_ = 0;
+      ++generation_;
+      lock.unlock();
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+  }
+
+  void record_error() {
+    std::scoped_lock lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  [[nodiscard]] bool failed() {
+    std::scoped_lock lock(error_mutex_);
+    return error_ != nullptr;
+  }
+  void rethrow_if_failed() {
+    std::exception_ptr e;
+    {
+      std::scoped_lock lock(error_mutex_);
+      e = error_;
+      error_ = nullptr;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t n_ = 0;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+// ---------------------------------------------------------------------------
+// ShardQueue: 4-ary slab heap over the intrinsic (at, oid, oseq) key.
+// ---------------------------------------------------------------------------
+
+void ShardedEngine::ShardQueue::push(Entry entry, EntityId dst, Task action) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    tasks_[slot] = std::move(action);
+    dsts_[slot] = dst;
+  } else {
+    slot = static_cast<std::uint32_t>(tasks_.size());
+    tasks_.push_back(std::move(action));
+    dsts_.push_back(dst);
+  }
+  entry.slot = slot;
+  std::size_t i = heap_.size();
+  heap_.emplace_back();
+  while (i > 0) {
+    std::size_t parent = (i - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+ShardedEngine::ShardQueue::Popped ShardedEngine::ShardQueue::pop() {
+  Entry result = heap_.front();
+  Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(last);
+  Popped popped{result, dsts_[result.slot], std::move(tasks_[result.slot])};
+  free_slots_.push_back(result.slot);
+  return popped;
+}
+
+void ShardedEngine::ShardQueue::sift_down(Entry entry) {
+  std::size_t i = 0;
+  const std::size_t size = heap_.size();
+  for (;;) {
+    std::size_t first_child = i * kArity + 1;
+    if (first_child >= size) break;
+    std::size_t best = first_child;
+    std::size_t end = std::min(first_child + kArity, size);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+ShardedEngine::ShardedEngine(Config config)
+    : config_(config), impl_(std::make_unique<Impl>()) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.lookahead <= SimDuration::millis(0)) {
+    throw std::invalid_argument("ShardedEngine: lookahead must be positive");
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->outbox.resize(config_.shards);
+    shards_.push_back(std::move(shard));
+  }
+  add_entity(0);  // the ambient entity
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+ShardedEngine::EntityId ShardedEngine::add_entity(std::uint64_t stable_key) {
+  if (running_) {
+    throw std::logic_error("ShardedEngine: add_entity during a run");
+  }
+  std::uint64_t state = stable_key;
+  std::uint32_t shard =
+      static_cast<std::uint32_t>(util::splitmix64(state) % shards_.size());
+  auto id = static_cast<EntityId>(entity_shard_.size());
+  entity_shard_.push_back(shard);
+  entity_key_.push_back(stable_key);
+  oseq_.push_back(0);
+  return id;
+}
+
+ShardedEngine::EntityId ShardedEngine::current_entity() const {
+  return tl_ctx.engine == this ? tl_ctx.entity : 0;
+}
+
+SimTime ShardedEngine::now() const {
+  if (tl_ctx.engine == this) {
+    return SimTime::at_millis(shards_[tl_ctx.shard]->clock_ms);
+  }
+  return now_;
+}
+
+void ShardedEngine::post(EntityId dst, SimTime at, Task action) {
+  std::size_t dst_shard = entity_shard_.at(dst);
+  if (tl_ctx.engine != this) {
+    insert_bootstrap(dst, at, std::move(action));
+    return;
+  }
+  Shard& src = *shards_[tl_ctx.shard];
+  if (at.millis() < src.clock_ms) {
+    throw std::invalid_argument("ShardedEngine: scheduling in the past");
+  }
+  EntityId origin = tl_ctx.entity;
+  if (dst != origin &&
+      at.millis() < src.clock_ms + config_.lookahead.count_ms()) {
+    // Enforced at every shard count (including the serial baseline): a
+    // cross-entity message below the lookahead floor would execute in the
+    // current window on one partition and violate conservative delivery on
+    // another — the one bug class that breaks shard-count invariance.
+    throw std::logic_error(
+        "ShardedEngine: cross-entity post below the lookahead floor");
+  }
+  Entry entry{at.millis(), next_oseq(origin), origin, 0};
+  if (dst_shard == tl_ctx.shard) {
+    src.queue.push(entry, dst, std::move(action));
+  } else {
+    src.outbox[dst_shard].push_back(Msg{entry, dst, std::move(action)});
+  }
+}
+
+void ShardedEngine::insert_bootstrap(EntityId dst, SimTime at, Task action) {
+  if (running_) {
+    throw std::logic_error("ShardedEngine: post from a foreign thread");
+  }
+  if (at < now_) {
+    throw std::invalid_argument("ShardedEngine: scheduling in the past");
+  }
+  // Bootstrap posts act as self-posts of the destination: the ordering key
+  // derives from dst's own counter, which is identical at any shard count.
+  Entry entry{at.millis(), next_oseq(dst), dst, 0};
+  shards_[entity_shard_[dst]]->queue.push(entry, dst, std::move(action));
+}
+
+void ShardedEngine::schedule_at(SimTime at, Task action) {
+  post(current_entity(), at, std::move(action));
+}
+
+bool ShardedEngine::empty() const {
+  for (const auto& s : shards_) {
+    if (!s->queue.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t ShardedEngine::pending() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->queue.size();
+  return total;
+}
+
+std::uint64_t ShardedEngine::executed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->executed;
+  return total;
+}
+
+void ShardedEngine::execute_window(std::size_t shard_index,
+                                   std::int64_t window_end_ms) {
+  Shard& shard = *shards_[shard_index];
+  // RAII restore: a throwing task must not leave tl_ctx pointing at this
+  // engine — a later engine at the same address would mistake bootstrap
+  // posts for in-run posts and route them into a never-drained outbox.
+  struct CtxRestore {
+    TlCtx saved = tl_ctx;
+    ~CtxRestore() { tl_ctx = saved; }
+  } restore;
+  tl_ctx.engine = this;
+  tl_ctx.shard = shard_index;
+  while (!shard.queue.empty() && shard.queue.top().at_ms < window_end_ms) {
+    auto popped = shard.queue.pop();
+    shard.clock_ms = popped.entry.at_ms;
+    shard.last_executed_ms = popped.entry.at_ms;
+    ++shard.executed;
+    tl_ctx.entity = popped.dst;
+    popped.action();
+  }
+  if (window_end_ms != kNoCap && shard.clock_ms < window_end_ms) {
+    shard.clock_ms = window_end_ms;
+  }
+}
+
+void ShardedEngine::drain_into(std::size_t dst_shard) {
+  Shard& dst = *shards_[dst_shard];
+  for (auto& src : shards_) {
+    auto& box = src->outbox[dst_shard];
+    for (auto& msg : box) {
+      // Conservative delivery: the window discipline guarantees no message
+      // arrives in the destination's past.
+      if (msg.entry.at_ms < dst.clock_ms) {
+        throw std::logic_error("ShardedEngine: message arrived in the past");
+      }
+      dst.queue.push(msg.entry, msg.dst, std::move(msg.action));
+      ++dst.cross_received;
+    }
+    box.clear();
+  }
+  dst.has_next = !dst.queue.empty();
+  dst.next_top_ms = dst.has_next ? dst.queue.top().at_ms : 0;
+}
+
+bool ShardedEngine::plan_round(std::int64_t until_ms, bool bounded) {
+  std::int64_t tmin = kNoCap;
+  for (const auto& s : shards_) {
+    if (s->has_next) tmin = std::min(tmin, s->next_top_ms);
+  }
+  if (tmin == kNoCap || (bounded && tmin > until_ms)) {
+    plan_.stop = true;
+    return false;
+  }
+  std::int64_t window = tmin + config_.lookahead.count_ms();
+  if (bounded && until_ms != kNoCap) window = std::min(window, until_ms + 1);
+  plan_.window_end_ms = window;
+  plan_.stop = false;
+  ++stats_.rounds;
+  return true;
+}
+
+void ShardedEngine::run_rounds(std::int64_t until_ms, bool bounded) {
+  const std::size_t n = shards_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    Shard& shard = *shards_[s];
+    shard.has_next = !shard.queue.empty();
+    shard.next_top_ms = shard.has_next ? shard.queue.top().at_ms : 0;
+  }
+  if (!plan_round(until_ms, bounded)) return;
+  running_ = true;
+
+  if (n == 1) {
+    // Serial fast path: one shard, no workers, no barriers — but the same
+    // ordering key and the same lookahead validation, so it is a faithful
+    // differential baseline for every multi-shard run.
+    try {
+      while (!plan_.stop) {
+        execute_window(0, plan_.window_end_ms);
+        drain_into(0);  // self-sends from co-located entities
+        plan_round(until_ms, bounded);
+      }
+    } catch (...) {
+      running_ = false;
+      throw;
+    }
+    running_ = false;
+    return;
+  }
+
+  impl_->reset(n);
+  auto worker = [this, until_ms, bounded](std::size_t s) {
+    for (;;) {
+      if (plan_.stop) break;
+      try {
+        execute_window(s, plan_.window_end_ms);
+      } catch (...) {
+        impl_->record_error();
+      }
+      impl_->arrive_and_wait([] {});  // all outbox writes complete
+      try {
+        drain_into(s);
+      } catch (...) {
+        impl_->record_error();
+      }
+      impl_->arrive_and_wait([this, until_ms, bounded] {
+        if (impl_->failed()) {
+          plan_.stop = true;
+        } else {
+          plan_round(until_ms, bounded);
+        }
+      });
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (std::size_t s = 1; s < n; ++s) {
+    pool.emplace_back(worker, s);
+  }
+  worker(0);
+  for (auto& t : pool) t.join();
+  running_ = false;
+  impl_->rethrow_if_failed();
+}
+
+void ShardedEngine::run_until(SimTime until) {
+  run_rounds(until.millis(), /*bounded=*/true);
+  for (auto& s : shards_) s->clock_ms = std::max(s->clock_ms, until.millis());
+  if (now_ < until) now_ = until;
+}
+
+void ShardedEngine::run_all() {
+  bool had_events = !empty();
+  run_rounds(kNoCap, /*bounded=*/false);
+  if (had_events) {
+    std::int64_t last = now_.millis();
+    for (const auto& s : shards_) last = std::max(last, s->last_executed_ms);
+    now_ = SimTime::at_millis(last);
+    for (auto& s : shards_) s->clock_ms = last;
+  }
+}
+
+ShardedEngine::Stats ShardedEngine::stats() const {
+  Stats stats = stats_;
+  for (const auto& s : shards_) {
+    stats.cross_shard_messages += s->cross_received;
+  }
+  return stats;
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,224 @@
+// Sharded deterministic parallel discrete-event engine.
+//
+// The serial EventQueue orders ties by global insertion sequence — a total
+// order that only exists when one thread schedules everything. To run one
+// event loop per shard and still produce byte-identical results at any
+// shard count, this engine changes the ordering contract to an *intrinsic*
+// key: every event is stamped (at, origin-entity, origin-sequence) by its
+// scheduler, and each shard executes its local events in that key order.
+// The key is a pure function of the simulation's own causality — it never
+// depends on which shard ran where or when — so the per-entity event
+// sequences (and therefore all per-entity state, RNG draws, and emitted
+// records) are identical whether the partition has 1 shard or 64.
+//
+// Conservative synchronization (classic Chandy–Misra lookahead, simplified
+// to barrier windows): entities are partitioned over shards by a stable
+// hash of their registration key; cross-entity messages must be scheduled
+// at least `lookahead` (the minimum cross-entity link latency) after the
+// sender's clock. Shards then run in windows of width <= lookahead: within
+// a window a shard only executes events it already owns, appends outgoing
+// cross-shard messages to per-link outboxes, and a barrier drains every
+// outbox before the next window opens — no message can ever arrive in a
+// shard's past. The lookahead rule is enforced (throwing) at every shard
+// count including 1, so a model that would deadlock or diverge when
+// parallelized fails loudly in its serial differential baseline too.
+//
+// See DESIGN.md "Sharded execution" for the determinism proof sketch and
+// tests/test_shard.cpp for the differential/property harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/arena.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+#include "util/sim_time.h"
+
+namespace p2p::sim {
+
+class ShardedEngine final : public Engine {
+ public:
+  using EntityId = std::uint32_t;
+
+  struct Config {
+    /// Number of shards (event loops). 1 = serial execution with the same
+    /// ordering contract — the differential baseline.
+    std::size_t shards = 1;
+    /// Minimum cross-entity link latency: every post to another entity must
+    /// be scheduled at least this far after the sender's clock. Windows are
+    /// derived from it, so it also bounds how far shards can drift apart.
+    SimDuration lookahead = SimDuration::millis(20);
+  };
+
+  /// Run statistics (stable across shard counts except `rounds`, which is
+  /// an execution detail and excluded from deterministic exports).
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t cross_shard_messages = 0;
+  };
+
+  explicit ShardedEngine(Config config);
+  ~ShardedEngine() override;
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // -- Entities ------------------------------------------------------------
+
+  /// Register an entity before the first run call. `stable_key` determines
+  /// the shard (stable hash mod shard count) and must be unique per entity.
+  /// Entity 0 always exists (the "ambient" entity schedule_at posts to from
+  /// outside any handler).
+  EntityId add_entity(std::uint64_t stable_key);
+
+  [[nodiscard]] std::size_t entity_count() const { return entity_shard_.size(); }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(EntityId entity) const {
+    return entity_shard_.at(entity);
+  }
+  /// The entity whose handler is currently executing on this thread, or 0.
+  [[nodiscard]] EntityId current_entity() const;
+
+  /// Per-shard bulk storage (share indexes, scratch). Owned by the shard's
+  /// worker during runs; touch it from other threads only between runs.
+  [[nodiscard]] Arena& shard_arena(std::size_t shard) {
+    return shards_[shard]->arena;
+  }
+
+  // -- Scheduling ----------------------------------------------------------
+
+  /// Schedule `action` to run on `dst` at absolute time `at`.
+  ///
+  /// From inside a handler the origin is the current entity; posts to any
+  /// *other* entity must satisfy `at >= sender clock + lookahead` (throws
+  /// std::logic_error otherwise — at every shard count). Self-posts (timers)
+  /// may use any non-past stamp. From outside a run, posts are bootstrap
+  /// inserts: any non-past stamp, any destination.
+  void post(EntityId dst, SimTime at, Task action);
+
+  /// Engine interface: post to the current entity (inside a handler) or to
+  /// the ambient entity 0 (outside).
+  void schedule_at(SimTime at, Task action) override;
+
+  // -- Running -------------------------------------------------------------
+
+  void run_until(SimTime until) override;
+  void run_all() override;
+
+  /// Between runs: the last run_until target (or last executed stamp after
+  /// run_all). Inside a handler: the executing shard's clock (== the
+  /// current event's stamp).
+  [[nodiscard]] SimTime now() const override;
+
+  [[nodiscard]] bool empty() const override;
+  [[nodiscard]] std::size_t pending() const override;
+  [[nodiscard]] std::uint64_t executed() const override;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// Heap node: the intrinsic ordering key plus the closure's slab slot.
+  /// Trivially copyable; sifts move 24 bytes.
+  struct Entry {
+    std::int64_t at_ms;
+    std::uint64_t oseq;  // origin-entity sequence number
+    EntityId oid;        // origin entity
+    std::uint32_t slot;
+  };
+
+  /// Strict total order: (at, origin entity, origin sequence). Origin
+  /// sequences are unique per origin, so no two entries ever compare equal.
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at_ms != b.at_ms) return a.at_ms < b.at_ms;
+    if (a.oid != b.oid) return a.oid < b.oid;
+    return a.oseq < b.oseq;
+  }
+
+  /// Per-shard event queue: the EventQueue's 4-ary slab heap, re-keyed on
+  /// the intrinsic order above. Events carry the destination entity so the
+  /// executor can set the handler context.
+  class ShardQueue {
+   public:
+    struct Popped {
+      Entry entry;
+      EntityId dst;
+      Task action;
+    };
+
+    void push(Entry entry, EntityId dst, Task action);
+    [[nodiscard]] bool empty() const { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const { return heap_.size(); }
+    [[nodiscard]] const Entry& top() const { return heap_.front(); }
+    Popped pop();
+
+   private:
+    void sift_down(Entry entry);
+    static constexpr std::size_t kArity = 4;
+    std::vector<Entry> heap_;
+    std::vector<Task> tasks_;
+    std::vector<EntityId> dsts_;
+    std::vector<std::uint32_t> free_slots_;
+  };
+
+  /// A cross-shard message parked in an outbox until the window barrier.
+  struct Msg {
+    Entry entry;
+    EntityId dst;
+    Task action;
+  };
+
+  struct alignas(64) Shard {
+    ShardQueue queue;
+    Arena arena;
+    /// The shard's clock: stamp of the event being executed, committed to
+    /// the window end between rounds.
+    std::int64_t clock_ms = 0;
+    std::uint64_t executed = 0;
+    std::int64_t last_executed_ms = 0;
+    /// outbox[d]: messages bound for shard d, appended during execution
+    /// (only by this shard's worker) and drained by d's worker after the
+    /// window barrier.
+    std::vector<std::vector<Msg>> outbox;
+    /// Published queue-top stamp for the next round plan (written after
+    /// drain, read by the round planner under the barrier).
+    std::int64_t next_top_ms = 0;
+    bool has_next = false;
+    /// Messages this shard received through outboxes (stats only).
+    std::uint64_t cross_received = 0;
+  };
+
+  // Round plan shared between workers; written only by the barrier
+  // completion step, read by everyone after the barrier releases.
+  struct RoundPlan {
+    std::int64_t window_end_ms = 0;
+    bool stop = false;
+  };
+
+  void run_rounds(std::int64_t until_ms, bool bounded);
+  void execute_window(std::size_t shard_index, std::int64_t window_end_ms);
+  void drain_into(std::size_t dst_shard);
+  [[nodiscard]] bool plan_round(std::int64_t until_ms, bool bounded);
+  void insert_bootstrap(EntityId dst, SimTime at, Task action);
+  [[nodiscard]] std::uint64_t next_oseq(EntityId origin) {
+    return oseq_[origin]++;
+  }
+
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::uint32_t> entity_shard_;
+  std::vector<std::uint64_t> entity_key_;
+  /// Per-entity origin sequence counters. An entity's counter is only ever
+  /// touched by the worker that owns its shard (or by the main thread
+  /// between runs), so no synchronization is needed beyond the barriers.
+  std::vector<std::uint64_t> oseq_;
+  SimTime now_;
+  bool running_ = false;
+  RoundPlan plan_;
+  Stats stats_;
+
+  class Impl;  // worker pool + barrier (sharded_engine.cpp)
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace p2p::sim

@@ -71,12 +71,14 @@ std::vector<StudyTask> plan(const PlanConfig& config) {
       if (config.duration) t.limewire.crawl.duration = *config.duration;
       core::apply_faults(t.limewire, config.faults, config.fault_seed);
       t.limewire.timeseries = config.timeseries;
+      t.limewire.shards = config.shards;
     } else {
       t.openft = config.quick ? core::openft_quick() : core::openft_standard();
       t.openft.seed = seeds[i];
       if (config.duration) t.openft.crawl.duration = *config.duration;
       core::apply_faults(t.openft, config.faults, config.fault_seed);
       t.openft.timeseries = config.timeseries;
+      t.openft.shards = config.shards;
     }
     tasks.push_back(std::move(t));
   }

@@ -75,6 +75,9 @@ struct PlanConfig {
   /// against its own scoped registry, so per-task series are byte-identical
   /// across --jobs counts.
   obs::TimeSeriesConfig timeseries{};
+  /// Sharded-engine worker count per task (0 = legacy serial model). Task
+  /// results are identical at every value >= 1; see core/shard_study.h.
+  std::size_t shards = 0;
 };
 
 [[nodiscard]] std::vector<StudyTask> plan(const PlanConfig& config);

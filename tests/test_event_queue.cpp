@@ -1,3 +1,12 @@
+// Executor contract + EventQueue specifics.
+//
+// The first half is engine-agnostic: every test runs parametrically against
+// the serial EventQueue and the ShardedEngine at 1 and 4 shards through the
+// sim::Engine interface, pinning the contract both executors must share —
+// time order, same-context tie order, clock visibility, monotonicity, and
+// run_until/run_all semantics. The second half covers what is genuinely
+// EventQueue-only (step(), the 4-ary heap's pop-order equivalence to the
+// old binary heap) and the Task small-buffer closure type.
 #include "sim/event_queue.h"
 
 #include <gtest/gtest.h>
@@ -5,82 +14,133 @@
 #include <algorithm>
 #include <memory>
 #include <queue>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/engine.h"
+#include "sim/sharded_engine.h"
 #include "util/rng.h"
 
 namespace p2p::sim {
 namespace {
 
-TEST(EventQueue, RunsInTimeOrder) {
-  EventQueue q;
-  std::vector<int> order;
-  q.schedule_at(SimTime::at_millis(30), [&] { order.push_back(3); });
-  q.schedule_at(SimTime::at_millis(10), [&] { order.push_back(1); });
-  q.schedule_at(SimTime::at_millis(20), [&] { order.push_back(2); });
-  q.run_all();
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(q.now(), SimTime::at_millis(30));
+// ---------------------------------------------------------------------------
+// Engine contract (parametric over executors)
+// ---------------------------------------------------------------------------
+
+enum class EngineKind { kSerial, kSharded1, kSharded4 };
+
+std::unique_ptr<Engine> make_engine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSerial:
+      return std::make_unique<EventQueue>();
+    case EngineKind::kSharded1:
+      return std::make_unique<ShardedEngine>(ShardedEngine::Config{1});
+    case EngineKind::kSharded4:
+      return std::make_unique<ShardedEngine>(ShardedEngine::Config{4});
+  }
+  return nullptr;
 }
 
-TEST(EventQueue, TiesBreakByScheduleOrder) {
-  EventQueue q;
+std::string kind_name(const ::testing::TestParamInfo<EngineKind>& info) {
+  switch (info.param) {
+    case EngineKind::kSerial: return "EventQueue";
+    case EngineKind::kSharded1: return "Sharded1";
+    case EngineKind::kSharded4: return "Sharded4";
+  }
+  return "Unknown";
+}
+
+class EngineContract : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  std::unique_ptr<Engine> q_ = make_engine(GetParam());
+  Engine& q() { return *q_; }
+};
+
+TEST_P(EngineContract, RunsInTimeOrder) {
+  std::vector<int> order;
+  q().schedule_at(SimTime::at_millis(30), [&] { order.push_back(3); });
+  q().schedule_at(SimTime::at_millis(10), [&] { order.push_back(1); });
+  q().schedule_at(SimTime::at_millis(20), [&] { order.push_back(2); });
+  q().run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q().now(), SimTime::at_millis(30));
+}
+
+TEST_P(EngineContract, TiesBreakByScheduleOrder) {
+  // Same instant, same scheduling context: runs in scheduling order on
+  // every executor (insertion seq on the serial queue, origin-sequence on
+  // the sharded one).
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    q.schedule_at(SimTime::at_millis(10), [&order, i] { order.push_back(i); });
+    q().schedule_at(SimTime::at_millis(10), [&order, i] { order.push_back(i); });
   }
-  q.run_all();
+  q().run_all();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(EventQueue, ClockAdvancesDuringExecution) {
-  EventQueue q;
+TEST_P(EngineContract, ClockAdvancesDuringExecution) {
   SimTime seen;
-  q.schedule_at(SimTime::at_millis(42), [&] { seen = q.now(); });
-  q.run_all();
+  q().schedule_at(SimTime::at_millis(42), [&] { seen = q().now(); });
+  q().run_all();
   EXPECT_EQ(seen, SimTime::at_millis(42));
 }
 
-TEST(EventQueue, EventsCanScheduleMoreEvents) {
-  EventQueue q;
+TEST_P(EngineContract, EventsCanScheduleMoreEvents) {
   int count = 0;
   std::function<void()> tick = [&] {
-    if (++count < 5) q.schedule_in(SimDuration::millis(10), tick);
+    if (++count < 5) q().schedule_in(SimDuration::millis(10), tick);
   };
-  q.schedule_in(SimDuration::millis(10), tick);
-  q.run_all();
+  q().schedule_in(SimDuration::millis(10), tick);
+  q().run_all();
   EXPECT_EQ(count, 5);
-  EXPECT_EQ(q.now(), SimTime::at_millis(50));
+  EXPECT_EQ(q().now(), SimTime::at_millis(50));
 }
 
-TEST(EventQueue, SchedulingInPastThrows) {
-  EventQueue q;
-  q.schedule_at(SimTime::at_millis(100), [] {});
-  q.run_all();
-  EXPECT_THROW(q.schedule_at(SimTime::at_millis(50), [] {}), std::invalid_argument);
+TEST_P(EngineContract, SchedulingInPastThrows) {
+  q().schedule_at(SimTime::at_millis(100), [] {});
+  q().run_all();
+  EXPECT_THROW(q().schedule_at(SimTime::at_millis(50), [] {}),
+               std::invalid_argument);
 }
 
-TEST(EventQueue, RunUntilLeavesLaterEventsQueued) {
-  EventQueue q;
+TEST_P(EngineContract, RunUntilLeavesLaterEventsQueued) {
   int ran = 0;
-  q.schedule_at(SimTime::at_millis(10), [&] { ++ran; });
-  q.schedule_at(SimTime::at_millis(100), [&] { ++ran; });
-  q.run_until(SimTime::at_millis(50));
+  q().schedule_at(SimTime::at_millis(10), [&] { ++ran; });
+  q().schedule_at(SimTime::at_millis(100), [&] { ++ran; });
+  q().run_until(SimTime::at_millis(50));
   EXPECT_EQ(ran, 1);
-  EXPECT_EQ(q.pending(), 1u);
-  EXPECT_EQ(q.now(), SimTime::at_millis(50));
-  q.run_until(SimTime::at_millis(200));
+  EXPECT_EQ(q().pending(), 1u);
+  EXPECT_EQ(q().now(), SimTime::at_millis(50));
+  q().run_until(SimTime::at_millis(200));
   EXPECT_EQ(ran, 2);
 }
 
-TEST(EventQueue, RunUntilInclusiveOfBoundary) {
-  EventQueue q;
+TEST_P(EngineContract, RunUntilInclusiveOfBoundary) {
   bool ran = false;
-  q.schedule_at(SimTime::at_millis(50), [&] { ran = true; });
-  q.run_until(SimTime::at_millis(50));
+  q().schedule_at(SimTime::at_millis(50), [&] { ran = true; });
+  q().run_until(SimTime::at_millis(50));
   EXPECT_TRUE(ran);
 }
+
+TEST_P(EngineContract, CountsExecutedAndDrains) {
+  for (int i = 0; i < 7; ++i) q().schedule_in(SimDuration::millis(i), [] {});
+  q().run_all();
+  EXPECT_EQ(q().executed(), 7u);
+  EXPECT_TRUE(q().empty());
+  EXPECT_EQ(q().pending(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Executors, EngineContract,
+                         ::testing::Values(EngineKind::kSerial,
+                                           EngineKind::kSharded1,
+                                           EngineKind::kSharded4),
+                         kind_name);
+
+// ---------------------------------------------------------------------------
+// EventQueue specifics (single-event step(), heap order equivalence)
+// ---------------------------------------------------------------------------
 
 TEST(EventQueue, StepReturnsFalseWhenEmpty) {
   EventQueue q;
@@ -88,13 +148,6 @@ TEST(EventQueue, StepReturnsFalseWhenEmpty) {
   q.schedule_in(SimDuration::millis(1), [] {});
   EXPECT_TRUE(q.step());
   EXPECT_FALSE(q.step());
-}
-
-TEST(EventQueue, CountsExecuted) {
-  EventQueue q;
-  for (int i = 0; i < 7; ++i) q.schedule_in(SimDuration::millis(i), [] {});
-  q.run_all();
-  EXPECT_EQ(q.executed(), 7u);
 }
 
 // Reference for the property test below: the binary heap the queue used

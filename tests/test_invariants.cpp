@@ -1,11 +1,19 @@
 // Cross-cutting invariants: random operation sequences against the
-// simulator must never crash or corrupt state, and a full study's response
-// log must be internally consistent.
+// executors and the simulator must never crash or corrupt state, and a
+// full study's response log must be internally consistent. The executor
+// op-fuzz and the study consistency suite run parametrically against both
+// engines (serial EventQueue and ShardedEngine) through the shared
+// sim::Engine contract.
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
 
 #include "analysis/stats.h"
 #include "core/study.h"
+#include "sim/event_queue.h"
 #include "sim/network.h"
+#include "sim/sharded_engine.h"
 #include "util/rng.h"
 
 namespace p2p {
@@ -13,6 +21,100 @@ namespace {
 
 using sim::SimDuration;
 using sim::SimTime;
+
+// ---------------------------------------------------------------------------
+// Executor op-fuzz (parametric over engines)
+// ---------------------------------------------------------------------------
+
+enum class EngineKind { kSerial, kSharded1, kSharded4 };
+
+std::unique_ptr<sim::Engine> make_engine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSerial:
+      return std::make_unique<sim::EventQueue>();
+    case EngineKind::kSharded1:
+      return std::make_unique<sim::ShardedEngine>(sim::ShardedEngine::Config{1});
+    case EngineKind::kSharded4:
+      return std::make_unique<sim::ShardedEngine>(sim::ShardedEngine::Config{4});
+  }
+  return nullptr;
+}
+
+class EngineOpFuzz
+    : public ::testing::TestWithParam<std::tuple<EngineKind, std::uint64_t>> {};
+
+TEST_P(EngineOpFuzz, RandomScheduleRunSequencesKeepAccountingConsistent) {
+  auto [kind, seed] = GetParam();
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  auto engine = make_engine(kind);
+  std::uint64_t scheduled = 0;
+  std::uint64_t handler_fired = 0;
+
+  for (int op = 0; op < 300; ++op) {
+    switch (rng.index(4)) {
+      case 0: {  // burst of schedules, some re-entrant
+        std::uint64_t n = rng.bounded(12);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          SimTime at = engine->now() +
+                       SimDuration::millis(static_cast<std::int64_t>(rng.bounded(500)));
+          bool chain = rng.chance(0.25);
+          auto* eng = engine.get();
+          ++scheduled;
+          engine->schedule_at(at, [&handler_fired, &scheduled, eng, chain] {
+            ++handler_fired;
+            if (chain) {
+              ++scheduled;
+              eng->schedule_in(SimDuration::millis(7),
+                               [&handler_fired] { ++handler_fired; });
+            }
+          });
+        }
+        break;
+      }
+      case 1:  // partial drain
+        engine->run_until(engine->now() + SimDuration::millis(
+                                              static_cast<std::int64_t>(rng.bounded(300))));
+        break;
+      case 2:  // zero-width window (clock stays put, nothing lost)
+        engine->run_until(engine->now());
+        break;
+      default: {  // clock-driven invariants hold mid-stream
+        EXPECT_EQ(engine->executed() + engine->pending(), scheduled);
+        EXPECT_EQ(engine->empty(), engine->pending() == 0);
+        break;
+      }
+    }
+    // now() never runs backwards and executed() is monotone by construction;
+    // the accounting identity is re-checked after every op.
+    ASSERT_LE(engine->executed(), scheduled);
+  }
+
+  engine->run_all();
+  EXPECT_TRUE(engine->empty());
+  EXPECT_EQ(engine->pending(), 0u);
+  EXPECT_EQ(engine->executed(), scheduled);
+  EXPECT_EQ(handler_fired, scheduled);
+}
+
+std::string engine_case_name(
+    const ::testing::TestParamInfo<std::tuple<EngineKind, std::uint64_t>>&
+        info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case EngineKind::kSerial: name = "EventQueue"; break;
+    case EngineKind::kSharded1: name = "Sharded1"; break;
+    case EngineKind::kSharded4: name = "Sharded4"; break;
+  }
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Executors, EngineOpFuzz,
+    ::testing::Combine(::testing::Values(EngineKind::kSerial,
+                                         EngineKind::kSharded1,
+                                         EngineKind::kSharded4),
+                       ::testing::Range<std::uint64_t>(1, 5)),
+    engine_case_name);
 
 /// Minimal node that talks back occasionally.
 class ChattyNode : public sim::Node {
@@ -110,8 +212,14 @@ TEST_P(SimulatorOpFuzz, RandomOperationSequencesAreSafe) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOpFuzz, ::testing::Range<std::uint64_t>(1, 9));
 
-TEST(StudyInvariants, ResponseLogIsInternallyConsistent) {
+// Parametric over the executor: shards=0 is the legacy serial study,
+// shards=1 the sharded model's serial baseline, shards=4 the parallel
+// engine — all under the same consistency checks.
+class StudyInvariants : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StudyInvariants, ResponseLogIsInternallyConsistent) {
   auto cfg = core::limewire_quick();
+  cfg.shards = GetParam();
   cfg.population.ultrapeers = 6;
   cfg.population.leaves = 80;
   cfg.population.corpus.num_titles = 300;
@@ -194,6 +302,14 @@ TEST(StudyInvariants, ResponseLogIsInternallyConsistent) {
   EXPECT_EQ(day_total, s.total_responses);
   EXPECT_EQ(day_infected, s.infected);
 }
+
+INSTANTIATE_TEST_SUITE_P(Shards, StudyInvariants,
+                         ::testing::Values(0u, 1u, 4u),
+                         [](const auto& info) {
+                           return info.param == 0
+                                      ? std::string("Legacy")
+                                      : "Shards" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace p2p

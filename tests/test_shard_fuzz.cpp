@@ -1,0 +1,187 @@
+// Sharded-engine fuzz (ctest label: fuzz).
+//
+// Each round draws a random topology — entity count, stable keys (including
+// colliding ones), lookahead, horizon — and a random message storm: bursty
+// fan-out relays, self-timers below the lookahead floor, and bootstrap posts
+// scattered over the horizon. The storm is replayed at several shard counts
+// and every per-entity delivery log must match the 1-shard baseline exactly.
+// All in-handler randomness is drawn from splitmix64 of intrinsic ids so the
+// workload itself is shard-count-invariant; only the engine under test
+// varies. The sanitizer tier scales rounds up via P2P_FUZZ_ROUNDS.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/sharded_engine.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace p2p {
+namespace {
+
+int fuzz_rounds(int fallback) {
+  if (const char* env = std::getenv("P2P_FUZZ_ROUNDS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+std::uint64_t mix(std::uint64_t x) { return util::splitmix64(x); }
+
+struct StormShape {
+  std::uint32_t entities;
+  std::int64_t lookahead_ms;
+  std::int64_t horizon_ms;
+  std::uint32_t bootstraps;
+  std::uint64_t seed;
+};
+
+StormShape draw_shape(std::uint64_t seed) {
+  util::Rng rng(seed);
+  StormShape s;
+  s.entities = 8 + static_cast<std::uint32_t>(rng.bounded(120));
+  s.lookahead_ms = 5 + static_cast<std::int64_t>(rng.bounded(45));
+  s.horizon_ms = 2000 + static_cast<std::int64_t>(rng.bounded(6000));
+  s.bootstraps = 4 + static_cast<std::uint32_t>(rng.bounded(28));
+  s.seed = rng.next();
+  return s;
+}
+
+struct Delivery {
+  std::int64_t at_ms;
+  std::uint32_t origin;
+  std::uint32_t step;
+  bool operator==(const Delivery& o) const {
+    return at_ms == o.at_ms && origin == o.origin && step == o.step;
+  }
+};
+
+// One storm instance bound to an engine. Handlers fan out 0..3 relays to
+// hash-chosen destinations with latency >= lookahead, plus an occasional
+// self-timer *below* the lookahead floor (legal for self-posts — exactly the
+// edge the conservative windows must not lose).
+struct Storm {
+  const StormShape& shape;
+  sim::ShardedEngine engine;
+  std::vector<sim::ShardedEngine::EntityId> ids;
+  std::vector<std::vector<Delivery>> logs;
+
+  Storm(const StormShape& sh, std::size_t shards)
+      : shape(sh),
+        engine(sim::ShardedEngine::Config{
+            shards, util::SimDuration::millis(sh.lookahead_ms)}),
+        logs(sh.entities) {
+    ids.reserve(sh.entities);
+    for (std::uint32_t i = 0; i < sh.entities; ++i) {
+      // Deliberately colliding stable keys (mod 2 buckets of entropy) so
+      // shard partitions are lumpy, not uniform.
+      ids.push_back(engine.add_entity(mix(shape.seed ^ (i % 2 == 0 ? i : i / 3))));
+    }
+  }
+
+  // Per-(origin, step) decisions are pure hash draws: identical at every
+  // shard count.
+  void deliver(std::uint32_t id, std::uint32_t step, std::uint32_t origin) {
+    std::int64_t now_ms = engine.now().millis();
+    logs[id].push_back({now_ms, origin, step});
+    if (step >= 24) return;
+    std::uint64_t h = mix(shape.seed ^ (std::uint64_t{id} << 40) ^
+                          (std::uint64_t{step} << 8) ^ origin);
+    std::uint32_t fanout = static_cast<std::uint32_t>(h % 4);
+    for (std::uint32_t f = 0; f < fanout; ++f) {
+      std::uint64_t hf = mix(h ^ (0x9e3779b97f4a7c15ull * (f + 1)));
+      std::uint32_t dst = static_cast<std::uint32_t>(hf % shape.entities);
+      std::int64_t latency =
+          shape.lookahead_ms + static_cast<std::int64_t>((hf >> 32) % 400);
+      std::int64_t at_ms = now_ms + latency;
+      if (at_ms > shape.horizon_ms) continue;
+      engine.post(ids[dst], util::SimTime::at_millis(at_ms),
+                  [this, dst, next = step + 1, id] { deliver(dst, next, id); });
+    }
+    if ((h >> 60) == 0) {
+      // Self-timer below the lookahead floor.
+      std::int64_t at_ms = now_ms + 1 + static_cast<std::int64_t>((h >> 16) % 4);
+      if (at_ms <= shape.horizon_ms) {
+        engine.post(ids[id], util::SimTime::at_millis(at_ms),
+                    [this, id, next = step + 1] { deliver(id, next, id); });
+      }
+    }
+  }
+
+  void seed_bootstraps() {
+    for (std::uint32_t b = 0; b < shape.bootstraps; ++b) {
+      std::uint64_t h = mix(shape.seed ^ 0xb007ull ^ b);
+      std::uint32_t dst = static_cast<std::uint32_t>(h % shape.entities);
+      std::int64_t at_ms =
+          static_cast<std::int64_t>((h >> 32) % (shape.horizon_ms / 2 + 1));
+      engine.post(ids[dst], util::SimTime::at_millis(at_ms),
+                  [this, dst] { deliver(dst, 0, dst); });
+    }
+  }
+};
+
+class ShardStormFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardStormFuzz, RandomStormsMatchSerialBaselineAtEveryShardCount) {
+  const int rounds = fuzz_rounds(8);
+  for (int round = 0; round < rounds; ++round) {
+    StormShape shape = draw_shape(GetParam() * 1000003ull + round);
+    Storm baseline(shape, 1);
+    baseline.seed_bootstraps();
+    baseline.engine.run_all();
+    std::uint64_t ref_executed = baseline.engine.executed();
+    ASSERT_GT(ref_executed, shape.bootstraps / 2)
+        << "degenerate storm, seed " << shape.seed;
+    for (std::size_t shards : {2u, 3u, 5u, 8u}) {
+      Storm storm(shape, shards);
+      storm.seed_bootstraps();
+      storm.engine.run_all();
+      EXPECT_EQ(ref_executed, storm.engine.executed())
+          << "round " << round << " shards " << shards;
+      for (std::uint32_t i = 0; i < shape.entities; ++i) {
+        ASSERT_EQ(baseline.logs[i], storm.logs[i])
+            << "entity " << i << " log diverged, round " << round
+            << ", shards " << shards;
+      }
+    }
+  }
+}
+
+TEST_P(ShardStormFuzz, RandomStormsSurviveWindowedRunUntil) {
+  // Same diff, but the sharded run is chopped into randomized run_until
+  // barriers — partial drains must compose to the same final logs.
+  const int rounds = fuzz_rounds(6);
+  for (int round = 0; round < rounds; ++round) {
+    StormShape shape = draw_shape(GetParam() * 7778777ull + round);
+    Storm baseline(shape, 1);
+    baseline.seed_bootstraps();
+    baseline.engine.run_all();
+    for (std::size_t shards : {2u, 7u}) {
+      Storm storm(shape, shards);
+      storm.seed_bootstraps();
+      util::Rng cuts(shape.seed ^ shards);
+      std::int64_t at = 0;
+      while (at < shape.horizon_ms + 1000) {
+        at += 1 + static_cast<std::int64_t>(cuts.bounded(
+                 static_cast<std::uint64_t>(shape.horizon_ms / 3)));
+        storm.engine.run_until(util::SimTime::at_millis(at));
+      }
+      storm.engine.run_all();
+      EXPECT_EQ(baseline.engine.executed(), storm.engine.executed());
+      for (std::uint32_t i = 0; i < shape.entities; ++i) {
+        ASSERT_EQ(baseline.logs[i], storm.logs[i])
+            << "entity " << i << " diverged under windowed run, round "
+            << round << ", shards " << shards;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardStormFuzz,
+                         ::testing::Values(1ull, 42ull, 0xfeedfaceull));
+
+}  // namespace
+}  // namespace p2p
