@@ -1,4 +1,4 @@
-// E9 — Exposure by query category: which kinds of queries draw malicious
+// E11 (formerly E9) — Exposure by query category: which kinds of queries draw malicious
 // responses. Query-echoing worms answer everything, so on LimeWire every
 // category is saturated; lure-style queries additionally surface the
 // long-tail trojans. On OpenFT only software-flavored and lure queries are
@@ -11,7 +11,7 @@
 
 int main() {
   using namespace p2p;
-  std::cout << "=== E9: exposure by query category ===\n\n";
+  std::cout << "=== E11: exposure by query category ===\n\n";
 
   auto lw = bench::limewire_study_cached();
   core::print_category_breakdown(std::cout, "limewire",

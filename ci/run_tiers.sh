@@ -10,9 +10,10 @@
 #             trace file, replay it offline, and require the replayed JSON
 #             report to be byte-identical to the live one.
 #   tsan      ThreadSanitizer build (-DP2P_SANITIZE=thread); runs the sweep,
-#             fault, and shard suites plus the Payload refcount stress and a
-#             sharded (--shards 4) quick study of each network — the
-#             concurrency-bearing layers under their real workload.
+#             fault, shard, and kad suites plus the Payload refcount stress,
+#             a sharded (--shards 4) quick study of each sharded network and
+#             a quick KAD honeypot study — the concurrency-bearing layers
+#             under their real workload.
 #   bench     Simulation-core microbench (bench_sim_core --check): asserts
 #             the >=2x scheduling and >=5x copy-reduction floors hold and
 #             leaves bench_sim_core.json behind as a CI artifact. Also runs
@@ -22,7 +23,7 @@
 #             build AND in a -DP2P_OBS_DISABLED=ON build, pinning the
 #             per-op cost ceilings of the observability primitives in both
 #             flavors.
-#   chaos     Faulted --quick studies of both networks: bit-reproducible
+#   chaos     Faulted --quick studies of all three networks: bit-reproducible
 #             under a fixed seed + fault plan, degradation counters obey
 #             their accounting invariants, unknown --faults specs exit
 #             non-zero, and a faulted sweep is --jobs invariant.
@@ -79,7 +80,7 @@ tier_replay() {
   (
     cd build-ci-release
     rm -rf ci-replay && mkdir ci-replay && cd ci-replay
-    for network in limewire openft; do
+    for network in limewire openft kad; do
       ../examples/trace record --network "${network}" --quick --seed 7 \
         "${network}.p2pt" > /dev/null
       ../examples/trace inspect "${network}.p2pt"
@@ -89,8 +90,10 @@ tier_replay() {
     ../examples/limewire_study --quick --seed 7 --json limewire_live.json \
       > /dev/null
     ../examples/openft_study --quick --seed 7 --json openft_live.json > /dev/null
+    ../examples/kad_study --quick --seed 7 --json kad_live.json > /dev/null
     cmp limewire_live.json limewire_replayed.json
     cmp openft_live.json openft_replayed.json
+    cmp kad_live.json kad_replayed.json
     echo "replayed reports are byte-identical to live runs"
   )
 }
@@ -99,8 +102,8 @@ tier_tsan() {
   echo "== tier tsan: ThreadSanitizer build + sweep/fault/shard suites =="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DP2P_SANITIZE=thread
   cmake --build build-ci-tsan -j "${JOBS}" \
-    --target p2p_tests p2p_fault_tests p2p_shard_tests \
-             limewire_study openft_study
+    --target p2p_tests p2p_fault_tests p2p_shard_tests p2p_kad_tests \
+             limewire_study openft_study kad_study
   (
     cd build-ci-tsan
     ctest -L fault -j "${JOBS}" --output-on-failure
@@ -117,6 +120,11 @@ tier_tsan() {
       ./examples/${network}_study --quick --seed 7 --shards 4 \
         --json "tsan_${network}_sharded.json" > /dev/null
     done
+    # The KAD driver is serial, but its RPC fan-out and honeypot stream
+    # merge still run under the sweep worker pool in `-L kad`'s study
+    # tests; a standalone quick study keeps the CLI path covered too.
+    ctest -L kad -j "${JOBS}" --output-on-failure
+    ./examples/kad_study --quick --seed 7 --json tsan_kad.json > /dev/null
   )
 }
 
@@ -128,7 +136,7 @@ tier_chaos() {
     rm -rf ci-chaos && mkdir ci-chaos && cd ci-chaos
 
     echo "-- faulted runs are bit-reproducible"
-    for network in limewire openft; do
+    for network in limewire openft kad; do
       ../examples/${network}_study --quick --seed 7 --faults moderate \
         --json "${network}_a.json" > /dev/null
       ../examples/${network}_study --quick --seed 7 --faults moderate \
@@ -140,10 +148,14 @@ tier_chaos() {
     ../examples/limewire_study --quick --seed 7 --json clean.json > /dev/null
     grep -q '"faults"' limewire_a.json
     grep -q '"faults"' openft_a.json
+    grep -q '"faults"' kad_a.json
     ! grep -q '"faults"' clean.json
 
+    echo "-- faulted KAD honeypot stream still yields the coverage appendix"
+    grep -q '"honeypots"' kad_a.json
+
     echo "-- degradation counters obey their accounting invariants"
-    for network in limewire openft; do
+    for network in limewire openft kad; do
       python3 - "${network}_a.json" <<'PY'
 import json, sys
 f = json.load(open(sys.argv[1]))["faults"]
@@ -159,7 +171,7 @@ PY
     done
 
     echo "-- unknown fault specs are rejected"
-    for tool in limewire_study openft_study sweep; do
+    for tool in limewire_study openft_study kad_study sweep; do
       if ../examples/${tool} --faults not-a-preset > /dev/null 2>&1; then
         echo "${tool} accepted an unknown --faults spec" >&2
         exit 1

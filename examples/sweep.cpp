@@ -2,7 +2,7 @@
 // thread pool and report each headline metric as a distribution (mean,
 // stddev, 95% bootstrap CI) instead of a single draw.
 //
-//   ./sweep [--network limewire|openft] [--quick|--standard]
+//   ./sweep [--network limewire|openft|kad] [--quick|--standard]
 //           [--seeds A..B | --seeds N] [--base-seed <n>]
 //           [--days <n> | --hours <n>] [--jobs <n>] [--shards <n>]
 //           [--json <path>] [--record <dir>|--replay <dir>]
@@ -30,7 +30,7 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--network limewire|openft] [--quick|--standard]"
+            << " [--network limewire|openft|kad] [--quick|--standard]"
                " [--seeds A..B | --seeds N] [--base-seed <n>]"
                " [--days <n> | --hours <n>] [--jobs <n>] [--shards <n>]"
                " [--json <path>]"
@@ -78,6 +78,8 @@ int main(int argc, char** argv) {
         plan.network = sweep::NetworkKind::kLimewire;
       } else if (name == "openft") {
         plan.network = sweep::NetworkKind::kOpenFt;
+      } else if (name == "kad") {
+        plan.network = sweep::NetworkKind::kKad;
       } else {
         std::cerr << "unknown network: " << name << "\n";
         return 2;

@@ -6,7 +6,7 @@
 // README's "Recording and replaying a study" and the format section in
 // DESIGN.md.
 //
-//   ./trace record --network limewire|openft [--quick] [--seed <n>] <file>
+//   ./trace record --network limewire|openft|kad [--quick] [--seed <n>] <file>
 //   ./trace inspect <file>
 //   ./trace replay <file> [--json <path>]
 //   ./trace cat <file> [--csv <path>]
@@ -19,6 +19,7 @@
 #include <string>
 
 #include "analysis/csv.h"
+#include "core/kad_study.h"
 #include "core/report.h"
 #include "core/study.h"
 #include "obs/metrics.h"
@@ -33,7 +34,7 @@ using namespace p2p;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " <command> ...\n"
-            << "  record --network limewire|openft [--quick] [--seed <n>] <file>\n"
+            << "  record --network limewire|openft|kad [--quick] [--seed <n>] <file>\n"
             << "  inspect <file>\n"
             << "  replay <file> [--json <path>]\n"
             << "  cat <file> [--csv <path>]\n"
@@ -66,7 +67,8 @@ int cmd_record(int argc, char** argv, const char* argv0,
       return usage(argv0);
     }
   }
-  if (file.empty() || (network != "limewire" && network != "openft")) {
+  if (file.empty() ||
+      (network != "limewire" && network != "openft" && network != "kad")) {
     return usage(argv0);
   }
   if (!obs_cli.activate()) return 2;
@@ -100,7 +102,7 @@ int cmd_record(int argc, char** argv, const char* argv0,
     std::cout << "recorded " << util::format_count(writer.records_written())
               << " records (" << util::format_count(writer.bytes_written())
               << " bytes) to " << file << "\n";
-  } else {
+  } else if (network == "openft") {
     auto cfg = quick ? core::openft_quick() : core::openft_standard();
     if (seed_set) cfg.seed = seed;
     cfg.timeseries = obs_cli.timeseries_config();
@@ -113,6 +115,28 @@ int cmd_record(int argc, char** argv, const char* argv0,
       return 1;
     }
     result = core::run_openft_study(cfg, &writer);
+    writer.write_summary(core::study_summary(result));
+    writer.close();
+    if (!writer.ok()) {
+      std::cerr << "failed writing " << file << "\n";
+      return 1;
+    }
+    std::cout << "recorded " << util::format_count(writer.records_written())
+              << " records (" << util::format_count(writer.bytes_written())
+              << " bytes) to " << file << "\n";
+  } else {
+    auto cfg = quick ? core::kad_quick() : core::kad_standard();
+    if (seed_set) cfg.seed = seed;
+    cfg.timeseries = obs_cli.timeseries_config();
+    header.config_hash = core::config_hash(cfg);
+    header.seed = cfg.seed;
+    header.crawl_duration_ms = cfg.crawl.duration.count_ms();
+    trace::TraceWriter writer(file, header);
+    if (!writer.ok()) {
+      std::cerr << "cannot write " << file << "\n";
+      return 1;
+    }
+    result = core::run_kad_study(cfg, &writer);
     writer.write_summary(core::study_summary(result));
     writer.close();
     if (!writer.ok()) {
@@ -204,6 +228,7 @@ int cmd_replay(const std::string& file, const std::string& json_path,
     core::attach_fault_report(report, data.summary->faults_enabled,
                               data.summary->fault_counters,
                               data.summary->crawl_stats);
+    core::attach_kad_coverage(report, data.records, data.summary->metrics);
     report.timeseries = data.summary->timeseries;
   }
   core::print_prevalence(std::cout, report.network, report.prevalence);
@@ -211,6 +236,7 @@ int cmd_replay(const std::string& file, const std::string& json_path,
   core::print_sources(std::cout, report.network, report.sources,
                       report.strain_sources);
   core::print_filter_comparison(std::cout, report.network, report.filter_evals);
+  core::print_honeypot_coverage(std::cout, report.network, report.honeypots);
 
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary);

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "agents/behavior.h"
+#include "files/hash.h"
 #include "util/strings.h"
 
 namespace p2p::agents {
@@ -346,6 +347,119 @@ OpenFtPopulation build_openft_population(sim::Network& net,
         -> std::unique_ptr<sim::Node> {
       std::uint64_t session_seed = peer_seed ^ (0x9e3779b97f4a7c15ULL * (*incarnation)++);
       return std::make_unique<openft::FtNode>(cfg, shares, host_cache, session_seed);
+    };
+    pop.user_specs.push_back(std::move(spec));
+  }
+  return pop;
+}
+
+// ---------------------------------------------------------------------------
+// KAD population
+// ---------------------------------------------------------------------------
+
+KadPopulation build_kad_population(sim::Network& net,
+                                   const KadPopulationConfig& config) {
+  KadPopulation pop;
+  util::Rng rng(config.seed);
+  IpAllocator ips(rng.next());
+
+  files::CorpusConfig corpus = config.corpus;
+  if (corpus.seed == 1) corpus.seed = config.seed ^ 0x6ad00u;
+  pop.catalog = std::make_shared<files::ContentCatalog>(corpus);
+  pop.strain_catalog = malware::kad_catalog();
+  pop.artifacts = std::make_shared<malware::ArtifactStore>(pop.strain_catalog.strains,
+                                                           config.seed ^ 0x6adb6u);
+  pop.host_cache = std::make_shared<kad::KadHostCache>();
+  pop.server_cache = std::make_shared<kad::KadHostCache>();
+  pop.lure_queries = lure_queries_for(pop.strain_catalog);
+
+  auto shares_for = [&](util::Rng& r, std::size_t count) {
+    std::vector<kad::KadShare> shares;
+    for (std::size_t w : sample_works(*pop.catalog, r, count)) {
+      auto content = pop.catalog->content(w);
+      shares.push_back(kad::KadShare{content, "/shared/" + content->name()});
+    }
+    return shares;
+  };
+
+  // -- Index servers ---------------------------------------------------------
+  for (std::size_t i = 0; i < config.servers; ++i) {
+    sim::HostProfile profile;
+    profile.ip = ips.next_public();
+    profile.port = 4661;  // eDonkey server default
+    profile.behind_nat = false;
+    profile.uplink_bps = 500'000;
+    profile.downlink_bps = 2'000'000;
+
+    auto node = std::make_unique<kad::KadIndexServer>("server" + std::to_string(i));
+    sim::NodeId id = net.add_node(std::move(node), profile);
+    pop.server_ids.push_back(id);
+    pop.server_cache->add(util::Endpoint{profile.ip, profile.port});
+  }
+
+  // -- Users -----------------------------------------------------------------
+  util::DiscreteSampler strain_sampler(pop.strain_catalog.infection_weights);
+
+  for (std::size_t i = 0; i < config.users; ++i) {
+    PeerSpec spec;
+    spec.infected = rng.chance(config.infected_fraction);
+    bool behind_nat = rng.chance(config.nat_fraction);
+
+    spec.profile.behind_nat = behind_nat;
+    spec.profile.ip = behind_nat && rng.chance(0.5) ? ips.random_private()
+                                                    : ips.next_public();
+    spec.profile.port = static_cast<std::uint16_t>(rng.range(1025, 65000));
+    spec.profile.uplink_bps = rng.uniform(24'000, 96'000);
+    spec.profile.downlink_bps = rng.uniform(80'000, 400'000);
+
+    std::size_t share_count = config.shares_min +
+        rng.index(config.shares_max - config.shares_min + 1);
+    std::vector<kad::KadShare> shares = shares_for(rng, share_count);
+
+    if (spec.infected) {
+      // Index poisoning: publish the strain artifact aliased to popular
+      // titles, so the title's keyword hashes index fake (malicious)
+      // sources. The strain's own lure name rides along for workloads
+      // that query lures directly.
+      util::Rng pick_rng(rng.next());
+      spec.strain = pop.strain_catalog.strains[strain_sampler.sample(rng)].id;
+      const auto& strain = pop.artifacts->strain(spec.strain);
+      if (!strain.lure_names.empty()) {
+        std::string lure = strain.lure_names[pick_rng.index(strain.lure_names.size())];
+        if (util::extension(lure).empty()) lure += ".zip";
+        auto artifact = pop.artifacts->pick(spec.strain, pick_rng);
+        pop.malicious_digests[files::hex(artifact->md5())] = {spec.strain,
+                                                             strain.name};
+        shares.push_back(kad::KadShare{artifact, "/shared/" + lure});
+      }
+      std::size_t paths = config.poison_paths_min +
+          rng.index(config.poison_paths_max - config.poison_paths_min + 1);
+      std::size_t popular = std::min(config.poison_rank_limit, pop.catalog->size());
+      for (std::size_t p = 0; p < paths; ++p) {
+        auto artifact = pop.artifacts->pick(spec.strain, pick_rng);
+        pop.malicious_digests[files::hex(artifact->md5())] = {spec.strain,
+                                                             strain.name};
+        const auto& work = pop.catalog->entry(rng.index(popular));
+        std::string ext = util::extension(artifact->name());
+        std::string alias = work.query + (pick_rng.chance(0.5) ? " keygen." : " crack.") +
+                            (ext.empty() ? "exe" : ext);
+        shares.push_back(kad::KadShare{artifact, "/shared/" + alias});
+      }
+      util::Endpoint advertised{spec.profile.ip, spec.profile.port};
+      pop.infected_hosts[advertised.str()] = {spec.strain, strain.name};
+    }
+
+    auto host_cache = pop.host_cache;
+    auto server_cache = pop.server_cache;
+    std::uint64_t peer_seed = rng.next();
+    kad::KadConfig cfg = config.node_config;
+    cfg.alias = "user" + std::to_string(i);
+    spec.make = [cfg, shares, host_cache, server_cache, peer_seed,
+                 incarnation = std::make_shared<std::uint64_t>(0)]() mutable
+        -> std::unique_ptr<sim::Node> {
+      std::uint64_t session_seed = peer_seed ^ (0x9e3779b97f4a7c15ULL * (*incarnation)++);
+      return std::make_unique<kad::KadNode>(cfg, shares, host_cache, session_seed,
+                                            server_cache);
     };
     pop.user_specs.push_back(std::move(spec));
   }

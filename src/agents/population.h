@@ -9,9 +9,13 @@
 #include <string>
 #include <vector>
 
+#include <map>
+#include <utility>
+
 #include "files/corpus.h"
 #include "gnutella/host_cache.h"
 #include "gnutella/servent.h"
+#include "kad/node.h"
 #include "malware/builder.h"
 #include "malware/catalogs.h"
 #include "openft/node.h"
@@ -131,6 +135,55 @@ struct OpenFtPopulation {
 
 [[nodiscard]] OpenFtPopulation build_openft_population(
     sim::Network& net, const OpenFtPopulationConfig& config);
+
+// ---------------------------------------------------------------------------
+// KAD (eDonkey/Overnet-style DHT)
+// ---------------------------------------------------------------------------
+
+struct KadPopulationConfig {
+  std::uint64_t seed = 44;
+  /// eDonkey-style index servers (fallback when the DHT comes up short).
+  std::size_t servers = 1;
+  std::size_t users = 240;
+  double infected_fraction = 0.08;
+  double nat_fraction = 0.30;
+  /// Honest shares per user, uniform in [min, max].
+  std::size_t shares_min = 3;
+  std::size_t shares_max = 16;
+  /// Poison shares an infected user publishes: artifacts aliased to
+  /// popular titles ("<title> keygen.exe"), index-poisoning the title's
+  /// keywords.
+  std::size_t poison_paths_min = 3;
+  std::size_t poison_paths_max = 6;
+  /// Poison aliases target catalog ranks [0, poison_rank_limit).
+  std::size_t poison_rank_limit = 40;
+  files::CorpusConfig corpus{};
+  kad::KadConfig node_config{};
+};
+
+struct KadPopulation {
+  std::shared_ptr<kad::KadHostCache> host_cache;
+  std::shared_ptr<kad::KadHostCache> server_cache;
+  std::shared_ptr<files::ContentCatalog> catalog;
+  std::shared_ptr<malware::ArtifactStore> artifacts;
+  malware::CalibratedCatalog strain_catalog;
+  /// Stable index servers, added to the network at build time.
+  std::vector<sim::NodeId> server_ids;
+  /// Churnable DHT peers (handed to ChurnDriver).
+  std::vector<PeerSpec> user_specs;
+  std::vector<std::string> lure_queries;
+  /// Ground truth for the coverage denominator: advertised endpoint string
+  /// of each infected user -> (strain id, strain name).
+  std::map<std::string, std::pair<malware::StrainId, std::string>> infected_hosts;
+  /// Ground truth for honeypot labeling: hex md5 of every malicious
+  /// artifact the infected users publish -> (strain id, strain name). Only
+  /// a STORE of one of these digests marks a peer as observed-infected; an
+  /// infected user's honest shares do not give it away.
+  std::map<std::string, std::pair<malware::StrainId, std::string>> malicious_digests;
+};
+
+[[nodiscard]] KadPopulation build_kad_population(sim::Network& net,
+                                                 const KadPopulationConfig& config);
 
 // ---------------------------------------------------------------------------
 // Shared helpers

@@ -126,7 +126,7 @@ struct SizeBucket {
     std::span<const ResponseRecord> records);
 
 // ---------------------------------------------------------------------------
-// E9: query categories
+// E11: query categories (formerly E9; the honeypot family now holds E9/E10)
 // ---------------------------------------------------------------------------
 
 struct CategoryBin {

@@ -1,7 +1,10 @@
 #include "core/report.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
+#include "core/kad_study.h"
 #include "core/study.h"
 #include "filter/limewire_builtin.h"
 #include "filter/size_filter.h"
@@ -46,16 +49,31 @@ Report build_report(std::span<const crawler::ResponseRecord> records,
   Report r;
   r.network = network;
   r.records = records.size();
-  r.prevalence = analysis::prevalence(records);
-  r.strain_ranking = analysis::strain_ranking(records);
-  r.sources = analysis::sources(records);
-  r.strain_sources = analysis::strain_source_concentration(records);
-  r.size_buckets = analysis::size_distribution(records);
-  r.sizes_per_strain = analysis::sizes_per_strain(records);
-  r.categories = analysis::category_breakdown(records);
-  r.days = analysis::daily_series(records);
+  // A KAD stream interleaves passive honeypot observations with the active
+  // client's responses. The standard families describe the active crawl
+  // (what an instrumented client downloads and scans), so they run on the
+  // non-honeypot subset; `records` above still counts the full stream.
+  std::vector<crawler::ResponseRecord> active;
+  std::span<const crawler::ResponseRecord> stream = records;
+  if (std::any_of(records.begin(), records.end(), [](const crawler::ResponseRecord& rec) {
+        return rec.query_category == "honeypot";
+      })) {
+    active.reserve(records.size());
+    for (const auto& rec : records) {
+      if (rec.query_category != "honeypot") active.push_back(rec);
+    }
+    stream = active;
+  }
+  r.prevalence = analysis::prevalence(stream);
+  r.strain_ranking = analysis::strain_ranking(stream);
+  r.sources = analysis::sources(stream);
+  r.strain_sources = analysis::strain_source_concentration(stream);
+  r.size_buckets = analysis::size_distribution(stream);
+  r.sizes_per_strain = analysis::sizes_per_strain(stream);
+  r.categories = analysis::category_breakdown(stream);
+  r.days = analysis::daily_series(stream);
 
-  auto split = filter::split_at_fraction(records, 0.25);
+  auto split = filter::split_at_fraction(stream, 0.25);
   auto size_filter = filter::SizeFilter::learn(split.training);
   r.filter_evals.push_back(filter::evaluate(size_filter, split.evaluation));
   if (network == "limewire") {
@@ -64,6 +82,110 @@ Report build_report(std::span<const crawler::ResponseRecord> records,
     r.filter_evals.push_back(filter::evaluate(builtin, split.evaluation));
   }
   return r;
+}
+
+KadCoverageReport kad_coverage(std::span<const crawler::ResponseRecord> records,
+                               const obs::MetricsSnapshot& metrics) {
+  KadCoverageReport c;
+  c.enabled = true;
+  auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& s : metrics.counters) {
+      if (s.name == name) return s.value;
+    }
+    return 0;
+  };
+  c.vantages = counter("kad.honeypot.vantages");
+  c.infected_total = counter("kad.population.infected_users");
+
+  // Which vantages observed each infected peer, and which keywords each
+  // vantage saw. Ordered containers: the analysis must be byte-stable.
+  std::map<std::string, std::set<std::uint64_t>> observers;
+  std::map<std::uint64_t, std::set<std::string>> keywords;
+  for (const auto& rec : records) {
+    if (rec.query_category != "honeypot") continue;
+    ++c.observations;
+    if (!rec.content_key.empty()) {
+      ++c.stores;
+    } else {
+      ++c.queries;
+    }
+    std::size_t slash = rec.network.find('/');
+    std::uint64_t vantage =
+        slash == std::string::npos
+            ? 0
+            : std::strtoull(rec.network.c_str() + slash + 1, nullptr, 10);
+    keywords[vantage].insert(rec.query);
+    if (rec.infected) observers[rec.source_key].insert(vantage);
+  }
+  if (c.vantages == 0 && !keywords.empty()) {
+    c.vantages = keywords.rbegin()->first + 1;
+  }
+  c.infected_observed = observers.size();
+  // Replay safety: if the ground-truth counter is missing (foreign trace),
+  // fall back to the observable lower bound so fractions stay in [0, 1].
+  if (c.infected_total < c.infected_observed) c.infected_total = c.infected_observed;
+
+  // Coverage at subset size k, exactly: a peer observed by m of the N
+  // deployed vantages is missed by a uniformly random k-subset with
+  // probability prod_{j<k} (N-m-j)/(N-j) (hypergeometric), so its
+  // contribution is 1 minus that. Averaging over ground truth (not just
+  // observed peers) keeps the curve honest about blind spots.
+  const double n = static_cast<double>(c.vantages);
+  for (std::uint64_t k : {1, 2, 4, 8, 16}) {
+    if (c.vantages == 0) break;
+    std::uint64_t clamped = std::min<std::uint64_t>(k, c.vantages);
+    if (!c.curve.empty() && c.curve.back().vantages == clamped) continue;
+    double covered = 0.0;
+    for (const auto& [peer, vs] : observers) {
+      const double m = static_cast<double>(vs.size());
+      double miss = 1.0;
+      for (std::uint64_t j = 0; j < clamped; ++j) {
+        double numer = n - m - static_cast<double>(j);
+        if (numer <= 0.0) {
+          miss = 0.0;
+          break;
+        }
+        miss *= numer / (n - static_cast<double>(j));
+      }
+      covered += 1.0 - miss;
+    }
+    KadCoveragePoint point;
+    point.vantages = clamped;
+    point.mean_coverage =
+        c.infected_total == 0 ? 0.0
+                              : covered / static_cast<double>(c.infected_total);
+    c.curve.push_back(point);
+  }
+
+  // Vantage bias: mean pairwise Jaccard overlap of observed keyword sets
+  // over all deployed vantage pairs (silent vantages count as empty sets;
+  // pairs where both are empty are skipped).
+  double overlap_sum = 0.0;
+  std::uint64_t pairs = 0;
+  static const std::set<std::string> kEmpty;
+  for (std::uint64_t a = 0; a + 1 < c.vantages; ++a) {
+    auto a_it = keywords.find(a);
+    const auto& sa = a_it == keywords.end() ? kEmpty : a_it->second;
+    for (std::uint64_t b = a + 1; b < c.vantages; ++b) {
+      auto b_it = keywords.find(b);
+      const auto& sb = b_it == keywords.end() ? kEmpty : b_it->second;
+      if (sa.empty() && sb.empty()) continue;
+      std::size_t inter = 0;
+      for (const auto& kw : sa) inter += sb.count(kw);
+      std::size_t uni = sa.size() + sb.size() - inter;
+      overlap_sum += static_cast<double>(inter) / static_cast<double>(uni);
+      ++pairs;
+    }
+  }
+  c.keyword_overlap = pairs == 0 ? 0.0 : overlap_sum / static_cast<double>(pairs);
+  return c;
+}
+
+void attach_kad_coverage(Report& report,
+                         std::span<const crawler::ResponseRecord> records,
+                         const obs::MetricsSnapshot& metrics) {
+  if (report.network != "kad") return;
+  report.honeypots = kad_coverage(records, metrics);
 }
 
 void write_report_json(std::ostream& out, const Report& r) {
@@ -172,6 +294,23 @@ void write_report_json(std::ostream& out, const Report& r) {
   }
   out << "]";
 
+  // Emitted only for KAD runs (attach_kad_coverage), keeping the other
+  // networks' JSON byte-identical to pre-KAD builds.
+  if (r.honeypots.enabled) {
+    const auto& h = r.honeypots;
+    out << ",\"honeypots\":{\"vantages\":" << h.vantages
+        << ",\"observations\":" << h.observations << ",\"stores\":" << h.stores
+        << ",\"queries\":" << h.queries
+        << ",\"infected_total\":" << h.infected_total
+        << ",\"infected_observed\":" << h.infected_observed << ",\"coverage\":[";
+    for (std::size_t i = 0; i < h.curve.size(); ++i) {
+      if (i) out << ",";
+      out << "{\"vantages\":" << h.curve[i].vantages
+          << ",\"coverage\":" << json_number(h.curve[i].mean_coverage) << "}";
+    }
+    out << "],\"keyword_overlap\":" << json_number(h.keyword_overlap) << "}";
+  }
+
   // Emitted only for runs that recorded a series, keeping unrecorded
   // reports byte-identical to pre-timeseries builds.
   if (!r.timeseries.empty()) {
@@ -216,6 +355,8 @@ void print_presets(std::ostream& out) {
   auto ls = limewire_standard();
   auto fq = openft_quick();
   auto fs = openft_standard();
+  auto kq = kad_quick();
+  auto ks = kad_standard();
   row("quick", "limewire", lq.population.leaves + lq.population.ultrapeers,
       lq.crawl, lq.seed);
   row("standard", "limewire", ls.population.leaves + ls.population.ultrapeers,
@@ -224,6 +365,10 @@ void print_presets(std::ostream& out) {
       fq.crawl, fq.seed);
   row("standard", "openft", fs.population.users + fs.population.search_nodes,
       fs.crawl, fs.seed);
+  row("quick", "kad", kq.population.users + kq.population.servers, kq.crawl,
+      kq.seed);
+  row("standard", "kad", ks.population.users + ks.population.servers, ks.crawl,
+      ks.seed);
   out << t.render();
 }
 
@@ -316,6 +461,30 @@ void print_category_breakdown(std::ostream& out, const std::string& network,
                format_pct(b.malicious_fraction())});
   }
   out << t.render() << "\n";
+}
+
+void print_honeypot_coverage(std::ostream& out, const std::string& network,
+                             const KadCoverageReport& c) {
+  if (!c.enabled) return;
+  out << "== Honeypot coverage (" << network << ") ==\n";
+  util::Table t({"metric", "value"});
+  t.add_row({"vantage points", format_count(c.vantages)});
+  t.add_row({"observations", format_count(c.observations)});
+  t.add_row({"  publishes (STORE)", format_count(c.stores)});
+  t.add_row({"  queries (FIND_VALUE)", format_count(c.queries)});
+  t.add_row({"infected peers (ground truth)", format_count(c.infected_total)});
+  t.add_row({"observed by >=1 vantage", format_count(c.infected_observed)});
+  out << t.render();
+  util::Table t2({"vantages", "mean coverage", "marginal gain"});
+  double prev = 0.0;
+  for (const auto& point : c.curve) {
+    t2.add_row({format_count(point.vantages), format_pct(point.mean_coverage),
+                format_pct(point.mean_coverage - prev)});
+    prev = point.mean_coverage;
+  }
+  out << t2.render();
+  out << "keyword overlap between vantages (Jaccard): "
+      << format_pct(c.keyword_overlap) << "\n\n";
 }
 
 void print_daily_series(std::ostream& out, const std::string& network,

@@ -38,6 +38,35 @@ struct FaultReport {
   std::uint64_t scan_timeouts = 0;
 };
 
+/// E9/E10 (KAD): distributed-honeypot coverage and sampling bias. Computed
+/// from the honeypot half of a KAD record stream plus the run's ground-truth
+/// counters ("kad.population.infected_users", "kad.honeypot.vantages" in the
+/// metrics snapshot — persisted in trace summaries, so replay reproduces it).
+struct KadCoveragePoint {
+  /// Vantage-subset size k (the "how many honeypots do you need" axis).
+  std::uint64_t vantages = 0;
+  /// Expected fraction of infected peers observed by at least one vantage
+  /// of a uniformly random k-subset of the deployed vantages. Exact (hyper-
+  /// geometric over each peer's observer count), not a sampled estimate.
+  double mean_coverage = 0.0;
+};
+
+struct KadCoverageReport {
+  bool enabled = false;
+  std::uint64_t vantages = 0;          // deployed vantage points (N)
+  std::uint64_t observations = 0;      // honeypot records in the stream
+  std::uint64_t stores = 0;            // publish (STORE) observations
+  std::uint64_t queries = 0;           // keyword (FIND_VALUE) observations
+  std::uint64_t infected_total = 0;    // ground truth (denominator)
+  std::uint64_t infected_observed = 0; // seen by >= 1 deployed vantage
+  /// Coverage curve at k in {1, 2, 4, 8, 16} clamped to [1, N].
+  std::vector<KadCoveragePoint> curve;
+  /// Per-vantage sampling bias: mean pairwise Jaccard overlap of the
+  /// keyword sets the vantages observed (1 = every vantage sees the same
+  /// keywords; near 0 = disjoint slices of the keyword space).
+  double keyword_overlap = 0.0;
+};
+
 /// Every table of the study computed from one response log. build_report is
 /// the single analysis entry point for both a live StudyResult and a
 /// replayed trace, which is what makes replay-vs-live byte comparison
@@ -59,6 +88,9 @@ struct Report {
   std::vector<filter::FilterEvaluation> filter_evals;
   /// Set via attach_fault_report; default (disabled) emits nothing.
   FaultReport faults;
+  /// Set via attach_kad_coverage; default (disabled) emits nothing, so
+  /// LimeWire/OpenFT reports are byte-identical to pre-KAD builds.
+  KadCoverageReport honeypots;
   /// Windowed counter/gauge series from the run. Emitted in the JSON only
   /// when non-empty, so unrecorded reports stay byte-identical to
   /// pre-timeseries builds.
@@ -79,9 +111,24 @@ void attach_fault_report(Report& report, bool enabled,
 [[nodiscard]] const std::vector<std::string>& vendor_partial_strains();
 
 /// Run every analysis family over a time-ordered record stream. `network`
-/// is "limewire" or "openft" (selects the builtin-filter baseline).
+/// is "limewire", "openft" or "kad" (limewire selects the builtin-filter
+/// baseline). A KAD stream interleaves honeypot observations with the
+/// active client's responses; the standard families run on the active
+/// (non-honeypot) subset while `records` counts the full stream.
 [[nodiscard]] Report build_report(std::span<const crawler::ResponseRecord> records,
                                   const std::string& network);
+
+/// Compute the E9/E10 coverage analysis from a KAD record stream and the
+/// run's metrics snapshot (ground-truth denominators).
+[[nodiscard]] KadCoverageReport kad_coverage(
+    std::span<const crawler::ResponseRecord> records,
+    const obs::MetricsSnapshot& metrics);
+
+/// Attach the honeypot coverage block to a report. No-op unless the
+/// report's network is "kad", so other networks' JSON stays unchanged.
+void attach_kad_coverage(Report& report,
+                         std::span<const crawler::ResponseRecord> records,
+                         const obs::MetricsSnapshot& metrics);
 
 /// Deterministic single-line JSON ("p2p-report-1"): doubles rendered
 /// shortest-round-trip, map iteration ordered — identical records in,
@@ -116,9 +163,13 @@ void print_sources(std::ostream& out, const std::string& network,
 void print_filter_comparison(std::ostream& out, const std::string& network,
                              std::span<const filter::FilterEvaluation> evals);
 
-/// E9: per-query-category exposure.
+/// E11: per-query-category exposure (formerly E9).
 void print_category_breakdown(std::ostream& out, const std::string& network,
                               const std::vector<analysis::CategoryBin>& bins);
+
+/// E9/E10: honeypot coverage curve and vantage bias (KAD only).
+void print_honeypot_coverage(std::ostream& out, const std::string& network,
+                             const KadCoverageReport& coverage);
 
 /// E6/E8: daily series (malicious fraction and strain discovery).
 void print_daily_series(std::ostream& out, const std::string& network,

@@ -1,0 +1,184 @@
+// Shared internals of the per-network study drivers (study.cpp,
+// kad_study.cpp): the run loop, progress plumbing, and the config_hash
+// field mixer. Header-only and behavior-identical to the former anonymous-
+// namespace copies in study.cpp — a third network driver should include
+// this instead of duplicating them.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "agents/churn.h"
+#include "crawler/limewire_crawler.h"
+#include "fault/fault.h"
+#include "files/corpus.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/progress.h"
+#include "obs/timeseries.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace p2p::core::internal {
+
+inline sim::SimTime study_end(const crawler::CrawlConfig& crawl) {
+  // Small grace period so in-flight hits/downloads at crawl end settle.
+  return sim::SimTime::zero() + crawl.warmup + crawl.duration +
+         sim::SimDuration::minutes(10);
+}
+
+struct ProgressCounters {
+  std::uint64_t responses = 0;
+  std::uint64_t degraded = 0;
+};
+
+// The study's event loop. Plain run_until when nothing time-resolved is
+// wanted; otherwise tiled at window boundaries — run_until executes every
+// event with at <= until and then advances the clock, so the tiling is
+// exactly behavior-neutral (same events, same order, same records) and only
+// adds the between-event sampling/progress hooks. `counters` supplies the
+// live response/degradation totals for progress lines.
+template <typename CountersFn>
+obs::TimeSeries run_study_loop(sim::Network& net,
+                               const crawler::CrawlConfig& crawl,
+                               const obs::TimeSeriesConfig& ts,
+                               std::string_view network, CountersFn&& counters) {
+  OBS_SPAN("study.run");
+  sim::SimTime end = study_end(crawl);
+  obs::ProgressReporter* progress = obs::ProgressReporter::current();
+  bool want_progress = progress != nullptr && progress->enabled();
+  if (!ts.enabled() && !want_progress) {
+    net.events().run_until(end);
+    return {};
+  }
+  // Progress without a time series still needs boundaries to report at:
+  // ~1% of the run, but no finer than a simulated minute.
+  sim::SimDuration step =
+      ts.enabled() ? ts.window
+                   : std::max(sim::SimDuration::minutes(1),
+                              (end - sim::SimTime::zero()) / 100);
+  obs::TimeSeriesRecorder recorder(obs::MetricsRegistry::global(), ts);
+  sim::SimTime t = sim::SimTime::zero();
+  while (t < end) {
+    t = std::min(t + step, end);
+    net.events().run_until(t);
+    recorder.sample(t);
+    if (want_progress) {
+      ProgressCounters c = counters();
+      obs::StudyProgress p;
+      p.network = network;
+      p.sim_now = t;
+      p.sim_end = end;
+      p.events_executed = net.events().executed();
+      p.responses = c.responses;
+      p.degraded = c.degraded;
+      p.final = t == end;
+      progress->study_tick(p);
+    }
+  }
+  return recorder.take();
+}
+
+// Order-dependent field mixer for config_hash: every field is folded
+// through splitmix64, so any single-field change flips the digest. The
+// digest is stable across platforms and standard libraries (no std::hash).
+class ConfigHasher {
+ public:
+  void u64(std::uint64_t v) {
+    state_ ^= v;
+    state_ = util::splitmix64(state_);
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void dur(sim::SimDuration d) { u64(static_cast<std::uint64_t>(d.count_ms())); }
+  void str(std::string_view s) {
+    u64(s.size());
+    for (unsigned char c : s) u64(c);
+  }
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x70327063'6f6e6667ull;  // "p2pc" "onfg"
+};
+
+inline void hash_corpus(ConfigHasher& h, const files::CorpusConfig& c) {
+  h.u64(c.seed);
+  h.u64(c.num_titles);
+  h.f64(c.zipf_exponent);
+  h.f64(c.frac_audio);
+  h.f64(c.frac_video);
+  h.f64(c.frac_executable);
+  h.f64(c.frac_archive);
+  h.f64(c.frac_image);
+  h.f64(c.frac_document);
+}
+
+inline void hash_churn(ConfigHasher& h, const agents::ChurnConfig& c) {
+  h.dur(c.mean_session);
+  h.dur(c.mean_offline);
+  h.f64(c.initial_online_override);
+  h.u64(c.seed);
+}
+
+inline void hash_crawl(ConfigHasher& h, const crawler::CrawlConfig& c) {
+  h.dur(c.duration);
+  h.dur(c.query_interval);
+  h.dur(c.warmup);
+  h.u64(static_cast<std::uint64_t>(c.max_download_attempts));
+  h.u64(c.query_ttl);
+  h.u64(c.dynamic_querying ? 1 : 0);
+  h.u64(c.dynamic_target_results);
+  h.dur(c.dynamic_probe_interval);
+  h.u64(c.vantage_ip.value());
+  h.u64(c.seed);
+  // Folded only when non-default so digests of pre-existing fault-free
+  // configs (and the traces keyed on them) are unchanged.
+  if (c.fetch.active()) {
+    h.str("fetch");
+    h.dur(c.fetch.fetch_timeout);
+    h.dur(c.fetch.retry_backoff);
+    h.dur(c.fetch.retry_backoff_max);
+    h.u64(c.fetch.breaker_threshold);
+    h.dur(c.fetch.breaker_cooldown);
+  }
+}
+
+inline void hash_faults(ConfigHasher& h, const fault::FaultSpec& f,
+                        std::uint64_t fault_seed) {
+  // Same back-compat rule as the fetch policy above.
+  if (!f.enabled() && fault_seed == 0) return;
+  h.str("faults");
+  h.f64(f.message_loss);
+  h.f64(f.message_delay);
+  h.dur(f.message_delay_max);
+  h.f64(f.message_duplicate);
+  h.f64(f.payload_corrupt);
+  h.f64(f.crashes_per_hour);
+  h.dur(f.crash_downtime);
+  h.f64(f.download_stall);
+  h.f64(f.scan_timeout);
+  h.u64(fault_seed);
+}
+
+inline void hash_timeseries(ConfigHasher& h, const obs::TimeSeriesConfig& t) {
+  // Same back-compat rule as the fetch policy / faults: digests of
+  // pre-existing configs (and the traces keyed on them) are unchanged.
+  // An enabled series changes what a study result and its persisted trace
+  // contain, so caches must not serve across the change.
+  if (!t.enabled()) return;
+  h.str("timeseries");
+  h.dur(t.window);
+  h.u64(t.max_windows);
+}
+
+inline void hash_sharded(ConfigHasher& h, std::size_t shards) {
+  // The sharded engine is a different model (a different byte stream), so
+  // serial-model traces must never satisfy a sharded request or vice versa.
+  // Only the *marker* is folded, never the count: --shards 4 must produce
+  // the same header hash as --shards 1 for the byte-identity guarantee.
+  if (shards == 0) return;
+  h.str("sharded");
+}
+
+}  // namespace p2p::core::internal

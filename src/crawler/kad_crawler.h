@@ -1,0 +1,133 @@
+// The instrumented KAD measurement rig: one active client vantage plus N
+// passive honeypot vantage points.
+//
+// The active client replays the query workload over DHT keyword lookups
+// (with index-server fallback), logs every source entry as a
+// ResponseRecord, downloads each distinct content (by MD5) once, scans,
+// and labels — the same E1-style pipeline as the LimeWire/OpenFT
+// crawlers, with the same fault-resilience policy (stall watchdogs,
+// backoff retries over alternate sources, circuit breaker).
+//
+// The honeypot vantages reproduce the distributed-honeypot methodology
+// (arXiv:0904.3215): passive KadNodes that advertise bait content (the
+// most popular catalog titles) and log every STORE and FIND_VALUE they
+// attract. Each observation becomes a ResponseRecord on network
+// "kad.honeypot/NN", labeled at finalize() against the population's
+// ground-truth infection map — the raw material for the E9/E10 coverage
+// and bias analysis (core::kad_coverage). All records, active and
+// honeypot, stream through the RecordSink so `--record`/`--replay`
+// round-trips the whole measurement byte-identically.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "crawler/label_store.h"
+#include "crawler/limewire_crawler.h"  // CrawlConfig, CrawlStats
+#include "crawler/records.h"
+#include "crawler/workload.h"
+#include "kad/node.h"
+#include "malware/scanner.h"
+#include "sim/network.h"
+
+namespace p2p::crawler {
+
+/// Honeypot measurement-mode settings.
+struct KadHoneypotConfig {
+  /// Passive vantage points deployed alongside the active client.
+  std::size_t vantages = 16;
+  /// Bait shares advertised by every vantage (popular catalog titles).
+  std::vector<kad::KadShare> bait;
+  /// Ground truth from the population: hex md5 of every malicious artifact
+  /// the infected users publish -> (strain id, strain name). A honeypot
+  /// observation is labeled infected only when the STORE's digest matches —
+  /// an infected peer's honest shares do not give it away, so coverage
+  /// measures how often the malicious publishes themselves reach a vantage.
+  std::map<std::string, std::pair<malware::StrainId, std::string>> malicious_digests;
+};
+
+class KadCrawler {
+ public:
+  KadCrawler(sim::Network& net, std::shared_ptr<kad::KadHostCache> host_cache,
+             std::shared_ptr<kad::KadHostCache> server_cache,
+             QueryWorkload workload,
+             std::shared_ptr<const malware::Scanner> scanner, CrawlConfig config,
+             KadHoneypotConfig honeypots);
+
+  void start();
+  /// Apply content labels to the active records, label honeypot
+  /// observations from ground truth, merge both streams in time order,
+  /// and push every record through the sink (when set).
+  void finalize();
+
+  void set_record_sink(RecordSink* sink) { record_sink_ = sink; }
+  void set_fault_injector(fault::FaultInjector* injector) { faults_ = injector; }
+
+  [[nodiscard]] const std::vector<ResponseRecord>& records() const { return records_; }
+  [[nodiscard]] std::vector<ResponseRecord>&& take_records() {
+    return std::move(records_);
+  }
+  [[nodiscard]] const CrawlStats& stats() const { return stats_; }
+  [[nodiscard]] const LabelStore& labels() const { return labels_; }
+  [[nodiscard]] sim::NodeId node_id() const { return node_id_; }
+  [[nodiscard]] kad::KadNode& node() { return *node_; }
+  [[nodiscard]] std::size_t vantage_count() const { return vantage_records_.size(); }
+
+ private:
+  void add_vantages(std::shared_ptr<kad::KadHostCache> host_cache);
+  void on_observation(std::size_t vantage, const kad::KadObservation& obs);
+  void issue_next_query();
+  void on_result(const kad::KadSearchEvent& event);
+  void on_download(const kad::KadDownloadOutcome& outcome);
+  void start_fetch(const kad::SourceEntry& entry, const std::string& key,
+                   bool is_retry);
+  void maybe_retry(const std::string& key);
+  void retry_now(const std::string& key);
+  void on_fetch_timeout(std::uint64_t request);
+  [[nodiscard]] bool resilience_active() const { return config_.fetch.active(); }
+  [[nodiscard]] bool quarantined(const std::string& source);
+  void note_failure(const std::string& source);
+  void note_success(const std::string& source);
+
+  sim::Network& net_;
+  QueryWorkload workload_;
+  std::shared_ptr<const malware::Scanner> scanner_;
+  CrawlConfig config_;
+  KadHoneypotConfig honeypot_config_;
+  util::Rng rng_;
+
+  kad::KadNode* node_ = nullptr;  // owned by the network
+  sim::NodeId node_id_ = sim::kInvalidNode;
+  sim::SimTime end_time_;
+
+  /// Honeypot vantages (owned by the network) and their observation logs.
+  std::vector<kad::KadNode*> vantage_nodes_;
+  std::vector<sim::NodeId> vantage_ids_;
+  std::vector<std::vector<ResponseRecord>> vantage_records_;
+
+  std::unordered_map<std::uint64_t, QueryItem> query_of_search_;
+  std::unordered_map<std::uint64_t, sim::SimTime> search_issued_at_;
+  struct FetchState {
+    std::string key;
+    std::string source;
+  };
+  std::unordered_map<std::uint64_t, FetchState> fetches_;
+  std::unordered_set<std::uint64_t> stalled_;
+  std::unordered_map<std::string, std::vector<kad::SourceEntry>> alternates_;
+  std::unordered_map<std::string, std::size_t> source_failures_;
+  std::unordered_map<std::string, sim::SimTime> quarantined_until_;
+  std::unordered_map<std::string, std::uint32_t> backoff_level_;
+  fault::FaultInjector* faults_ = nullptr;
+  LabelStore labels_;
+  std::vector<ResponseRecord> records_;
+  CrawlStats stats_;
+  std::uint64_t next_record_id_ = 1;
+  RecordSink* record_sink_ = nullptr;
+};
+
+}  // namespace p2p::crawler

@@ -15,7 +15,8 @@ namespace p2p::crawler {
 
 struct ResponseRecord {
   std::uint64_t id = 0;
-  /// Which instrumented client logged it: "limewire" or "openft".
+  /// Which instrumented client logged it: "limewire", "openft", "kad", or
+  /// "kad.honeypot/NN" for the NNth passive KAD vantage point.
   std::string network;
   util::SimTime at;
 

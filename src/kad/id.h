@@ -1,0 +1,91 @@
+// 128-bit KAD identifier space.
+//
+// eDonkey's Kademlia overlay (Overnet/KAD) addresses both nodes and
+// keywords in one 128-bit space: a node's id is the MD5 of its identity,
+// a keyword's id is the MD5 of the lowercased keyword, and "closeness" is
+// the XOR metric — d(a,b) = a XOR b interpreted as a 128-bit integer.
+// XOR is a genuine metric (identity, symmetry, triangle inequality) and
+// unidirectional: for any a and distance d there is exactly one b with
+// d(a,b) = d, which is what makes iterative lookups converge.
+#pragma once
+
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "files/hash.h"
+#include "util/bytes.h"
+#include "util/ip.h"
+#include "util/strings.h"
+
+namespace p2p::kad {
+
+/// A 128-bit identifier, big-endian (hi holds the most significant bits).
+struct KadId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool is_zero() const { return hi == 0 && lo == 0; }
+
+  friend KadId operator^(const KadId& a, const KadId& b) {
+    return KadId{a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+  /// Numeric order of the 128-bit value; XOR distances compare with this.
+  auto operator<=>(const KadId&) const = default;
+};
+
+/// Pack the first 16 digest bytes big-endian into a KadId.
+inline KadId id_from_digest(const files::Digest16& d) {
+  KadId id;
+  for (int i = 0; i < 8; ++i) id.hi = id.hi << 8 | d[static_cast<std::size_t>(i)];
+  for (int i = 8; i < 16; ++i) id.lo = id.lo << 8 | d[static_cast<std::size_t>(i)];
+  return id;
+}
+
+inline files::Digest16 digest_of(const KadId& id) {
+  files::Digest16 d{};
+  for (int i = 0; i < 8; ++i) d[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(id.hi >> (56 - 8 * i));
+  for (int i = 0; i < 8; ++i) d[static_cast<std::size_t>(8 + i)] =
+      static_cast<std::uint8_t>(id.lo >> (56 - 8 * i));
+  return d;
+}
+
+/// Keyword id: MD5 of the lowercased keyword (eDonkey hashes the search
+/// term to decide which nodes index it).
+inline KadId keyword_id(std::string_view keyword) {
+  std::string lower = util::to_lower(keyword);
+  return id_from_digest(files::md5(
+      {reinterpret_cast<const std::uint8_t*>(lower.data()), lower.size()}));
+}
+
+/// Node id: MD5 of the advertised endpoint. Stable across churn
+/// incarnations of the same host, which keeps routing-table entries
+/// meaningful after a peer restarts.
+inline KadId node_id_for(const util::Endpoint& ep) {
+  std::string s = ep.str();
+  return id_from_digest(
+      files::md5({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}));
+}
+
+/// Index of the k-bucket a distance falls into: 127 for the far half of
+/// the space down to 0 for the nearest non-zero distance. -1 for
+/// distance zero (a node never buckets itself).
+inline int bucket_index(const KadId& distance) {
+  if (distance.hi != 0) {
+    return 127 - std::countl_zero(distance.hi);
+  }
+  if (distance.lo != 0) {
+    return 63 - std::countl_zero(distance.lo);
+  }
+  return -1;
+}
+
+inline std::string to_hex(const KadId& id) {
+  auto d = digest_of(id);
+  return util::to_hex(d);
+}
+
+}  // namespace p2p::kad

@@ -1,0 +1,304 @@
+// A KAD node: Kademlia DHT participant in the eDonkey/Overnet mold.
+//
+// Every node maintains a 128-bucket XOR-metric routing table, publishes
+// its shares under keyword hashes (STORE at the k closest nodes to each
+// keyword, refreshed on a republish timer), answers FIND_NODE/FIND_VALUE,
+// and serves direct GET-by-hash transfers. Iterative lookups run as
+// per-query state machines: alpha RPCs in flight, candidates merged from
+// replies in XOR order, terminating when the k closest candidates have
+// all answered (or a deadline passes). When a DHT search comes up short
+// the node falls back to an eDonkey-style index server (ServerQuery).
+//
+// Each RPC uses its own short-lived connection: connect, send request on
+// open, peer replies, initiator closes. Connection failure or a
+// malformed reply counts a liveness failure against the target's
+// routing-table entry; enough failures make the contact evictable.
+//
+// Infected peers need no special node type — the population hands them
+// poison shares (malware artifacts named after popular titles), and the
+// ordinary publish path index-poisons the popular keywords. Honeypot
+// vantage points are likewise plain KadNodes: passive peers with bait
+// shares whose observe callback logs every STORE and FIND_VALUE they
+// attract (see crawler::KadCrawler).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "files/file.h"
+#include "kad/message.h"
+#include "kad/routing.h"
+#include "sim/network.h"
+#include "util/endpoint_cache.h"
+#include "util/rng.h"
+
+namespace p2p::kad {
+
+using KadHostCache = util::EndpointCache;
+
+/// One shared file: content plus the filename it is published under.
+/// Infected peers carry artifacts under bait paths (index poisoning).
+struct KadShare {
+  std::shared_ptr<const files::FileContent> content;
+  std::string path;
+};
+
+struct KadConfig {
+  std::string alias = "kadnode";
+  /// Bucket size, lookup result width, and STORE replication factor.
+  std::size_t k = 8;
+  /// Parallel RPCs per iterative lookup.
+  std::size_t alpha = 3;
+  /// Unanswered RPCs before a full bucket's oldest entry is evictable.
+  std::uint32_t stale_after_failures = 2;
+  /// Host-cache endpoints seeded into the bootstrap self-lookup.
+  std::size_t bootstrap_contacts = 6;
+  /// Keywords each share is published under (first tokens of the name).
+  std::size_t publish_keywords = 3;
+  /// Sources kept per keyword at each indexing node.
+  std::size_t store_capacity = 64;
+  /// Sources returned per FIND_VALUE reply.
+  std::size_t reply_entries = 32;
+  sim::SimDuration republish_interval = sim::SimDuration::hours(4);
+  /// Deadline for a whole iterative lookup (and per-RPC watchdog).
+  sim::SimDuration lookup_timeout = sim::SimDuration::seconds(12);
+  /// Client-side search completion window (results keep streaming in
+  /// from the DHT walk and the server fallback until this closes).
+  sim::SimDuration search_window = sim::SimDuration::seconds(20);
+  sim::SimDuration download_timeout = sim::SimDuration::seconds(90);
+  /// DHT results below this trigger the index-server fallback query.
+  std::size_t server_min_results = 4;
+};
+
+struct KadSearchEvent {
+  std::uint64_t search_id = 0;
+  SourceEntry entry;
+  sim::SimTime at;
+};
+
+struct KadDownloadOutcome {
+  std::uint64_t request_id = 0;
+  bool success = false;
+  std::string path;
+  util::Bytes content;
+  util::Endpoint source;
+  std::string error;
+};
+
+/// What a passive vantage point sees: a publish (STORE) or a keyword
+/// query (FIND_VALUE) arriving from a remote peer.
+struct KadObservation {
+  enum class Kind { kStore, kQuery };
+  Kind kind = Kind::kStore;
+  sim::SimTime at;
+  KadId keyword;
+  /// kStore only; empty for queries.
+  std::string filename;
+  std::uint64_t size = 0;
+  files::Digest16 md5{};
+  /// The observed peer's advertised endpoint.
+  util::Endpoint peer;
+  bool peer_firewalled = false;
+};
+
+struct KadStats {
+  std::uint64_t lookups_started = 0;
+  std::uint64_t lookups_completed = 0;
+  std::uint64_t rpcs_sent = 0;
+  std::uint64_t rpcs_failed = 0;
+  std::uint64_t stores_sent = 0;
+  std::uint64_t stores_received = 0;
+  std::uint64_t entries_stored = 0;
+  std::uint64_t finds_handled = 0;
+  std::uint64_t searches_sent = 0;
+  std::uint64_t results_received = 0;
+  std::uint64_t server_queries_sent = 0;
+  std::uint64_t uploads_served = 0;
+  std::uint64_t downloads_ok = 0;
+  std::uint64_t downloads_failed = 0;
+  std::uint64_t dropped_malformed = 0;
+};
+
+class KadNode : public sim::Node {
+ public:
+  /// `server_cache` (optional) lists eDonkey-style index servers for
+  /// registration and fallback search.
+  KadNode(KadConfig config, std::vector<KadShare> shares,
+          std::shared_ptr<KadHostCache> host_cache, std::uint64_t rng_seed,
+          std::shared_ptr<KadHostCache> server_cache = nullptr);
+
+  // -- sim::Node ------------------------------------------------------------
+  void start() override;
+  void on_connection_open(sim::ConnId conn, sim::NodeId peer, bool initiated) override;
+  void on_connection_failed(sim::ConnId conn, sim::NodeId target) override;
+  void on_message(sim::ConnId conn, const util::Payload& payload) override;
+  void on_connection_closed(sim::ConnId conn) override;
+
+  // -- Client API -----------------------------------------------------------
+
+  /// Keyword search: iterative FIND_VALUE on the primary keyword, source
+  /// entries filtered against the full query, index-server fallback when
+  /// the DHT yields too little. Completion via the end callback after
+  /// config.search_window.
+  std::uint64_t search(const std::string& query);
+
+  /// Fetch a source directly from its owner (GET by md5). Firewalled or
+  /// vanished owners fail the download.
+  std::uint64_t download(const SourceEntry& entry);
+
+  void set_result_callback(std::function<void(const KadSearchEvent&)> cb) {
+    result_callback_ = std::move(cb);
+  }
+  void set_search_end_callback(std::function<void(std::uint64_t)> cb) {
+    search_end_callback_ = std::move(cb);
+  }
+  void set_download_callback(std::function<void(const KadDownloadOutcome&)> cb) {
+    download_callback_ = std::move(cb);
+  }
+  /// Honeypot hook: fires for every STORE entry and FIND_VALUE received.
+  void set_observe_callback(std::function<void(const KadObservation&)> cb) {
+    observe_callback_ = std::move(cb);
+  }
+
+  [[nodiscard]] const KadStats& stats() const { return stats_; }
+  [[nodiscard]] const KadConfig& config() const { return config_; }
+  [[nodiscard]] const RoutingTable& routing() const { return routing_; }
+  [[nodiscard]] const Contact& self() const { return self_; }
+  /// Sources currently indexed at this node (keyword -> entries).
+  [[nodiscard]] std::size_t indexed_sources() const;
+
+ private:
+  enum class ConnKind { kRpcOut, kIn, kTransferOut };
+  enum class LookupPurpose { kBootstrap, kPublish, kSearch };
+
+  struct ConnState {
+    ConnKind kind = ConnKind::kIn;
+    /// kRpcOut: request to send on open, plus owners.
+    KadPacket request;
+    Contact target;
+    std::uint64_t lookup_id = 0;  // 0 = standalone RPC
+    std::uint64_t search_id = 0;  // owning search for server queries
+    std::uint64_t download_id = 0;  // kTransferOut
+    bool replied = false;
+  };
+
+  struct Candidate {
+    enum class State { kFresh, kInflight, kDone, kFailed };
+    Contact contact;
+    State state = State::kFresh;
+  };
+
+  struct Lookup {
+    std::uint64_t id = 0;
+    KadId target;
+    LookupPurpose purpose = LookupPurpose::kBootstrap;
+    bool find_value = false;
+    std::uint64_t search_id = 0;
+    std::vector<SourceEntry> publish_entries;
+    /// Sorted by (XOR distance to target, id); states advance in place.
+    std::vector<Candidate> candidates;
+    std::size_t inflight = 0;
+  };
+
+  struct Search {
+    std::uint64_t id = 0;
+    std::string query;
+    std::size_t results = 0;
+    bool server_tried = false;
+    /// (owner endpoint, md5 hex) pairs already reported.
+    std::set<std::pair<std::string, std::string>> seen;
+  };
+
+  struct PendingDownload {
+    std::uint64_t id = 0;
+    SourceEntry entry;
+    bool transfer_started = false;
+  };
+
+  // Lookup state machine.
+  std::uint64_t start_lookup(const KadId& target, LookupPurpose purpose,
+                             bool find_value);
+  void seed_candidates(Lookup& lookup);
+  void merge_candidate(Lookup& lookup, const Contact& contact);
+  void step_lookup(Lookup& lookup);
+  void finish_lookup(std::uint64_t lookup_id);
+  void rpc_failed(sim::ConnId conn, ConnState& state);
+
+  // RPC plumbing.
+  void issue_rpc(const Contact& target, KadPacket request,
+                 std::uint64_t lookup_id, std::uint64_t search_id);
+  void send_pkt(sim::ConnId conn, const KadPacket& pkt);
+  void handle_request(sim::ConnId conn, const KadPacket& pkt);
+  void handle_reply(sim::ConnId conn, ConnState& state, const KadPacket& pkt);
+  void deliver_entries(std::uint64_t search_id,
+                       const std::vector<SourceEntry>& entries);
+
+  // Publishing.
+  void publish_pass();
+  void register_at_server();
+
+  // Transfers.
+  void handle_transfer_request(sim::ConnId conn, util::ByteView wire);
+  void fail_download(std::uint64_t id, const std::string& error);
+
+  KadConfig config_;
+  std::vector<KadShare> shares_;
+  std::shared_ptr<KadHostCache> host_cache_;
+  std::shared_ptr<KadHostCache> server_cache_;
+  util::Rng rng_;
+  Contact self_;
+  RoutingTable routing_;
+
+  std::unordered_map<sim::ConnId, ConnState> conns_;
+  std::unordered_map<std::uint64_t, Lookup> lookups_;
+  std::unordered_map<std::uint64_t, Search> searches_;
+  std::unordered_map<std::uint64_t, PendingDownload> pending_downloads_;
+  std::uint64_t next_lookup_id_ = 1;
+  std::uint64_t next_search_id_ = 1;
+  std::uint64_t next_download_id_ = 1;
+
+  /// Keyword index: sources this node stores for the keywords it is
+  /// close to. std::map for deterministic iteration.
+  std::map<KadId, std::vector<SourceEntry>> store_;
+  /// md5 hex -> shares_ index, for serving GETs.
+  std::unordered_map<std::string, std::size_t> md5_to_share_;
+
+  std::function<void(const KadSearchEvent&)> result_callback_;
+  std::function<void(std::uint64_t)> search_end_callback_;
+  std::function<void(const KadDownloadOutcome&)> download_callback_;
+  std::function<void(const KadObservation&)> observe_callback_;
+  KadStats stats_;
+};
+
+/// An eDonkey-style index server: clients register their sources
+/// (ServerRegister replaces the owner's whole list) and query it as a
+/// fallback when the DHT comes up short. Pure request/reply; keeps no
+/// routing table.
+class KadIndexServer : public sim::Node {
+ public:
+  explicit KadIndexServer(std::string alias = "kad-server",
+                          std::size_t reply_entries = 64);
+
+  void on_message(sim::ConnId conn, const util::Payload& payload) override;
+
+  [[nodiscard]] std::size_t owners() const { return index_.size(); }
+  [[nodiscard]] std::size_t sources() const;
+
+ private:
+  struct OwnerSources {
+    bool firewalled = false;
+    std::vector<SourceEntry> entries;
+  };
+
+  std::string alias_;
+  std::size_t reply_entries_;
+  /// Keyed by owner endpoint string; std::map for deterministic order.
+  std::map<std::string, OwnerSources> index_;
+};
+
+}  // namespace p2p::kad

@@ -1,0 +1,69 @@
+// Kademlia routing table: 128 k-buckets over XOR distance.
+//
+// Bucket i holds contacts whose distance to self has its highest set bit
+// at position i (so bucket 127 covers the far half of the id space,
+// bucket 0 the nearest neighbor). Each bucket is LRU-ordered —
+// front = least recently seen — and full buckets prefer long-lived
+// contacts: a newcomer only displaces the front entry once that entry
+// has accumulated enough liveness failures (Kademlia's "old contacts
+// stay" rule, which resists routing-table takeover).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "kad/message.h"
+
+namespace p2p::kad {
+
+struct RoutingConfig {
+  /// Bucket capacity (Kademlia's k).
+  std::size_t k = 8;
+  /// A full bucket's oldest contact is evicted for a newcomer only after
+  /// this many unanswered RPCs.
+  std::uint32_t stale_after_failures = 2;
+};
+
+class RoutingTable {
+ public:
+  struct Entry {
+    Contact contact;
+    std::uint32_t failures = 0;
+  };
+
+  RoutingTable(const KadId& self, RoutingConfig config)
+      : self_(self), config_(config) {}
+
+  /// Record traffic from (or a successful RPC to) a contact. Existing
+  /// entries move to the bucket tail with failures reset; new contacts
+  /// fill free space or displace a stale-enough oldest entry.
+  void observe(const Contact& contact);
+
+  /// Record an unanswered RPC to an id.
+  void fail(const KadId& id);
+
+  /// The n contacts closest to `target` by XOR distance (ties broken by
+  /// id), across all buckets. Deterministic for a given table state.
+  [[nodiscard]] std::vector<Contact> closest(const KadId& target,
+                                             std::size_t n) const;
+
+  [[nodiscard]] bool contains(const KadId& id) const;
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const KadId& self() const { return self_; }
+  [[nodiscard]] const RoutingConfig& config() const { return config_; }
+  /// LRU order, front = oldest. Exposed for the model-based tests.
+  [[nodiscard]] const std::vector<Entry>& bucket(int index) const {
+    return buckets_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::vector<Entry>* bucket_for(const KadId& id);
+
+  KadId self_;
+  RoutingConfig config_;
+  std::array<std::vector<Entry>, 128> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace p2p::kad

@@ -24,21 +24,41 @@ namespace {
 using obs::json_number;
 
 core::StudyResult run_task(const StudyTask& task) {
-  if (task.network == NetworkKind::kLimewire) {
-    return core::run_limewire_study(task.limewire);
+  switch (task.network) {
+    case NetworkKind::kLimewire:
+      return core::run_limewire_study(task.limewire);
+    case NetworkKind::kOpenFt:
+      return core::run_openft_study(task.openft);
+    case NetworkKind::kKad:
+      return core::run_kad_study(task.kad);
   }
-  return core::run_openft_study(task.openft);
+  throw std::logic_error("unknown network kind");
 }
 
 }  // namespace
 
 std::string_view network_name(NetworkKind kind) {
-  return kind == NetworkKind::kLimewire ? "limewire" : "openft";
+  switch (kind) {
+    case NetworkKind::kLimewire:
+      return "limewire";
+    case NetworkKind::kOpenFt:
+      return "openft";
+    case NetworkKind::kKad:
+      return "kad";
+  }
+  return "unknown";
 }
 
 std::uint64_t StudyTask::config_hash() const {
-  return network == NetworkKind::kLimewire ? core::config_hash(limewire)
-                                           : core::config_hash(openft);
+  switch (network) {
+    case NetworkKind::kLimewire:
+      return core::config_hash(limewire);
+    case NetworkKind::kOpenFt:
+      return core::config_hash(openft);
+    case NetworkKind::kKad:
+      return core::config_hash(kad);
+  }
+  return 0;
 }
 
 std::uint64_t derive_seed(std::uint64_t base_seed, std::size_t task_index) {
@@ -72,13 +92,20 @@ std::vector<StudyTask> plan(const PlanConfig& config) {
       core::apply_faults(t.limewire, config.faults, config.fault_seed);
       t.limewire.timeseries = config.timeseries;
       t.limewire.shards = config.shards;
-    } else {
+    } else if (config.network == NetworkKind::kOpenFt) {
       t.openft = config.quick ? core::openft_quick() : core::openft_standard();
       t.openft.seed = seeds[i];
       if (config.duration) t.openft.crawl.duration = *config.duration;
       core::apply_faults(t.openft, config.faults, config.fault_seed);
       t.openft.timeseries = config.timeseries;
       t.openft.shards = config.shards;
+    } else {
+      // KAD has no sharded driver; config.shards is documented as ignored.
+      t.kad = config.quick ? core::kad_quick() : core::kad_standard();
+      t.kad.seed = seeds[i];
+      if (config.duration) t.kad.crawl.duration = *config.duration;
+      core::apply_faults(t.kad, config.faults, config.fault_seed);
+      t.kad.timeseries = config.timeseries;
     }
     tasks.push_back(std::move(t));
   }
@@ -89,7 +116,21 @@ std::map<std::string, double> extract_observables(const core::StudyResult& resul
                                                   NetworkKind network) {
   std::map<std::string, double> v;
 
-  auto prev = analysis::prevalence(result.records);
+  // A KAD stream interleaves passive honeypot observations with the active
+  // client's responses; the standard families run on the active subset, the
+  // same split core::build_report applies, so sweep bands and report tables
+  // agree.
+  std::vector<crawler::ResponseRecord> active;
+  std::span<const crawler::ResponseRecord> stream = result.records;
+  if (network == NetworkKind::kKad) {
+    active.reserve(result.records.size());
+    for (const auto& rec : result.records) {
+      if (rec.query_category != "honeypot") active.push_back(rec);
+    }
+    stream = active;
+  }
+
+  auto prev = analysis::prevalence(stream);
   v["prevalence.total_responses"] = static_cast<double>(prev.total_responses);
   v["prevalence.study_responses"] = static_cast<double>(prev.study_responses);
   v["prevalence.labeled"] = static_cast<double>(prev.labeled);
@@ -97,22 +138,22 @@ std::map<std::string, double> extract_observables(const core::StudyResult& resul
   v["prevalence.exe_fraction"] = prev.exe_fraction();
   v["prevalence.archive_fraction"] = prev.archive_fraction();
 
-  auto ranking = analysis::strain_ranking(result.records);
+  auto ranking = analysis::strain_ranking(stream);
   v["strains.distinct"] = static_cast<double>(ranking.size());
   v["strains.top1_share"] = analysis::topk_share(ranking, 1);
   v["strains.top3_share"] = analysis::topk_share(ranking, 3);
 
-  auto sources = analysis::sources(result.records);
+  auto sources = analysis::sources(stream);
   v["sources.distinct"] = static_cast<double>(sources.distinct_sources);
   v["sources.private_fraction"] = sources.private_fraction;
-  auto concentration = analysis::strain_source_concentration(result.records);
+  auto concentration = analysis::strain_source_concentration(stream);
   if (!concentration.empty()) {
     v["sources.top_strain_top_source_share"] = concentration.front().top_source_share;
   }
 
   // E5 protocol: learn filters on the first quarter of the crawl, evaluate
   // on the rest (same split and vendor lists as bench_e5 — keep in sync).
-  auto split = filter::split_at_fraction(result.records, 0.25);
+  auto split = filter::split_at_fraction(stream, 0.25);
   auto size_filter = filter::SizeFilter::learn(split.training);
   auto size_eval = filter::evaluate(size_filter, split.evaluation);
   v["filter.size_detection"] = size_eval.detection_rate();
@@ -125,6 +166,25 @@ std::map<std::string, double> extract_observables(const core::StudyResult& resul
                                                core::vendor_partial_strains());
     auto builtin_eval = filter::evaluate(builtin, split.evaluation);
     v["filter.builtin_detection"] = builtin_eval.detection_rate();
+  }
+
+  // E9/E10 bands: the honeypot coverage curve and vantage bias, computed
+  // from the full stream (the honeypot records the subset above excluded)
+  // plus the ground-truth counters in the run's metrics snapshot.
+  if (network == NetworkKind::kKad) {
+    auto coverage = core::kad_coverage(result.records, result.metrics);
+    v["honeypot.vantages"] = static_cast<double>(coverage.vantages);
+    v["honeypot.observations"] = static_cast<double>(coverage.observations);
+    v["honeypot.stores"] = static_cast<double>(coverage.stores);
+    v["honeypot.queries"] = static_cast<double>(coverage.queries);
+    v["honeypot.infected_total"] = static_cast<double>(coverage.infected_total);
+    v["honeypot.infected_observed"] =
+        static_cast<double>(coverage.infected_observed);
+    v["honeypot.keyword_overlap"] = coverage.keyword_overlap;
+    for (const auto& point : coverage.curve) {
+      v["honeypot.coverage_k" + std::to_string(point.vantages)] =
+          point.mean_coverage;
+    }
   }
 
   // Fault-injected runs band their injection and degradation counters too;
@@ -178,10 +238,11 @@ std::function<core::StudyResult(const StudyTask&)> recording_runner(
     header.network = std::string(network_name(task.network));
     header.config_hash = task.config_hash();
     header.seed = task.seed;
-    header.crawl_duration_ms =
-        (task.network == NetworkKind::kLimewire ? task.limewire.crawl.duration
-                                                : task.openft.crawl.duration)
-            .count_ms();
+    const crawler::CrawlConfig& crawl =
+        task.network == NetworkKind::kLimewire ? task.limewire.crawl
+        : task.network == NetworkKind::kOpenFt ? task.openft.crawl
+                                               : task.kad.crawl;
+    header.crawl_duration_ms = crawl.duration.count_ms();
     std::string path = task_trace_path(dir, task);
     if (!core::save_study_trace(path, result, header)) {
       throw std::runtime_error("cannot write sweep trace: " + path);
@@ -199,7 +260,9 @@ std::function<core::StudyResult(const StudyTask&)> replay_runner(std::string dir
     }
     result.strain_catalog = task.network == NetworkKind::kLimewire
                                 ? malware::limewire_catalog()
-                                : malware::openft_catalog();
+                            : task.network == NetworkKind::kOpenFt
+                                ? malware::openft_catalog()
+                                : malware::kad_catalog();
     return result;
   };
 }

@@ -23,12 +23,13 @@
 #include <vector>
 
 #include "analysis/stats.h"
+#include "core/kad_study.h"
 #include "core/study.h"
 #include "obs/progress.h"
 
 namespace p2p::sweep {
 
-enum class NetworkKind { kLimewire, kOpenFt };
+enum class NetworkKind { kLimewire, kOpenFt, kKad };
 
 [[nodiscard]] std::string_view network_name(NetworkKind kind);
 
@@ -40,6 +41,7 @@ struct StudyTask {
   NetworkKind network = NetworkKind::kLimewire;
   core::LimewireStudyConfig limewire{};
   core::OpenFtStudyConfig openft{};
+  core::KadStudyConfig kad{};
 
   /// Digest of the active config (see core::config_hash) — cache key.
   [[nodiscard]] std::uint64_t config_hash() const;
@@ -77,6 +79,7 @@ struct PlanConfig {
   obs::TimeSeriesConfig timeseries{};
   /// Sharded-engine worker count per task (0 = legacy serial model). Task
   /// results are identical at every value >= 1; see core/shard_study.h.
+  /// Ignored by the KAD driver (serial only).
   std::size_t shards = 0;
 };
 

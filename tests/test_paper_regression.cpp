@@ -10,6 +10,11 @@
 //       top OpenFT strain alone covers 67%, served by a single host.
 //   E5  LimeWire's built-in mechanisms detect ~6% of malicious responses;
 //       size-based filtering detects >99% with near-zero false positives.
+//   E9  distributed-honeypot coverage of the infected population grows
+//       monotonically with the number of vantage points, with sharply
+//       diminishing marginal gain (the honeypot follow-up's headline).
+//   E10 a single vantage point is a biased sample: its expected coverage
+//       sits well below what the full vantage set observes.
 //
 // Scale-down rationale: the full standard preset costs ~1 minute per seed,
 // so this suite sweeps the quick preset stretched to 5 simulated days over
@@ -21,6 +26,8 @@
 // deterministic for the pinned seeds — a band violation means the
 // simulation's behaviour changed, not bad luck.
 #include <gtest/gtest.h>
+
+#include <cstdint>
 
 #include "sweep/sweep.h"
 
@@ -51,13 +58,31 @@ const sweep::SweepResult& openft_sweep() {
   return result;
 }
 
+// 16 seeds at the quick preset's native 8 simulated hours (~10s total):
+// the coverage statistics need more replications than the prevalence
+// bands because each run holds only ~9 infected users.
+const sweep::SweepResult& kad_sweep() {
+  static const sweep::SweepResult result = [] {
+    sweep::PlanConfig plan;
+    plan.network = sweep::NetworkKind::kKad;
+    plan.quick = true;
+    plan.seeds.reserve(16);
+    for (std::uint64_t seed = 2006; seed < 2022; ++seed) {
+      plan.seeds.push_back(seed);
+    }
+    return sweep::run(sweep::plan(plan), {});
+  }();
+  return result;
+}
+
 // Mean of `metric` over the sweep's replications, with the per-seed range
 // in the failure message.
-double band_mean(const sweep::SweepResult& sweep, std::string_view metric) {
+double band_mean(const sweep::SweepResult& sweep, std::string_view metric,
+                 std::size_t expect_n = 4) {
   const sweep::MetricSummary* s = sweep.summary(metric);
   EXPECT_NE(s, nullptr) << "metric missing from sweep: " << metric;
   if (s == nullptr) return -1.0;
-  EXPECT_EQ(s->moments.n, 4u) << metric;
+  EXPECT_EQ(s->moments.n, expect_n) << metric;
   return s->moments.mean;
 }
 
@@ -118,6 +143,77 @@ TEST(PaperRegressionE5, SizeFilterTransfersToOpenft) {
   const auto& sweep = openft_sweep();
   EXPECT_GE(band_mean(sweep, "filter.size_detection"), 0.80);
   EXPECT_LE(band_mean(sweep, "filter.size_false_positives"), 0.005);
+}
+
+TEST(PaperRegressionE9, HoneypotCoverageCurveStaysInBand) {
+  const auto& sweep = kad_sweep();
+  ASSERT_TRUE(sweep.all_ok());
+  // Calibrated against the 16-seed quick sweep (mean curve
+  // 0.743 / 0.831 / 0.853 / 0.854 / 0.854 at k = 1/2/4/8/16).
+  double k1 = band_mean(sweep, "honeypot.coverage_k1", 16);
+  double k2 = band_mean(sweep, "honeypot.coverage_k2", 16);
+  double k4 = band_mean(sweep, "honeypot.coverage_k4", 16);
+  double k8 = band_mean(sweep, "honeypot.coverage_k8", 16);
+  double k16 = band_mean(sweep, "honeypot.coverage_k16", 16);
+  EXPECT_GE(k1, 0.60);
+  EXPECT_LE(k1, 0.88);
+  EXPECT_GE(k16, 0.72);
+  EXPECT_LE(k16, 0.96);
+  // Monotone in the vantage count, for the mean and for every seed.
+  EXPECT_LE(k1, k2);
+  EXPECT_LE(k2, k4);
+  EXPECT_LE(k4, k8);
+  EXPECT_LE(k8, k16);
+  for (const auto& task : sweep.tasks) {
+    double prev = -1.0;
+    for (const char* key :
+         {"honeypot.coverage_k1", "honeypot.coverage_k2",
+          "honeypot.coverage_k4", "honeypot.coverage_k8",
+          "honeypot.coverage_k16"}) {
+      double v = task.values.at(key);
+      EXPECT_GE(v, prev - 1e-12) << "seed " << task.seed << " " << key;
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      prev = v;
+    }
+  }
+  // Diminishing marginal gain: each doubling of the vantage count buys
+  // strictly less additional coverage than the previous one.
+  double g12 = k2 - k1, g24 = k4 - k2, g48 = k8 - k4, g816 = k16 - k8;
+  EXPECT_LT(g24, g12);
+  EXPECT_LE(g48, g24 + 1e-12);
+  EXPECT_LE(g816, g48 + 1e-12);
+  // The first doubling is worth a real jump; the last is worth almost
+  // nothing — the paper's "a handful of honeypots suffices" conclusion.
+  EXPECT_GE(g12, 0.03);
+  EXPECT_LE(g816, 0.005);
+}
+
+TEST(PaperRegressionE9, HoneypotStreamCarriesRealVolume) {
+  const auto& sweep = kad_sweep();
+  EXPECT_EQ(band_mean(sweep, "honeypot.vantages", 16), 16.0);
+  EXPECT_GT(band_mean(sweep, "honeypot.observations", 16), 5000.0);
+  EXPECT_GT(band_mean(sweep, "honeypot.infected_total", 16), 4.0);
+  // The index-poisoning prevalence the active client measures alongside
+  // the honeypots (analogous to E1, an order of magnitude between the
+  // saturated LimeWire picture and the clean OpenFT one).
+  double fraction = band_mean(sweep, "prevalence.malicious_fraction", 16);
+  EXPECT_GE(fraction, 0.15);
+  EXPECT_LE(fraction, 0.55);
+}
+
+TEST(PaperRegressionE10, SingleVantageIsABiasedSample) {
+  const auto& sweep = kad_sweep();
+  double k1 = band_mean(sweep, "honeypot.coverage_k1", 16);
+  double k16 = band_mean(sweep, "honeypot.coverage_k16", 16);
+  // One vantage misses a meaningful slice of what the full deployment
+  // sees (measured gap ~0.11 of the infected population).
+  EXPECT_GE(k16 - k1, 0.05);
+  // And vantages are not clones of each other: their bait keyword sets
+  // overlap only partially (mean pairwise Jaccard ~0.28).
+  double overlap = band_mean(sweep, "honeypot.keyword_overlap", 16);
+  EXPECT_GE(overlap, 0.10);
+  EXPECT_LE(overlap, 0.50);
 }
 
 }  // namespace
