@@ -19,7 +19,10 @@
 #             leaves bench_sim_core.json behind as a CI artifact. Also runs
 #             bench_shard --check (sharded-engine scaling + million-peer
 #             capacity; the >=2x 4-shard speedup floor is enforced on
-#             >=4-core hosts) and bench_obs_overhead --check in the release
+#             >=4-core hosts), bench_trace --check (out-of-core segment
+#             replay throughput floor + peak-RSS ceiling, byte-identical
+#             reports across jobs counts), and bench_obs_overhead --check
+#             in the release
 #             build AND in a -DP2P_OBS_DISABLED=ON build, pinning the
 #             per-op cost ceilings of the observability primitives in both
 #             flavors.
@@ -27,10 +30,18 @@
 #             under a fixed seed + fault plan, degradation counters obey
 #             their accounting invariants, unknown --faults specs exit
 #             non-zero, and a faulted sweep is --jobs invariant.
+#   longhaul  Ten-simulated-week KAD honeypot capture into a segment
+#             directory (~2.5M records, out of core), parallel replay at
+#             1 and 4 jobs byte-identical to each other and to the live
+#             report, and a bit-flipped segment contained (replay still
+#             succeeds, damage counted) while MANIFEST damage stays fatal.
+#             Leaves the MANIFEST, rolling-window CSV, and reports in
+#             ci-longhaul/ for artifact upload.
 #
 # Usage: ci/run_tiers.sh [jobs] [tier ...]
 #   A leading integer sets the job count (default: nproc); remaining
 #   arguments select tiers, in order. No tier arguments = all tiers.
+#   Unknown tier names fail fast (exit 2) before any tier runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,8 +52,21 @@ if [[ $# -gt 0 && "$1" =~ ^[0-9]+$ ]]; then
 fi
 TIERS=("$@")
 if [[ ${#TIERS[@]} -eq 0 ]]; then
-  TIERS=(release sanitize replay tsan chaos bench)
+  TIERS=(release sanitize replay tsan chaos bench longhaul)
 fi
+
+# Validate every tier name up front: a typo in the third tier must not cost
+# a full run of the first two before failing.
+KNOWN_TIERS="release sanitize replay tsan chaos bench longhaul"
+for tier in "${TIERS[@]}"; do
+  case " ${KNOWN_TIERS} " in
+    *" ${tier} "*) ;;
+    *)
+      echo "unknown tier: ${tier} (known: ${KNOWN_TIERS})" >&2
+      exit 2
+      ;;
+  esac
+done
 
 build_release() {
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -67,7 +91,10 @@ tier_sanitize() {
   cmake --build build-ci-sanitize -j "${JOBS}"
   (
     cd build-ci-sanitize
-    P2P_FUZZ_ROUNDS=2000 ctest -L fuzz -j "${JOBS}" --output-on-failure
+    # Callers (or CI variables) can raise the mutation budget; 2000 rounds
+    # is the default scale for the wire/trace/fault/segment-index targets.
+    P2P_FUZZ_ROUNDS="${P2P_FUZZ_ROUNDS:-2000}" \
+      ctest -L fuzz -j "${JOBS}" --output-on-failure
     # The zero-copy payload layer is all refcounts and aliasing — exactly
     # what asan/ubsan are for; the event queue's slab recycling rides along.
     ctest -R 'Payload|EventQueue|^Task' -j "${JOBS}" --output-on-failure
@@ -227,6 +254,12 @@ tier_bench() {
     # that 4 shards clear a >=2x speedup floor over 1 shard.
     ./bench/bench_shard --check --json bench_shard.json
 
+    # Out-of-core trace storage: a synthetic twelve-week capture recorded
+    # straight into a segment directory, replayed at 1/4 jobs. --check pins
+    # the replay-throughput floor and the peak-RSS ceiling that back the
+    # out-of-core claim; byte-identical reports are asserted either way.
+    ./bench/bench_trace --check --json bench_trace.json
+
     echo "-- obs overhead ceilings (enabled flavor)"
     ./bench/bench_obs_overhead --check | tee bench_obs_overhead.txt
   )
@@ -241,6 +274,61 @@ tier_bench() {
   )
 }
 
+tier_longhaul() {
+  echo "== tier longhaul: ten-week segmented capture + out-of-core replay =="
+  [[ -d build-ci-release ]] || build_release
+  (
+    cd build-ci-release
+    rm -rf ci-longhaul && mkdir ci-longhaul && cd ci-longhaul
+
+    echo "-- record ten simulated weeks into a segment directory"
+    ../examples/kad_study --longhaul --seed 7 --record-dir capture.p2ps \
+      --json longhaul_live.json > /dev/null
+    ../examples/trace inspect capture.p2ps
+
+    echo "-- parallel replay is byte-identical (1 vs 4 jobs, and vs live)"
+    ../examples/kad_study --replay-dir capture.p2ps --replay-jobs 1 \
+      --json longhaul_replay_j1.json --windows longhaul_windows.csv > /dev/null
+    ../examples/kad_study --replay-dir capture.p2ps --replay-jobs 4 \
+      --json longhaul_replay_j4.json --windows longhaul_windows_j4.csv \
+      > /dev/null
+    cmp longhaul_replay_j1.json longhaul_replay_j4.json
+    cmp longhaul_windows.csv longhaul_windows_j4.csv
+    cmp longhaul_live.json longhaul_replay_j1.json
+    echo "   replayed reports and window CSVs are byte-identical"
+
+    echo "-- a bit-flipped segment is contained, not fatal"
+    cp -r capture.p2ps damaged.p2ps
+    python3 - <<'PY'
+import pathlib
+segs = sorted(pathlib.Path("damaged.p2ps").glob("seg-*.p2pt"))
+victim = segs[len(segs) // 2]
+data = bytearray(victim.read_bytes())
+data[len(data) // 2] ^= 0x40
+victim.write_bytes(data)
+print(f"   flipped one byte in {victim.name}")
+PY
+    ../examples/kad_study --replay-dir damaged.p2ps --replay-jobs 4 \
+      --json longhaul_damaged.json | grep "damage contained"
+
+    echo "-- MANIFEST damage stays a hard error"
+    python3 - <<'PY'
+import pathlib
+manifest = pathlib.Path("damaged.p2ps/MANIFEST")
+data = bytearray(manifest.read_bytes())
+data[len(data) // 2] ^= 0x01
+manifest.write_bytes(data)
+PY
+    if ../examples/kad_study --replay-dir damaged.p2ps \
+        --json /dev/null > /dev/null 2>&1; then
+      echo "replay accepted a corrupted MANIFEST" >&2
+      exit 1
+    fi
+    rm -rf damaged.p2ps
+    echo "longhaul tier passed"
+  )
+}
+
 for tier in "${TIERS[@]}"; do
   case "${tier}" in
     release)  tier_release ;;
@@ -249,10 +337,7 @@ for tier in "${TIERS[@]}"; do
     tsan)     tier_tsan ;;
     chaos)    tier_chaos ;;
     bench)    tier_bench ;;
-    *)
-      echo "unknown tier: ${tier} (known: release sanitize replay tsan chaos bench)" >&2
-      exit 2
-      ;;
+    longhaul) tier_longhaul ;;
   esac
 done
 

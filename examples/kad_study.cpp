@@ -11,9 +11,17 @@
 // simulating. The --json report is byte-identical between a recorded live
 // run and its replay.
 //
-//   ./kad_study [--quick] [--csv <path>] [--seed <n>] [--honeypots <n>]
-//               [--json <path>] [--record <trace>|--replay <trace>]
-//               [--faults <preset|spec>] [--fault-seed <n>]
+// --record-dir captures the same stream to a time-sharded segment directory
+// (one .p2pt segment per simulated day plus a MANIFEST), and --replay-dir
+// replays it out of core: segments fan out across --replay-jobs threads and
+// the partial reports merge deterministically, so the JSON is byte-identical
+// at any jobs count. --longhaul selects the ten-week capture preset.
+//
+//   ./kad_study [--quick|--longhaul] [--csv <path>] [--seed <n>]
+//               [--honeypots <n>] [--json <path>]
+//               [--record <trace>|--replay <trace>]
+//               [--record-dir <dir>|--replay-dir <dir>] [--replay-jobs <n>]
+//               [--windows <csv>] [--faults <preset|spec>] [--fault-seed <n>]
 //               [obs flags — see examples/obs_cli.h]
 #include <cstring>
 #include <fstream>
@@ -28,14 +36,18 @@
 #include "core/study.h"
 #include "fault/fault.h"
 #include "obs_cli.h"
+#include "replay_dir.h"
+#include "trace/segment.h"
 #include "trace/writer.h"
 #include "util/strings.h"
 
 namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--quick] [--csv <path>] [--seed <n>] [--honeypots <n>]"
+            << " [--quick|--longhaul] [--csv <path>] [--seed <n>] [--honeypots <n>]"
                " [--json <path>] [--record <trace>|--replay <trace>]"
+               " [--record-dir <dir>|--replay-dir <dir>] [--replay-jobs <n>]"
+               " [--windows <csv>]"
                " [--faults <none|mild|moderate|severe|k=v,...>]"
                " [--fault-seed <n>] [--list-presets]"
             << p2p::examples::ObsCli::kUsage << "\n";
@@ -46,8 +58,10 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace p2p;
   auto cfg = core::kad_standard();
-  bool quick = false;
+  std::string preset = "standard";
   std::string csv_path, json_path, record_path, replay_path;
+  std::string record_dir, replay_dir, windows_path;
+  std::size_t replay_jobs = 1;
   std::string faults_spec;
   std::uint64_t fault_seed = 0;
   examples::ObsCli obs_cli;
@@ -57,7 +71,10 @@ int main(int argc, char** argv) {
       if (obs_err) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       cfg = core::kad_quick();
-      quick = true;
+      preset = "quick";
+    } else if (std::strcmp(argv[i], "--longhaul") == 0) {
+      cfg = core::kad_longhaul();
+      preset = "longhaul";
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -76,6 +93,19 @@ int main(int argc, char** argv) {
       record_path = argv[++i];
     } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
       replay_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--record-dir") == 0 && i + 1 < argc) {
+      record_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-dir") == 0 && i + 1 < argc) {
+      replay_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      replay_jobs = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || replay_jobs == 0 ||
+          replay_jobs > 256) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc) {
+      windows_path = argv[++i];
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       faults_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
@@ -88,8 +118,21 @@ int main(int argc, char** argv) {
     }
   }
   cfg.timeseries = obs_cli.timeseries_config();
-  if (!record_path.empty() && !replay_path.empty()) {
-    std::cerr << "--record and --replay are mutually exclusive\n";
+  int capture_modes = (record_path.empty() ? 0 : 1) +
+                      (replay_path.empty() ? 0 : 1) +
+                      (record_dir.empty() ? 0 : 1) + (replay_dir.empty() ? 0 : 1);
+  if (capture_modes > 1) {
+    std::cerr << "--record, --replay, --record-dir and --replay-dir are "
+                 "mutually exclusive\n";
+    return 2;
+  }
+  if (!windows_path.empty() && replay_dir.empty()) {
+    std::cerr << "--windows requires --replay-dir\n";
+    return 2;
+  }
+  if (!replay_dir.empty() && !csv_path.empty()) {
+    std::cerr << "--csv is not supported with --replay-dir (the capture is "
+                 "never materialized); use trace cat on the directory\n";
     return 2;
   }
   if (!faults_spec.empty()) {
@@ -107,6 +150,11 @@ int main(int argc, char** argv) {
   if (!obs_cli.activate()) return 2;
   auto progress = obs_cli.make_progress();
 
+  if (!replay_dir.empty()) {
+    return examples::run_replay_dir(replay_dir, replay_jobs, "kad", json_path,
+                                    windows_path);
+  }
+
   core::StudyResult result;
   if (!replay_path.empty()) {
     if (!core::load_study_trace(replay_path, result)) {
@@ -123,18 +171,23 @@ int main(int argc, char** argv) {
               << " hours, seed " << cfg.seed << "\n";
     std::optional<obs::ProgressReporter::Scope> progress_scope;
     if (progress != nullptr) progress_scope.emplace(*progress);
-    std::unique_ptr<trace::TraceWriter> writer;
-    if (!record_path.empty()) {
+    const std::string& capture_path =
+        !record_dir.empty() ? record_dir : record_path;
+    std::unique_ptr<trace::StorageWriter> writer;
+    if (!capture_path.empty()) {
       trace::TraceHeader header;
       header.network = "kad";
       header.config_hash = core::config_hash(cfg);
       header.seed = cfg.seed;
       header.crawl_duration_ms = cfg.crawl.duration.count_ms();
-      header.meta = {{"tool", "kad_study"},
-                     {"preset", quick ? "quick" : "standard"}};
-      writer = std::make_unique<trace::TraceWriter>(record_path, header);
+      header.meta = {{"tool", "kad_study"}, {"preset", preset}};
+      if (!record_dir.empty()) {
+        writer = std::make_unique<trace::SegmentWriter>(record_dir, header);
+      } else {
+        writer = std::make_unique<trace::TraceWriter>(record_path, header);
+      }
       if (!writer->ok()) {
-        std::cerr << "cannot write " << record_path << "\n";
+        std::cerr << "cannot write " << capture_path << "\n";
         return 1;
       }
     }
@@ -143,13 +196,18 @@ int main(int argc, char** argv) {
       writer->write_summary(core::study_summary(result));
       writer->close();
       if (!writer->ok()) {
-        std::cerr << "failed writing trace " << record_path << "\n";
+        std::cerr << "failed writing trace " << capture_path << "\n";
         return 1;
       }
       std::cout << "  recorded " << util::format_count(writer->records_written())
                 << " records (" << util::format_count(writer->blocks_written())
                 << " blocks, " << util::format_count(writer->bytes_written())
-                << " bytes) to " << record_path << "\n";
+                << " bytes";
+      if (writer->segments_written() > 1 || !record_dir.empty()) {
+        std::cout << ", " << util::format_count(writer->segments_written())
+                  << " segments";
+      }
+      std::cout << ") to " << capture_path << "\n";
     }
   }
   std::cout << "  " << util::format_count(result.events_executed) << " events, "

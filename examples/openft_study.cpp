@@ -9,8 +9,16 @@
 // --json report is byte-identical between a recorded live run and its
 // replay (see README "Recording and replaying a study").
 //
+// --record-dir captures the same stream to a time-sharded segment directory
+// (one .p2pt segment per simulated day plus a MANIFEST); --replay-dir
+// replays it out of core across --replay-jobs threads with byte-identical
+// JSON at any jobs count (see README "Replaying a long capture out of
+// core").
+//
 //   ./openft_study [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]
 //                  [--json <path>] [--record <trace>|--replay <trace>]
+//                  [--record-dir <dir>|--replay-dir <dir>] [--replay-jobs <n>]
+//                  [--windows <csv>]
 //                  [--faults <preset|spec>] [--fault-seed <n>] [--shards <n>]
 //                  [obs flags — see examples/obs_cli.h]
 //
@@ -28,6 +36,8 @@
 #include "core/study.h"
 #include "fault/fault.h"
 #include "obs_cli.h"
+#include "replay_dir.h"
+#include "trace/segment.h"
 #include "trace/writer.h"
 #include "util/strings.h"
 
@@ -36,6 +46,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--quick] [--csv <path>] [--seed <n>] [--no-superspreader]"
                " [--json <path>] [--record <trace>|--replay <trace>]"
+               " [--record-dir <dir>|--replay-dir <dir>] [--replay-jobs <n>]"
+               " [--windows <csv>]"
                " [--faults <none|mild|moderate|severe|k=v,...>]"
                " [--fault-seed <n>] [--shards <n>] [--list-presets]"
             << p2p::examples::ObsCli::kUsage << "\n";
@@ -48,6 +60,8 @@ int main(int argc, char** argv) {
   auto cfg = core::openft_standard();
   bool quick = false;
   std::string csv_path, json_path, record_path, replay_path;
+  std::string record_dir, replay_dir, windows_path;
+  std::size_t replay_jobs = 1;
   std::string faults_spec;
   std::uint64_t fault_seed = 0;
   std::uint64_t shards = 0;
@@ -69,6 +83,19 @@ int main(int argc, char** argv) {
       record_path = argv[++i];
     } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
       replay_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--record-dir") == 0 && i + 1 < argc) {
+      record_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-dir") == 0 && i + 1 < argc) {
+      replay_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      replay_jobs = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || replay_jobs == 0 ||
+          replay_jobs > 256) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc) {
+      windows_path = argv[++i];
     } else if (std::strcmp(argv[i], "--no-superspreader") == 0) {
       cfg.population.enable_superspreader = false;
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
@@ -91,8 +118,21 @@ int main(int argc, char** argv) {
   }
   cfg.timeseries = obs_cli.timeseries_config();
   cfg.shards = shards;
-  if (!record_path.empty() && !replay_path.empty()) {
-    std::cerr << "--record and --replay are mutually exclusive\n";
+  int capture_modes = (record_path.empty() ? 0 : 1) +
+                      (replay_path.empty() ? 0 : 1) +
+                      (record_dir.empty() ? 0 : 1) + (replay_dir.empty() ? 0 : 1);
+  if (capture_modes > 1) {
+    std::cerr << "--record, --replay, --record-dir and --replay-dir are "
+                 "mutually exclusive\n";
+    return 2;
+  }
+  if (!windows_path.empty() && replay_dir.empty()) {
+    std::cerr << "--windows requires --replay-dir\n";
+    return 2;
+  }
+  if (!replay_dir.empty() && !csv_path.empty()) {
+    std::cerr << "--csv is not supported with --replay-dir (the capture is "
+                 "never materialized); use trace cat on the directory\n";
     return 2;
   }
   if (!faults_spec.empty()) {
@@ -109,6 +149,11 @@ int main(int argc, char** argv) {
 
   if (!obs_cli.activate()) return 2;
   auto progress = obs_cli.make_progress();
+
+  if (!replay_dir.empty()) {
+    return examples::run_replay_dir(replay_dir, replay_jobs, "openft",
+                                    json_path, windows_path);
+  }
 
   core::StudyResult result;
   if (!replay_path.empty()) {
@@ -128,8 +173,10 @@ int main(int argc, char** argv) {
               << "\n";
     std::optional<obs::ProgressReporter::Scope> progress_scope;
     if (progress != nullptr) progress_scope.emplace(*progress);
-    std::unique_ptr<trace::TraceWriter> writer;
-    if (!record_path.empty()) {
+    const std::string& capture_path =
+        !record_dir.empty() ? record_dir : record_path;
+    std::unique_ptr<trace::StorageWriter> writer;
+    if (!capture_path.empty()) {
       trace::TraceHeader header;
       header.network = "openft";
       header.config_hash = core::config_hash(cfg);
@@ -137,9 +184,13 @@ int main(int argc, char** argv) {
       header.crawl_duration_ms = cfg.crawl.duration.count_ms();
       header.meta = {{"tool", "openft_study"},
                      {"preset", quick ? "quick" : "standard"}};
-      writer = std::make_unique<trace::TraceWriter>(record_path, header);
+      if (!record_dir.empty()) {
+        writer = std::make_unique<trace::SegmentWriter>(record_dir, header);
+      } else {
+        writer = std::make_unique<trace::TraceWriter>(record_path, header);
+      }
       if (!writer->ok()) {
-        std::cerr << "cannot write " << record_path << "\n";
+        std::cerr << "cannot write " << capture_path << "\n";
         return 1;
       }
     }
@@ -148,13 +199,18 @@ int main(int argc, char** argv) {
       writer->write_summary(core::study_summary(result));
       writer->close();
       if (!writer->ok()) {
-        std::cerr << "failed writing trace " << record_path << "\n";
+        std::cerr << "failed writing trace " << capture_path << "\n";
         return 1;
       }
       std::cout << "  recorded " << util::format_count(writer->records_written())
                 << " records (" << util::format_count(writer->blocks_written())
                 << " blocks, " << util::format_count(writer->bytes_written())
-                << " bytes) to " << record_path << "\n";
+                << " bytes";
+      if (!record_dir.empty()) {
+        std::cout << ", " << util::format_count(writer->segments_written())
+                  << " segments";
+      }
+      std::cout << ") to " << capture_path << "\n";
     }
   }
   std::cout << "  " << util::format_count(result.events_executed) << " events, "

@@ -1,0 +1,91 @@
+// Shared --replay-dir driver for the study CLIs (limewire/openft/kad):
+// out-of-core map-reduce replay of a segment directory via
+// core::replay_segment_dir, printing the study's standard sections and
+// writing the report JSON / windowed CSV. The JSON is byte-identical to the
+// recording run's --json at any --replay-jobs count.
+#pragma once
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/windowed.h"
+#include "core/replay.h"
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace p2p::examples {
+
+inline int run_replay_dir(const std::string& dir, std::size_t jobs,
+                          const std::string& expect_network,
+                          const std::string& json_path,
+                          const std::string& windows_path) {
+  core::ReplayOptions options;
+  options.jobs = jobs;
+  auto start = std::chrono::steady_clock::now();
+  auto result = core::replay_segment_dir(dir, options);
+  if (!result.ok) {
+    std::cerr << dir << ": " << result.error << "\n";
+    return 1;
+  }
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  double rate =
+      secs > 0.0 ? static_cast<double>(result.stats.records_read) / secs : 0.0;
+  obs::MetricsRegistry::global()
+      .gauge("trace.replay_records_per_sec")
+      .set(static_cast<std::int64_t>(rate));
+  const core::Report& report = result.report;
+  if (!expect_network.empty() && report.network != expect_network) {
+    std::cerr << dir << ": capture network is \"" << report.network
+              << "\", expected \"" << expect_network << "\"\n";
+    return 1;
+  }
+  std::cout << "Replaying " << report.network << " study from " << dir << ": "
+            << util::format_count(report.records) << " records across "
+            << util::format_count(result.stats.segments_read) << " of "
+            << util::format_count(result.segments_total) << " segments ("
+            << jobs << (jobs == 1 ? " job)" : " jobs)") << "\n";
+  if (result.stats.segments_corrupt > 0 || result.stats.blocks_corrupt > 0 ||
+      result.stats.truncated_tail) {
+    std::cout << "  damage contained: "
+              << util::format_count(result.stats.segments_corrupt)
+              << " segments dropped, "
+              << util::format_count(result.stats.blocks_corrupt)
+              << " corrupt blocks\n";
+  }
+  std::cout << "\n";
+
+  core::print_prevalence(std::cout, report.network, report.prevalence);
+  core::print_strain_ranking(std::cout, report.network, report.strain_ranking);
+  core::print_sources(std::cout, report.network, report.sources,
+                      report.strain_sources);
+  core::print_filter_comparison(std::cout, report.network, report.filter_evals);
+  core::print_honeypot_coverage(std::cout, report.network, report.honeypots);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    core::write_report_json(out, report);
+    std::cout << "wrote report JSON to " << json_path << "\n";
+  }
+  if (!windows_path.empty()) {
+    std::ofstream out(windows_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot write " << windows_path << "\n";
+      return 1;
+    }
+    analysis::write_window_csv(out, result.windows);
+    std::cout << "wrote " << util::format_count(result.windows.size())
+              << " windows to " << windows_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace p2p::examples

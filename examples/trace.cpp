@@ -1,20 +1,27 @@
-// Trace-store workbench: record a study into a binary trace file, inspect
-// the file's header and block structure, replay it through the full
-// analysis pipeline, or dump its records as CSV. A replayed report is
-// byte-identical to the one the recording run produced (--json), which is
-// what decouples month-scale collection from offline analysis — see the
-// README's "Recording and replaying a study" and the format section in
-// DESIGN.md.
+// Trace-store workbench: record a study into a binary trace, inspect the
+// store's header and block structure, replay it through the full analysis
+// pipeline, or dump its records as CSV. A replayed report is byte-identical
+// to the one the recording run produced (--json), which is what decouples
+// month-scale collection from offline analysis — see the README's
+// "Recording and replaying a study" and the format section in DESIGN.md.
 //
-//   ./trace record --network limewire|openft|kad [--quick] [--seed <n>] <file>
-//   ./trace inspect <file>
-//   ./trace replay <file> [--json <path>]
-//   ./trace cat <file> [--csv <path>]
+// Every command accepts either a single `.p2pt` file or a `.p2ps` segment
+// directory (time-sharded capture; see DESIGN.md "Segmented trace
+// storage"). A directory replay can fan segments out across --jobs threads
+// and emit windowed rolling analytics (--windows) while never holding the
+// full record stream in memory.
+//
+//   ./trace record --network limewire|openft|kad [--quick|--longhaul]
+//                  [--seed <n>] [--segment-hours <n>] <file|dir.p2ps>
+//   ./trace inspect <file|dir>
+//   ./trace replay <file|dir> [--json <path>] [--jobs <n>] [--windows <csv>]
+//   ./trace cat <file|dir> [--csv <path>]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -24,7 +31,9 @@
 #include "core/study.h"
 #include "obs/metrics.h"
 #include "obs_cli.h"
+#include "replay_dir.h"
 #include "trace/reader.h"
+#include "trace/storage.h"
 #include "trace/writer.h"
 #include "util/strings.h"
 
@@ -34,10 +43,11 @@ using namespace p2p;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " <command> ...\n"
-            << "  record --network limewire|openft|kad [--quick] [--seed <n>] <file>\n"
-            << "  inspect <file>\n"
-            << "  replay <file> [--json <path>]\n"
-            << "  cat <file> [--csv <path>]\n"
+            << "  record --network limewire|openft|kad [--quick|--longhaul]"
+               " [--seed <n>] [--segment-hours <n>] <file|dir.p2ps>\n"
+            << "  inspect <file|dir>\n"
+            << "  replay <file|dir> [--json <path>] [--jobs <n>] [--windows <csv>]\n"
+            << "  cat <file|dir> [--csv <path>]\n"
             << "  --list-presets\n"
             << "every command also accepts the obs flags:\n "
             << examples::ObsCli::kUsage << "\n";
@@ -47,9 +57,10 @@ int usage(const char* argv0) {
 int cmd_record(int argc, char** argv, const char* argv0,
                examples::ObsCli& obs_cli) {
   std::string network = "limewire", file;
-  bool quick = false;
+  bool quick = false, longhaul = false;
   std::uint64_t seed = 0;
   bool seed_set = false;
+  trace::StorageOptions storage;
   for (int i = 0; i < argc; ++i) {
     bool obs_err = false;
     if (obs_cli.parse(argc, argv, i, &obs_err)) {
@@ -58,9 +69,19 @@ int cmd_record(int argc, char** argv, const char* argv0,
       network = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--longhaul") == 0) {
+      longhaul = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
       seed_set = true;
+    } else if (std::strcmp(argv[i], "--segment-hours") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      std::uint64_t hours = std::strtoull(argv[++i], &end, 10);
+      // Reject junk and wrapped negatives ("-3" parses as 2^64-3).
+      if (end == argv[i] || *end != '\0' || hours == 0 || hours > 24 * 365) {
+        return usage(argv0);
+      }
+      storage.segment_window_ms = static_cast<std::int64_t>(hours) * 3'600'000ll;
     } else if (argv[i][0] != '-' && file.empty()) {
       file = argv[i];
     } else {
@@ -71,6 +92,14 @@ int cmd_record(int argc, char** argv, const char* argv0,
       (network != "limewire" && network != "openft" && network != "kad")) {
     return usage(argv0);
   }
+  if (quick && longhaul) {
+    std::cerr << "--quick and --longhaul are mutually exclusive\n";
+    return 2;
+  }
+  if (longhaul && network != "kad") {
+    std::cerr << "--longhaul is a kad preset (ten-week honeypot capture)\n";
+    return 2;
+  }
   if (!obs_cli.activate()) return 2;
   auto progress = obs_cli.make_progress();
   std::optional<obs::ProgressReporter::Scope> progress_scope;
@@ -78,75 +107,59 @@ int cmd_record(int argc, char** argv, const char* argv0,
 
   trace::TraceHeader header;
   header.network = network;
-  header.meta = {{"tool", "trace record"}, {"preset", quick ? "quick" : "standard"}};
+  header.meta = {
+      {"tool", "trace record"},
+      {"preset", longhaul ? "longhaul" : (quick ? "quick" : "standard")}};
+  std::unique_ptr<trace::StorageWriter> writer;
+  // Stamp the config-derived header fields and open the store; the backend
+  // (single file vs segment directory) is picked from the path shape.
+  auto open_writer = [&](auto& cfg) {
+    if (seed_set) cfg.seed = seed;
+    cfg.timeseries = obs_cli.timeseries_config();
+    header.config_hash = core::config_hash(cfg);
+    header.seed = cfg.seed;
+    header.crawl_duration_ms = cfg.crawl.duration.count_ms();
+    writer = trace::open_storage_writer(file, header, storage);
+    return writer->ok();
+  };
   core::StudyResult result;
   if (network == "limewire") {
     auto cfg = quick ? core::limewire_quick() : core::limewire_standard();
-    if (seed_set) cfg.seed = seed;
-    cfg.timeseries = obs_cli.timeseries_config();
-    header.config_hash = core::config_hash(cfg);
-    header.seed = cfg.seed;
-    header.crawl_duration_ms = cfg.crawl.duration.count_ms();
-    trace::TraceWriter writer(file, header);
-    if (!writer.ok()) {
+    if (!open_writer(cfg)) {
       std::cerr << "cannot write " << file << "\n";
       return 1;
     }
-    result = core::run_limewire_study(cfg, &writer);
-    writer.write_summary(core::study_summary(result));
-    writer.close();
-    if (!writer.ok()) {
-      std::cerr << "failed writing " << file << "\n";
-      return 1;
-    }
-    std::cout << "recorded " << util::format_count(writer.records_written())
-              << " records (" << util::format_count(writer.bytes_written())
-              << " bytes) to " << file << "\n";
+    result = core::run_limewire_study(cfg, writer.get());
   } else if (network == "openft") {
     auto cfg = quick ? core::openft_quick() : core::openft_standard();
-    if (seed_set) cfg.seed = seed;
-    cfg.timeseries = obs_cli.timeseries_config();
-    header.config_hash = core::config_hash(cfg);
-    header.seed = cfg.seed;
-    header.crawl_duration_ms = cfg.crawl.duration.count_ms();
-    trace::TraceWriter writer(file, header);
-    if (!writer.ok()) {
+    if (!open_writer(cfg)) {
       std::cerr << "cannot write " << file << "\n";
       return 1;
     }
-    result = core::run_openft_study(cfg, &writer);
-    writer.write_summary(core::study_summary(result));
-    writer.close();
-    if (!writer.ok()) {
-      std::cerr << "failed writing " << file << "\n";
-      return 1;
-    }
-    std::cout << "recorded " << util::format_count(writer.records_written())
-              << " records (" << util::format_count(writer.bytes_written())
-              << " bytes) to " << file << "\n";
+    result = core::run_openft_study(cfg, writer.get());
   } else {
-    auto cfg = quick ? core::kad_quick() : core::kad_standard();
-    if (seed_set) cfg.seed = seed;
-    cfg.timeseries = obs_cli.timeseries_config();
-    header.config_hash = core::config_hash(cfg);
-    header.seed = cfg.seed;
-    header.crawl_duration_ms = cfg.crawl.duration.count_ms();
-    trace::TraceWriter writer(file, header);
-    if (!writer.ok()) {
+    auto cfg = longhaul ? core::kad_longhaul()
+                        : (quick ? core::kad_quick() : core::kad_standard());
+    if (!open_writer(cfg)) {
       std::cerr << "cannot write " << file << "\n";
       return 1;
     }
-    result = core::run_kad_study(cfg, &writer);
-    writer.write_summary(core::study_summary(result));
-    writer.close();
-    if (!writer.ok()) {
-      std::cerr << "failed writing " << file << "\n";
-      return 1;
-    }
-    std::cout << "recorded " << util::format_count(writer.records_written())
-              << " records (" << util::format_count(writer.bytes_written())
-              << " bytes) to " << file << "\n";
+    result = core::run_kad_study(cfg, writer.get());
   }
+  writer->write_summary(core::study_summary(result));
+  writer->close();
+  if (!writer->ok()) {
+    std::cerr << "failed writing " << file << "\n";
+    return 1;
+  }
+  std::cout << "recorded " << util::format_count(writer->records_written())
+            << " records (" << util::format_count(writer->bytes_written())
+            << " bytes";
+  if (trace::is_segment_path(file)) {
+    std::cout << ", " << util::format_count(writer->segments_written())
+              << " segments";
+  }
+  std::cout << ") to " << file << "\n";
   if (!obs_cli.write_timeseries(result.timeseries)) return 1;
   return 0;
 }
@@ -167,36 +180,59 @@ void print_header(const trace::TraceHeader& h) {
 }
 
 int cmd_inspect(const std::string& file) {
-  trace::TraceReader reader(file);
-  if (!reader.ok()) {
-    std::cerr << file << ": " << reader.error_message() << "\n";
+  auto reader = trace::open_storage_reader(file);
+  if (!reader->ok()) {
+    std::cerr << file << ": " << reader->error_message() << "\n";
     return 1;
   }
   std::cout << file << ":\n";
-  print_header(reader.header());
+  print_header(reader->header());
   crawler::ResponseRecord rec;
   std::uint64_t infected = 0;
-  while (reader.next(rec)) {
+  while (reader->next(rec)) {
     if (rec.infected) ++infected;
   }
-  const auto& stats = reader.stats();
+  const auto& stats = reader->stats();
   std::cout << "  records:        " << util::format_count(stats.records_read)
             << " (" << util::format_count(infected) << " infected)\n"
             << "  blocks:         " << util::format_count(stats.blocks_read)
             << " ok, " << util::format_count(stats.blocks_corrupt) << " corrupt, "
             << util::format_count(stats.blocks_skipped) << " unknown kind\n"
-            << "  bytes:          " << util::format_count(stats.bytes_read) << "\n"
-            << "  summary block:  " << (reader.summary() ? "yes" : "no") << "\n";
+            << "  bytes:          " << util::format_count(stats.bytes_read) << "\n";
+  if (trace::is_segment_path(file)) {
+    std::cout << "  segments:       " << util::format_count(stats.segments_read)
+              << " ok, " << util::format_count(stats.segments_corrupt)
+              << " dropped\n";
+  }
+  std::cout << "  summary block:  " << (reader->summary() ? "yes" : "no") << "\n";
   if (stats.truncated_tail) std::cout << "  WARNING: truncated tail\n";
   if (!stats.clean()) {
-    std::cerr << file << ": trace is damaged (corrupt blocks or truncated tail)\n";
+    std::cerr << file
+              << ": trace is damaged (corrupt blocks, dropped segments, or "
+                 "truncated tail)\n";
     return 1;
   }
   return 0;
 }
 
 int cmd_replay(const std::string& file, const std::string& json_path,
+               std::size_t jobs, const std::string& windows_path,
                const examples::ObsCli& obs_cli) {
+  if (trace::is_segment_path(file)) {
+    // Out-of-core map-reduce replay; damage is contained per segment and
+    // reported, unlike the single-file path which refuses damaged input.
+    return examples::run_replay_dir(file, jobs, /*expect_network=*/"",
+                                    json_path, windows_path);
+  }
+  if (jobs != 1) {
+    std::cerr << "--jobs requires a segment directory (single-file replay is "
+                 "one pass)\n";
+    return 2;
+  }
+  if (!windows_path.empty()) {
+    std::cerr << "--windows requires a segment directory\n";
+    return 2;
+  }
   auto start = std::chrono::steady_clock::now();
   trace::TraceData data = trace::read_trace_file(file);
   if (!data.ok()) {
@@ -252,6 +288,40 @@ int cmd_replay(const std::string& file, const std::string& json_path,
 }
 
 int cmd_cat(const std::string& file, const std::string& csv_path) {
+  if (trace::is_segment_path(file)) {
+    // Stream segment by segment — the full record set is never materialized,
+    // so a multi-month capture cats in constant memory. Per-segment damage
+    // is contained: dropped segments are reported and the dump continues.
+    auto reader = trace::open_storage_reader(file);
+    if (!reader->ok()) {
+      std::cerr << file << ": " << reader->error_message() << "\n";
+      return 1;
+    }
+    std::ofstream file_out;
+    bool to_stdout = csv_path.empty() || csv_path == "-";
+    if (!to_stdout) {
+      file_out.open(csv_path, std::ios::binary);
+      if (!file_out) {
+        std::cerr << "cannot write " << csv_path << "\n";
+        return 1;
+      }
+    }
+    std::ostream& out = to_stdout ? std::cout : file_out;
+    analysis::write_csv_header(out);
+    crawler::ResponseRecord rec;
+    while (reader->next(rec)) analysis::write_csv_record(out, rec);
+    const auto& stats = reader->stats();
+    if (!to_stdout) {
+      std::cerr << "wrote " << stats.records_read << " records to " << csv_path
+                << "\n";
+    }
+    if (!stats.clean()) {
+      std::cerr << file << ": damage contained (" << stats.segments_corrupt
+                << " segments dropped, " << stats.blocks_corrupt
+                << " corrupt blocks)\n";
+    }
+    return 0;
+  }
   trace::TraceData data = trace::read_trace_file(file);
   if (!data.ok()) {
     std::cerr << file << ": " << data.error_message << "\n";
@@ -308,8 +378,9 @@ int main(int argc, char** argv) {
     return rc != 0 ? rc : write_obs_outputs(obs_cli);
   }
 
-  // The remaining commands take one file plus optional flags.
-  std::string file, json_path, csv_path;
+  // The remaining commands take one file/directory plus optional flags.
+  std::string file, json_path, csv_path, windows_path;
+  std::size_t jobs = 1;
   for (int i = 2; i < argc; ++i) {
     bool obs_err = false;
     if (obs_cli.parse(argc, argv, i, &obs_err)) {
@@ -318,11 +389,22 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      jobs = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || jobs == 0 || jobs > 256) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc) {
+      windows_path = argv[++i];
     } else if (argv[i][0] != '-' && file.empty()) {
       file = argv[i];
     } else {
       return usage(argv[0]);
     }
+  }
+  if (cmd != "replay" && (jobs != 1 || !windows_path.empty())) {
+    return usage(argv[0]);
   }
   if (!obs_cli.activate()) return 2;
   int rc;
@@ -330,7 +412,7 @@ int main(int argc, char** argv) {
     rc = cmd_inspect(file);
     if (rc == 0 && !obs_cli.write_timeseries(obs::TimeSeries{})) rc = 1;
   } else if (cmd == "replay" && !file.empty()) {
-    rc = cmd_replay(file, json_path, obs_cli);
+    rc = cmd_replay(file, json_path, jobs, windows_path, obs_cli);
   } else if (cmd == "cat" && !file.empty()) {
     rc = cmd_cat(file, csv_path);
     if (rc == 0 && !obs_cli.write_timeseries(obs::TimeSeries{})) rc = 1;

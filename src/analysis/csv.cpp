@@ -79,20 +79,24 @@ files::FileType type_from_name(const std::string& s) {
 
 }  // namespace
 
+void write_csv_header(std::ostream& out) { out << kHeader << '\n'; }
+
+void write_csv_record(std::ostream& out, const crawler::ResponseRecord& r) {
+  out << r.id << ',' << r.network << ',' << r.at.millis() << ','
+      << r.at.whole_days() << ',' << escape(r.query) << ',' << r.query_category
+      << ',' << escape(r.filename) << ',' << r.size << ','
+      << files::to_string(r.type_by_name) << ','
+      << files::to_string(r.type_by_magic) << ',' << r.source_ip.str() << ','
+      << r.source_port << ',' << util::to_string(r.source_ip.classify()) << ','
+      << escape(r.source_key) << ',' << (r.source_firewalled ? 1 : 0) << ','
+      << r.content_key << ',' << (r.download_attempted ? 1 : 0) << ','
+      << (r.downloaded ? 1 : 0) << ',' << (r.infected ? 1 : 0) << ','
+      << escape(r.strain_name) << '\n';
+}
+
 void write_csv(std::ostream& out, std::span<const crawler::ResponseRecord> records) {
-  out << kHeader << '\n';
-  for (const auto& r : records) {
-    out << r.id << ',' << r.network << ',' << r.at.millis() << ','
-        << r.at.whole_days() << ',' << escape(r.query) << ',' << r.query_category
-        << ',' << escape(r.filename) << ',' << r.size << ','
-        << files::to_string(r.type_by_name) << ','
-        << files::to_string(r.type_by_magic) << ',' << r.source_ip.str() << ','
-        << r.source_port << ',' << util::to_string(r.source_ip.classify()) << ','
-        << escape(r.source_key) << ',' << (r.source_firewalled ? 1 : 0) << ','
-        << r.content_key << ',' << (r.download_attempted ? 1 : 0) << ','
-        << (r.downloaded ? 1 : 0) << ',' << (r.infected ? 1 : 0) << ','
-        << escape(r.strain_name) << '\n';
-  }
+  write_csv_header(out);
+  for (const auto& r : records) write_csv_record(out, r);
 }
 
 std::optional<std::vector<crawler::ResponseRecord>> read_csv(std::istream& in) {

@@ -19,6 +19,11 @@ namespace p2p::analysis {
 /// quotes are quoted per RFC 4180.
 void write_csv(std::ostream& out, std::span<const crawler::ResponseRecord> records);
 
+/// Streaming form of write_csv for out-of-core readers: emit the header
+/// once, then one row per record as it is decoded.
+void write_csv_header(std::ostream& out);
+void write_csv_record(std::ostream& out, const crawler::ResponseRecord& record);
+
 /// Flat CSV of a metrics snapshot, one row per metric
 /// (kind,name,unit,value,max,count,sum,min,p50,p90,p99). Deterministic by
 /// default: wall-clock histograms are skipped unless `include_wall_clock`.

@@ -1,0 +1,334 @@
+#include "analysis/incremental.h"
+
+#include <algorithm>
+
+namespace p2p::analysis {
+
+// ---------------------------------------------------------------------------
+// PrevalenceAcc
+// ---------------------------------------------------------------------------
+
+void PrevalenceAcc::add(const ResponseRecord& r) {
+  ++sums.total_responses;
+  if (!r.is_study_type()) return;
+  ++sums.study_responses;
+  if (!r.downloaded) return;
+  ++sums.labeled;
+  bool exe = r.type_by_name == files::FileType::kExecutable;
+  if (exe) {
+    ++sums.exe_labeled;
+  } else {
+    ++sums.archive_labeled;
+  }
+  if (r.infected) {
+    ++sums.infected;
+    if (exe) {
+      ++sums.exe_infected;
+    } else {
+      ++sums.archive_infected;
+    }
+  }
+}
+
+void PrevalenceAcc::merge(const PrevalenceAcc& other) {
+  sums.total_responses += other.sums.total_responses;
+  sums.study_responses += other.sums.study_responses;
+  sums.labeled += other.sums.labeled;
+  sums.infected += other.sums.infected;
+  sums.exe_labeled += other.sums.exe_labeled;
+  sums.exe_infected += other.sums.exe_infected;
+  sums.archive_labeled += other.sums.archive_labeled;
+  sums.archive_infected += other.sums.archive_infected;
+}
+
+// ---------------------------------------------------------------------------
+// StrainRankingAcc
+// ---------------------------------------------------------------------------
+
+void StrainRankingAcc::add(const ResponseRecord& r) {
+  if (!r.infected || !r.downloaded) return;
+  auto& e = strains[r.strain];
+  e.name = r.strain_name;
+  ++e.responses;
+  e.contents.insert(r.content_key);
+  e.sources.insert(r.source_key);
+  ++total;
+}
+
+void StrainRankingAcc::merge(const StrainRankingAcc& other) {
+  for (const auto& [strain, oe] : other.strains) {
+    auto& e = strains[strain];
+    // The serial path keeps the *last* record's spelling; merging in stream
+    // order, the later accumulator's name wins.
+    if (!oe.name.empty()) e.name = oe.name;
+    e.responses += oe.responses;
+    e.contents.insert(oe.contents.begin(), oe.contents.end());
+    e.sources.insert(oe.sources.begin(), oe.sources.end());
+  }
+  total += other.total;
+}
+
+std::vector<StrainCount> StrainRankingAcc::finalize() const {
+  std::vector<StrainCount> out;
+  out.reserve(strains.size());
+  for (const auto& [strain, e] : strains) {
+    StrainCount c;
+    c.strain = strain;
+    c.name = e.name;
+    c.responses = e.responses;
+    c.share = total == 0 ? 0.0
+                         : static_cast<double>(e.responses) / static_cast<double>(total);
+    c.distinct_contents = e.contents.size();
+    c.distinct_sources = e.sources.size();
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const StrainCount& a, const StrainCount& b) {
+    if (a.responses != b.responses) return a.responses > b.responses;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SourcesAcc
+// ---------------------------------------------------------------------------
+
+void SourcesAcc::add(const ResponseRecord& r) {
+  if (!r.infected || !r.downloaded) return;
+  ++malicious_responses;
+  ++by_class[r.source_ip.classify()];
+  ++per_source[r.source_key];
+}
+
+void SourcesAcc::merge(const SourcesAcc& other) {
+  malicious_responses += other.malicious_responses;
+  for (const auto& [klass, n] : other.by_class) by_class[klass] += n;
+  for (const auto& [src, n] : other.per_source) per_source[src] += n;
+}
+
+SourceSummary SourcesAcc::finalize(std::size_t top_n) const {
+  SourceSummary out;
+  out.malicious_responses = malicious_responses;
+  out.by_class = by_class;
+  out.distinct_sources = per_source.size();
+  auto priv = out.by_class.find(util::IpClass::kPrivate);
+  out.private_fraction =
+      out.malicious_responses == 0 || priv == out.by_class.end()
+          ? 0.0
+          : static_cast<double>(priv->second) /
+                static_cast<double>(out.malicious_responses);
+
+  out.top_sources.assign(per_source.begin(), per_source.end());
+  std::sort(out.top_sources.begin(), out.top_sources.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (out.top_sources.size() > top_n) out.top_sources.resize(top_n);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StrainSourceAcc
+// ---------------------------------------------------------------------------
+
+void StrainSourceAcc::add(const ResponseRecord& r) {
+  if (!r.infected || !r.downloaded) return;
+  auto& e = strains[r.strain_name];
+  ++e.responses;
+  ++e.per_source[r.source_key];
+}
+
+void StrainSourceAcc::merge(const StrainSourceAcc& other) {
+  for (const auto& [name, oe] : other.strains) {
+    auto& e = strains[name];
+    e.responses += oe.responses;
+    for (const auto& [src, n] : oe.per_source) e.per_source[src] += n;
+  }
+}
+
+std::vector<StrainSourceConcentration> StrainSourceAcc::finalize() const {
+  std::vector<StrainSourceConcentration> out;
+  for (const auto& [name, e] : strains) {
+    StrainSourceConcentration c;
+    c.name = name;
+    c.responses = e.responses;
+    c.distinct_sources = e.per_source.size();
+    std::uint64_t top = 0;
+    for (const auto& [src, n] : e.per_source) top = std::max(top, n);
+    c.top_source_share =
+        e.responses == 0 ? 0.0 : static_cast<double>(top) / static_cast<double>(e.responses);
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StrainSourceConcentration& a, const StrainSourceConcentration& b) {
+              if (a.responses != b.responses) return a.responses > b.responses;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SizeDistAcc
+// ---------------------------------------------------------------------------
+
+void SizeDistAcc::add(const ResponseRecord& r) {
+  if (!r.is_study_type() || !r.downloaded) return;
+  auto& b = buckets[r.size];
+  b.size = r.size;
+  if (r.infected) {
+    ++b.malicious;
+  } else {
+    ++b.clean;
+  }
+}
+
+void SizeDistAcc::merge(const SizeDistAcc& other) {
+  for (const auto& [size, ob] : other.buckets) {
+    auto& b = buckets[size];
+    b.size = size;
+    b.malicious += ob.malicious;
+    b.clean += ob.clean;
+  }
+}
+
+std::vector<SizeBucket> SizeDistAcc::finalize() const {
+  std::vector<SizeBucket> out;
+  out.reserve(buckets.size());
+  for (const auto& [size, b] : buckets) out.push_back(b);
+  std::sort(out.begin(), out.end(), [](const SizeBucket& a, const SizeBucket& b) {
+    std::uint64_t ta = a.malicious + a.clean;
+    std::uint64_t tb = b.malicious + b.clean;
+    if (ta != tb) return ta > tb;
+    return a.size < b.size;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SizesPerStrainAcc
+// ---------------------------------------------------------------------------
+
+void SizesPerStrainAcc::add(const ResponseRecord& r) {
+  if (!r.infected || !r.downloaded) return;
+  sizes[r.strain_name].insert(r.size);
+}
+
+void SizesPerStrainAcc::merge(const SizesPerStrainAcc& other) {
+  for (const auto& [name, set] : other.sizes) {
+    sizes[name].insert(set.begin(), set.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CategoryAcc
+// ---------------------------------------------------------------------------
+
+void CategoryAcc::add(const ResponseRecord& r) {
+  auto& b = bins[r.query_category];
+  b.category = r.query_category;
+  ++b.responses;
+  if (!r.is_study_type()) return;
+  ++b.study_responses;
+  if (!r.downloaded) return;
+  ++b.labeled;
+  if (r.infected) ++b.infected;
+}
+
+void CategoryAcc::merge(const CategoryAcc& other) {
+  for (const auto& [name, ob] : other.bins) {
+    auto& b = bins[name];
+    b.category = name;
+    b.responses += ob.responses;
+    b.study_responses += ob.study_responses;
+    b.labeled += ob.labeled;
+    b.infected += ob.infected;
+  }
+}
+
+std::vector<CategoryBin> CategoryAcc::finalize() const {
+  std::vector<CategoryBin> out;
+  out.reserve(bins.size());
+  for (const auto& [name, b] : bins) out.push_back(b);
+  std::sort(out.begin(), out.end(), [](const CategoryBin& a, const CategoryBin& b) {
+    if (a.infected != b.infected) return a.infected > b.infected;
+    return a.category < b.category;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DailyAcc
+// ---------------------------------------------------------------------------
+
+void DailyAcc::add(const ResponseRecord& r) {
+  int day = static_cast<int>(r.at.whole_days());
+  auto& b = bins[day];
+  b.day = day;
+  ++b.responses;
+  if (!r.is_study_type()) return;
+  ++b.study_responses;
+  if (!r.downloaded) return;
+  ++b.labeled;
+  if (r.infected) {
+    ++b.infected;
+    strains_by_day[day].insert(r.strain_name);
+  }
+}
+
+void DailyAcc::merge(const DailyAcc& other) {
+  for (const auto& [day, ob] : other.bins) {
+    auto& b = bins[day];
+    b.day = day;
+    b.responses += ob.responses;
+    b.study_responses += ob.study_responses;
+    b.labeled += ob.labeled;
+    b.infected += ob.infected;
+  }
+  for (const auto& [day, set] : other.strains_by_day) {
+    strains_by_day[day].insert(set.begin(), set.end());
+  }
+}
+
+std::vector<DayBin> DailyAcc::finalize() const {
+  std::vector<DayBin> out;
+  std::set<std::string> seen;
+  for (const auto& [day, bin] : bins) {
+    auto it = strains_by_day.find(day);
+    if (it != strains_by_day.end()) {
+      for (const auto& s : it->second) seen.insert(s);
+    }
+    DayBin b = bin;
+    b.cumulative_strains = seen.size();
+    out.push_back(b);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RecordAccumulator
+// ---------------------------------------------------------------------------
+
+void RecordAccumulator::add(const ResponseRecord& r) {
+  prevalence.add(r);
+  strain_ranking.add(r);
+  sources.add(r);
+  strain_sources.add(r);
+  size_dist.add(r);
+  sizes_per_strain.add(r);
+  categories.add(r);
+  days.add(r);
+}
+
+void RecordAccumulator::merge(const RecordAccumulator& other) {
+  prevalence.merge(other.prevalence);
+  strain_ranking.merge(other.strain_ranking);
+  sources.merge(other.sources);
+  strain_sources.merge(other.strain_sources);
+  size_dist.merge(other.size_dist);
+  sizes_per_strain.merge(other.sizes_per_strain);
+  categories.merge(other.categories);
+  days.merge(other.days);
+}
+
+}  // namespace p2p::analysis

@@ -1,0 +1,153 @@
+// Mergeable accumulators behind the analysis families of stats.h.
+//
+// Each accumulator carries the family's sufficient statistics: add() folds
+// in one record, merge() combines two accumulators built over disjoint
+// sub-streams, finalize() renders the same value the span-based function in
+// stats.h returns. The span functions are thin wrappers over these (add all,
+// finalize), so the serial whole-trace path and the parallel per-segment
+// map-reduce path share one arithmetic by construction — which is what makes
+// "replayed report is byte-identical at any --jobs" a structural property
+// instead of a test-enforced coincidence.
+//
+// Merge order: counts and set unions are order-independent; the one
+// order-sensitive field is StrainRankingAcc's display name (the serial code
+// takes the last record's spelling), so merge in stream (segment) order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace p2p::analysis {
+
+// ---------------------------------------------------------------------------
+// E1/E3: prevalence
+// ---------------------------------------------------------------------------
+
+struct PrevalenceAcc {
+  PrevalenceSummary sums;
+
+  void add(const ResponseRecord& r);
+  void merge(const PrevalenceAcc& other);
+  [[nodiscard]] PrevalenceSummary finalize() const { return sums; }
+};
+
+// ---------------------------------------------------------------------------
+// E2: strain concentration
+// ---------------------------------------------------------------------------
+
+struct StrainRankingAcc {
+  struct Entry {
+    std::string name;
+    std::uint64_t responses = 0;
+    std::unordered_set<std::string> contents;
+    std::unordered_set<std::string> sources;
+  };
+  std::unordered_map<malware::StrainId, Entry> strains;
+  std::uint64_t total = 0;
+
+  void add(const ResponseRecord& r);
+  void merge(const StrainRankingAcc& other);
+  [[nodiscard]] std::vector<StrainCount> finalize() const;
+};
+
+// ---------------------------------------------------------------------------
+// E4: sources
+// ---------------------------------------------------------------------------
+
+struct SourcesAcc {
+  std::uint64_t malicious_responses = 0;
+  std::map<util::IpClass, std::uint64_t> by_class;
+  std::unordered_map<std::string, std::uint64_t> per_source;
+
+  void add(const ResponseRecord& r);
+  void merge(const SourcesAcc& other);
+  [[nodiscard]] SourceSummary finalize(std::size_t top_n = 10) const;
+};
+
+struct StrainSourceAcc {
+  struct Entry {
+    std::uint64_t responses = 0;
+    std::unordered_map<std::string, std::uint64_t> per_source;
+  };
+  std::unordered_map<std::string, Entry> strains;
+
+  void add(const ResponseRecord& r);
+  void merge(const StrainSourceAcc& other);
+  [[nodiscard]] std::vector<StrainSourceConcentration> finalize() const;
+};
+
+// ---------------------------------------------------------------------------
+// E7: sizes
+// ---------------------------------------------------------------------------
+
+struct SizeDistAcc {
+  std::unordered_map<std::uint64_t, SizeBucket> buckets;
+
+  void add(const ResponseRecord& r);
+  void merge(const SizeDistAcc& other);
+  [[nodiscard]] std::vector<SizeBucket> finalize() const;
+};
+
+struct SizesPerStrainAcc {
+  std::map<std::string, std::set<std::uint64_t>> sizes;
+
+  void add(const ResponseRecord& r);
+  void merge(const SizesPerStrainAcc& other);
+  [[nodiscard]] std::map<std::string, std::set<std::uint64_t>> finalize() const {
+    return sizes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// E11: query categories
+// ---------------------------------------------------------------------------
+
+struct CategoryAcc {
+  std::map<std::string, CategoryBin> bins;
+
+  void add(const ResponseRecord& r);
+  void merge(const CategoryAcc& other);
+  [[nodiscard]] std::vector<CategoryBin> finalize() const;
+};
+
+// ---------------------------------------------------------------------------
+// E6/E8: daily series
+// ---------------------------------------------------------------------------
+
+struct DailyAcc {
+  std::map<int, DayBin> bins;
+  std::map<int, std::set<std::string>> strains_by_day;
+
+  void add(const ResponseRecord& r);
+  void merge(const DailyAcc& other);
+  /// Cumulative strain counts are computed here, over the merged per-day
+  /// strain sets — the one statistic that cannot be summed per segment.
+  [[nodiscard]] std::vector<DayBin> finalize() const;
+};
+
+// ---------------------------------------------------------------------------
+// Composite: every family the Report carries, fed record by record
+// ---------------------------------------------------------------------------
+
+struct RecordAccumulator {
+  PrevalenceAcc prevalence;
+  StrainRankingAcc strain_ranking;
+  SourcesAcc sources;
+  StrainSourceAcc strain_sources;
+  SizeDistAcc size_dist;
+  SizesPerStrainAcc sizes_per_strain;
+  CategoryAcc categories;
+  DailyAcc days;
+
+  void add(const ResponseRecord& r);
+  void merge(const RecordAccumulator& other);
+};
+
+}  // namespace p2p::analysis

@@ -5,72 +5,26 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/incremental.h"
 #include "util/rng.h"
 
 namespace p2p::analysis {
 
+// The span-based families are wrappers over the mergeable accumulators in
+// incremental.h — feed every record, finalize. Parallel replay runs the
+// same accumulators per segment and merges, so serial and parallel answers
+// agree by construction.
+
 PrevalenceSummary prevalence(std::span<const ResponseRecord> records) {
-  PrevalenceSummary out;
-  for (const auto& r : records) {
-    ++out.total_responses;
-    if (!r.is_study_type()) continue;
-    ++out.study_responses;
-    if (!r.downloaded) continue;
-    ++out.labeled;
-    bool exe = r.type_by_name == files::FileType::kExecutable;
-    if (exe) {
-      ++out.exe_labeled;
-    } else {
-      ++out.archive_labeled;
-    }
-    if (r.infected) {
-      ++out.infected;
-      if (exe) {
-        ++out.exe_infected;
-      } else {
-        ++out.archive_infected;
-      }
-    }
-  }
-  return out;
+  PrevalenceAcc acc;
+  for (const auto& r : records) acc.add(r);
+  return acc.finalize();
 }
 
 std::vector<StrainCount> strain_ranking(std::span<const ResponseRecord> records) {
-  struct Acc {
-    std::string name;
-    std::uint64_t responses = 0;
-    std::unordered_set<std::string> contents;
-    std::unordered_set<std::string> sources;
-  };
-  std::unordered_map<malware::StrainId, Acc> acc;
-  std::uint64_t total = 0;
-  for (const auto& r : records) {
-    if (!r.infected || !r.downloaded) continue;
-    auto& a = acc[r.strain];
-    a.name = r.strain_name;
-    ++a.responses;
-    a.contents.insert(r.content_key);
-    a.sources.insert(r.source_key);
-    ++total;
-  }
-  std::vector<StrainCount> out;
-  out.reserve(acc.size());
-  for (auto& [strain, a] : acc) {
-    StrainCount c;
-    c.strain = strain;
-    c.name = a.name;
-    c.responses = a.responses;
-    c.share = total == 0 ? 0.0
-                         : static_cast<double>(a.responses) / static_cast<double>(total);
-    c.distinct_contents = a.contents.size();
-    c.distinct_sources = a.sources.size();
-    out.push_back(std::move(c));
-  }
-  std::sort(out.begin(), out.end(), [](const StrainCount& a, const StrainCount& b) {
-    if (a.responses != b.responses) return a.responses > b.responses;
-    return a.name < b.name;
-  });
-  return out;
+  StrainRankingAcc acc;
+  for (const auto& r : records) acc.add(r);
+  return acc.finalize();
 }
 
 double topk_share(const std::vector<StrainCount>& ranking, std::size_t k) {
@@ -80,149 +34,41 @@ double topk_share(const std::vector<StrainCount>& ranking, std::size_t k) {
 }
 
 SourceSummary sources(std::span<const ResponseRecord> records, std::size_t top_n) {
-  SourceSummary out;
-  std::unordered_map<std::string, std::uint64_t> per_source;
-  for (const auto& r : records) {
-    if (!r.infected || !r.downloaded) continue;
-    ++out.malicious_responses;
-    ++out.by_class[r.source_ip.classify()];
-    ++per_source[r.source_key];
-  }
-  out.distinct_sources = per_source.size();
-  auto priv = out.by_class.find(util::IpClass::kPrivate);
-  out.private_fraction =
-      out.malicious_responses == 0 || priv == out.by_class.end()
-          ? 0.0
-          : static_cast<double>(priv->second) /
-                static_cast<double>(out.malicious_responses);
-
-  out.top_sources.assign(per_source.begin(), per_source.end());
-  std::sort(out.top_sources.begin(), out.top_sources.end(),
-            [](const auto& a, const auto& b) {
-              if (a.second != b.second) return a.second > b.second;
-              return a.first < b.first;
-            });
-  if (out.top_sources.size() > top_n) out.top_sources.resize(top_n);
-  return out;
+  SourcesAcc acc;
+  for (const auto& r : records) acc.add(r);
+  return acc.finalize(top_n);
 }
 
 std::vector<StrainSourceConcentration> strain_source_concentration(
     std::span<const ResponseRecord> records) {
-  struct Acc {
-    std::uint64_t responses = 0;
-    std::unordered_map<std::string, std::uint64_t> per_source;
-  };
-  std::unordered_map<std::string, Acc> acc;
-  for (const auto& r : records) {
-    if (!r.infected || !r.downloaded) continue;
-    auto& a = acc[r.strain_name];
-    ++a.responses;
-    ++a.per_source[r.source_key];
-  }
-  std::vector<StrainSourceConcentration> out;
-  for (auto& [name, a] : acc) {
-    StrainSourceConcentration c;
-    c.name = name;
-    c.responses = a.responses;
-    c.distinct_sources = a.per_source.size();
-    std::uint64_t top = 0;
-    for (const auto& [src, n] : a.per_source) top = std::max(top, n);
-    c.top_source_share =
-        a.responses == 0 ? 0.0 : static_cast<double>(top) / static_cast<double>(a.responses);
-    out.push_back(std::move(c));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const StrainSourceConcentration& a, const StrainSourceConcentration& b) {
-              if (a.responses != b.responses) return a.responses > b.responses;
-              return a.name < b.name;
-            });
-  return out;
+  StrainSourceAcc acc;
+  for (const auto& r : records) acc.add(r);
+  return acc.finalize();
 }
 
 std::vector<SizeBucket> size_distribution(std::span<const ResponseRecord> records) {
-  std::unordered_map<std::uint64_t, SizeBucket> acc;
-  for (const auto& r : records) {
-    if (!r.is_study_type() || !r.downloaded) continue;
-    auto& b = acc[r.size];
-    b.size = r.size;
-    if (r.infected) {
-      ++b.malicious;
-    } else {
-      ++b.clean;
-    }
-  }
-  std::vector<SizeBucket> out;
-  out.reserve(acc.size());
-  for (auto& [size, b] : acc) out.push_back(b);
-  std::sort(out.begin(), out.end(), [](const SizeBucket& a, const SizeBucket& b) {
-    std::uint64_t ta = a.malicious + a.clean;
-    std::uint64_t tb = b.malicious + b.clean;
-    if (ta != tb) return ta > tb;
-    return a.size < b.size;
-  });
-  return out;
+  SizeDistAcc acc;
+  for (const auto& r : records) acc.add(r);
+  return acc.finalize();
 }
 
 std::map<std::string, std::set<std::uint64_t>> sizes_per_strain(
     std::span<const ResponseRecord> records) {
-  std::map<std::string, std::set<std::uint64_t>> out;
-  for (const auto& r : records) {
-    if (!r.infected || !r.downloaded) continue;
-    out[r.strain_name].insert(r.size);
-  }
-  return out;
+  SizesPerStrainAcc acc;
+  for (const auto& r : records) acc.add(r);
+  return acc.finalize();
 }
 
 std::vector<CategoryBin> category_breakdown(std::span<const ResponseRecord> records) {
-  std::map<std::string, CategoryBin> bins;
-  for (const auto& r : records) {
-    auto& b = bins[r.query_category];
-    b.category = r.query_category;
-    ++b.responses;
-    if (!r.is_study_type()) continue;
-    ++b.study_responses;
-    if (!r.downloaded) continue;
-    ++b.labeled;
-    if (r.infected) ++b.infected;
-  }
-  std::vector<CategoryBin> out;
-  out.reserve(bins.size());
-  for (auto& [name, b] : bins) out.push_back(std::move(b));
-  std::sort(out.begin(), out.end(), [](const CategoryBin& a, const CategoryBin& b) {
-    if (a.infected != b.infected) return a.infected > b.infected;
-    return a.category < b.category;
-  });
-  return out;
+  CategoryAcc acc;
+  for (const auto& r : records) acc.add(r);
+  return acc.finalize();
 }
 
 std::vector<DayBin> daily_series(std::span<const ResponseRecord> records) {
-  std::map<int, DayBin> bins;
-  std::map<int, std::unordered_set<std::string>> strains_by_day;
-  for (const auto& r : records) {
-    int day = static_cast<int>(r.at.whole_days());
-    auto& b = bins[day];
-    b.day = day;
-    ++b.responses;
-    if (!r.is_study_type()) continue;
-    ++b.study_responses;
-    if (!r.downloaded) continue;
-    ++b.labeled;
-    if (r.infected) {
-      ++b.infected;
-      strains_by_day[day].insert(r.strain_name);
-    }
-  }
-  std::vector<DayBin> out;
-  std::unordered_set<std::string> seen;
-  for (auto& [day, bin] : bins) {
-    auto it = strains_by_day.find(day);
-    if (it != strains_by_day.end()) {
-      for (const auto& s : it->second) seen.insert(s);
-    }
-    bin.cumulative_strains = seen.size();
-    out.push_back(bin);
-  }
-  return out;
+  DailyAcc acc;
+  for (const auto& r : records) acc.add(r);
+  return acc.finalize();
 }
 
 BootstrapCi bootstrap_malicious_fraction(std::span<const ResponseRecord> records,

@@ -1,0 +1,98 @@
+#include "analysis/windowed.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace p2p::analysis {
+
+WindowedAccumulator::WindowedAccumulator(std::int64_t window_ms)
+    : window_ms_(window_ms <= 0 ? 1 : window_ms) {}
+
+void WindowedAccumulator::add(const crawler::ResponseRecord& record) {
+  std::int64_t at = record.at.millis();
+  if (at < 0) at = 0;
+  auto& cell = cells_[static_cast<std::uint64_t>(at / window_ms_)];
+  ++cell.responses;
+  if (record.query_category == "honeypot") {
+    ++cell.honeypot_observations;
+    return;
+  }
+  if (!record.is_study_type()) return;
+  ++cell.study_responses;
+  if (!record.downloaded) return;
+  ++cell.labeled;
+  if (record.infected) {
+    ++cell.infected;
+    cell.strains.insert(record.strain_name);
+    ++cell.malicious_by_source[record.source_key];
+  }
+}
+
+void WindowedAccumulator::merge(const WindowedAccumulator& other) {
+  for (const auto& [window, ocell] : other.cells_) {
+    auto& cell = cells_[window];
+    cell.responses += ocell.responses;
+    cell.study_responses += ocell.study_responses;
+    cell.labeled += ocell.labeled;
+    cell.infected += ocell.infected;
+    cell.honeypot_observations += ocell.honeypot_observations;
+    cell.strains.insert(ocell.strains.begin(), ocell.strains.end());
+    for (const auto& [src, n] : ocell.malicious_by_source) {
+      cell.malicious_by_source[src] += n;
+    }
+  }
+}
+
+std::vector<WindowRow> WindowedAccumulator::finalize() const {
+  std::vector<WindowRow> out;
+  out.reserve(cells_.size());
+  std::set<std::string> seen;
+  for (const auto& [window, cell] : cells_) {
+    WindowRow row;
+    row.window = window;
+    row.start_ms = static_cast<std::int64_t>(window) * window_ms_;
+    row.responses = cell.responses;
+    row.study_responses = cell.study_responses;
+    row.labeled = cell.labeled;
+    row.infected = cell.infected;
+    row.honeypot_observations = cell.honeypot_observations;
+    row.distinct_strains = cell.strains.size();
+    std::uint64_t fresh = 0;
+    for (const auto& s : cell.strains) {
+      if (seen.insert(s).second) ++fresh;
+    }
+    row.new_strains = fresh;
+    row.cumulative_strains = seen.size();
+    row.distinct_sources = cell.malicious_by_source.size();
+    std::uint64_t malicious_total = 0;
+    std::uint64_t top = 0;
+    for (const auto& [src, n] : cell.malicious_by_source) {
+      malicious_total += n;
+      top = std::max(top, n);
+    }
+    row.top_source_share =
+        malicious_total == 0
+            ? 0.0
+            : static_cast<double>(top) / static_cast<double>(malicious_total);
+    out.push_back(row);
+  }
+  return out;
+}
+
+void write_window_csv(std::ostream& out, const std::vector<WindowRow>& rows) {
+  out << "window,start_ms,responses,study,labeled,infected,malicious_fraction,"
+         "honeypot_observations,distinct_strains,new_strains,cumulative_strains,"
+         "distinct_sources,top_source_share\n";
+  for (const auto& row : rows) {
+    out << row.window << ',' << row.start_ms << ',' << row.responses << ','
+        << row.study_responses << ',' << row.labeled << ',' << row.infected << ','
+        << obs::json_number(row.malicious_fraction()) << ','
+        << row.honeypot_observations << ',' << row.distinct_strains << ','
+        << row.new_strains << ',' << row.cumulative_strains << ','
+        << row.distinct_sources << ','
+        << obs::json_number(row.top_source_share) << '\n';
+  }
+}
+
+}  // namespace p2p::analysis

@@ -1,0 +1,81 @@
+// Windowed incremental analytics for long captures: rolling prevalence,
+// strain churn, and per-host concentration per fixed sim-time window.
+//
+// Built for out-of-core replay — the accumulator holds per-window sufficient
+// statistics only (counts, per-window strain sets, per-window source
+// tallies), never the records, so a 10-week capture streams through in a
+// bounded footprint. Mergeable like the stats.h accumulators: per-segment
+// partials combine by window key, and churn/cumulative columns — the only
+// cross-window statistics — are computed at finalize over the merged map, so
+// parallel replay emits byte-identical rows to a serial pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crawler/records.h"
+
+namespace p2p::analysis {
+
+/// One finalized window of the rolling series.
+struct WindowRow {
+  std::uint64_t window = 0;       // index: floor(at / window_ms)
+  std::int64_t start_ms = 0;      // window * window_ms
+  std::uint64_t responses = 0;    // full stream, honeypot included
+  std::uint64_t study_responses = 0;
+  std::uint64_t labeled = 0;
+  std::uint64_t infected = 0;
+  std::uint64_t honeypot_observations = 0;
+  std::uint64_t distinct_strains = 0;   // strains seen in this window
+  std::uint64_t new_strains = 0;        // ... of which never seen before
+  std::uint64_t cumulative_strains = 0; // distinct strains up to here
+  std::uint64_t distinct_sources = 0;   // hosts serving malware this window
+  /// Share of the window's malicious responses served by its busiest host.
+  double top_source_share = 0.0;
+
+  [[nodiscard]] double malicious_fraction() const {
+    return labeled == 0 ? 0.0
+                        : static_cast<double>(infected) / static_cast<double>(labeled);
+  }
+};
+
+class WindowedAccumulator {
+ public:
+  explicit WindowedAccumulator(std::int64_t window_ms = 24 * 3'600'000ll);
+
+  [[nodiscard]] std::int64_t window_ms() const { return window_ms_; }
+
+  void add(const crawler::ResponseRecord& record);
+
+  /// Combine with an accumulator over another part of the stream. Both must
+  /// use the same window width.
+  void merge(const WindowedAccumulator& other);
+
+  /// Render rows in window order, computing the cross-window columns
+  /// (new/cumulative strains) over the merged state.
+  [[nodiscard]] std::vector<WindowRow> finalize() const;
+
+ private:
+  struct Cell {
+    std::uint64_t responses = 0;
+    std::uint64_t study_responses = 0;
+    std::uint64_t labeled = 0;
+    std::uint64_t infected = 0;
+    std::uint64_t honeypot_observations = 0;
+    std::set<std::string> strains;
+    std::map<std::string, std::uint64_t> malicious_by_source;
+  };
+
+  std::int64_t window_ms_;
+  std::map<std::uint64_t, Cell> cells_;
+};
+
+/// Deterministic CSV (header + one row per window; doubles rendered
+/// shortest-round-trip like the report JSON).
+void write_window_csv(std::ostream& out, const std::vector<WindowRow>& rows);
+
+}  // namespace p2p::analysis

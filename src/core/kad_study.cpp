@@ -61,6 +61,16 @@ KadStudyConfig kad_quick() {
   return cfg;
 }
 
+KadStudyConfig kad_longhaul() {
+  KadStudyConfig cfg = kad_standard();
+  cfg.population.users = 60;
+  cfg.population.corpus.num_titles = 600;
+  cfg.crawl.duration = sim::SimDuration::days(70);
+  cfg.crawl.query_interval = sim::SimDuration::seconds(1800);
+  cfg.workload_top_n = 80;
+  return cfg;
+}
+
 void apply_faults(KadStudyConfig& config, const fault::FaultSpec& spec,
                   std::uint64_t fault_seed) {
   if (!spec.enabled()) return;

@@ -38,6 +38,10 @@ void apply_faults(KadStudyConfig& config, const fault::FaultSpec& spec,
 
 [[nodiscard]] KadStudyConfig kad_standard();
 [[nodiscard]] KadStudyConfig kad_quick();
+/// Long-horizon capture preset: a small population crawled for ten-plus
+/// simulated weeks at a slow cadence — the out-of-core recording/replay
+/// workload of the longhaul CI tier. Wall-clock cost stays in seconds.
+[[nodiscard]] KadStudyConfig kad_longhaul();
 
 /// Run a KAD study. The result's record stream interleaves the active
 /// client's responses (network "kad") with the honeypot observation log

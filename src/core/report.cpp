@@ -84,8 +84,37 @@ Report build_report(std::span<const crawler::ResponseRecord> records,
   return r;
 }
 
-KadCoverageReport kad_coverage(std::span<const crawler::ResponseRecord> records,
-                               const obs::MetricsSnapshot& metrics) {
+void KadCoverageAccumulator::add(const crawler::ResponseRecord& rec) {
+  if (rec.query_category != "honeypot") return;
+  ++observations;
+  if (!rec.content_key.empty()) {
+    ++stores;
+  } else {
+    ++queries;
+  }
+  std::size_t slash = rec.network.find('/');
+  std::uint64_t vantage =
+      slash == std::string::npos
+          ? 0
+          : std::strtoull(rec.network.c_str() + slash + 1, nullptr, 10);
+  keywords[vantage].insert(rec.query);
+  if (rec.infected) observers[rec.source_key].insert(vantage);
+}
+
+void KadCoverageAccumulator::merge(const KadCoverageAccumulator& other) {
+  observations += other.observations;
+  stores += other.stores;
+  queries += other.queries;
+  for (const auto& [peer, vantages] : other.observers) {
+    observers[peer].insert(vantages.begin(), vantages.end());
+  }
+  for (const auto& [vantage, kws] : other.keywords) {
+    keywords[vantage].insert(kws.begin(), kws.end());
+  }
+}
+
+KadCoverageReport KadCoverageAccumulator::finalize(
+    const obs::MetricsSnapshot& metrics) const {
   KadCoverageReport c;
   c.enabled = true;
   auto counter = [&](std::string_view name) -> std::uint64_t {
@@ -96,27 +125,9 @@ KadCoverageReport kad_coverage(std::span<const crawler::ResponseRecord> records,
   };
   c.vantages = counter("kad.honeypot.vantages");
   c.infected_total = counter("kad.population.infected_users");
-
-  // Which vantages observed each infected peer, and which keywords each
-  // vantage saw. Ordered containers: the analysis must be byte-stable.
-  std::map<std::string, std::set<std::uint64_t>> observers;
-  std::map<std::uint64_t, std::set<std::string>> keywords;
-  for (const auto& rec : records) {
-    if (rec.query_category != "honeypot") continue;
-    ++c.observations;
-    if (!rec.content_key.empty()) {
-      ++c.stores;
-    } else {
-      ++c.queries;
-    }
-    std::size_t slash = rec.network.find('/');
-    std::uint64_t vantage =
-        slash == std::string::npos
-            ? 0
-            : std::strtoull(rec.network.c_str() + slash + 1, nullptr, 10);
-    keywords[vantage].insert(rec.query);
-    if (rec.infected) observers[rec.source_key].insert(vantage);
-  }
+  c.observations = observations;
+  c.stores = stores;
+  c.queries = queries;
   if (c.vantages == 0 && !keywords.empty()) {
     c.vantages = keywords.rbegin()->first + 1;
   }
@@ -179,6 +190,13 @@ KadCoverageReport kad_coverage(std::span<const crawler::ResponseRecord> records,
   }
   c.keyword_overlap = pairs == 0 ? 0.0 : overlap_sum / static_cast<double>(pairs);
   return c;
+}
+
+KadCoverageReport kad_coverage(std::span<const crawler::ResponseRecord> records,
+                               const obs::MetricsSnapshot& metrics) {
+  KadCoverageAccumulator acc;
+  for (const auto& rec : records) acc.add(rec);
+  return acc.finalize(metrics);
 }
 
 void attach_kad_coverage(Report& report,

@@ -118,6 +118,25 @@ void attach_fault_report(Report& report, bool enabled,
 [[nodiscard]] Report build_report(std::span<const crawler::ResponseRecord> records,
                                   const std::string& network);
 
+/// Mergeable sufficient statistics of kad_coverage: per-peer observer sets
+/// and per-vantage keyword sets over the honeypot half of a KAD stream.
+/// add() ignores non-honeypot records, merge() is a union, and finalize()
+/// computes the coverage curve and overlap — so out-of-core replay gathers
+/// these per segment and reproduces the serial analysis exactly.
+struct KadCoverageAccumulator {
+  std::uint64_t observations = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t queries = 0;
+  /// Which vantages observed each infected peer (ordered: byte-stable).
+  std::map<std::string, std::set<std::uint64_t>> observers;
+  /// Which keywords each vantage saw.
+  std::map<std::uint64_t, std::set<std::string>> keywords;
+
+  void add(const crawler::ResponseRecord& record);
+  void merge(const KadCoverageAccumulator& other);
+  [[nodiscard]] KadCoverageReport finalize(const obs::MetricsSnapshot& metrics) const;
+};
+
 /// Compute the E9/E10 coverage analysis from a KAD record stream and the
 /// run's metrics snapshot (ground-truth denominators).
 [[nodiscard]] KadCoverageReport kad_coverage(

@@ -7,11 +7,9 @@
 
 namespace p2p::filter {
 
-namespace {
-
 // Filter names are display strings ("LimeWire built-in") — fold to one flat
 // token so the metric family is `filter.<kind>.blocked` / `.passed`.
-std::string metric_suffix(const std::string& name) {
+std::string filter_metric_suffix(const std::string& name) {
   std::string out;
   out.reserve(name.size());
   for (char c : name) {
@@ -22,27 +20,33 @@ std::string metric_suffix(const std::string& name) {
   return out;
 }
 
-}  // namespace
+std::optional<bool> accumulate_evaluation(const ResponseFilter& filter,
+                                          const crawler::ResponseRecord& record,
+                                          FilterEvaluation& out) {
+  if (!record.is_study_type() || !record.downloaded) return std::nullopt;
+  bool blocked = filter.blocks(record);
+  if (record.infected) {
+    ++out.malicious;
+    if (blocked) ++out.true_positives;
+  } else {
+    ++out.clean;
+    if (blocked) ++out.false_positives;
+  }
+  return blocked;
+}
 
 FilterEvaluation evaluate(const ResponseFilter& filter,
                           std::span<const crawler::ResponseRecord> records) {
   FilterEvaluation out;
   out.filter_name = filter.name();
   auto& registry = obs::MetricsRegistry::global();
-  std::string suffix = metric_suffix(out.filter_name);
+  std::string suffix = filter_metric_suffix(out.filter_name);
   obs::Counter& blocked_count = registry.counter("filter." + suffix + ".blocked");
   obs::Counter& passed_count = registry.counter("filter." + suffix + ".passed");
   for (const auto& r : records) {
-    if (!r.is_study_type() || !r.downloaded) continue;
-    bool blocked = filter.blocks(r);
-    (blocked ? blocked_count : passed_count).add(1);
-    if (r.infected) {
-      ++out.malicious;
-      if (blocked) ++out.true_positives;
-    } else {
-      ++out.clean;
-      if (blocked) ++out.false_positives;
-    }
+    auto blocked = accumulate_evaluation(filter, r, out);
+    if (!blocked.has_value()) continue;
+    (*blocked ? blocked_count : passed_count).add(1);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 // the paper reports for size-based filtering vs LimeWire's mechanisms).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 
@@ -33,6 +34,19 @@ struct FilterEvaluation {
 /// Evaluate on labeled study responses only (the set the paper can verify).
 [[nodiscard]] FilterEvaluation evaluate(const ResponseFilter& filter,
                                         std::span<const crawler::ResponseRecord> records);
+
+/// Fold one record's verdict into `out`: nullopt when the record is outside
+/// the evaluation set (not a labeled study response), otherwise whether the
+/// filter blocked it. Pure — no metrics; `evaluate` wraps this per record,
+/// and parallel replay calls it from worker threads, summing the tallies.
+std::optional<bool> accumulate_evaluation(const ResponseFilter& filter,
+                                          const crawler::ResponseRecord& record,
+                                          FilterEvaluation& out);
+
+/// The flattened token `evaluate` uses for its `filter.<token>.blocked` /
+/// `.passed` counters — exposed so replay paths that bypass `evaluate` can
+/// report the same metric family.
+[[nodiscard]] std::string filter_metric_suffix(const std::string& name);
 
 /// Split a record span at a day boundary: [begin, day) for training,
 /// [day, end) for evaluation.

@@ -22,34 +22,55 @@ bool LimewireBuiltinFilter::blocks(const crawler::ResponseRecord& record) const 
   });
 }
 
+void BuiltinTrainingCounts::add(
+    const crawler::ResponseRecord& r,
+    std::span<const std::string> known_strain_names,
+    std::span<const std::string> partially_known_strain_names) {
+  if (!r.infected || !r.downloaded) return;
+  if (std::find(known_strain_names.begin(), known_strain_names.end(),
+                r.strain_name) != known_strain_names.end()) {
+    known_hashes.insert(r.content_key);
+  }
+  if (std::find(partially_known_strain_names.begin(),
+                partially_known_strain_names.end(),
+                r.strain_name) != partially_known_strain_names.end()) {
+    ++partial_counts[r.strain_name][r.content_key];
+  }
+}
+
+void BuiltinTrainingCounts::merge(const BuiltinTrainingCounts& other) {
+  known_hashes.insert(other.known_hashes.begin(), other.known_hashes.end());
+  for (const auto& [strain, counts] : other.partial_counts) {
+    auto& mine = partial_counts[strain];
+    for (const auto& [key, count] : counts) mine[key] += count;
+  }
+}
+
 LimewireBuiltinFilter make_builtin_filter(
     std::span<const crawler::ResponseRecord> training,
     std::span<const std::string> known_strain_names,
     std::span<const std::string> partially_known_strain_names) {
-  std::set<std::string> hashes;
-  std::vector<std::string> keywords;
-  std::map<std::string, std::map<std::string, std::uint64_t>> partial_counts;
+  BuiltinTrainingCounts counts;
   for (const auto& r : training) {
-    if (!r.infected || !r.downloaded) continue;
-    if (std::find(known_strain_names.begin(), known_strain_names.end(),
-                  r.strain_name) != known_strain_names.end()) {
-      hashes.insert(r.content_key);
-    }
-    if (std::find(partially_known_strain_names.begin(),
-                  partially_known_strain_names.end(),
-                  r.strain_name) != partially_known_strain_names.end()) {
-      ++partial_counts[r.strain_name][r.content_key];
-    }
+    counts.add(r, known_strain_names, partially_known_strain_names);
   }
+  return make_builtin_filter_from_counts(counts);
+}
+
+LimewireBuiltinFilter make_builtin_filter_from_counts(
+    const BuiltinTrainingCounts& counts) {
+  std::set<std::string> hashes = counts.known_hashes;
+  std::vector<std::string> keywords;
   // For partially known strains the vendor list holds yesterday's variants
   // but misses the freshest one — i.e. every content hash except the single
-  // most-seen (currently circulating) variant.
-  for (const auto& [strain, counts] : partial_counts) {
-    auto freshest = std::max_element(counts.begin(), counts.end(),
+  // most-seen (currently circulating) variant. Ties break to the first key
+  // in hash order (std::map iteration + strict max_element comparison).
+  for (const auto& [strain, variant_counts] : counts.partial_counts) {
+    auto freshest = std::max_element(variant_counts.begin(), variant_counts.end(),
                                      [](const auto& a, const auto& b) {
                                        return a.second < b.second;
                                      });
-    for (const auto& [key, count] : counts) {
+    for (const auto& [key, count] : variant_counts) {
       if (key != freshest->first) hashes.insert(key);
     }
   }

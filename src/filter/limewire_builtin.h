@@ -6,6 +6,8 @@
 // outrun hash lists — hence the low detection rate.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -13,6 +15,20 @@
 #include "filter/filter.h"
 
 namespace p2p::filter {
+
+/// The sufficient statistics of make_builtin_filter — the hashes of fully
+/// known strains plus per-variant counts for partially known strains.
+/// Mergeable, so out-of-core replay can gather them segment by segment and
+/// build the identical filter without materializing the training records.
+struct BuiltinTrainingCounts {
+  std::set<std::string> known_hashes;
+  std::map<std::string, std::map<std::string, std::uint64_t>> partial_counts;
+
+  void add(const crawler::ResponseRecord& record,
+           std::span<const std::string> known_strain_names,
+           std::span<const std::string> partially_known_strain_names);
+  void merge(const BuiltinTrainingCounts& other);
+};
 
 class LimewireBuiltinFilter final : public ResponseFilter {
  public:
@@ -41,5 +57,10 @@ class LimewireBuiltinFilter final : public ResponseFilter {
     std::span<const crawler::ResponseRecord> training,
     std::span<const std::string> known_strain_names,
     std::span<const std::string> partially_known_strain_names = {});
+
+/// Build from pre-aggregated counts; make_builtin_filter is a wrapper over
+/// this, so the two produce the same filter for the same training stream.
+[[nodiscard]] LimewireBuiltinFilter make_builtin_filter_from_counts(
+    const BuiltinTrainingCounts& counts);
 
 }  // namespace p2p::filter

@@ -17,15 +17,36 @@ bool SizeFilter::blocks(const crawler::ResponseRecord& record) const {
   return sizes_.contains(record.size);
 }
 
+void SizeTrainingCounts::add(const crawler::ResponseRecord& record) {
+  if (record.infected && record.downloaded) {
+    ++by_strain[record.strain_name][record.size];
+  }
+}
+
+void SizeTrainingCounts::merge(const SizeTrainingCounts& other) {
+  for (const auto& [strain, sizes] : other.by_strain) {
+    auto& mine = by_strain[strain];
+    for (const auto& [size, count] : sizes) mine[size] += count;
+  }
+}
+
 SizeFilter SizeFilter::learn(std::span<const crawler::ResponseRecord> training,
                              const SizeFilterConfig& config) {
+  SizeTrainingCounts counts;
+  for (const auto& r : training) counts.add(r);
+  return learn_from_counts(counts, config);
+}
+
+SizeFilter SizeFilter::learn_from_counts(const SizeTrainingCounts& counts,
+                                         const SizeFilterConfig& config) {
   // Rank strains by malicious response volume.
-  std::unordered_map<std::string, std::uint64_t> strain_counts;
-  for (const auto& r : training) {
-    if (r.infected && r.downloaded) ++strain_counts[r.strain_name];
+  std::vector<std::pair<std::string, std::uint64_t>> ranked;
+  ranked.reserve(counts.by_strain.size());
+  for (const auto& [name, size_counts] : counts.by_strain) {
+    std::uint64_t total = 0;
+    for (const auto& [size, count] : size_counts) total += count;
+    ranked.emplace_back(name, total);
   }
-  std::vector<std::pair<std::string, std::uint64_t>> ranked(strain_counts.begin(),
-                                                            strain_counts.end());
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
@@ -35,10 +56,7 @@ SizeFilter SizeFilter::learn(std::span<const crawler::ResponseRecord> training,
   // For each kept strain, take its most commonly seen advertised sizes.
   std::set<std::uint64_t> sizes;
   for (const auto& [name, count] : ranked) {
-    std::map<std::uint64_t, std::uint64_t> size_counts;
-    for (const auto& r : training) {
-      if (r.infected && r.downloaded && r.strain_name == name) ++size_counts[r.size];
-    }
+    const auto& size_counts = counts.by_strain.at(name);
     std::vector<std::pair<std::uint64_t, std::uint64_t>> by_count(size_counts.begin(),
                                                                   size_counts.end());
     std::sort(by_count.begin(), by_count.end(), [](const auto& a, const auto& b) {

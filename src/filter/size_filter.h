@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "filter/filter.h"
@@ -25,6 +27,17 @@ struct SizeFilterConfig {
   std::size_t sizes_per_strain = 3;
 };
 
+/// The sufficient statistics of SizeFilter::learn — per-strain advertised-
+/// size histograms over malicious training responses. Mergeable, so
+/// out-of-core replay can gather them segment by segment and learn the
+/// identical filter without materializing the training records.
+struct SizeTrainingCounts {
+  std::map<std::string, std::map<std::uint64_t, std::uint64_t>> by_strain;
+
+  void add(const crawler::ResponseRecord& record);
+  void merge(const SizeTrainingCounts& other);
+};
+
 class SizeFilter final : public ResponseFilter {
  public:
   explicit SizeFilter(std::set<std::uint64_t> blocked_sizes);
@@ -33,6 +46,11 @@ class SizeFilter final : public ResponseFilter {
   /// first week of a crawl), per the config.
   static SizeFilter learn(std::span<const crawler::ResponseRecord> training,
                           const SizeFilterConfig& config = {});
+
+  /// Learn from pre-aggregated counts; `learn` is a wrapper over this, so
+  /// the two produce the same filter for the same training stream.
+  static SizeFilter learn_from_counts(const SizeTrainingCounts& counts,
+                                      const SizeFilterConfig& config = {});
 
   [[nodiscard]] bool blocks(const crawler::ResponseRecord& record) const override;
   [[nodiscard]] std::string name() const override { return "size-based"; }

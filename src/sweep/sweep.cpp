@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
-#include <thread>
 
 #include "core/report.h"
 #include "filter/evaluation.h"
@@ -15,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/timeseries.h"
+#include "util/pool.h"
 #include "util/rng.h"
 
 namespace p2p::sweep {
@@ -282,60 +282,47 @@ SweepResult run(std::span<const StudyTask> tasks, const SweepOptions& options) {
 
   const auto& runner = options.runner;
   auto sweep_start = Clock::now();
-  std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<std::size_t> failures{0};
 
-  // Workers pull task indices from a shared counter; results land in the
-  // slot of their task, so completion order never shows in the output.
-  auto worker = [&] {
-    for (;;) {
-      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) return;
-      const StudyTask& task = tasks[i];
-      TaskResult& tr = out.tasks[i];
-      tr.index = task.index;
-      tr.seed = task.seed;
-      auto t0 = Clock::now();
-      try {
-        OBS_SPAN("sweep.task");
-        // The task's private metrics window: every metric the study (and
-        // the observable extraction) records stays in this registry.
-        obs::MetricsRegistry task_registry;
-        obs::ScopedMetricsRegistry scope(task_registry);
-        core::StudyResult study = runner ? runner(task) : run_task(task);
-        tr.values = extract_observables(study, task.network);
-        tr.timeseries = std::move(study.timeseries);
-        tr.ok = true;
-      } catch (const std::exception& e) {
-        tr.error = e.what();
-      } catch (...) {
-        tr.error = "unknown exception";
-      }
-      tr.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-      if (!tr.ok) failures.fetch_add(1, std::memory_order_relaxed);
-      std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (options.progress != nullptr && options.progress->enabled()) {
-        obs::SweepProgress p;
-        p.done = completed;
-        p.total = tasks.size();
-        p.failed = failures.load(std::memory_order_relaxed);
-        p.seed = task.seed;
-        p.final = completed == tasks.size();
-        options.progress->sweep_tick(p);
-      }
-    }
-  };
-
+  // The shared index-claiming pool (util::parallel_for, also the segment
+  // replay's fan-out): results land in the slot of their task, so
+  // completion order never shows in the output.
   std::size_t jobs = std::max<std::size_t>(1, std::min(options.jobs, tasks.size()));
-  if (jobs == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
+  util::parallel_for(tasks.size(), jobs, [&](std::size_t i) {
+    const StudyTask& task = tasks[i];
+    TaskResult& tr = out.tasks[i];
+    tr.index = task.index;
+    tr.seed = task.seed;
+    auto t0 = Clock::now();
+    try {
+      OBS_SPAN("sweep.task");
+      // The task's private metrics window: every metric the study (and
+      // the observable extraction) records stays in this registry.
+      obs::MetricsRegistry task_registry;
+      obs::ScopedMetricsRegistry scope(task_registry);
+      core::StudyResult study = runner ? runner(task) : run_task(task);
+      tr.values = extract_observables(study, task.network);
+      tr.timeseries = std::move(study.timeseries);
+      tr.ok = true;
+    } catch (const std::exception& e) {
+      tr.error = e.what();
+    } catch (...) {
+      tr.error = "unknown exception";
+    }
+    tr.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!tr.ok) failures.fetch_add(1, std::memory_order_relaxed);
+    std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options.progress != nullptr && options.progress->enabled()) {
+      obs::SweepProgress p;
+      p.done = completed;
+      p.total = tasks.size();
+      p.failed = failures.load(std::memory_order_relaxed);
+      p.seed = task.seed;
+      p.final = completed == tasks.size();
+      options.progress->sweep_tick(p);
+    }
+  });
   out.wall_seconds = std::chrono::duration<double>(Clock::now() - sweep_start).count();
   out.tasks_per_second =
       out.wall_seconds > 0.0 ? static_cast<double>(tasks.size()) / out.wall_seconds : 0.0;

@@ -39,6 +39,7 @@ std::string_view to_string(TraceError e) {
     case TraceError::kBadMagic: return "not a trace file (bad magic)";
     case TraceError::kBadVersion: return "unsupported trace version";
     case TraceError::kCorruptHeader: return "corrupt trace header";
+    case TraceError::kCorruptManifest: return "corrupt segment manifest";
   }
   return "unknown error";
 }
@@ -311,6 +312,45 @@ StudySummary decode_summary(util::ByteReader& r) {
     }
   }
   return summary;
+}
+
+void encode_segment_index(util::ByteWriter& w, const SegmentIndex& index) {
+  w.varint(index.window_index);
+  encode_i64(w, index.window_ms);
+  w.varint(index.records);
+  w.varint(index.honeypot_records);
+  encode_i64(w, index.min_at_ms);
+  encode_i64(w, index.max_at_ms);
+  w.varint(index.kind_counts.size());
+  for (const auto& [kind, count] : index.kind_counts) {
+    w.u8(kind);
+    w.varint(count);
+  }
+  w.varint(index.block_offsets.size());
+  for (std::uint64_t offset : index.block_offsets) w.varint(offset);
+}
+
+SegmentIndex decode_segment_index(util::ByteReader& r) {
+  SegmentIndex index;
+  index.window_index = r.varint();
+  index.window_ms = decode_i64(r);
+  index.records = r.varint();
+  index.honeypot_records = r.varint();
+  index.min_at_ms = decode_i64(r);
+  index.max_at_ms = decode_i64(r);
+  std::uint64_t kinds = r.varint();
+  index.kind_counts.reserve(std::min<std::uint64_t>(kinds, 256));
+  for (std::uint64_t i = 0; i < kinds; ++i) {
+    std::uint8_t kind = r.u8();
+    std::uint64_t count = r.varint();
+    index.kind_counts.emplace_back(kind, count);
+  }
+  std::uint64_t offsets = r.varint();
+  index.block_offsets.reserve(std::min<std::uint64_t>(offsets, 4096));
+  for (std::uint64_t i = 0; i < offsets; ++i) {
+    index.block_offsets.push_back(r.varint());
+  }
+  return index;
 }
 
 }  // namespace p2p::trace

@@ -52,4 +52,28 @@ void encode_record(util::ByteWriter& w, const crawler::ResponseRecord& rec);
 void encode_summary(util::ByteWriter& w, const StudySummary& summary);
 [[nodiscard]] StudySummary decode_summary(util::ByteReader& r);
 
+/// Index footer of one segment file (BlockKind::kSegmentIndex): what the
+/// segment holds without decoding its record blocks. Purely descriptive —
+/// replay correctness never depends on it (actual decoded counts drive the
+/// merge), so a damaged index degrades inspection, not analysis.
+struct SegmentIndex {
+  /// floor(record.at / window) of every record in this segment.
+  std::uint64_t window_index = 0;
+  std::int64_t window_ms = 0;
+  std::uint64_t records = 0;
+  /// Honeypot observations among `records` (query_category == "honeypot").
+  std::uint64_t honeypot_records = 0;
+  /// Sim-time bounds over the segment's records (0/0 when empty).
+  std::int64_t min_at_ms = 0;
+  std::int64_t max_at_ms = 0;
+  /// Per-block-kind counts, ascending by kind (the index block excluded).
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> kind_counts;
+  /// Byte offset of each records block in the segment file, ascending.
+  std::vector<std::uint64_t> block_offsets;
+};
+
+// Segment-index block payload.
+void encode_segment_index(util::ByteWriter& w, const SegmentIndex& index);
+[[nodiscard]] SegmentIndex decode_segment_index(util::ByteReader& r);
+
 }  // namespace p2p::trace

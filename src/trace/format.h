@@ -53,7 +53,27 @@ inline constexpr std::uint64_t kMaxBlockBytes = 1u << 26;
 enum class BlockKind : std::uint8_t {
   kRecords = 1,
   kSummary = 2,
+  /// Segment-backend index footer (see DESIGN.md "Segmented trace storage"):
+  /// record/kind counts, sim-time bounds, and per-records-block offsets for
+  /// the segment file it closes. An ordinary CRC-framed block, so pre-3
+  /// readers skip it as an unknown kind — no version bump, and a segment
+  /// file stays a valid single-file trace.
+  kSegmentIndex = 3,
+  /// Segment-directory manifest body (MANIFEST files only): the segment
+  /// window plus one entry per segment file.
+  kManifest = 4,
 };
+
+/// Prologue magic of a segment-directory MANIFEST ("P2PS" on disk). The
+/// manifest reuses the single-file header/block framing under its own magic
+/// and version: a manifest is never mistaken for a trace, or vice versa.
+inline constexpr std::uint32_t kManifestMagic = 0x53503250;
+inline constexpr std::uint16_t kManifestVersion = 1;
+
+/// Canonical extension of a segment directory ("capture.p2ps/"). The
+/// storage factory routes any existing directory, or any path with this
+/// suffix, to the segment backend.
+inline constexpr std::string_view kSegmentDirSuffix = ".p2ps";
 
 /// Study metadata stamped at the front of every trace file. Everything a
 /// replay needs to know where the records came from — and for cache layers,
@@ -81,6 +101,11 @@ enum class TraceError {
   kBadMagic,      // not a trace file
   kBadVersion,    // schema version this reader does not implement
   kCorruptHeader, // header truncated or CRC mismatch
+  /// Segment backend only: the directory's MANIFEST is missing, truncated,
+  /// or fails its CRCs. Unlike per-segment damage (contained, counted in
+  /// ReadStats), a bad manifest is a hard open error — without it there is
+  /// no trusted header, window, or segment order.
+  kCorruptManifest,
 };
 
 [[nodiscard]] std::string_view to_string(TraceError e);

@@ -213,6 +213,11 @@ bool TraceReader::advance_block() {
           if (!r.empty()) throw util::BufferUnderflow{};
           continue;
         }
+        case BlockKind::kSegmentIndex: {
+          segment_index_ = decode_segment_index(r);
+          if (!r.empty()) throw util::BufferUnderflow{};
+          continue;
+        }
         default:
           // Forward compatibility: unknown kinds pass the CRC but carry
           // nothing this reader understands.

@@ -17,27 +17,11 @@
 
 #include "crawler/records.h"
 #include "trace/codec.h"
+#include "trace/storage.h"
 
 namespace p2p::trace {
 
-struct ReadStats {
-  std::uint64_t blocks_read = 0;
-  /// Blocks dropped to a CRC mismatch or a decode failure inside a
-  /// CRC-valid payload.
-  std::uint64_t blocks_corrupt = 0;
-  /// Blocks of a kind this reader does not know (skipped, preserved).
-  std::uint64_t blocks_skipped = 0;
-  std::uint64_t records_read = 0;
-  std::uint64_t bytes_read = 0;
-  /// The file ends mid-block (torn write / truncation).
-  bool truncated_tail = false;
-
-  [[nodiscard]] bool clean() const {
-    return blocks_corrupt == 0 && !truncated_tail;
-  }
-};
-
-class TraceReader {
+class TraceReader final : public StorageReader {
  public:
   /// Read from an open stream (not owned). The header is validated eagerly.
   explicit TraceReader(std::istream& in);
@@ -47,26 +31,35 @@ class TraceReader {
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
 
-  [[nodiscard]] bool ok() const { return error_ == TraceError::kNone; }
-  [[nodiscard]] TraceError error() const { return error_; }
+  [[nodiscard]] bool ok() const override { return error_ == TraceError::kNone; }
+  [[nodiscard]] TraceError error() const override { return error_; }
   /// Human-readable open diagnosis ("" when ok).
-  [[nodiscard]] const std::string& error_message() const { return error_message_; }
+  [[nodiscard]] const std::string& error_message() const override {
+    return error_message_;
+  }
 
   /// Valid when ok().
-  [[nodiscard]] const TraceHeader& header() const { return header_; }
+  [[nodiscard]] const TraceHeader& header() const override { return header_; }
 
   /// Pull the next record, advancing through blocks as needed. Returns
   /// false at end of stream (also on open error). Summary blocks
   /// encountered along the way are captured (see summary()).
-  [[nodiscard]] bool next(crawler::ResponseRecord& out);
+  [[nodiscard]] bool next(crawler::ResponseRecord& out) override;
 
   /// The last summary block seen so far. Definitive once next() has
   /// returned false.
-  [[nodiscard]] const std::optional<StudySummary>& summary() const {
+  [[nodiscard]] const std::optional<StudySummary>& summary() const override {
     return summary_;
   }
 
-  [[nodiscard]] const ReadStats& stats() const { return stats_; }
+  [[nodiscard]] const ReadStats& stats() const override { return stats_; }
+
+  /// The segment-index footer, when this file is a segment written by the
+  /// segment backend (absent in plain single-file traces). Definitive once
+  /// next() has returned false.
+  [[nodiscard]] const std::optional<SegmentIndex>& segment_index() const {
+    return segment_index_;
+  }
 
  private:
   void open(std::istream& in);
@@ -80,6 +73,7 @@ class TraceReader {
   std::string error_message_;
   TraceHeader header_;
   std::optional<StudySummary> summary_;
+  std::optional<SegmentIndex> segment_index_;
   ReadStats stats_;
   bool done_ = false;
 

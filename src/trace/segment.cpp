@@ -1,0 +1,358 @@
+#include "trace/segment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace p2p::trace {
+
+namespace {
+
+struct SegmentMetrics {
+  obs::Counter& written =
+      obs::MetricsRegistry::global().counter("trace.segments_written");
+  obs::Counter& read =
+      obs::MetricsRegistry::global().counter("trace.segments_read");
+  obs::Counter& corrupt =
+      obs::MetricsRegistry::global().counter("trace.segments_corrupt");
+};
+
+std::string segment_file_name(std::uint64_t window_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.p2pt",
+                static_cast<unsigned long long>(window_index));
+  return buf;
+}
+
+// MANIFEST block framing — the same frame TraceWriter/TraceReader use, but
+// over an in-memory buffer: the manifest is small and validated whole.
+void append_block(util::ByteWriter& out, BlockKind kind, util::ByteView payload) {
+  const std::uint8_t kind_byte = static_cast<std::uint8_t>(kind);
+  out.u8(kind_byte);
+  out.varint(payload.size());
+  out.u32le(util::crc32(payload, util::crc32({&kind_byte, 1})));
+  out.bytes(payload);
+}
+
+void encode_manifest_body(util::ByteWriter& w, const SegmentManifest& m) {
+  w.varint(static_cast<std::uint64_t>(m.window_ms));
+  w.varint(m.segments.size());
+  for (const auto& s : m.segments) {
+    w.lp_str(s.file);
+    w.varint(s.window_index);
+    w.varint(s.records);
+    w.varint(s.honeypot_records);
+    w.varint(s.bytes);
+    w.varint(static_cast<std::uint64_t>(s.min_at_ms));
+    w.varint(static_cast<std::uint64_t>(s.max_at_ms));
+  }
+}
+
+void decode_manifest_body(util::ByteReader& r, SegmentManifest& m) {
+  m.window_ms = static_cast<std::int64_t>(r.varint());
+  std::uint64_t n = r.varint();
+  m.segments.clear();
+  m.segments.reserve(std::min<std::uint64_t>(n, 4096));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SegmentEntry s;
+    s.file = r.lp_str();
+    s.window_index = r.varint();
+    s.records = r.varint();
+    s.honeypot_records = r.varint();
+    s.bytes = r.varint();
+    s.min_at_ms = static_cast<std::int64_t>(r.varint());
+    s.max_at_ms = static_cast<std::int64_t>(r.varint());
+    m.segments.push_back(std::move(s));
+  }
+  if (!r.empty()) throw util::BufferUnderflow{};
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& dir) { return dir + "/MANIFEST"; }
+
+std::string segment_path(const std::string& dir, const SegmentEntry& entry) {
+  return dir + "/" + entry.file;
+}
+
+bool write_manifest(const std::string& dir, const SegmentManifest& manifest) {
+  util::ByteWriter body;
+  encode_header_body(body, manifest.header);
+
+  util::ByteWriter out;
+  out.u32le(kManifestMagic);
+  out.u16le(kManifestVersion);
+  out.u16le(0);  // reserved
+  out.u32le(static_cast<std::uint32_t>(body.size()));
+  out.bytes(body.data());
+  out.u32le(util::crc32(body.data()));
+
+  util::ByteWriter entries;
+  encode_manifest_body(entries, manifest);
+  append_block(out, BlockKind::kManifest, entries.data());
+  if (manifest.summary) {
+    util::ByteWriter summary;
+    encode_summary(summary, *manifest.summary);
+    append_block(out, BlockKind::kSummary, summary.data());
+  }
+
+  std::ofstream f(manifest_path(dir), std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(reinterpret_cast<const char*>(out.data().data()),
+          static_cast<std::streamsize>(out.size()));
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+ManifestData read_manifest(const std::string& dir) {
+  ManifestData data;
+  auto fail = [&](TraceError e, std::string message) {
+    data.error = e;
+    data.error_message = std::move(message);
+    return data;
+  };
+  std::ifstream f(manifest_path(dir), std::ios::binary);
+  if (!f) return fail(TraceError::kIoError, "cannot open " + manifest_path(dir));
+  util::Bytes raw((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  if (raw.empty()) return fail(TraceError::kEmpty, "empty manifest");
+  try {
+    util::ByteReader r(raw);
+    if (r.u32le() != kManifestMagic) {
+      return fail(TraceError::kBadMagic, "not a segment manifest (bad magic)");
+    }
+    std::uint16_t version = r.u16le();
+    (void)r.u16le();  // reserved
+    if (version != kManifestVersion) {
+      return fail(TraceError::kBadVersion,
+                  "unsupported manifest version " + std::to_string(version));
+    }
+    std::uint32_t header_len = r.u32le();
+    if (header_len > kMaxHeaderBytes) {
+      return fail(TraceError::kCorruptManifest, "header length out of range");
+    }
+    util::Bytes body = r.bytes(header_len);
+    if (r.u32le() != util::crc32(body)) {
+      return fail(TraceError::kCorruptManifest, "header checksum mismatch");
+    }
+    util::ByteReader header_reader(body);
+    data.manifest.header = decode_header_body(header_reader);
+
+    // Blocks: every one must frame and decode cleanly — a manifest is the
+    // trusted root of the directory, so damage here is not containable.
+    bool saw_entries = false;
+    while (!r.empty()) {
+      std::uint8_t kind = r.u8();
+      std::uint64_t payload_len = r.varint();
+      if (payload_len > kMaxBlockBytes) {
+        return fail(TraceError::kCorruptManifest, "block length out of range");
+      }
+      std::uint32_t stored_crc = r.u32le();
+      util::Bytes payload = r.bytes(payload_len);
+      if (util::crc32(payload, util::crc32({&kind, 1})) != stored_crc) {
+        return fail(TraceError::kCorruptManifest, "block checksum mismatch");
+      }
+      util::ByteReader block(payload);
+      switch (static_cast<BlockKind>(kind)) {
+        case BlockKind::kManifest:
+          decode_manifest_body(block, data.manifest);
+          saw_entries = true;
+          break;
+        case BlockKind::kSummary:
+          data.manifest.summary = decode_summary(block);
+          if (!block.empty()) throw util::BufferUnderflow{};
+          break;
+        default:
+          // Unknown kinds are forward-compatible here too: CRC-valid
+          // payloads this reader does not understand are ignored.
+          break;
+      }
+    }
+    if (!saw_entries) {
+      return fail(TraceError::kCorruptManifest, "manifest has no segment list");
+    }
+  } catch (const util::BufferUnderflow&) {
+    return fail(TraceError::kCorruptManifest, "truncated or malformed manifest");
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentWriter
+// ---------------------------------------------------------------------------
+
+SegmentWriter::SegmentWriter(std::string dir, const TraceHeader& header,
+                             SegmentWriterOptions options)
+    : dir_(std::move(dir)), header_(header), options_(options) {
+  if (options_.window_ms <= 0) options_.window_ms = 24 * 3'600'000ll;
+  if (options_.records_per_block == 0) options_.records_per_block = 1;
+  manifest_.header = header_;
+  manifest_.window_ms = options_.window_ms;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) ok_ = false;
+}
+
+SegmentWriter::~SegmentWriter() { close(); }
+
+void SegmentWriter::on_record(const crawler::ResponseRecord& record) {
+  if (!ok_) return;
+  std::int64_t at_ms = record.at.millis();
+  if (at_ms < 0) at_ms = 0;
+  std::uint64_t window =
+      static_cast<std::uint64_t>(at_ms / options_.window_ms);
+  // Monotone assignment: a late-arriving record never reopens an earlier
+  // window, so segment order in the manifest == record order in the stream.
+  if (window_open_ && window < index_.window_index) {
+    window = index_.window_index;
+  }
+  if (!window_open_ || window != index_.window_index) {
+    seal_segment();
+    open_segment(window);
+    if (!ok_) return;
+  }
+  segment_->on_record(record);
+  ++records_written_;
+  ++index_.records;
+  ++entry_.records;
+  if (record.query_category == "honeypot") {
+    ++index_.honeypot_records;
+    ++entry_.honeypot_records;
+  }
+  if (entry_.records == 1) {
+    index_.min_at_ms = index_.max_at_ms = at_ms;
+  } else {
+    index_.min_at_ms = std::min(index_.min_at_ms, at_ms);
+    index_.max_at_ms = std::max(index_.max_at_ms, at_ms);
+  }
+  entry_.min_at_ms = index_.min_at_ms;
+  entry_.max_at_ms = index_.max_at_ms;
+}
+
+void SegmentWriter::write_summary(const StudySummary& summary) {
+  if (!ok_) return;
+  manifest_.summary = summary;
+}
+
+void SegmentWriter::open_segment(std::uint64_t window_index) {
+  entry_ = SegmentEntry{};
+  entry_.file = segment_file_name(window_index);
+  entry_.window_index = window_index;
+  index_ = SegmentIndex{};
+  index_.window_index = window_index;
+  index_.window_ms = options_.window_ms;
+
+  TraceWriterOptions opt;
+  opt.records_per_block = options_.records_per_block;
+  segment_ = std::make_unique<TraceWriter>(dir_ + "/" + entry_.file, header_, opt);
+  if (!segment_->ok()) {
+    ok_ = false;
+    segment_.reset();
+    return;
+  }
+  segment_->set_block_observer(
+      [this](BlockKind kind, std::uint64_t offset, std::uint64_t) {
+        auto raw = static_cast<std::uint8_t>(kind);
+        auto it = std::find_if(index_.kind_counts.begin(),
+                               index_.kind_counts.end(),
+                               [raw](const auto& kc) { return kc.first == raw; });
+        if (it == index_.kind_counts.end()) {
+          index_.kind_counts.emplace_back(raw, 1);
+          std::sort(index_.kind_counts.begin(), index_.kind_counts.end());
+        } else {
+          ++it->second;
+        }
+        if (kind == BlockKind::kRecords) index_.block_offsets.push_back(offset);
+      });
+  window_open_ = true;
+}
+
+void SegmentWriter::seal_segment() {
+  if (!window_open_) return;
+  window_open_ = false;
+  if (segment_ == nullptr) return;
+  // The index footer counts every block before itself; detach the observer
+  // so the footer's own frame is not folded into the counts it reports.
+  SegmentIndex footer = index_;
+  segment_->set_block_observer(nullptr);
+  segment_->write_segment_index(footer);
+  segment_->close();
+  if (!segment_->ok()) ok_ = false;
+  blocks_written_ += segment_->blocks_written();
+  bytes_written_ += segment_->bytes_written();
+  entry_.bytes = segment_->bytes_written();
+  segment_.reset();
+  manifest_.segments.push_back(entry_);
+  ++segments_written_;
+  obs::bound_metrics<SegmentMetrics>().written.add();
+}
+
+void SegmentWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  seal_segment();
+  if (!write_manifest(dir_, manifest_)) ok_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentReader
+// ---------------------------------------------------------------------------
+
+SegmentReader::SegmentReader(std::string dir) : dir_(std::move(dir)) {
+  ManifestData data = read_manifest(dir_);
+  if (!data.ok()) {
+    error_ = data.error;
+    error_message_ = data.error_message;
+    return;
+  }
+  manifest_ = std::move(data.manifest);
+}
+
+bool SegmentReader::advance_segment() {
+  auto& metrics = obs::bound_metrics<SegmentMetrics>();
+  while (next_segment_ < manifest_.segments.size()) {
+    const SegmentEntry& entry = manifest_.segments[next_segment_++];
+    auto reader = std::make_unique<TraceReader>(segment_path(dir_, entry));
+    // Containment: an unopenable segment, or one whose header belongs to a
+    // different capture, is dropped whole and the stream continues.
+    bool mismatch =
+        reader->ok() &&
+        (reader->header().config_hash != manifest_.header.config_hash ||
+         reader->header().network != manifest_.header.network);
+    if (!reader->ok() || mismatch) {
+      ++stats_.segments_corrupt;
+      metrics.corrupt.add();
+      continue;
+    }
+    segment_ = std::move(reader);
+    return true;
+  }
+  return false;
+}
+
+bool SegmentReader::next(crawler::ResponseRecord& out) {
+  if (error_ != TraceError::kNone) return false;
+  for (;;) {
+    if (segment_ != nullptr) {
+      if (segment_->next(out)) return true;
+      // Segment exhausted: fold its stats into the directory aggregate.
+      const ReadStats& s = segment_->stats();
+      stats_.blocks_read += s.blocks_read;
+      stats_.blocks_corrupt += s.blocks_corrupt;
+      stats_.blocks_skipped += s.blocks_skipped;
+      stats_.records_read += s.records_read;
+      stats_.bytes_read += s.bytes_read;
+      stats_.truncated_tail = stats_.truncated_tail || s.truncated_tail;
+      ++stats_.segments_read;
+      obs::bound_metrics<SegmentMetrics>().read.add();
+      segment_.reset();
+    }
+    if (!advance_segment()) return false;
+  }
+}
+
+}  // namespace p2p::trace

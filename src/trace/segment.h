@@ -1,0 +1,176 @@
+// Time-sharded segment-directory backend (`capture.p2ps/`).
+//
+// Layout on disk:
+//
+//   capture.p2ps/
+//     MANIFEST            "P2PS" prologue + the capture's TraceHeader (same
+//                         encoding and CRC as a `.p2pt` header), then CRC-
+//                         framed blocks: one kManifest block (segment
+//                         window + one entry per segment, in stream order)
+//                         and, when the run wrote one, a kSummary block.
+//     seg-000000.p2pt     One segment per occupied sim-time window, named
+//     seg-000001.p2pt     by window index. Each segment is a complete,
+//     ...                 self-describing single-file trace (same header)
+//                         whose last block is a kSegmentIndex footer.
+//
+// Records are routed to window floor(at / window); the assignment is
+// monotone (a record never opens an *earlier* window than the one already
+// open), so concatenating segments in manifest order reproduces the stream
+// order exactly — the invariant parallel replay's merge relies on.
+//
+// Failure containment: damage inside a segment costs at most the damaged
+// blocks; a missing or unreadable segment costs that segment (counted in
+// ReadStats::segments_corrupt, stream continues). A damaged MANIFEST is a
+// hard open error — without it there is no trusted header or order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/reader.h"
+#include "trace/storage.h"
+#include "trace/writer.h"
+
+namespace p2p::trace {
+
+/// One segment file as listed in the MANIFEST.
+struct SegmentEntry {
+  std::string file;  // name relative to the directory ("seg-000012.p2pt")
+  std::uint64_t window_index = 0;
+  std::uint64_t records = 0;
+  std::uint64_t honeypot_records = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t min_at_ms = 0;
+  std::int64_t max_at_ms = 0;
+};
+
+struct SegmentManifest {
+  TraceHeader header;
+  std::int64_t window_ms = 0;
+  std::vector<SegmentEntry> segments;  // stream order
+  std::optional<StudySummary> summary;
+};
+
+/// Write `<dir>/MANIFEST`. Returns false on I/O failure.
+[[nodiscard]] bool write_manifest(const std::string& dir,
+                                  const SegmentManifest& manifest);
+
+/// Read and validate a MANIFEST file. Any damage (bad magic/version,
+/// truncation, CRC mismatch, undecodable block) is a hard error.
+struct ManifestData {
+  TraceError error = TraceError::kNone;
+  std::string error_message;
+  SegmentManifest manifest;
+  [[nodiscard]] bool ok() const { return error == TraceError::kNone; }
+};
+[[nodiscard]] ManifestData read_manifest(const std::string& dir);
+
+/// Path of `dir`'s MANIFEST / of segment `entry` inside `dir`.
+[[nodiscard]] std::string manifest_path(const std::string& dir);
+[[nodiscard]] std::string segment_path(const std::string& dir,
+                                       const SegmentEntry& entry);
+
+struct SegmentWriterOptions {
+  /// Sim-time span of one segment file.
+  std::int64_t window_ms = 24 * 3'600'000ll;
+  /// Records per block inside each segment.
+  std::size_t records_per_block = 256;
+};
+
+/// Capture sink writing a segment directory. Creates `dir` (and parents);
+/// opens one TraceWriter per occupied window; writes each segment's index
+/// footer at roll-over and the MANIFEST at close().
+class SegmentWriter final : public StorageWriter {
+ public:
+  SegmentWriter(std::string dir, const TraceHeader& header,
+                SegmentWriterOptions options = {});
+  ~SegmentWriter() override;
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  void on_record(const crawler::ResponseRecord& record) override;
+  void write_summary(const StudySummary& summary) override;
+  void close() override;
+
+  [[nodiscard]] bool ok() const override { return ok_; }
+  [[nodiscard]] std::uint64_t records_written() const override {
+    return records_written_;
+  }
+  [[nodiscard]] std::uint64_t blocks_written() const override {
+    return blocks_written_;
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return bytes_written_;
+  }
+  [[nodiscard]] std::uint64_t segments_written() const override {
+    return segments_written_;
+  }
+
+ private:
+  void open_segment(std::uint64_t window_index);
+  void seal_segment();
+
+  std::string dir_;
+  TraceHeader header_;
+  SegmentWriterOptions options_;
+  bool ok_ = true;
+  bool closed_ = false;
+
+  std::unique_ptr<TraceWriter> segment_;  // open segment (null before first record)
+  SegmentIndex index_;                    // accumulating footer of the open segment
+  SegmentEntry entry_;                    // accumulating manifest entry
+  bool window_open_ = false;
+
+  SegmentManifest manifest_;
+  std::uint64_t records_written_ = 0;
+  std::uint64_t blocks_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t segments_written_ = 0;
+};
+
+/// Replay source over a segment directory: streams segments in manifest
+/// order through per-segment TraceReaders, aggregating their stats.
+/// Containment: a segment that cannot be opened, or whose header does not
+/// match the manifest, is dropped whole (segments_corrupt) and the stream
+/// continues with the next one.
+class SegmentReader final : public StorageReader {
+ public:
+  explicit SegmentReader(std::string dir);
+
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  [[nodiscard]] bool ok() const override { return error_ == TraceError::kNone; }
+  [[nodiscard]] TraceError error() const override { return error_; }
+  [[nodiscard]] const std::string& error_message() const override {
+    return error_message_;
+  }
+  [[nodiscard]] const TraceHeader& header() const override {
+    return manifest_.header;
+  }
+  [[nodiscard]] bool next(crawler::ResponseRecord& out) override;
+  [[nodiscard]] const std::optional<StudySummary>& summary() const override {
+    return manifest_.summary;
+  }
+  [[nodiscard]] const ReadStats& stats() const override { return stats_; }
+
+  [[nodiscard]] const SegmentManifest& manifest() const { return manifest_; }
+
+ private:
+  /// Open the next listed segment; false when the manifest is exhausted.
+  bool advance_segment();
+
+  std::string dir_;
+  TraceError error_ = TraceError::kNone;
+  std::string error_message_;
+  SegmentManifest manifest_;
+  ReadStats stats_;
+  std::size_t next_segment_ = 0;
+  std::unique_ptr<TraceReader> segment_;
+};
+
+}  // namespace p2p::trace

@@ -1,0 +1,39 @@
+#include "trace/storage.h"
+
+#include <filesystem>
+
+#include "trace/reader.h"
+#include "trace/segment.h"
+#include "trace/writer.h"
+
+namespace p2p::trace {
+
+bool is_segment_path(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) return true;
+  std::string name = std::filesystem::path(path).filename().string();
+  return name.size() >= kSegmentDirSuffix.size() &&
+         name.compare(name.size() - kSegmentDirSuffix.size(),
+                      kSegmentDirSuffix.size(), kSegmentDirSuffix) == 0;
+}
+
+std::unique_ptr<StorageWriter> open_storage_writer(const std::string& path,
+                                                   const TraceHeader& header,
+                                                   const StorageOptions& options) {
+  if (is_segment_path(path)) {
+    SegmentWriterOptions opt;
+    opt.window_ms = options.segment_window_ms;
+    opt.records_per_block = options.records_per_block;
+    return std::make_unique<SegmentWriter>(path, header, opt);
+  }
+  TraceWriterOptions opt;
+  opt.records_per_block = options.records_per_block;
+  return std::make_unique<TraceWriter>(path, header, opt);
+}
+
+std::unique_ptr<StorageReader> open_storage_reader(const std::string& path) {
+  if (is_segment_path(path)) return std::make_unique<SegmentReader>(path);
+  return std::make_unique<TraceReader>(path);
+}
+
+}  // namespace p2p::trace

@@ -1,0 +1,119 @@
+// The storage interface behind the trace store: every capture sink and
+// every replay source is a StorageWriter / StorageReader, with two backends
+// behind the vtable (see DESIGN.md "Segmented trace storage"):
+//
+//   single file   TraceWriter / TraceReader — the original `.p2pt` format,
+//                 byte-for-byte unchanged (zero drift vs pre-interface
+//                 builds). Right for captures that fit comfortably in one
+//                 file and one pass.
+//   segment dir   SegmentWriter / SegmentReader (`capture.p2ps/`) — fixed
+//                 sim-time-window segment files, each a valid `.p2pt` with
+//                 an index footer, under a MANIFEST. Corruption is
+//                 contained per segment, and replay can fan segments out
+//                 across a thread pool (core/replay.h).
+//
+// The factories below pick the backend from the path shape: an existing
+// directory, or any path ending in ".p2ps", is a segment directory;
+// everything else is a single file.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crawler/records.h"
+#include "trace/codec.h"
+
+namespace p2p::trace {
+
+/// Aggregate read health across a storage source. Single-file reads leave
+/// the segment counters at zero.
+struct ReadStats {
+  std::uint64_t blocks_read = 0;
+  /// Blocks dropped to a CRC mismatch or a decode failure inside a
+  /// CRC-valid payload.
+  std::uint64_t blocks_corrupt = 0;
+  /// Blocks of a kind this reader does not know (skipped, preserved).
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t records_read = 0;
+  std::uint64_t bytes_read = 0;
+  /// The file (or a segment) ends mid-block (torn write / truncation).
+  bool truncated_tail = false;
+  /// Segment backend: segments streamed / dropped whole (missing file,
+  /// unreadable header, or a header that contradicts the manifest).
+  std::uint64_t segments_read = 0;
+  std::uint64_t segments_corrupt = 0;
+
+  [[nodiscard]] bool clean() const {
+    return blocks_corrupt == 0 && segments_corrupt == 0 && !truncated_tail;
+  }
+};
+
+/// Capture sink: a crawler::RecordSink that also persists the study summary
+/// and reports its write counters. Close (or destroy) before relying on the
+/// bytes; ok() goes false on any I/O failure.
+class StorageWriter : public crawler::RecordSink {
+ public:
+  ~StorageWriter() override = default;
+
+  /// Persist the summary so replay can reproduce the run's counters,
+  /// metrics, and timeseries without re-running the study.
+  virtual void write_summary(const StudySummary& summary) = 0;
+  /// Flush everything. Idempotent; called by the destructor.
+  virtual void close() = 0;
+
+  [[nodiscard]] virtual bool ok() const = 0;
+  [[nodiscard]] virtual std::uint64_t records_written() const = 0;
+  [[nodiscard]] virtual std::uint64_t blocks_written() const = 0;
+  [[nodiscard]] virtual std::uint64_t bytes_written() const = 0;
+  /// Segment files written (1 for the single-file backend).
+  [[nodiscard]] virtual std::uint64_t segments_written() const = 0;
+};
+
+/// Streaming replay source. Open errors are terminal (ok() false, next()
+/// yields nothing); block- and segment-level damage is contained and
+/// reported via stats().
+class StorageReader {
+ public:
+  virtual ~StorageReader() = default;
+
+  [[nodiscard]] virtual bool ok() const = 0;
+  [[nodiscard]] virtual TraceError error() const = 0;
+  [[nodiscard]] virtual const std::string& error_message() const = 0;
+  /// Valid when ok().
+  [[nodiscard]] virtual const TraceHeader& header() const = 0;
+  /// Pull the next record in stream order; false at end of stream.
+  [[nodiscard]] virtual bool next(crawler::ResponseRecord& out) = 0;
+  /// The capture's summary. For the single-file backend this is definitive
+  /// only once next() has returned false; the segment backend knows it from
+  /// the manifest up front.
+  [[nodiscard]] virtual const std::optional<StudySummary>& summary() const = 0;
+  [[nodiscard]] virtual const ReadStats& stats() const = 0;
+};
+
+/// True when `path` names (or will name) a segment directory: it exists as
+/// a directory, or its final component ends in ".p2ps".
+[[nodiscard]] bool is_segment_path(const std::string& path);
+
+/// Writer/reader options spanning both backends. The segment window is
+/// ignored by the single-file backend.
+struct StorageOptions {
+  /// Records per block (both backends frame records identically).
+  std::size_t records_per_block = 256;
+  /// Sim-time span of one segment file (segment backend only).
+  std::int64_t segment_window_ms = 24 * 3'600'000ll;
+};
+
+/// Open a capture sink at `path`, routed by is_segment_path. Returns a
+/// writer whose ok() is false when the file/directory cannot be created.
+[[nodiscard]] std::unique_ptr<StorageWriter> open_storage_writer(
+    const std::string& path, const TraceHeader& header,
+    const StorageOptions& options = {});
+
+/// Open a replay source at `path`, routed by is_segment_path. Never
+/// returns null; check ok() for open errors.
+[[nodiscard]] std::unique_ptr<StorageReader> open_storage_reader(
+    const std::string& path);
+
+}  // namespace p2p::trace

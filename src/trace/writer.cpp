@@ -77,6 +77,14 @@ void TraceWriter::write_summary(const StudySummary& summary) {
   write_block(BlockKind::kSummary, payload.data());
 }
 
+void TraceWriter::write_segment_index(const SegmentIndex& index) {
+  if (!ok_) return;
+  flush_records();
+  util::ByteWriter payload;
+  encode_segment_index(payload, index);
+  write_block(BlockKind::kSegmentIndex, payload.data());
+}
+
 void TraceWriter::close() {
   if (closed_) return;
   closed_ = true;
@@ -99,6 +107,7 @@ void TraceWriter::flush_records() {
 }
 
 void TraceWriter::write_block(BlockKind kind, util::ByteView payload) {
+  const std::uint64_t frame_offset = bytes_written_;
   util::ByteWriter head;
   const std::uint8_t kind_byte = static_cast<std::uint8_t>(kind);
   head.u8(kind_byte);
@@ -118,6 +127,9 @@ void TraceWriter::write_block(BlockKind kind, util::ByteView payload) {
   }
   bytes_written_ += head.size() + payload.size();
   ++blocks_written_;
+  if (block_observer_) {
+    block_observer_(kind, frame_offset, head.size() + payload.size());
+  }
   auto& metrics = obs::bound_metrics<WriterMetrics>();
   metrics.blocks.add();
   metrics.bytes.add(head.size() + payload.size());

@@ -5,12 +5,14 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
 
 #include "crawler/records.h"
 #include "trace/codec.h"
+#include "trace/storage.h"
 
 namespace p2p::trace {
 
@@ -20,7 +22,7 @@ struct TraceWriterOptions {
   std::size_t records_per_block = 256;
 };
 
-class TraceWriter : public crawler::RecordSink {
+class TraceWriter final : public StorageWriter {
  public:
   /// Write to an open stream (not owned; must outlive the writer).
   TraceWriter(std::ostream& out, const TraceHeader& header,
@@ -38,16 +40,38 @@ class TraceWriter : public crawler::RecordSink {
 
   /// Write a summary block immediately (flushing buffered records first so
   /// block order matches write order).
-  void write_summary(const StudySummary& summary);
+  void write_summary(const StudySummary& summary) override;
+
+  /// Write a segment-index footer block (segment backend only; a plain
+  /// single-file capture never calls this, keeping its bytes unchanged).
+  void write_segment_index(const SegmentIndex& index);
 
   /// Flush the partial block and the stream. Called by the destructor;
   /// call explicitly to check ok() before relying on the file.
-  void close();
+  void close() override;
 
-  [[nodiscard]] bool ok() const { return ok_ && out_ != nullptr && *out_; }
-  [[nodiscard]] std::uint64_t records_written() const { return records_written_; }
-  [[nodiscard]] std::uint64_t blocks_written() const { return blocks_written_; }
-  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] bool ok() const override {
+    return ok_ && out_ != nullptr && *out_;
+  }
+  [[nodiscard]] std::uint64_t records_written() const override {
+    return records_written_;
+  }
+  [[nodiscard]] std::uint64_t blocks_written() const override {
+    return blocks_written_;
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const override {
+    return bytes_written_;
+  }
+  [[nodiscard]] std::uint64_t segments_written() const override { return 1; }
+
+  /// Observe every framed block as it is written: (kind, byte offset of the
+  /// frame in the file, frame size). The segment backend uses this to build
+  /// its index footer; pass nullptr to detach.
+  using BlockObserver =
+      std::function<void(BlockKind, std::uint64_t offset, std::uint64_t size)>;
+  void set_block_observer(BlockObserver observer) {
+    block_observer_ = std::move(observer);
+  }
 
  private:
   void write_block(BlockKind kind, util::ByteView payload);
@@ -61,6 +85,7 @@ class TraceWriter : public crawler::RecordSink {
 
   util::ByteWriter pending_;        // encoded records of the open block
   std::size_t pending_count_ = 0;
+  BlockObserver block_observer_;
   std::uint64_t records_written_ = 0;
   std::uint64_t blocks_written_ = 0;
   std::uint64_t bytes_written_ = 0;

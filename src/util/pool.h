@@ -1,0 +1,45 @@
+// Shared index-claiming worker pool: run a body over [0, count) on up to
+// `jobs` threads. Workers pull indices from an atomic counter, so work
+// distribution adapts to uneven task costs without any queueing structure.
+//
+// This is the one parallel-for used by every fan-out layer (the sweep
+// runner's replications, the segment-replay map phase): results must land
+// in per-index slots so completion order never shows in any output, and the
+// body must not throw — catch inside and record the failure in the slot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace p2p::util {
+
+/// Invoke `body(i)` once for every i in [0, count), on min(jobs, count)
+/// threads (inline on the calling thread when that is 1). Returns when all
+/// indices completed. `body` must be thread-safe across distinct indices
+/// and must not throw.
+template <typename Body>
+void parallel_for(std::size_t count, std::size_t jobs, Body&& body) {
+  if (count == 0) return;
+  std::size_t workers = jobs < 1 ? 1 : jobs;
+  if (workers > count) workers = count;
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t j = 0; j < workers; ++j) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace p2p::util
