@@ -11,9 +11,9 @@
 #             report to be byte-identical to the live one.
 #   tsan      ThreadSanitizer build (-DP2P_SANITIZE=thread); runs the sweep,
 #             fault, shard, and kad suites plus the Payload refcount stress,
-#             a sharded (--shards 4) quick study of each sharded network and
-#             a quick KAD honeypot study — the concurrency-bearing layers
-#             under their real workload.
+#             a sharded (--shards 4) full-fidelity legacy quick study of
+#             each sharded network and a quick KAD honeypot study — the
+#             concurrency-bearing layers under their real workload.
 #   bench     Simulation-core microbench (bench_sim_core --check): asserts
 #             the >=2x scheduling and >=5x copy-reduction floors hold and
 #             leaves bench_sim_core.json behind as a CI artifact. Also runs
@@ -21,7 +21,11 @@
 #             capacity; the >=2x 4-shard speedup floor is enforced on
 #             >=4-core hosts), bench_trace --check (out-of-core segment
 #             replay throughput floor + peak-RSS ceiling, byte-identical
-#             reports across jobs counts), and bench_obs_overhead --check
+#             reports across jobs counts), bench_legacy_engine --check
+#             (legacy study on the sharded engine: interned query hot-path
+#             ratio, serial events/sec floor, 1-vs-4-shard determinism,
+#             and the >=2x study speedup floor on >=4-core hosts),
+#             and bench_obs_overhead --check
 #             in the release
 #             build AND in a -DP2P_OBS_DISABLED=ON build, pinning the
 #             per-op cost ceilings of the observability primitives in both
@@ -141,7 +145,9 @@ tier_tsan() {
     # The sharded engine is the most concurrency-dense layer: worker pool,
     # window barriers, cross-shard outbox drains. Run its differential and
     # lookahead-property suite plus a full sharded quick study of each
-    # network so TSan sees the real workload, not just the harness.
+    # network — --shards now runs the full-fidelity legacy model (servents,
+    # crawler, scanner on worker threads), so TSan sees the real study
+    # workload, not just the harness.
     ctest -L shard -j "${JOBS}" --output-on-failure
     for network in limewire openft; do
       ./examples/${network}_study --quick --seed 7 --shards 4 \
@@ -259,6 +265,13 @@ tier_bench() {
     # the replay-throughput floor and the peak-RSS ceiling that back the
     # out-of-core claim; byte-identical reports are asserted either way.
     ./bench/bench_trace --check --json bench_trace.json
+
+    # Full-fidelity legacy study on the sharded engine: interned-vs-
+    # reference query hot-path ratio (>= 1.3x), serial events/sec floor,
+    # identical 1/4-shard record streams, and — on >=4-core hosts only —
+    # the >=2x 4-shard study speedup floor. A smaller host prints
+    # "1-core host: parallel speedup floor skipped" instead of failing.
+    ./bench/bench_legacy_engine --check --json bench_legacy_engine.json
 
     echo "-- obs overhead ceilings (enabled flavor)"
     ./bench/bench_obs_overhead --check | tee bench_obs_overhead.txt

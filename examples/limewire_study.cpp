@@ -18,12 +18,13 @@
 //                    [--record-dir <dir>|--replay-dir <dir>]
 //                    [--replay-jobs <n>] [--windows <csv>]
 //                    [--faults <preset|spec>] [--fault-seed <n>]
-//                    [--shards <n>]
+//                    [--shards <n>] [--soa]
 //                    [obs flags — see examples/obs_cli.h]
 //
-// --shards N (N >= 1) runs the study on the sharded engine with N worker
-// threads; output is byte-identical for every N (see README "Scaling a
-// study across cores").
+// --shards N (N >= 1) runs the full-fidelity study on the sharded engine
+// with N worker threads; output is byte-identical for every N (see README
+// "Scaling a study across cores"). --soa swaps in the reduced SoA capacity
+// model (core/shard_study) instead — the population-scaling variant.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -49,7 +50,7 @@ int usage(const char* argv0) {
                " [--record-dir <dir>|--replay-dir <dir>] [--replay-jobs <n>]"
                " [--windows <csv>]"
                " [--faults <none|mild|moderate|severe|k=v,...>]"
-               " [--fault-seed <n>] [--shards <n>] [--list-presets]"
+               " [--fault-seed <n>] [--shards <n>] [--soa] [--list-presets]"
             << p2p::examples::ObsCli::kUsage << "\n";
   return 2;
 }
@@ -107,6 +108,8 @@ int main(int argc, char** argv) {
       if (end == argv[i] || *end != '\0' || shards == 0 || shards > 4096) {
         return usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--soa") == 0) {
+      cfg.soa_capacity = true;
     } else if (std::strcmp(argv[i], "--list-presets") == 0) {
       core::print_presets(std::cout);
       return 0;
@@ -116,6 +119,10 @@ int main(int argc, char** argv) {
   }
   cfg.timeseries = obs_cli.timeseries_config();
   cfg.shards = shards;
+  if (cfg.soa_capacity && shards == 0) {
+    std::cerr << "--soa requires --shards\n";
+    return 2;
+  }
   int capture_modes = (record_path.empty() ? 0 : 1) +
                       (replay_path.empty() ? 0 : 1) +
                       (record_dir.empty() ? 0 : 1) + (replay_dir.empty() ? 0 : 1);

@@ -3,6 +3,7 @@
 // infection) across sessions; each online session is a fresh node instance.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,13 +35,24 @@ class ChurnDriver {
   /// churn never shifts the organic session schedule.
   void crash(std::size_t idx, sim::SimDuration downtime);
 
-  [[nodiscard]] std::uint64_t joins() const { return joins_; }
-  [[nodiscard]] std::uint64_t leaves() const { return leaves_; }
+  [[nodiscard]] std::uint64_t joins() const {
+    return joins_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t leaves() const {
+    return leaves_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t online_count() const;
 
-  /// Current node id of a spec (kInvalidNode while offline).
+  /// Current node id of a spec (kInvalidNode while offline). Sharded mode:
+  /// per-spec state is owned by the spec's entity, so call this from that
+  /// entity's context (the CrashDriver does) or between runs.
   [[nodiscard]] sim::NodeId node_of(std::size_t spec_index) const;
   [[nodiscard]] const std::vector<PeerSpec>& specs() const { return specs_; }
+
+  /// Sharded mode: the registered slot of a spec (valid after start()).
+  [[nodiscard]] sim::NodeId spec_slot(std::size_t spec_index) const {
+    return slot_ids_[spec_index];
+  }
 
  private:
   void join(std::size_t idx);
@@ -51,8 +63,15 @@ class ChurnDriver {
   std::vector<sim::NodeId> current_;
   ChurnConfig config_;
   util::Rng rng_;
-  std::uint64_t joins_ = 0;
-  std::uint64_t leaves_ = 0;
+  /// Sharded mode: one pre-registered slot and one private rng stream per
+  /// spec (derived from the churn seed and the spec index), so each spec's
+  /// session schedule is independent of every other spec's — and therefore
+  /// of the shard partition. The serial path keeps the single shared rng_
+  /// so its byte-exact schedule is untouched.
+  std::vector<sim::NodeId> slot_ids_;
+  std::vector<util::Rng> spec_rngs_;
+  std::atomic<std::uint64_t> joins_{0};
+  std::atomic<std::uint64_t> leaves_{0};
 };
 
 }  // namespace p2p::agents

@@ -96,6 +96,11 @@ GnutellaPopulation build_gnutella_population(sim::Network& net,
   pop.host_cache = std::make_shared<gnutella::HostCache>();
   pop.lure_queries = lure_queries_for(pop.strain_catalog);
 
+  // One keyword interner for the whole population: every distinct shared
+  // name is tokenized once, and all indexes match queries against the same
+  // token-id universe.
+  auto interner = std::make_shared<gnutella::TokenInterner>();
+
   // -- Ultrapeers: stable, public, well-provisioned. -------------------------
   gnutella::ServentConfig up_cfg = config.ultrapeer_config;
   up_cfg.ultrapeer = true;
@@ -107,7 +112,7 @@ GnutellaPopulation build_gnutella_population(sim::Network& net,
     profile.uplink_bps = 250'000;
     profile.downlink_bps = 1'000'000;
 
-    gnutella::SharedFileIndex index;
+    gnutella::SharedFileIndex index(interner);
     for (std::size_t w : sample_works(*pop.catalog, rng, 10 + rng.index(30))) {
       index.add(pop.catalog->content(w));
     }
@@ -142,7 +147,7 @@ GnutellaPopulation build_gnutella_population(sim::Network& net,
     // Honest shares, popularity-weighted.
     std::size_t share_count = config.shares_min +
         rng.index(config.shares_max - config.shares_min + 1);
-    gnutella::SharedFileIndex index;
+    gnutella::SharedFileIndex index(interner);
     for (std::size_t w : sample_works(*pop.catalog, rng, share_count)) {
       index.add(pop.catalog->content(w));
     }

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include <map>
+#include <unordered_map>
 #include <utility>
 
 #include "files/corpus.h"
@@ -173,13 +173,18 @@ struct KadPopulation {
   std::vector<PeerSpec> user_specs;
   std::vector<std::string> lure_queries;
   /// Ground truth for the coverage denominator: advertised endpoint string
-  /// of each infected user -> (strain id, strain name).
-  std::map<std::string, std::pair<malware::StrainId, std::string>> infected_hosts;
+  /// of each infected user -> (strain id, strain name). Flat-hash tables:
+  /// consumers only count and look up (never iterate), so no emission
+  /// order depends on the container — anything that does iterate must sort
+  /// keys first (see DESIGN.md "Deterministic emission").
+  std::unordered_map<std::string, std::pair<malware::StrainId, std::string>>
+      infected_hosts;
   /// Ground truth for honeypot labeling: hex md5 of every malicious
   /// artifact the infected users publish -> (strain id, strain name). Only
   /// a STORE of one of these digests marks a peer as observed-infected; an
   /// infected user's honest shares do not give it away.
-  std::map<std::string, std::pair<malware::StrainId, std::string>> malicious_digests;
+  std::unordered_map<std::string, std::pair<malware::StrainId, std::string>>
+      malicious_digests;
 };
 
 [[nodiscard]] KadPopulation build_kad_population(sim::Network& net,

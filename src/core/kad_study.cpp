@@ -182,7 +182,7 @@ StudyResult run_kad_study(const KadStudyConfig& config,
   result.records = crawl.take_records();
   result.crawl_stats = crawl.stats();
   result.strain_catalog = pop.strain_catalog;
-  result.events_executed = net.events().executed();
+  result.events_executed = net.engine().executed();
   result.messages_delivered = net.messages_delivered();
   result.bytes_delivered = net.bytes_delivered();
   result.churn_joins = churn.joins();

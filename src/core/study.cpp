@@ -161,7 +161,7 @@ std::uint64_t config_hash(const LimewireStudyConfig& config) {
   h.u64(config.crawler_count);
   hash_faults(h, config.faults, config.fault_seed);
   hash_timeseries(h, config.timeseries);
-  hash_sharded(h, config.shards);
+  hash_sharded(h, config.shards, config.soa_capacity);
   return h.digest();
 }
 
@@ -192,16 +192,38 @@ std::uint64_t config_hash(const OpenFtStudyConfig& config) {
   h.u64(config.workload_top_n);
   hash_faults(h, config.faults, config.fault_seed);
   hash_timeseries(h, config.timeseries);
-  hash_sharded(h, config.shards);
+  hash_sharded(h, config.shards, config.soa_capacity);
   return h.digest();
 }
 
+namespace {
+
+/// Executor selection for the full-fidelity studies: shards == 0 is the
+/// serial EventQueue (byte-identical to previous releases); shards >= 1
+/// runs the same model on the sharded engine, with spawned workers
+/// recording into the study's registry via a thread-scoped guard.
+sim::ShardingConfig study_sharding(std::size_t shards) {
+  sim::ShardingConfig sharding;
+  sharding.shards = shards;
+  if (shards > 0) {
+    sharding.worker_context = [&reg = obs::MetricsRegistry::global()] {
+      return std::static_pointer_cast<void>(
+          std::make_shared<obs::ScopedMetricsRegistry>(reg));
+    };
+  }
+  return sharding;
+}
+
+}  // namespace
+
 StudyResult run_limewire_study(const LimewireStudyConfig& config,
                                crawler::RecordSink* record_sink) {
-  if (config.shards > 0) return run_limewire_study_sharded(config, record_sink);
+  if (config.shards > 0 && config.soa_capacity) {
+    return run_limewire_study_sharded(config, record_sink);
+  }
   // Each run owns the registry window: reset here, snapshot at the end.
   obs::MetricsRegistry::global().reset();
-  sim::Network net(config.seed);
+  sim::Network net(config.seed, study_sharding(config.shards));
   std::unique_ptr<fault::FaultInjector> injector;
   if (config.faults.enabled()) {
     std::uint64_t fault_seed =
@@ -219,6 +241,14 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
 
   // One or more instrumented clients on distinct vantage addresses.
   std::size_t vantage_count = std::max<std::size_t>(1, config.crawler_count);
+  if (net.sharded() && vantage_count > 1 && injector) {
+    // The injector's crawler-side fault stream (stalls, scan timeouts) is a
+    // single serial rng; two crawler entities on different shards would
+    // race it. Multi-vantage sharded runs are fine fault-free.
+    throw std::invalid_argument(
+        "run_limewire_study: crawler_count > 1 with faults requires the "
+        "serial engine (--shards 0)");
+  }
   std::vector<std::unique_ptr<crawler::LimewireCrawler>> crawlers;
   for (std::size_t v = 0; v < vantage_count; ++v) {
     crawler::CrawlConfig crawl_cfg = config.crawl;
@@ -245,7 +275,7 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
   std::unique_ptr<fault::CrashDriver> crash_driver;
   if (injector) {
     crash_driver = std::make_unique<fault::CrashDriver>(net, churn, *injector);
-    crash_driver->start();
+    crash_driver->start(internal::study_end(config.crawl));
   }
 
   obs::TimeSeries series = run_study_loop(
@@ -297,7 +327,7 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
     }
   }
   result.strain_catalog = pop.strain_catalog;
-  result.events_executed = net.events().executed();
+  result.events_executed = net.engine().executed();
   result.messages_delivered = net.messages_delivered();
   result.bytes_delivered = net.bytes_delivered();
   result.churn_joins = churn.joins();
@@ -312,9 +342,11 @@ StudyResult run_limewire_study(const LimewireStudyConfig& config,
 
 StudyResult run_openft_study(const OpenFtStudyConfig& config,
                              crawler::RecordSink* record_sink) {
-  if (config.shards > 0) return run_openft_study_sharded(config, record_sink);
+  if (config.shards > 0 && config.soa_capacity) {
+    return run_openft_study_sharded(config, record_sink);
+  }
   obs::MetricsRegistry::global().reset();
-  sim::Network net(config.seed);
+  sim::Network net(config.seed, study_sharding(config.shards));
   std::unique_ptr<fault::FaultInjector> injector;
   if (config.faults.enabled()) {
     std::uint64_t fault_seed =
@@ -358,7 +390,7 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config,
   std::unique_ptr<fault::CrashDriver> crash_driver;
   if (injector) {
     crash_driver = std::make_unique<fault::CrashDriver>(net, churn, *injector);
-    crash_driver->start();
+    crash_driver->start(internal::study_end(config.crawl));
   }
 
   obs::TimeSeries series = run_study_loop(
@@ -379,7 +411,7 @@ StudyResult run_openft_study(const OpenFtStudyConfig& config,
   result.records = crawl.take_records();
   result.crawl_stats = crawl.stats();
   result.strain_catalog = pop.strain_catalog;
-  result.events_executed = net.events().executed();
+  result.events_executed = net.engine().executed();
   result.messages_delivered = net.messages_delivered();
   result.bytes_delivered = net.bytes_delivered();
   result.churn_joins = churn.joins();
@@ -401,6 +433,13 @@ trace::StudySummary study_summary(const StudyResult& result) {
   summary.churn_leaves = result.churn_leaves;
   summary.crawl_stats = result.crawl_stats;
   summary.metrics = result.metrics;
+  // Wall-clock histograms (scanner/event timing) vary run to run; a trace
+  // must hold only the reproducible subset so identical configs produce
+  // byte-identical files. Exports already exclude them by default.
+  std::erase_if(summary.metrics.histograms,
+                [](const obs::MetricsSnapshot::HistogramSample& h) {
+                  return h.wall_clock;
+                });
   summary.faults_enabled = result.faults_enabled;
   summary.fault_counters = result.fault_counters;
   summary.timeseries = result.timeseries;

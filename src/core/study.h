@@ -41,10 +41,15 @@ struct LimewireStudyConfig {
   /// carries a TimeSeries. Folded into config_hash only when enabled.
   obs::TimeSeriesConfig timeseries{};
   /// 0 = legacy serial model (byte-identical to previous releases). Any
-  /// value >= 1 routes to the sharded engine, whose output is identical at
-  /// every shard count; a "sharded" marker (never the count) is folded into
-  /// config_hash so the two models can't share trace caches.
+  /// value >= 1 runs the full-fidelity study on the sharded engine, whose
+  /// output is identical at every shard count; a model marker (never the
+  /// count) is folded into config_hash so the models can't share trace
+  /// caches.
   std::size_t shards = 0;
+  /// With shards >= 1: run the reduced SoA capacity model (core/shard_study)
+  /// instead of the full-fidelity legacy model — the population-scaling
+  /// variant. Ignored when shards == 0.
+  bool soa_capacity = false;
 };
 
 struct OpenFtStudyConfig {
@@ -60,6 +65,8 @@ struct OpenFtStudyConfig {
   obs::TimeSeriesConfig timeseries{};
   /// Sharded-engine worker count; see LimewireStudyConfig.
   std::size_t shards = 0;
+  /// Reduced SoA capacity model switch; see LimewireStudyConfig.
+  bool soa_capacity = false;
 };
 
 /// Enable a fault plan on a study config: stores the spec + schedule seed

@@ -50,7 +50,8 @@ obs::TimeSeries run_study_loop(sim::Network& net,
   obs::ProgressReporter* progress = obs::ProgressReporter::current();
   bool want_progress = progress != nullptr && progress->enabled();
   if (!ts.enabled() && !want_progress) {
-    net.events().run_until(end);
+    net.engine().run_until(end);
+    if (net.sharded()) net.refresh_gauges();
     return {};
   }
   // Progress without a time series still needs boundaries to report at:
@@ -63,7 +64,12 @@ obs::TimeSeries run_study_loop(sim::Network& net,
   sim::SimTime t = sim::SimTime::zero();
   while (t < end) {
     t = std::min(t + step, end);
-    net.events().run_until(t);
+    net.engine().run_until(t);
+    // Sharded mode can't maintain per-event gauges (a high-water mark would
+    // depend on worker interleaving); refresh them at the window boundary —
+    // everything at or before `t` has executed, so the values are
+    // deterministic — before the recorder samples.
+    if (net.sharded()) net.refresh_gauges();
     recorder.sample(t);
     if (want_progress) {
       ProgressCounters c = counters();
@@ -71,7 +77,7 @@ obs::TimeSeries run_study_loop(sim::Network& net,
       p.network = network;
       p.sim_now = t;
       p.sim_end = end;
-      p.events_executed = net.events().executed();
+      p.events_executed = net.engine().executed();
       p.responses = c.responses;
       p.degraded = c.degraded;
       p.final = t == end;
@@ -172,13 +178,17 @@ inline void hash_timeseries(ConfigHasher& h, const obs::TimeSeriesConfig& t) {
   h.u64(t.max_windows);
 }
 
-inline void hash_sharded(ConfigHasher& h, std::size_t shards) {
-  // The sharded engine is a different model (a different byte stream), so
-  // serial-model traces must never satisfy a sharded request or vice versa.
-  // Only the *marker* is folded, never the count: --shards 4 must produce
-  // the same header hash as --shards 1 for the byte-identity guarantee.
+inline void hash_sharded(ConfigHasher& h, std::size_t shards,
+                         bool soa_capacity) {
+  // Each sharded engine mode is a different model (a different byte
+  // stream), so traces from one model must never satisfy a request for
+  // another. Only the *marker* is folded, never the count: --shards 4 must
+  // produce the same header hash as --shards 1 for the byte-identity
+  // guarantee. Both markers differ from the pre-legacy-port "sharded"
+  // marker, so caches recorded by the old SoA-only --shards path are
+  // invalidated rather than mistaken for either current model.
   if (shards == 0) return;
-  h.str("sharded");
+  h.str(soa_capacity ? "sharded-soa" : "sharded-legacy");
 }
 
 }  // namespace p2p::core::internal

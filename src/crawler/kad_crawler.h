@@ -19,7 +19,6 @@
 // round-trips the whole measurement byte-identically.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -48,7 +47,9 @@ struct KadHoneypotConfig {
   /// observation is labeled infected only when the STORE's digest matches —
   /// an infected peer's honest shares do not give it away, so coverage
   /// measures how often the malicious publishes themselves reach a vantage.
-  std::map<std::string, std::pair<malware::StrainId, std::string>> malicious_digests;
+  /// Flat-hash: lookup-only (labeling never iterates this table).
+  std::unordered_map<std::string, std::pair<malware::StrainId, std::string>>
+      malicious_digests;
 };
 
 class KadCrawler {

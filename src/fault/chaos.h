@@ -5,6 +5,8 @@
 // peer restarts after a plan-drawn downtime, keeping its identity.
 #pragma once
 
+#include <atomic>
+
 #include "agents/churn.h"
 #include "fault/fault.h"
 #include "sim/network.h"
@@ -14,13 +16,24 @@ namespace p2p::fault {
 class CrashDriver {
  public:
   /// `injector` and `churn` must outlive the driver; the driver schedules
-  /// against `net`'s event queue and only crashes peers managed by `churn`.
+  /// against `net`'s executor and only crashes peers managed by `churn`.
   CrashDriver(sim::Network& net, agents::ChurnDriver& churn, FaultInjector& injector);
 
   /// Schedule the first crash (no-op when crashes_per_hour is zero).
-  void start();
+  ///
+  /// Sharded mode needs `horizon` (the study end): the whole crash schedule
+  /// is precomputed from the plan's crash stream before the run and each
+  /// strike is bootstrap-posted to its victim's entity. Victims are drawn
+  /// over ALL churnable specs — an offline victim makes the strike a no-op —
+  /// rather than serial mode's online-only pick, because the online set at a
+  /// future instant isn't knowable up front. A band-level model difference
+  /// (see DESIGN.md); the realized crash rate scales with the online
+  /// fraction.
+  void start(sim::SimTime horizon = sim::SimTime::zero());
 
-  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t crashes() const {
+    return crashes_.load(std::memory_order_relaxed);
+  }
 
  private:
   void schedule_next();
@@ -29,7 +42,7 @@ class CrashDriver {
   sim::Network& net_;
   agents::ChurnDriver& churn_;
   FaultInjector& injector_;
-  std::uint64_t crashes_ = 0;
+  std::atomic<std::uint64_t> crashes_{0};
 };
 
 }  // namespace p2p::fault

@@ -153,7 +153,7 @@ bool FaultPlan::corrupt_payload(util::Bytes& payload) {
       !corrupt_rng_.chance(spec_.payload_corrupt)) {
     return false;
   }
-  apply_corruption({payload.data(), payload.size()});
+  apply_corruption(corrupt_rng_, {payload.data(), payload.size()});
   return true;
 }
 
@@ -165,20 +165,20 @@ bool FaultPlan::corrupt_payload(util::Payload& payload) {
       !corrupt_rng_.chance(spec_.payload_corrupt)) {
     return false;
   }
-  apply_corruption(payload.mutate());
+  apply_corruption(corrupt_rng_, payload.mutate());
   return true;
 }
 
-void FaultPlan::apply_corruption(std::span<std::uint8_t> payload) {
-  std::size_t flips = 1 + static_cast<std::size_t>(corrupt_rng_.bounded(4));
+void FaultPlan::apply_corruption(util::Rng& rng, std::span<std::uint8_t> payload) {
+  std::size_t flips = 1 + static_cast<std::size_t>(rng.bounded(4));
   std::array<std::size_t, 4> at{};
   std::array<std::uint8_t, 4> before{};
   for (std::size_t i = 0; i < flips; ++i) {
-    at[i] = corrupt_rng_.index(payload.size());
+    at[i] = rng.index(payload.size());
     before[i] = payload[at[i]];
   }
   for (std::size_t i = 0; i < flips; ++i) {
-    payload[at[i]] ^= static_cast<std::uint8_t>(1 + corrupt_rng_.bounded(255));
+    payload[at[i]] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
   }
   // Two flips on the same byte can cancel; a "corrupted" frame that is
   // byte-identical to the original would make the injected/observed
@@ -191,7 +191,7 @@ void FaultPlan::apply_corruption(std::span<std::uint8_t> payload) {
     }
   }
   if (!changed) {
-    payload[at[0]] ^= static_cast<std::uint8_t>(1 + corrupt_rng_.bounded(255));
+    payload[at[0]] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
   }
 }
 
@@ -223,7 +223,7 @@ sim::SendFaults FaultInjector::on_send(util::Payload& payload) {
   sim::SendFaults f;
   if (plan_.drop_message()) {
     f.drop = true;
-    ++counters_.messages_dropped;
+    counters_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
     FaultMetrics::get().messages_dropped.add(1);
   }
   // The delay/duplicate draws still run for dropped messages so the message
@@ -231,19 +231,62 @@ sim::SendFaults FaultInjector::on_send(util::Payload& payload) {
   if (auto extra = plan_.extra_delay()) {
     f.extra_delay = *extra;
     if (!f.drop) {
-      ++counters_.messages_delayed;
+      counters_.messages_delayed.fetch_add(1, std::memory_order_relaxed);
       FaultMetrics::get().messages_delayed.add(1);
     }
   }
   if (plan_.duplicate_message()) {
     f.duplicate = true;
     if (!f.drop) {
-      ++counters_.messages_duplicated;
+      counters_.messages_duplicated.fetch_add(1, std::memory_order_relaxed);
       FaultMetrics::get().messages_duplicated.add(1);
     }
   }
   if (!f.drop && plan_.corrupt_payload(payload)) {
-    ++counters_.payloads_corrupted;
+    counters_.payloads_corrupted.fetch_add(1, std::memory_order_relaxed);
+    FaultMetrics::get().payloads_corrupted.add(1);
+  }
+  return f;
+}
+
+sim::SendFaults FaultInjector::on_send_keyed(util::Payload& payload,
+                                             std::uint64_t key) {
+  // One private stream per message, derived from (plan seed, message key):
+  // touching no shared plan state makes the decision independent of which
+  // worker executes the send, and the key is intrinsic to the simulation,
+  // so the whole fault schedule is byte-stable across shard counts.
+  std::uint64_t state = plan_.seed() ^ 0xfa17'5eed'c0deull;
+  std::uint64_t derived = util::splitmix64(state) ^ key;
+  util::Rng rng(derived);
+  const FaultSpec& spec = plan_.spec();
+
+  sim::SendFaults f;
+  if (spec.message_loss > 0.0 && rng.chance(spec.message_loss)) {
+    f.drop = true;
+    counters_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    FaultMetrics::get().messages_dropped.add(1);
+  }
+  if (spec.message_delay > 0.0 && rng.chance(spec.message_delay)) {
+    std::int64_t max_ms =
+        std::max<std::int64_t>(1, spec.message_delay_max.count_ms());
+    f.extra_delay = sim::SimDuration::millis(
+        static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(max_ms))) + 1);
+    if (!f.drop) {
+      counters_.messages_delayed.fetch_add(1, std::memory_order_relaxed);
+      FaultMetrics::get().messages_delayed.add(1);
+    }
+  }
+  if (spec.message_duplicate > 0.0 && rng.chance(spec.message_duplicate)) {
+    f.duplicate = true;
+    if (!f.drop) {
+      counters_.messages_duplicated.fetch_add(1, std::memory_order_relaxed);
+      FaultMetrics::get().messages_duplicated.add(1);
+    }
+  }
+  if (!f.drop && spec.payload_corrupt > 0.0 && !payload.empty() &&
+      rng.chance(spec.payload_corrupt)) {
+    FaultPlan::apply_corruption(rng, payload.mutate());
+    counters_.payloads_corrupted.fetch_add(1, std::memory_order_relaxed);
     FaultMetrics::get().payloads_corrupted.add(1);
   }
   return f;
@@ -251,14 +294,14 @@ sim::SendFaults FaultInjector::on_send(util::Payload& payload) {
 
 bool FaultInjector::download_stalls() {
   if (!plan_.download_stalls()) return false;
-  ++counters_.downloads_stalled;
+  counters_.downloads_stalled.fetch_add(1, std::memory_order_relaxed);
   FaultMetrics::get().downloads_stalled.add(1);
   return true;
 }
 
 bool FaultInjector::scan_times_out() {
   if (!plan_.scan_times_out()) return false;
-  ++counters_.scan_timeouts;
+  counters_.scan_timeouts.fetch_add(1, std::memory_order_relaxed);
   FaultMetrics::get().scan_timeouts.add(1);
   return true;
 }

@@ -16,6 +16,7 @@
 // byte-identical to a build without this subsystem.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -112,11 +113,12 @@ class FaultPlan {
   /// Pick a crash victim index in [0, bound).
   [[nodiscard]] std::size_t pick_victim(std::size_t bound);
 
- private:
-  /// Flip 1-4 bytes, guaranteeing a net change (shared by both
-  /// corrupt_payload overloads; consumes corrupt_rng_ identically).
-  void apply_corruption(std::span<std::uint8_t> payload);
+  /// Flip 1-4 bytes, guaranteeing a net change, consuming draws from `rng`
+  /// (the member streams for the serial path; a per-message stream for the
+  /// sharded keyed path).
+  static void apply_corruption(util::Rng& rng, std::span<std::uint8_t> payload);
 
+ private:
   FaultSpec spec_;
   std::uint64_t seed_;
   util::Rng message_rng_;
@@ -157,7 +159,10 @@ struct FaultMetrics {
 
 /// Plan + counting, wired into sim::Network as its message-fault hook and
 /// handed to the crawlers for transfer/scan faults. One injector per study
-/// run; not thread-safe (each sweep task owns its own).
+/// run. The plan's serial streams (on_send, the crawler hooks, the crash
+/// schedule) are single-consumer; the counters are atomic, so the keyed
+/// send path — which derives a private per-message stream and touches no
+/// plan state — may run concurrently from sharded-engine workers.
 class FaultInjector final : public sim::MessageFaultHook {
  public:
   FaultInjector(FaultSpec spec, std::uint64_t seed) : plan_(spec, seed) {}
@@ -165,6 +170,12 @@ class FaultInjector final : public sim::MessageFaultHook {
   // sim::MessageFaultHook: one call per sim::Network::send of a live
   // connection; may corrupt the payload via its copy-on-write path.
   sim::SendFaults on_send(util::Payload& payload) override;
+  /// Sharded-network variant: all decisions come from a stream derived from
+  /// (plan seed, key) — the same decision for the same message whatever
+  /// thread or order the sends execute in. Draw order within a message
+  /// mirrors on_send (drop, delay, duplicate, corrupt).
+  sim::SendFaults on_send_keyed(util::Payload& payload,
+                                std::uint64_t key) override;
 
   /// Crawler hook: decide whether this fetch will hang. Counted here.
   bool download_stalls();
@@ -172,21 +183,46 @@ class FaultInjector final : public sim::MessageFaultHook {
   bool scan_times_out();
 
   void count_crash() {
-    ++counters_.peer_crashes;
+    counters_.peer_crashes.fetch_add(1, std::memory_order_relaxed);
     FaultMetrics::get().peer_crashes.add(1);
   }
   void count_restart() {
-    ++counters_.peer_restarts;
+    counters_.peer_restarts.fetch_add(1, std::memory_order_relaxed);
     FaultMetrics::get().peer_restarts.add(1);
   }
 
   [[nodiscard]] FaultPlan& plan() { return plan_; }
   [[nodiscard]] const FaultSpec& spec() const { return plan_.spec(); }
-  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+  [[nodiscard]] FaultCounters counters() const {
+    auto ld = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    FaultCounters c;
+    c.messages_dropped = ld(counters_.messages_dropped);
+    c.messages_delayed = ld(counters_.messages_delayed);
+    c.messages_duplicated = ld(counters_.messages_duplicated);
+    c.payloads_corrupted = ld(counters_.payloads_corrupted);
+    c.peer_crashes = ld(counters_.peer_crashes);
+    c.peer_restarts = ld(counters_.peer_restarts);
+    c.downloads_stalled = ld(counters_.downloads_stalled);
+    c.scan_timeouts = ld(counters_.scan_timeouts);
+    return c;
+  }
 
  private:
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> messages_dropped{0};
+    std::atomic<std::uint64_t> messages_delayed{0};
+    std::atomic<std::uint64_t> messages_duplicated{0};
+    std::atomic<std::uint64_t> payloads_corrupted{0};
+    std::atomic<std::uint64_t> peer_crashes{0};
+    std::atomic<std::uint64_t> peer_restarts{0};
+    std::atomic<std::uint64_t> downloads_stalled{0};
+    std::atomic<std::uint64_t> scan_timeouts{0};
+  };
+
   FaultPlan plan_;
-  FaultCounters counters_;
+  AtomicCounters counters_;
 };
 
 }  // namespace p2p::fault

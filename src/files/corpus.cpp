@@ -141,6 +141,7 @@ const CatalogEntry& ContentCatalog::entry(std::size_t idx) const {
 
 std::shared_ptr<const FileContent> ContentCatalog::content(std::size_t idx) const {
   if (idx >= entries_.size()) throw std::out_of_range("ContentCatalog::content");
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   if (!cache_[idx]) {
     cache_[idx] = std::make_shared<const FileContent>(
         entries_[idx].name, generate_bytes(idx, entries_[idx]));

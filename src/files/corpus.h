@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,7 +56,9 @@ class ContentCatalog {
 
   /// Content bytes for a work. Generated deterministically on first use and
   /// cached; all replicas of a work across peers share identical bytes (and
-  /// hence SHA-1), matching real file replication.
+  /// hence SHA-1), matching real file replication. Generation is a pure
+  /// function of (seed, idx), so the cache works under concurrent callers
+  /// from sharded-engine workers; a mutex guards the slot assignment.
   [[nodiscard]] std::shared_ptr<const FileContent> content(std::size_t idx) const;
 
   /// Sample a work index by popularity (rank 0 most popular).
@@ -70,6 +73,7 @@ class ContentCatalog {
   CorpusConfig config_;
   std::vector<CatalogEntry> entries_;
   util::ZipfSampler zipf_;
+  mutable std::mutex cache_mutex_;
   mutable std::vector<std::shared_ptr<const FileContent>> cache_;
 };
 

@@ -38,6 +38,24 @@ void QueryRouteTable::add_keywords(std::string_view text) {
   }
 }
 
+QueryHashes hash_query(std::string_view query, unsigned bits) {
+  QueryHashes out;
+  out.bits = bits;
+  auto kws = util::keywords(query);
+  out.no_keywords = kws.empty();
+  out.slots.reserve(kws.size());
+  for (const auto& kw : kws) out.slots.push_back(qrp_hash(kw, bits));
+  return out;
+}
+
+bool QueryRouteTable::matches_hashed(const QueryHashes& q) const {
+  if (q.no_keywords) return false;
+  for (std::uint32_t slot : q.slots) {
+    if (!slots_[slot]) return false;
+  }
+  return true;
+}
+
 bool QueryRouteTable::matches(std::string_view query) const {
   auto kws = util::keywords(query);
   if (kws.empty()) return false;

@@ -21,6 +21,16 @@ namespace p2p::gnutella {
 /// keep the top `bits` bits of the low 32-bit product.
 [[nodiscard]] std::uint32_t qrp_hash(std::string_view keyword, unsigned bits);
 
+/// A query's keywords tokenized and QRP-hashed once for one table size, so
+/// an ultrapeer can gate the same query against many leaf tables without
+/// re-parsing the criteria string per leaf (the last-hop hot path).
+struct QueryHashes {
+  unsigned bits = 0;  // 0 = not yet computed
+  bool no_keywords = true;
+  std::vector<std::uint32_t> slots;
+};
+[[nodiscard]] QueryHashes hash_query(std::string_view query, unsigned bits);
+
 class QueryRouteTable {
  public:
   /// table_bits in [4, 24]; table has 2^table_bits slots.
@@ -38,6 +48,10 @@ class QueryRouteTable {
 
   /// Would this table admit the query? (every query keyword present).
   [[nodiscard]] bool matches(std::string_view query) const;
+
+  /// Same decision from precomputed hashes; `q.bits` must equal
+  /// table_bits(). Byte-identical to matches() on the same query.
+  [[nodiscard]] bool matches_hashed(const QueryHashes& q) const;
 
   /// Fraction of slots set — used by ultrapeers to spot degenerate tables.
   [[nodiscard]] double fill_ratio() const;

@@ -619,8 +619,12 @@ void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& ms
 
   // Serialize each forwarded form once, lazily; every neighbor that takes
   // it shares the same buffer (a Payload refcount bump per hop, no copies).
+  // The query's QRP hashes are likewise computed once and tested against
+  // every leaf table (recomputed only if a leaf advertised a different
+  // table size).
   util::Payload fwd_wire;
   util::Payload leaf_wire;
+  QueryHashes qhash;
   for (auto& [cid, st] : conns_) {
     if (cid == conn) continue;
     if ((st.kind != ConnKind::kOverlayIn && st.kind != ConnKind::kOverlayOut) ||
@@ -637,10 +641,15 @@ void Servent::handle_query(sim::ConnId conn, ConnState& state, const Message& ms
     } else {
       // Last hop to a leaf: QRP gate (always forwarded when QRP disabled —
       // the A2 ablation measures exactly this difference).
-      if (config_.use_qrp && st.has_qrt && !st.qrt.matches(query.criteria)) {
-        ++stats_.qrp_suppressed;
-        m.qrp_suppressed.add(1);
-        continue;
+      if (config_.use_qrp && st.has_qrt) {
+        if (qhash.bits != st.qrt.table_bits()) {
+          qhash = hash_query(query.criteria, st.qrt.table_bits());
+        }
+        if (!st.qrt.matches_hashed(qhash)) {
+          ++stats_.qrp_suppressed;
+          m.qrp_suppressed.add(1);
+          continue;
+        }
       }
       if (leaf_wire.empty()) {
         Message leaf_fwd = fwd;

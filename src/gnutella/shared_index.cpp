@@ -1,19 +1,58 @@
 #include "gnutella/shared_index.h"
 
+#include <algorithm>
+
 #include "util/strings.h"
 
 namespace p2p::gnutella {
 
+std::vector<std::uint32_t> TokenInterner::intern_keywords(std::string_view text) {
+  std::vector<std::uint32_t> out;
+  for (auto& kw : util::keywords(text)) {
+    auto [it, inserted] =
+        ids_.emplace(std::move(kw), static_cast<std::uint32_t>(ids_.size()));
+    out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<std::vector<std::uint32_t>> TokenInterner::lookup_keywords(
+    std::string_view text) const {
+  auto kws = util::keywords(text);
+  if (kws.empty()) return std::nullopt;
+  std::vector<std::uint32_t> out;
+  out.reserve(kws.size());
+  for (const auto& kw : kws) {
+    auto it = ids_.find(kw);
+    if (it == ids_.end()) return std::nullopt;
+    out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 std::uint32_t SharedFileIndex::add(std::shared_ptr<const files::FileContent> file) {
+  if (!interner_) interner_ = std::make_shared<TokenInterner>();
   total_bytes_ += file->size();
+  auto ids = interner_->intern_keywords(file->name());
+  token_ids_.insert(token_ids_.end(), ids.begin(), ids.end());
+  offsets_.push_back(static_cast<std::uint32_t>(token_ids_.size()));
   files_.push_back(std::move(file));
   return static_cast<std::uint32_t>(files_.size() - 1);
 }
 
 std::vector<SharedFileIndex::Match> SharedFileIndex::match(std::string_view query) const {
   std::vector<Match> out;
+  if (files_.empty()) return out;
+  auto q = interner_->lookup_keywords(query);
+  if (!q) return out;  // no keywords, or one no shared file anywhere contains
   for (std::size_t i = 0; i < files_.size(); ++i) {
-    if (util::keyword_match(query, files_[i]->name())) {
+    const auto* begin = token_ids_.data() + offsets_[i];
+    const auto* end = token_ids_.data() + offsets_[i + 1];
+    if (std::includes(begin, end, q->begin(), q->end())) {
       out.push_back(Match{static_cast<std::uint32_t>(i), files_[i].get()});
     }
   }

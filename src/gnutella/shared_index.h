@@ -1,10 +1,20 @@
 // A servent's shared-file index: stable file indices (used in QueryHit and
 // download URLs), keyword matching, and QRP table construction.
+//
+// Matching is interned: every distinct keyword gets a small integer id from
+// a TokenInterner (one per population, shared by every peer's index), each
+// file's name is tokenized exactly once at add() time into a sorted id set,
+// and match() tokenizes the query once and runs a sorted-subset test per
+// file. This replaces the old per-call re-tokenization of every file name
+// (util::keyword_match per file per query) on the hottest study path.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "files/file.h"
@@ -12,8 +22,38 @@
 
 namespace p2p::gnutella {
 
+/// Keyword -> dense id table shared across every shared-file index of a
+/// population ("the corpus"). Interning happens at population-build time
+/// (single-threaded); during a run only the const lookup path is used, so
+/// concurrent match() calls from sharded-engine workers are safe. Token id
+/// values are an internal detail — nothing observable depends on them.
+class TokenInterner {
+ public:
+  /// Sorted unique ids for every keyword of `text` (a filename), interning
+  /// tokens not seen before. Tokenization matches util::keywords: split on
+  /// non-alphanumeric, lowercase, drop tokens shorter than 2 chars.
+  std::vector<std::uint32_t> intern_keywords(std::string_view text);
+
+  /// Sorted unique ids for a query's keywords; nullopt when the query has
+  /// no keywords or contains a keyword never interned — either way no
+  /// shared file can match. Read-only.
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> lookup_keywords(
+      std::string_view text) const;
+
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
 class SharedFileIndex {
  public:
+  SharedFileIndex() = default;
+  /// Share one interner across every index of a population so each distinct
+  /// name is tokenized once corpus-wide.
+  explicit SharedFileIndex(std::shared_ptr<TokenInterner> interner)
+      : interner_(std::move(interner)) {}
+
   /// Add a file; returns its stable index.
   std::uint32_t add(std::shared_ptr<const files::FileContent> file);
 
@@ -34,7 +74,12 @@ class SharedFileIndex {
   [[nodiscard]] QueryRouteTable build_qrt(unsigned table_bits = 13) const;
 
  private:
+  std::shared_ptr<TokenInterner> interner_;
   std::vector<std::shared_ptr<const files::FileContent>> files_;
+  /// Per-file sorted unique token ids, flattened; file i owns
+  /// [offsets_[i], offsets_[i+1]).
+  std::vector<std::uint32_t> token_ids_;
+  std::vector<std::uint32_t> offsets_{0};
   std::uint64_t total_bytes_ = 0;
 };
 

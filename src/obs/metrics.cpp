@@ -42,7 +42,7 @@ Histogram::Histogram(HistogramSpec spec) : spec_(spec) {
   std::size_t n = spec_.scale == HistogramSpec::Scale::kLinear
                       ? spec_.buckets + 2  // + underflow and overflow
                       : kExpBuckets;
-  counts_.assign(n, 0);
+  counts_ = std::vector<std::atomic<std::uint64_t>>(n);
 }
 
 std::size_t Histogram::bucket_of(std::int64_t v) const {
@@ -70,31 +70,34 @@ std::int64_t Histogram::bucket_upper(std::size_t i) const {
 }
 
 double Histogram::quantile(double q) const {
-  if (count_ == 0) return 0.0;
+  std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  std::int64_t lo = min();
+  std::int64_t hi = max();
   q = std::clamp(q, 0.0, 1.0);
-  auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    if (cum + counts_[i] >= target) {
-      auto lower = static_cast<double>(std::max(bucket_lower(i), min_));
-      auto upper = static_cast<double>(std::max(std::min(bucket_upper(i), max_),
-                                                std::max(bucket_lower(i), min_)));
-      double within = static_cast<double>(target - cum) /
-                      static_cast<double>(counts_[i]);
+    std::uint64_t c = bucket_value(i);
+    if (c == 0) continue;
+    if (cum + c >= target) {
+      auto lower = static_cast<double>(std::max(bucket_lower(i), lo));
+      auto upper = static_cast<double>(std::max(std::min(bucket_upper(i), hi),
+                                                std::max(bucket_lower(i), lo)));
+      double within = static_cast<double>(target - cum) / static_cast<double>(c);
       return lower + (upper - lower) * within;
     }
-    cum += counts_[i];
+    cum += c;
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(hi);
 }
 
 void Histogram::reset() {
-  std::fill(counts_.begin(), counts_.end(), 0);
-  count_ = 0;
-  sum_ = 0;
-  min_ = 0;
-  max_ = 0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry::MetricsRegistry() {
@@ -114,6 +117,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -122,6 +126,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -131,6 +136,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       const HistogramSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(spec))
@@ -140,12 +146,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

@@ -17,18 +17,25 @@
 // seed. Wall-clock histograms (HistogramSpec::wall_clock) are not; exporters
 // exclude them by default so snapshots stay reproducible.
 //
-// Each registry is single-threaded by design, like the simulator it
-// instruments. Concurrency happens one level up: the sweep runner
-// (src/sweep) gives every worker thread its own registry via
-// ScopedMetricsRegistry, so N studies can record in parallel without any
-// locking — global() resolves to the calling thread's scoped registry when
-// one is installed, and to the process-wide registry otherwise.
+// Concurrency: the primitives (Counter/Gauge/Histogram) record through
+// relaxed atomics, so one registry can absorb updates from many threads —
+// the sharded engine's workers all record into the study's registry, and
+// totals are order-independent (sums commute), keeping snapshots
+// deterministic. Name lookup in the registry is mutex-guarded; call sites
+// cache references (bound_metrics), so the lock is off the hot path. The
+// sweep runner still gives every worker thread its own registry via
+// ScopedMetricsRegistry — global() resolves to the calling thread's scoped
+// registry when one is installed, and to the process-wide registry
+// otherwise.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,37 +53,59 @@ class Counter {
  public:
   void add(std::uint64_t n = 1) {
 #ifndef P2P_OBS_DISABLED
-    value_ += n;
+    value_.fetch_add(n, std::memory_order_relaxed);
 #else
     (void)n;
 #endif
   }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
   void set(std::int64_t v) {
 #ifndef P2P_OBS_DISABLED
-    value_ = v;
-    if (v > max_) max_ = v;
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
 #else
     (void)v;
 #endif
   }
-  void add(std::int64_t d) { set(value_ + d); }
-  [[nodiscard]] std::int64_t value() const { return value_; }
+  void add(std::int64_t d) {
+#ifndef P2P_OBS_DISABLED
+    raise_max(value_.fetch_add(d, std::memory_order_relaxed) + d);
+#else
+    (void)d;
+#endif
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
   /// High-water mark since the last reset.
-  [[nodiscard]] std::int64_t max() const { return max_; }
-  void reset() { value_ = 0; max_ = 0; }
+  [[nodiscard]] std::int64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
-  std::int64_t max_ = 0;
+  void raise_max(std::int64_t v) {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
 };
 
 struct HistogramSpec {
@@ -109,11 +138,11 @@ class Histogram {
   void record(std::int64_t v) {
 #ifndef P2P_OBS_DISABLED
     if (v < 0) v = 0;
-    ++counts_[bucket_of(v)];
-    ++count_;
-    sum_ += v;
-    if (v < min_ || count_ == 1) min_ = v;
-    if (v > max_) max_ = v;
+    counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    lower_min(v);
+    raise_max(v);
 #else
     (void)v;
 #endif
@@ -121,19 +150,30 @@ class Histogram {
   void record(util::SimDuration d) { record(d.count_ms()); }
 
   [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::int64_t sum() const { return sum_; }
-  [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
-  [[nodiscard]] std::int64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  [[nodiscard]] std::int64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double mean() const {
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+    auto n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
   }
   /// Quantile estimate by linear interpolation within the covering bucket,
   /// clamped to the observed [min, max]. q in [0, 1].
   [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
-  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
   /// Inclusive lower bound of bucket i.
   [[nodiscard]] std::int64_t bucket_lower(std::size_t i) const;
   /// Exclusive upper bound of bucket i.
@@ -143,13 +183,26 @@ class Histogram {
 
  private:
   [[nodiscard]] std::size_t bucket_of(std::int64_t v) const;
+  void lower_min(std::int64_t v) {
+    std::int64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void raise_max(std::int64_t v) {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
 
   HistogramSpec spec_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t count_ = 0;
-  std::int64_t sum_ = 0;
-  std::int64_t min_ = 0;
-  std::int64_t max_ = 0;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  // Sentinel: int64 max while empty; min() reports 0 until the first record.
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{0};
 };
 
 /// Point-in-time copy of every registered metric, sorted by name — the unit
@@ -219,6 +272,9 @@ class MetricsRegistry {
   static MetricsRegistry*& current();
 
   std::uint64_t id_;
+  /// Guards the name maps only — recording through a returned reference is
+  /// lock-free (the primitives are atomic).
+  mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -95,6 +95,7 @@ bool TraceBuffer::enable_from_spec(std::string_view spec) {
 void TraceBuffer::record(Component c, std::string_view event, util::SimTime at,
                          std::vector<TraceField> fields) {
   if (!enabled(c)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t slot;
   if (size_ < capacity_) {
     slot = (start_ + size_) % capacity_;
@@ -112,6 +113,7 @@ void TraceBuffer::record(Component c, std::string_view event, util::SimTime at,
 }
 
 void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   start_ = 0;
   size_ = 0;
   total_ = 0;

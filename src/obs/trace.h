@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -103,6 +104,7 @@ class TraceBuffer {
   /// Visit buffered events oldest-to-newest (tests and custom exporters).
   template <typename Fn>
   void for_each(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < size_; ++i) {
       fn(ring_[(start_ + i) % capacity_]);
     }
@@ -114,6 +116,9 @@ class TraceBuffer {
   }
 
   std::size_t capacity_;
+  /// Serializes ring mutation — sharded-engine workers may trace
+  /// concurrently. The enabled() fast path stays lock-free.
+  mutable std::mutex mutex_;
   std::vector<TraceEvent> ring_;
   std::size_t start_ = 0;  // index of oldest record
   std::size_t size_ = 0;

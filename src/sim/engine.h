@@ -11,6 +11,12 @@
 // The interface is deliberately the common core only: single-event step()
 // has no meaning for a barrier-synchronized parallel engine and stays on
 // EventQueue.
+//
+// Entity-aware scheduling (add_entity/post) is part of the interface with
+// serial-trivial defaults: on EventQueue every entity is the ambient 0 and
+// post() is schedule_at(), so a model written against entities runs
+// unchanged on either executor — the ShardedEngine overrides give the same
+// calls a partition and an ordering key.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +31,9 @@ using util::SimTime;
 
 class Engine {
  public:
+  /// Scheduling context: which registered entity's handler is running.
+  using EntityId = std::uint32_t;
+
   virtual ~Engine() = default;
 
   /// Schedule `action` at absolute time `at` (>= now(); past stamps throw
@@ -37,6 +46,28 @@ class Engine {
   void schedule_in(SimDuration delay, Task action) {
     schedule_at(now() + delay, std::move(action));
   }
+
+  /// Register a scheduling entity before the first run call. Serial engines
+  /// have a single context — everything is the ambient entity 0 — so the
+  /// default collapses every registration to 0. The ShardedEngine override
+  /// assigns a real id and a home shard from `stable_key`.
+  virtual EntityId add_entity(std::uint64_t stable_key) {
+    (void)stable_key;
+    return 0;
+  }
+
+  /// Schedule `action` to run in `entity`'s context at absolute time `at`.
+  /// Serial default: entity is advisory, the event goes on the one queue.
+  /// The ShardedEngine override routes to the entity's shard and enforces
+  /// the cross-entity lookahead floor.
+  virtual void post(EntityId entity, SimTime at, Task action) {
+    (void)entity;
+    schedule_at(at, std::move(action));
+  }
+
+  /// The entity whose handler is currently executing on this thread (0 for
+  /// serial engines and outside handlers).
+  [[nodiscard]] virtual EntityId current_entity() const { return 0; }
 
   /// Current simulated time. Between run calls this is the last run_until
   /// target (or the stamp of the last executed event after run_all).

@@ -23,15 +23,51 @@ Network::Metrics::Metrics()
       message_bytes(obs::MetricsRegistry::global().histogram(
           "net.message_bytes", obs::HistogramSpec::exponential(obs::Unit::kBytes))) {}
 
-Network::Network(std::uint64_t seed) : rng_(seed) {
+namespace {
+
+/// Stateless mixer for intrinsic draws: a splitmix64 chain over up to three
+/// words. Every sharded-mode random decision (latency, fault key) is a pure
+/// function of (seed, origin slot, origin sequence) through this, so it
+/// never depends on thread or shard interleaving.
+std::uint64_t mix_key(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0) {
+  std::uint64_t state = a + 0x9e3779b97f4a7c15ull;
+  state ^= util::splitmix64(state) + b;
+  state ^= util::splitmix64(state) + c;
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+Network::Network(std::uint64_t seed, ShardingConfig sharding)
+    : rng_(seed), seed_(seed), lookahead_(sharding.lookahead) {
+  if (sharding.shards > 0) {
+    ShardedEngine::Config cfg;
+    cfg.shards = sharding.shards;
+    cfg.lookahead = sharding.lookahead;
+    cfg.worker_context = std::move(sharding.worker_context);
+    sharded_ = std::make_unique<ShardedEngine>(cfg);
+  }
   // Stamp log lines with this network's simulated clock (see util/log.h).
-  util::Logger::instance().set_sim_clock([this] { return events_.now(); });
+  util::Logger::instance().set_sim_clock([this] { return now(); });
 }
 
 Network::~Network() { util::Logger::instance().clear_sim_clock(); }
 
+EventQueue& Network::events() {
+  if (sharded_) {
+    throw std::logic_error(
+        "Network::events: no serial queue on a sharded network (use engine())");
+  }
+  return events_;
+}
+
 NodeId Network::add_node(std::unique_ptr<Node> node, HostProfile profile) {
   if (!node) throw std::invalid_argument("Network::add_node: null node");
+  if (sharded_) {
+    NodeId id = register_peer(profile);
+    attach_node(id, std::move(node));
+    return id;
+  }
   NodeId id = static_cast<NodeId>(slots_.size());
   node->id_ = id;
   node->network_ = this;
@@ -52,7 +88,53 @@ NodeId Network::add_node(std::unique_ptr<Node> node, HostProfile profile) {
   return id;
 }
 
+NodeId Network::register_peer(HostProfile profile) {
+  if (!sharded_) {
+    throw std::logic_error("Network::register_peer: sharded mode only");
+  }
+  NodeId id = static_cast<NodeId>(slots_.size());
+  Slot& slot = slots_.emplace_back();
+  slot.profile = profile;
+  slot.entity = sharded_->add_entity(id);  // throws if a run is in progress
+  if (!profile.behind_nat) {
+    listeners_[util::Endpoint{profile.ip, profile.port}] = id;
+  }
+  return id;
+}
+
+void Network::attach_node(NodeId id, std::unique_ptr<Node> node) {
+  if (!sharded_) throw std::logic_error("Network::attach_node: sharded mode only");
+  if (!node) throw std::invalid_argument("Network::attach_node: null node");
+  if (id >= slots_.size()) throw std::out_of_range("Network::attach_node");
+  Slot& slot = slots_[id];
+  if (slot.node) throw std::logic_error("Network::attach_node: slot occupied");
+  node->id_ = id;
+  node->network_ = this;
+  slot.node = std::move(node);
+  alive_count_.fetch_add(1, std::memory_order_relaxed);
+  // start() runs from the slot's own event context (self-post before a run
+  // becomes a bootstrap insert); the generation guard skips it if the
+  // instance churns away before the event fires.
+  std::uint64_t gen = slot.generation;
+  sharded_->post(slot.entity, now(), [this, id, gen] {
+    Slot& s = slots_[id];
+    if (s.node && s.generation == gen) s.node->start();
+  });
+  P2P_TRACE(obs::Component::kNet, "node_join", now(), obs::tf("node", id),
+            obs::tf("ip", slot.profile.ip.str()),
+            obs::tf("nat", slot.profile.behind_nat));
+}
+
+Engine::EntityId Network::entity_of(NodeId id) const {
+  if (id >= slots_.size()) throw std::out_of_range("Network::entity_of");
+  return slots_[id].entity;
+}
+
 void Network::remove_node(NodeId id) {
+  if (sharded_) {
+    detach_sharded(id);
+    return;
+  }
   if (id >= slots_.size() || !slots_[id].node) return;
   // Close every connection touching this node — found via the node's own
   // conn-id list rather than a scan of the whole (ever-grown) table.
@@ -100,6 +182,7 @@ SimDuration Network::draw_latency() {
 }
 
 ConnId Network::connect(NodeId from, NodeId to) {
+  if (sharded_) return connect_sharded(from, to);
   metrics_.connects_attempted.add(1);
   ConnId cid = next_conn_++;
   assert(cid - 1 == conn_slots_.size() && "ConnIds index the slot table");
@@ -147,6 +230,7 @@ ConnId Network::connect(NodeId from, NodeId to) {
 }
 
 void Network::send(ConnId conn, NodeId sender, util::Payload payload) {
+  if (sharded_) return send_sharded(conn, sender, std::move(payload));
   auto* c = find_conn(conn);
   if (!c || !c->open || c->closed) {
     metrics_.messages_dropped.add(1);
@@ -223,6 +307,7 @@ void Network::deliver(ConnId conn, NodeId to, const util::Payload& payload) {
 }
 
 void Network::close(ConnId conn, NodeId closer) {
+  if (sharded_) return close_sharded(conn, closer);
   auto* c = find_conn(conn);
   if (!c || c->closed) return;
   c->closed = true;
@@ -246,11 +331,27 @@ void Network::close(ConnId conn, NodeId closer) {
 }
 
 bool Network::connection_open(ConnId conn) const {
+  if (sharded_) {
+    // Inspect the initiator's half (tests / between-runs use only).
+    NodeId init = conn_initiator(conn);
+    if (init >= slots_.size()) return false;
+    for (const Half& h : slots_[init].halves.span()) {
+      if (h.cid == conn) return h.open && !h.closed;
+    }
+    return false;
+  }
   const auto* c = find_conn(conn);
   return c && c->open && !c->closed;
 }
 
 NodeId Network::peer_of(ConnId conn, NodeId self) const {
+  if (sharded_) {
+    if (self >= slots_.size()) return kInvalidNode;
+    for (const Half& h : slots_[self].halves.span()) {
+      if (h.cid == conn) return h.peer;
+    }
+    return kInvalidNode;
+  }
   const auto* c = find_conn(conn);
   if (!c) return kInvalidNode;
   if (c->a == self) return c->b;
@@ -259,6 +360,9 @@ NodeId Network::peer_of(ConnId conn, NodeId self) const {
 }
 
 std::size_t Network::open_connection_count() const {
+  if (sharded_) {
+    return open_halves_.load(std::memory_order_relaxed) / 2;
+  }
 #ifndef NDEBUG
   // The counter must agree with a full recount of the table; a drift here
   // means some open/close path forgot to maintain it.
@@ -292,6 +396,280 @@ void Network::erase_conn(ConnId id) {
   slot.live = false;
   slot.generation++;
   slot.conn = Connection{};
+}
+
+// ---------------------------------------------------------------------------
+// Sharded mode. Connection state is split into per-endpoint halves owned by
+// each slot's entity; every cross-host effect travels as an engine post at
+// least one connection latency (>= the lookahead floor) in the future. All
+// of the functions below run on the owning slot's entity context — the
+// engine serializes a slot's events, so no half is ever touched by two
+// threads. Shared totals (open_halves_, messages_delivered_, metrics) are
+// relaxed atomics: sums commute, so they are deterministic at barriers.
+// ---------------------------------------------------------------------------
+
+SimDuration Network::draw_latency_keyed(NodeId initiator,
+                                        std::uint32_t seq) const {
+  auto lo = std::max(latency_model.min.count_ms(), lookahead_.count_ms());
+  auto hi = std::max(latency_model.max.count_ms(), lo);
+  std::uint64_t x = mix_key(seed_, initiator, seq);
+  return SimDuration::millis(
+      lo + static_cast<std::int64_t>(x % static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+Network::Half* Network::find_half(NodeId id, ConnId cid) {
+  for (Half& h : slots_[id].halves.span()) {
+    if (h.cid == cid) return &h;
+  }
+  return nullptr;
+}
+
+void Network::push_half(NodeId id, const Half& half) {
+  Slot& s = slots_[id];
+  HalfVec& v = s.halves;
+  if (v.size == v.cap) {
+    std::uint32_t ncap = v.cap != 0 ? v.cap * 2 : 8;
+    // The owning shard's arena: single-threaded by construction (this code
+    // runs on the slot's entity). Growth abandons the old block — bump
+    // allocators don't free — which doubling keeps bounded.
+    Arena& arena = sharded_->shard_arena(sharded_->shard_of(s.entity));
+    Half* data = arena.make_array<Half>(ncap).data();
+    std::copy(v.data, v.data + v.size, data);
+    v.data = data;
+    v.cap = ncap;
+  }
+  v.data[v.size++] = half;
+}
+
+void Network::erase_half(NodeId id, ConnId cid) {
+  HalfVec& v = slots_[id].halves;
+  for (std::uint32_t i = 0; i < v.size; ++i) {
+    if (v.data[i].cid == cid) {
+      v.data[i] = v.data[v.size - 1];
+      --v.size;
+      return;
+    }
+  }
+}
+
+bool Network::close_half(NodeId id, Half& half) {
+  bool was_open = half.open && !half.closed;
+  half.closed = true;
+  half.open = false;
+  if (was_open) {
+    open_halves_.fetch_sub(1, std::memory_order_relaxed);
+    // Connection-level monotonic counters are owned by the initiating
+    // endpoint so each logical connection is counted exactly once.
+    if (conn_initiator(half.cid) == id) metrics_.connections_closed.add(1);
+  }
+  return was_open;
+}
+
+ConnId Network::connect_sharded(NodeId from, NodeId to) {
+  metrics_.connects_attempted.add(1);
+  Slot& fs = slots_[from];
+  std::uint32_t seq = ++fs.conn_seq;
+  ConnId cid = (static_cast<ConnId>(from) + 1) << 32 | seq;
+  SimDuration latency = draw_latency_keyed(from, seq);
+  std::int64_t lat_ms = latency.count_ms();
+
+  Half half;
+  half.cid = cid;
+  half.peer = to;
+  half.latency_ms = lat_ms;
+  push_half(from, half);
+
+  if (to >= slots_.size()) {
+    // Unknown target: fail back to the initiator after one latency.
+    sharded_->post(fs.entity, now() + latency, [this, cid, from, to] {
+      Half* h = find_half(from, cid);
+      if (!h || h->closed) return;
+      close_half(from, *h);
+      metrics_.connects_failed.add(1);
+      if (Node* n = slots_[from].node.get()) n->on_connection_failed(cid, to);
+      erase_half(from, cid);
+    });
+    return cid;
+  }
+
+  // The request reaches the target one latency out; the target decides and
+  // answers — so the initiator learns of failure after a full RTT (the
+  // serial model short-circuits refusals in one latency; a band-level
+  // difference, see DESIGN.md).
+  sharded_->post(slots_[to].entity, now() + latency,
+                 [this, cid, from, to, lat_ms] {
+    Slot& ts = slots_[to];
+    Node* target = ts.node.get();
+    bool refused =
+        !target || ts.profile.behind_nat || !target->accept_connection(from);
+    SimDuration lat = SimDuration::millis(lat_ms);
+    if (refused) {
+      metrics_.connects_failed.add(1);
+      sharded_->post(slots_[from].entity, now() + lat, [this, cid, from, to] {
+        Half* h = find_half(from, cid);
+        if (!h || h->closed) return;
+        close_half(from, *h);
+        if (Node* n = slots_[from].node.get()) n->on_connection_failed(cid, to);
+        erase_half(from, cid);
+      });
+      return;
+    }
+    Half th;
+    th.cid = cid;
+    th.peer = from;
+    th.latency_ms = lat_ms;
+    th.tx_free = now();
+    th.open = true;
+    push_half(to, th);
+    open_halves_.fetch_add(1, std::memory_order_relaxed);
+    P2P_TRACE(obs::Component::kNet, "conn_open", now(), obs::tf("conn", cid),
+              obs::tf("from", from), obs::tf("to", to));
+    target->on_connection_open(cid, from, /*initiated=*/false);
+    // Confirm to the initiator one RTT after it started.
+    sharded_->post(slots_[from].entity, now() + lat, [this, cid, from, to] {
+      Half* h = find_half(from, cid);
+      if (!h || h->closed) return;
+      h->open = true;
+      h->tx_free = now();
+      open_halves_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.connections_opened.add(1);
+      if (Node* n = slots_[from].node.get()) {
+        n->on_connection_open(cid, to, /*initiated=*/true);
+      }
+    });
+  });
+  return cid;
+}
+
+void Network::send_sharded(ConnId conn, NodeId sender, util::Payload payload) {
+  Half* h = sender < slots_.size() ? find_half(sender, conn) : nullptr;
+  if (!h || !h->open || h->closed) {
+    metrics_.messages_dropped.add(1);
+    return;
+  }
+  Slot& ss = slots_[sender];
+  NodeId receiver = h->peer;
+  metrics_.messages_sent.add(1);
+  metrics_.message_bytes.record(static_cast<std::int64_t>(payload.size()));
+
+  // Fault decisions are keyed on (sender slot, per-sender send sequence) —
+  // intrinsic to the simulation's causality, never to thread order.
+  SendFaults faults;
+  if (fault_hook_ != nullptr) {
+    faults = fault_hook_->on_send_keyed(payload, mix_key(sender, ++ss.send_seq));
+  }
+
+  double bps =
+      std::min(ss.profile.uplink_bps, slots_[receiver].profile.downlink_bps);
+  auto transfer_ms = static_cast<std::int64_t>(
+      1000.0 * static_cast<double>(payload.size()) / std::max(1.0, bps));
+  SimTime start = std::max(now(), h->tx_free);
+  SimTime done = start + SimDuration::millis(transfer_ms);
+  h->tx_free = done;
+  SimTime arrival = done + SimDuration::millis(h->latency_ms) + faults.extra_delay;
+
+  if (faults.drop) {
+    metrics_.messages_dropped.add(1);
+    return;
+  }
+  Engine::EntityId dst = slots_[receiver].entity;
+  if (faults.duplicate) {
+    sharded_->post(dst, arrival + SimDuration::millis(1),
+                   [this, conn, receiver, payload] {
+                     deliver_sharded(conn, receiver, payload);
+                   });
+  }
+  sharded_->post(dst, arrival,
+                 [this, conn, receiver, payload = std::move(payload)] {
+                   deliver_sharded(conn, receiver, payload);
+                 });
+}
+
+void Network::deliver_sharded(ConnId conn, NodeId to,
+                              const util::Payload& payload) {
+  // Graceful-close semantics as in serial mode: the receiver's half outlives
+  // the close by a grace period, so bytes sent while open still land; only
+  // receiver death (or the reclaim timer) drops them.
+  Half* h = find_half(to, conn);
+  Node* n = slots_[to].node.get();
+  if (!h || !n) {
+    metrics_.messages_dropped.add(1);
+    return;
+  }
+  messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+  bytes_delivered_.fetch_add(payload.size(), std::memory_order_relaxed);
+  metrics_.messages_delivered.add(1);
+  metrics_.bytes_delivered.add(payload.size());
+  n->on_message(conn, payload);
+}
+
+void Network::close_sharded(ConnId conn, NodeId closer) {
+  Half* h = closer < slots_.size() ? find_half(closer, conn) : nullptr;
+  if (!h || h->closed) return;
+  NodeId peer = h->peer;
+  SimDuration lat = SimDuration::millis(h->latency_ms);
+  bool was_open = close_half(closer, *h);
+  if (was_open) {
+    P2P_TRACE(obs::Component::kNet, "conn_close", now(), obs::tf("conn", conn),
+              obs::tf("closer", closer));
+  }
+  // Always notify the peer — its half can be open even when ours never was
+  // (a close racing the accept confirm). The notification travels with the
+  // connection latency, so it always arrives after the connect request did.
+  sharded_->post(slots_[peer].entity, now() + lat, [this, conn, peer] {
+    Half* ph = find_half(peer, conn);
+    if (!ph || ph->closed) return;
+    bool peer_open = close_half(peer, *ph);
+    if (peer_open) {
+      if (Node* n = slots_[peer].node.get()) n->on_connection_closed(conn);
+    }
+    // Reclaim after in-flight messages have had time to land (RST-like).
+    sharded_->post(slots_[peer].entity, now() + SimDuration::seconds(10),
+                   [this, conn, peer] { erase_half(peer, conn); });
+  });
+  sharded_->post(slots_[closer].entity, now() + lat * 2 + SimDuration::seconds(10),
+                 [this, conn, closer] { erase_half(closer, conn); });
+}
+
+void Network::detach_sharded(NodeId id) {
+  if (id >= slots_.size() || !slots_[id].node) return;
+  Slot& slot = slots_[id];
+  // Close every half this endpoint owns; peers learn via notify posts. The
+  // listener endpoint stays registered (the partition must not change
+  // mid-run) — connects to a detached slot are refused at the target.
+  for (Half& h : slot.halves.span()) {
+    if (h.closed) continue;
+    NodeId peer = h.peer;
+    ConnId cid = h.cid;
+    SimDuration lat = SimDuration::millis(h.latency_ms);
+    bool was_open = close_half(id, h);
+    if (was_open) {
+      P2P_TRACE(obs::Component::kNet, "conn_close", now(), obs::tf("conn", cid),
+                obs::tf("closer", id));
+    }
+    sharded_->post(slots_[peer].entity, now() + lat, [this, cid, peer] {
+      Half* ph = find_half(peer, cid);
+      if (!ph || ph->closed) return;
+      bool peer_open = close_half(peer, *ph);
+      if (peer_open) {
+        if (Node* n = slots_[peer].node.get()) n->on_connection_closed(cid);
+      }
+      sharded_->post(slots_[peer].entity, now() + SimDuration::seconds(10),
+                     [this, cid, peer] { erase_half(peer, cid); });
+    });
+  }
+  slot.halves.size = 0;
+  slot.node.reset();
+  slot.generation++;
+  alive_count_.fetch_sub(1, std::memory_order_relaxed);
+  P2P_TRACE(obs::Component::kNet, "node_leave", now(), obs::tf("node", id));
+}
+
+void Network::refresh_gauges() {
+  metrics_.nodes_alive.set(
+      static_cast<std::int64_t>(alive_count_.load(std::memory_order_relaxed)));
+  metrics_.connections_open.set(static_cast<std::int64_t>(
+      open_halves_.load(std::memory_order_relaxed) / 2));
 }
 
 }  // namespace p2p::sim

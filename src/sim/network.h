@@ -11,26 +11,44 @@
 //    slower of the sender's uplink and receiver's downlink, with
 //    per-direction serialization so back-to-back sends queue.
 //
-// Single-threaded on top of EventQueue; all callbacks fire from the event
-// loop, never re-entrantly from inside send()/connect().
+// Single-threaded on top of EventQueue by default; all callbacks fire from
+// the event loop, never re-entrantly from inside send()/connect().
+//
+// Sharded mode (ShardingConfig::shards >= 1) runs the same Node protocol
+// stacks on sim::ShardedEngine instead: every host slot is its own
+// scheduling entity, connection state is split into per-endpoint halves so
+// no two entities share mutable connection state, and every cross-host
+// effect (connect request/confirm, delivery, close notification) travels as
+// an engine post stamped at least one propagation latency in the future —
+// which satisfies the conservative lookahead floor because connection
+// latencies are clamped to >= the lookahead. Output is byte-identical at
+// every shard count; it is a *different model* than the serial path (see
+// DESIGN.md "Sharded execution"), which stays byte-identical to previous
+// releases.
 //
 // Hot-path layout (see DESIGN.md "Simulation-core performance"): payloads
 // are shared util::Payload buffers (a broadcast serializes once), the
 // connection table is a slot vector indexed directly by the sequential
 // ConnId (the same never-reused pattern as the node slots_), and the
 // listener table is hashed — so send/deliver/lookup do no tree walks and
-// no per-hop byte copies.
+// no per-hop byte copies. In sharded mode the per-slot connection halves
+// live in the owning shard's arena (sim::Arena), so a shard's connection
+// working set stays contiguous and thread-local.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
+#include "sim/sharded_engine.h"
 #include "util/bytes.h"
 #include "util/ip.h"
 #include "util/payload.h"
@@ -78,6 +96,30 @@ class MessageFaultHook {
  public:
   virtual ~MessageFaultHook() = default;
   virtual SendFaults on_send(util::Payload& payload) = 0;
+  /// Sharded-mode variant: `key` is a stable function of (sender slot,
+  /// per-sender send sequence), so the decision must depend only on the
+  /// key — never on cross-thread call order. The default forwards to
+  /// on_send(), which is only sound for the serial engine; hooks installed
+  /// on a sharded network must override this with a keyed implementation
+  /// (fault::FaultInjector does).
+  virtual SendFaults on_send_keyed(util::Payload& payload, std::uint64_t key) {
+    (void)key;
+    return on_send(payload);
+  }
+};
+
+/// Executor selection for a Network. Default (shards == 0) is the serial
+/// EventQueue — byte-identical to previous releases. shards >= 1 runs the
+/// model on sim::ShardedEngine: one scheduling entity per host slot,
+/// byte-identical output at every shard count.
+struct ShardingConfig {
+  std::size_t shards = 0;
+  /// Conservative lookahead window; connection latencies are clamped to at
+  /// least this, so it must not exceed the intended latency floor.
+  SimDuration lookahead = SimDuration::millis(20);
+  /// Forwarded to ShardedEngine::Config::worker_context: installs host
+  /// thread-state (e.g. a ScopedMetricsRegistry) on spawned workers.
+  std::function<std::shared_ptr<void>()> worker_context;
 };
 
 /// Behaviour attached to a simulated host. Protocol servents subclass this.
@@ -127,26 +169,53 @@ class Network {
     SimDuration max = SimDuration::millis(250);
   };
 
-  explicit Network(std::uint64_t seed);
+  explicit Network(std::uint64_t seed, ShardingConfig sharding = {});
   /// Unregisters this network's sim clock from the Logger.
   ~Network();
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  EventQueue& events() { return events_; }
-  [[nodiscard]] SimTime now() const { return events_.now(); }
+  /// Serial executor. Only valid in serial mode; throws std::logic_error on
+  /// a sharded network (engine-agnostic callers use engine() instead).
+  EventQueue& events();
+  /// The active executor, whichever mode the network is in.
+  [[nodiscard]] Engine& engine() {
+    return sharded_ ? static_cast<Engine&>(*sharded_) : events_;
+  }
+  [[nodiscard]] bool sharded() const { return sharded_ != nullptr; }
+  [[nodiscard]] SimTime now() const {
+    return sharded_ ? sharded_->now() : events_.now();
+  }
   util::Rng& rng() { return rng_; }
 
   // -- Node lifecycle -------------------------------------------------------
 
   NodeId add_node(std::unique_ptr<Node> node, HostProfile profile);
   /// Remove a node (churn). All its connections close; queued deliveries
-  /// to/from it are dropped.
+  /// to/from it are dropped. In sharded mode this detaches the instance but
+  /// keeps the slot (and its listener endpoint) registered, so the peer can
+  /// re-attach with its identity intact; call it from the node's own entity
+  /// context (or between runs).
   void remove_node(NodeId id);
+
+  /// Sharded mode only, before the first run: register a host slot (entity +
+  /// listener endpoint) with no live instance. attach_node() brings it
+  /// online; remove_node() takes it offline again. This is how churned peers
+  /// keep a stable slot across sessions — the engine's entity partition must
+  /// never change mid-run.
+  NodeId register_peer(HostProfile profile);
+  /// Install a fresh instance into a registered slot (sharded churn join).
+  /// Must run on the slot's entity context or before the first run.
+  void attach_node(NodeId id, std::unique_ptr<Node> node);
+  /// The engine entity owning a slot (sharded mode; 0 in serial mode).
+  [[nodiscard]] Engine::EntityId entity_of(NodeId id) const;
+
   [[nodiscard]] bool alive(NodeId id) const;
   [[nodiscard]] Node* node(NodeId id);
   [[nodiscard]] const HostProfile& profile(NodeId id) const;
-  [[nodiscard]] std::size_t node_count() const { return alive_count_; }
+  [[nodiscard]] std::size_t node_count() const {
+    return alive_count_.load(std::memory_order_relaxed);
+  }
 
   /// Find the (publicly reachable) node listening on `ep`, if any.
   [[nodiscard]] std::optional<NodeId> lookup(const util::Endpoint& ep) const;
@@ -182,35 +251,86 @@ class Network {
   /// Schedule a callback owned by a node; skipped if the node is removed
   /// before it fires. Templated so the callable lands in the event's
   /// sim::Task inline storage directly, with no std::function detour.
+  /// Sharded mode: the timer is a self-post on the slot's entity, so call
+  /// only from that node's own context (every protocol timer already is).
   template <typename F>
   void schedule_node(NodeId id, SimDuration delay, F&& fn) {
     if (id >= slots_.size()) return;
     std::uint64_t gen = slots_[id].generation;
-    events_.schedule_in(
-        delay, [this, id, gen, fn = std::forward<F>(fn)]() mutable {
-          if (id < slots_.size() && slots_[id].node && slots_[id].generation == gen) fn();
-        });
+    auto guarded = [this, id, gen, fn = std::forward<F>(fn)]() mutable {
+      if (id < slots_.size() && slots_[id].node && slots_[id].generation == gen) fn();
+    };
+    if (sharded_) {
+      sharded_->post(slots_[id].entity, sharded_->now() + delay, std::move(guarded));
+    } else {
+      events_.schedule_in(delay, std::move(guarded));
+    }
   }
 
   // -- Introspection for tests / stats --------------------------------------
 
-  [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
-  [[nodiscard]] std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return messages_delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_delivered() const {
+    return bytes_delivered_.load(std::memory_order_relaxed);
+  }
   /// O(1): maintained by connect/close (debug builds assert it against a
-  /// full recount of the connection table).
+  /// full recount of the connection table). Sharded mode counts open halves
+  /// and reports half of that; call between runs.
   [[nodiscard]] std::size_t open_connection_count() const;
+
+  /// Sharded mode: set the nodes_alive / connections_open gauges from the
+  /// shared atomic totals. The serial path maintains them per event; the
+  /// workers cannot (a per-event high-water mark would depend on thread
+  /// interleaving), so the study loop refreshes them at window boundaries —
+  /// deterministic because every event at or before the boundary has run.
+  void refresh_gauges();
 
   LatencyModel latency_model;
 
  private:
+  /// Sharded mode: one endpoint's view of a connection. Each slot owns only
+  /// its own halves — the peer's half lives in the peer's slot, touched only
+  /// by the peer's entity — so no connection state is ever shared between
+  /// shard threads. Trivially destructible by design: halves are stored in
+  /// the owning shard's arena.
+  struct Half {
+    ConnId cid = kInvalidConn;
+    NodeId peer = kInvalidNode;
+    std::int64_t latency_ms = 0;
+    SimTime tx_free;      // earliest time this side's uplink is free
+    bool open = false;    // accepted/confirmed
+    bool closed = false;  // terminal (kept until the release timer erases it)
+  };
+  static_assert(std::is_trivially_destructible_v<Half>);
+
+  /// Grow-doubling span of halves backed by the owning shard's arena (the
+  /// arena has no free(), so growth abandons the old block — fine, blocks
+  /// double). Mutated only from the slot's own entity context.
+  struct HalfVec {
+    Half* data = nullptr;
+    std::uint32_t size = 0;
+    std::uint32_t cap = 0;
+    [[nodiscard]] std::span<Half> span() { return {data, size}; }
+    [[nodiscard]] std::span<const Half> span() const { return {data, size}; }
+  };
+
   struct Slot {
     std::unique_ptr<Node> node;  // null after removal
     HostProfile profile;
     std::uint64_t generation = 0;
     /// Every ConnId this node has ever been an endpoint of; pruned of dead
     /// ids when scanned. remove_node closes via this list instead of
-    /// walking the whole connection table.
+    /// walking the whole connection table. (Serial mode only.)
     std::vector<ConnId> conns;
+    /// Sharded mode: the slot's scheduling entity, its connection halves,
+    /// and the per-slot sequences that make ConnIds / fault keys intrinsic
+    /// (functions of the initiating slot, never of thread order).
+    Engine::EntityId entity = 0;
+    HalfVec halves;
+    std::uint32_t conn_seq = 0;
+    std::uint64_t send_seq = 0;
   };
   struct Connection {
     NodeId a = kInvalidNode;
@@ -239,17 +359,48 @@ class Network {
   void deliver(ConnId conn, NodeId to, const util::Payload& payload);
   SimDuration draw_latency();
 
+  // -- Sharded-mode internals (all run on the owning slot's entity) ---------
+
+  /// ConnIds encode the initiating slot (high 32 bits, +1 so 0 stays
+  /// invalid) and its per-slot connection sequence — unique forever and a
+  /// pure function of simulation causality.
+  [[nodiscard]] static NodeId conn_initiator(ConnId cid) {
+    return static_cast<NodeId>(cid >> 32) - 1;
+  }
+  /// Intrinsic latency draw: splitmix chain over (seed, initiator, seq),
+  /// clamped to >= the engine lookahead so every cross-entity post
+  /// satisfies the conservative floor.
+  [[nodiscard]] SimDuration draw_latency_keyed(NodeId initiator,
+                                               std::uint32_t seq) const;
+  Half* find_half(NodeId id, ConnId cid);
+  void push_half(NodeId id, const Half& half);
+  void erase_half(NodeId id, ConnId cid);
+  /// Mark a half closed (idempotent), maintaining open_halves_ and the
+  /// initiator-owned connections_closed counter. Returns true if the half
+  /// was open before the call.
+  bool close_half(NodeId id, Half& half);
+
+  ConnId connect_sharded(NodeId from, NodeId to);
+  void send_sharded(ConnId conn, NodeId sender, util::Payload payload);
+  void close_sharded(ConnId conn, NodeId closer);
+  void deliver_sharded(ConnId conn, NodeId to, const util::Payload& payload);
+  void detach_sharded(NodeId id);
+
   EventQueue events_;
   util::Rng rng_;
+  std::unique_ptr<ShardedEngine> sharded_;  // null in serial mode
+  std::uint64_t seed_ = 0;
+  SimDuration lookahead_{};
   std::vector<Slot> slots_;
-  std::size_t alive_count_ = 0;
+  std::atomic<std::size_t> alive_count_{0};
   std::vector<ConnSlot> conn_slots_;
-  std::size_t open_conns_ = 0;
+  std::size_t open_conns_ = 0;                // serial mode
+  std::atomic<std::size_t> open_halves_{0};   // sharded mode (2 per conn)
   std::unordered_map<util::Endpoint, NodeId, util::EndpointHash> listeners_;
   ConnId next_conn_ = 1;
   MessageFaultHook* fault_hook_ = nullptr;
-  std::uint64_t messages_delivered_ = 0;
-  std::uint64_t bytes_delivered_ = 0;
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> bytes_delivered_{0};
 
   struct Metrics {
     obs::Counter& connects_attempted;

@@ -343,6 +343,11 @@ void ShardedEngine::run_rounds(std::int64_t until_ms, bool bounded) {
 
   impl_->reset(n);
   auto worker = [this, until_ms, bounded](std::size_t s) {
+    // Spawned workers install host context (metrics registry binding etc.)
+    // for their whole lifetime; shard 0 runs on the calling thread, which
+    // already has it.
+    std::shared_ptr<void> ctx;
+    if (s != 0 && config_.worker_context) ctx = config_.worker_context();
     for (;;) {
       if (plan_.stop) break;
       try {

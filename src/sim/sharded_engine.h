@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -41,7 +42,7 @@ namespace p2p::sim {
 
 class ShardedEngine final : public Engine {
  public:
-  using EntityId = std::uint32_t;
+  using EntityId = Engine::EntityId;
 
   struct Config {
     /// Number of shards (event loops). 1 = serial execution with the same
@@ -51,6 +52,12 @@ class ShardedEngine final : public Engine {
     /// be scheduled at least this far after the sender's clock. Windows are
     /// derived from it, so it also bounds how far shards can drift apart.
     SimDuration lookahead = SimDuration::millis(20);
+    /// Invoked once at the start of every spawned worker thread; the result
+    /// stays alive for the thread's lifetime. Lets the host install
+    /// thread-scoped state (e.g. a ScopedMetricsRegistry so workers record
+    /// into the study's registry). The calling thread — which runs shard
+    /// 0 — is NOT wrapped: it already carries its own context.
+    std::function<std::shared_ptr<void>()> worker_context;
   };
 
   /// Run statistics (stable across shard counts except `rounds`, which is
@@ -71,7 +78,7 @@ class ShardedEngine final : public Engine {
   /// the shard (stable hash mod shard count) and must be unique per entity.
   /// Entity 0 always exists (the "ambient" entity schedule_at posts to from
   /// outside any handler).
-  EntityId add_entity(std::uint64_t stable_key);
+  EntityId add_entity(std::uint64_t stable_key) override;
 
   [[nodiscard]] std::size_t entity_count() const { return entity_shard_.size(); }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -79,7 +86,7 @@ class ShardedEngine final : public Engine {
     return entity_shard_.at(entity);
   }
   /// The entity whose handler is currently executing on this thread, or 0.
-  [[nodiscard]] EntityId current_entity() const;
+  [[nodiscard]] EntityId current_entity() const override;
 
   /// Per-shard bulk storage (share indexes, scratch). Owned by the shard's
   /// worker during runs; touch it from other threads only between runs.
@@ -96,7 +103,7 @@ class ShardedEngine final : public Engine {
   /// std::logic_error otherwise — at every shard count). Self-posts (timers)
   /// may use any non-past stamp. From outside a run, posts are bootstrap
   /// inserts: any non-past stamp, any destination.
-  void post(EntityId dst, SimTime at, Task action);
+  void post(EntityId dst, SimTime at, Task action) override;
 
   /// Engine interface: post to the current entity (inside a handler) or to
   /// the ambient entity 0 (outside).

@@ -77,9 +77,9 @@ struct PlanConfig {
   /// against its own scoped registry, so per-task series are byte-identical
   /// across --jobs counts.
   obs::TimeSeriesConfig timeseries{};
-  /// Sharded-engine worker count per task (0 = legacy serial model). Task
-  /// results are identical at every value >= 1; see core/shard_study.h.
-  /// Ignored by the KAD driver (serial only).
+  /// Sharded-engine worker count per task (0 = serial). Any value >= 1 runs
+  /// the full-fidelity legacy model on the sharded engine; task results are
+  /// identical at every count. Ignored by the KAD driver (serial only).
   std::size_t shards = 0;
 };
 

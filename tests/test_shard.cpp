@@ -190,6 +190,58 @@ TEST(ShardDifferential, ConfigHashMarksShardedButNotTheCount) {
   EXPECT_NE(core::config_hash(legacy), core::config_hash(lw_config(7, 1)));
   EXPECT_EQ(core::config_hash(lw_config(7, 1)),
             core::config_hash(lw_config(7, 4)));
+  // The SoA capacity model is yet another generator: its marker must differ
+  // from both the serial and the sharded-legacy digests, and must itself be
+  // shard-count-invariant.
+  core::LimewireStudyConfig soa1 = lw_config(7, 1);
+  soa1.soa_capacity = true;
+  core::LimewireStudyConfig soa4 = lw_config(7, 4);
+  soa4.soa_capacity = true;
+  EXPECT_NE(core::config_hash(soa1), core::config_hash(legacy));
+  EXPECT_NE(core::config_hash(soa1), core::config_hash(lw_config(7, 1)));
+  EXPECT_EQ(core::config_hash(soa1), core::config_hash(soa4));
+}
+
+TEST(ShardDifferential, SoaCapacityModelIdenticalAcrossShardCounts) {
+  // --shards routes to the full-fidelity legacy model by default; the SoA
+  // capacity variant stays reachable behind soa_capacity and keeps its own
+  // shard-count invariance.
+  auto lw_soa = [](std::size_t shards) {
+    core::LimewireStudyConfig cfg = lw_config(7, shards);
+    cfg.soa_capacity = true;
+    return report_json(core::run_limewire_study(cfg), "limewire");
+  };
+  auto oft_soa = [](std::size_t shards) {
+    core::OpenFtStudyConfig cfg = oft_config(7, shards);
+    cfg.soa_capacity = true;
+    return report_json(core::run_openft_study(cfg), "openft");
+  };
+  std::string lw_base = lw_soa(1);
+  ASSERT_FALSE(lw_base.empty());
+  EXPECT_EQ(lw_base, lw_soa(4));
+  std::string oft_base = oft_soa(1);
+  ASSERT_FALSE(oft_base.empty());
+  EXPECT_EQ(oft_base, oft_soa(4));
+}
+
+TEST(ShardDifferential, LegacyShardedTracksSerialAtBandLevel) {
+  // Serial and sharded-legacy are distinct generators (latency draws are
+  // keyed vs. stream-drawn, failure notification costs 2L vs. L), so no
+  // byte-level agreement is expected — but they simulate the same study and
+  // must land in the same statistical band.
+  core::StudyResult serial = core::run_limewire_study(lw_config(7, 0));
+  core::StudyResult sharded = core::run_limewire_study(lw_config(7, 2));
+  ASSERT_GT(serial.crawl_stats.study_responses, 0u);
+  ASSERT_GT(sharded.crawl_stats.study_responses, 0u);
+  auto ratio = [](double a, double b) { return a > b ? a / b : b / a; };
+  EXPECT_LT(ratio(double(serial.crawl_stats.study_responses),
+                  double(sharded.crawl_stats.study_responses)),
+            2.0);
+  EXPECT_LT(ratio(double(serial.crawl_stats.queries_sent),
+                  double(sharded.crawl_stats.queries_sent)),
+            1.2);
+  EXPECT_GT(serial.messages_delivered, 0u);
+  EXPECT_GT(sharded.messages_delivered, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,7 +14,9 @@
 #include <cstdlib>
 #include <vector>
 
+#include "sim/network.h"
 #include "sim/sharded_engine.h"
+#include "util/payload.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
@@ -182,6 +184,221 @@ TEST_P(ShardStormFuzz, RandomStormsSurviveWindowedRunUntil) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardStormFuzz,
                          ::testing::Values(1ull, 42ull, 0xfeedfaceull));
+
+// ---------------------------------------------------------------------------
+// Legacy-model storms: the same shard-count differential, but through the
+// full sim::Network connection lifecycle instead of raw engine posts.
+// Hash-driven nodes dial random peers (some behind NAT, some refusing),
+// push payload bursts down whichever connections opened, close early, and a
+// subset detaches and reattaches mid-run (the churn pattern). Every
+// observable — per-node event logs, delivered message/byte totals, the
+// connection counters — must match the 1-shard baseline exactly.
+// ---------------------------------------------------------------------------
+
+struct LegacyShape {
+  std::uint32_t nodes;
+  std::int64_t horizon_ms;
+  std::uint64_t seed;
+};
+
+LegacyShape draw_legacy_shape(std::uint64_t seed) {
+  util::Rng rng(seed);
+  LegacyShape s;
+  s.nodes = 6 + static_cast<std::uint32_t>(rng.bounded(30));
+  s.horizon_ms = 3000 + static_cast<std::int64_t>(rng.bounded(5000));
+  s.seed = rng.next();
+  return s;
+}
+
+struct LegacyEvent {
+  std::int64_t at_ms;
+  std::uint64_t kind;  // 0=open 1=failed 2=closed 3=message
+  std::uint64_t detail;  // peer id, target id, or payload size
+  bool operator==(const LegacyEvent& o) const {
+    return at_ms == o.at_ms && kind == o.kind && detail == o.detail;
+  }
+};
+
+class LegacyStorm;
+
+// All decisions are pure hash draws over (storm seed, node index, step):
+// identical at every shard count, so only the engine under test varies.
+class LegacyStormNode : public sim::Node {
+ public:
+  LegacyStormNode(LegacyStorm& owner, std::uint32_t index)
+      : owner_(owner), index_(index) {}
+
+  void start() override;
+  bool accept_connection(sim::NodeId from) override;
+  void on_connection_open(sim::ConnId conn, sim::NodeId peer,
+                          bool initiated) override;
+  void on_connection_failed(sim::ConnId conn, sim::NodeId target) override;
+  void on_message(sim::ConnId conn, const util::Payload& payload) override;
+  void on_connection_closed(sim::ConnId conn) override;
+
+ private:
+  void step(std::uint32_t k);
+
+  LegacyStorm& owner_;
+  std::uint32_t index_;
+  std::vector<sim::ConnId> open_;
+};
+
+class LegacyStorm {
+ public:
+  LegacyStorm(const LegacyShape& shape, std::size_t shards)
+      : shape(shape),
+        net(shape.seed, sim::ShardingConfig{shards}),
+        logs(shape.nodes) {
+    for (std::uint32_t i = 0; i < shape.nodes; ++i) {
+      std::uint64_t h = mix(shape.seed ^ (0xad0ull << 40) ^ i);
+      sim::HostProfile profile;
+      profile.ip = util::Ipv4{static_cast<std::uint32_t>(0x0a000000u | i)};
+      profile.port = static_cast<std::uint16_t>(6346 + i);
+      profile.behind_nat = (h % 5) == 0;
+      ids.push_back(
+          net.add_node(std::make_unique<LegacyStormNode>(*this, i), profile));
+    }
+    // Churn subset: a third of the nodes detach at a hash-chosen instant and
+    // a fresh instance reattaches later, exactly the ChurnDriver pattern
+    // (posted to the victim's own entity, never from inside its handlers).
+    for (std::uint32_t i = 0; i < shape.nodes; ++i) {
+      std::uint64_t h = mix(shape.seed ^ (0xdeadull << 32) ^ i);
+      if (h % 3 != 0) continue;
+      std::int64_t leave_ms =
+          500 + static_cast<std::int64_t>((h >> 8) % (shape.horizon_ms / 2));
+      std::int64_t back_ms =
+          leave_ms + 200 + static_cast<std::int64_t>((h >> 40) % 1500);
+      sim::NodeId id = ids[i];
+      net.engine().post(net.entity_of(id), util::SimTime::at_millis(leave_ms),
+                        [this, id] { net.remove_node(id); });
+      net.engine().post(net.entity_of(id), util::SimTime::at_millis(back_ms),
+                        [this, id, i] {
+                          net.attach_node(
+                              id, std::make_unique<LegacyStormNode>(*this, i));
+                        });
+    }
+  }
+
+  void run() {
+    net.engine().run_until(util::SimTime::at_millis(shape.horizon_ms + 3000));
+  }
+
+  const LegacyShape& shape;
+  sim::Network net;
+  std::vector<sim::NodeId> ids;
+  std::vector<std::vector<LegacyEvent>> logs;
+};
+
+void LegacyStormNode::start() {
+  std::uint64_t h = mix(owner_.shape.seed ^ (std::uint64_t{index_} << 20));
+  network().schedule_node(
+      id(), util::SimDuration::millis(1 + static_cast<std::int64_t>(h % 300)),
+      [this] { step(0); });
+}
+
+bool LegacyStormNode::accept_connection(sim::NodeId from) {
+  // Deterministic per (self, dialer): some peers always refuse some dialers.
+  return mix(owner_.shape.seed ^ (std::uint64_t{index_} << 32) ^ from) % 7 != 0;
+}
+
+void LegacyStormNode::on_connection_open(sim::ConnId conn, sim::NodeId peer,
+                                         bool initiated) {
+  owner_.logs[index_].push_back(
+      {network().now().millis(), 0, std::uint64_t{peer}});
+  open_.push_back(conn);
+  if (initiated) {
+    // Greet down the fresh pipe: exercises tx_free serialization from the
+    // very first exchange.
+    network().send(conn, id(), util::Payload(util::Bytes(64, 0x5a)));
+  }
+}
+
+void LegacyStormNode::on_connection_failed(sim::ConnId conn,
+                                           sim::NodeId target) {
+  (void)conn;
+  owner_.logs[index_].push_back(
+      {network().now().millis(), 1, std::uint64_t{target}});
+}
+
+void LegacyStormNode::on_message(sim::ConnId conn, const util::Payload& payload) {
+  (void)conn;
+  owner_.logs[index_].push_back(
+      {network().now().millis(), 3, payload.size()});
+}
+
+void LegacyStormNode::on_connection_closed(sim::ConnId conn) {
+  owner_.logs[index_].push_back({network().now().millis(), 2, 0});
+  std::erase(open_, conn);
+}
+
+void LegacyStormNode::step(std::uint32_t k) {
+  std::int64_t now_ms = network().now().millis();
+  if (now_ms > owner_.shape.horizon_ms) return;
+  std::uint64_t h = mix(owner_.shape.seed ^ (std::uint64_t{index_} << 24) ^
+                        (std::uint64_t{k} << 4));
+  switch (h % 4) {
+    case 0: {  // dial a hash-chosen peer (possibly NATed or refusing)
+      std::uint32_t dst = static_cast<std::uint32_t>((h >> 16) % owner_.shape.nodes);
+      if (dst != index_) network().connect(id(), owner_.ids[dst]);
+      break;
+    }
+    case 1:
+    case 2: {  // burst 1..3 payloads down one open connection
+      if (!open_.empty()) {
+        sim::ConnId conn = open_[(h >> 16) % open_.size()];
+        std::uint32_t burst = 1 + static_cast<std::uint32_t>((h >> 32) % 3);
+        for (std::uint32_t b = 0; b < burst; ++b) {
+          std::size_t size = 16 + ((h >> (8 + 4 * b)) % 900);
+          network().send(conn, id(),
+                         util::Payload(util::Bytes(size, std::uint8_t(b))));
+        }
+      }
+      break;
+    }
+    default: {  // hang up one open connection
+      if (!open_.empty()) {
+        network().close(open_[(h >> 16) % open_.size()], id());
+      }
+      break;
+    }
+  }
+  network().schedule_node(
+      id(),
+      util::SimDuration::millis(1 + static_cast<std::int64_t>((h >> 48) % 180)),
+      [this, k] { step(k + 1); });
+}
+
+class LegacyStormFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LegacyStormFuzz, NetworkStormsMatchOneShardBaseline) {
+  const int rounds = fuzz_rounds(4);
+  for (int round = 0; round < rounds; ++round) {
+    LegacyShape shape = draw_legacy_shape(GetParam() * 6700417ull + round);
+    LegacyStorm baseline(shape, 1);
+    baseline.run();
+    ASSERT_GT(baseline.net.messages_delivered(), 0u)
+        << "degenerate storm, seed " << shape.seed;
+    for (std::size_t shards : {2u, 3u, 5u}) {
+      LegacyStorm storm(shape, shards);
+      storm.run();
+      EXPECT_EQ(baseline.net.engine().executed(), storm.net.engine().executed())
+          << "round " << round << " shards " << shards;
+      EXPECT_EQ(baseline.net.messages_delivered(), storm.net.messages_delivered());
+      EXPECT_EQ(baseline.net.bytes_delivered(), storm.net.bytes_delivered());
+      EXPECT_EQ(baseline.net.open_connection_count(),
+                storm.net.open_connection_count());
+      for (std::uint32_t i = 0; i < shape.nodes; ++i) {
+        ASSERT_EQ(baseline.logs[i], storm.logs[i])
+            << "node " << i << " log diverged, round " << round << ", shards "
+            << shards;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LegacyStormFuzz,
+                         ::testing::Values(3ull, 0xa11ceull));
 
 }  // namespace
 }  // namespace p2p
